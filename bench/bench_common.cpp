@@ -1,0 +1,93 @@
+#include "bench_common.hpp"
+
+#include <filesystem>
+
+namespace redcane::bench {
+namespace {
+
+constexpr const char* kCacheDir = ".bench_cache";
+
+struct BenchmarkSpec {
+  const char* id;
+  const char* model;
+  const char* dataset;
+  data::DatasetKind kind;
+  bool deepcaps;
+  double paper_acc;
+};
+
+const BenchmarkSpec& spec_of(BenchmarkId id) {
+  static const BenchmarkSpec specs[] = {
+      {"deepcaps_cifar10", "DeepCaps", "CIFAR-10", data::DatasetKind::kCifar10, true, 92.74},
+      {"deepcaps_svhn", "DeepCaps", "SVHN", data::DatasetKind::kSvhn, true, 97.56},
+      {"deepcaps_mnist", "DeepCaps", "MNIST", data::DatasetKind::kMnist, true, 99.72},
+      {"capsnet_fashion", "CapsNet", "Fashion-MNIST", data::DatasetKind::kFashionMnist, false,
+       92.88},
+      {"capsnet_mnist", "CapsNet", "MNIST", data::DatasetKind::kMnist, false, 99.67},
+  };
+  return specs[static_cast<int>(id)];
+}
+
+std::unique_ptr<capsnet::CapsModel> build_model(const BenchmarkSpec& s, Rng& rng) {
+  if (s.deepcaps) {
+    capsnet::DeepCapsConfig cfg = capsnet::DeepCapsConfig::tiny();
+    cfg.input_channels =
+        (s.kind == data::DatasetKind::kCifar10 || s.kind == data::DatasetKind::kSvhn) ? 3 : 1;
+    return std::make_unique<capsnet::DeepCapsModel>(cfg, rng);
+  }
+  return std::make_unique<capsnet::CapsNetModel>(capsnet::CapsNetConfig::tiny(), rng);
+}
+
+}  // namespace
+
+const char* benchmark_model_name(BenchmarkId id) { return spec_of(id).model; }
+const char* benchmark_dataset_name(BenchmarkId id) { return spec_of(id).dataset; }
+double paper_accuracy(BenchmarkId id) { return spec_of(id).paper_acc; }
+
+const char* benchmark_name(BenchmarkId id) {
+  static thread_local std::string name;
+  name = std::string(spec_of(id).model) + " / " + spec_of(id).dataset;
+  return name.c_str();
+}
+
+Benchmark load_benchmark(BenchmarkId id) {
+  const BenchmarkSpec& s = spec_of(id);
+  Benchmark b;
+  b.id = s.id;
+
+  Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(id));
+  b.model = build_model(s, rng);
+
+  const std::int64_t hw = s.deepcaps ? 16 : 28;
+  b.dataset = data::make_benchmark(s.kind, hw, /*train=*/800, /*test=*/300,
+                                   /*seed=*/1234 + static_cast<std::uint64_t>(id));
+
+  std::filesystem::create_directories(kCacheDir);
+  const std::string cache_path = std::string(kCacheDir) + "/" + s.id + ".bin";
+  if (capsnet::load_params(*b.model, cache_path)) {
+    return b;
+  }
+
+  std::printf("[bench] training %s (no cache at %s)...\n", benchmark_name(id),
+              cache_path.c_str());
+  capsnet::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 25;
+  tc.lr = 3e-3;
+  tc.on_epoch = [](int epoch, double loss, double acc) {
+    std::printf("[bench]   epoch %2d  loss %.4f  train-acc %.3f\n", epoch, loss, acc);
+  };
+  capsnet::train(*b.model, b.dataset.train_x, b.dataset.train_y, tc);
+  if (!capsnet::save_params(*b.model, cache_path)) {
+    std::printf("[bench] warning: could not cache parameters to %s\n", cache_path.c_str());
+  }
+  return b;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace redcane::bench

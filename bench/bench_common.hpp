@@ -1,0 +1,60 @@
+// Shared infrastructure of the reproduction benches: the five paper
+// benchmarks (model x dataset pairs of Table II), trained-model caching,
+// and fixed-width table printing.
+//
+// Resilience sweeps run the `tiny()` model profiles (DESIGN.md §4): the
+// 18-layer DeepCaps / 3-layer CapsNet topologies with every injection
+// site intact, at a channel count a pure-CPU sweep can afford.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capsnet/capsnet_model.hpp"
+#include "capsnet/deepcaps_model.hpp"
+#include "capsnet/serialize.hpp"
+#include "capsnet/trainer.hpp"
+#include "data/synthetic.hpp"
+
+namespace redcane::bench {
+
+/// One paper benchmark: a model architecture trained on a dataset.
+struct Benchmark {
+  std::string id;  ///< e.g. "deepcaps_cifar10".
+  std::unique_ptr<capsnet::CapsModel> model;
+  data::Dataset dataset;
+};
+
+enum class BenchmarkId {
+  kDeepCapsCifar10,
+  kDeepCapsSvhn,
+  kDeepCapsMnist,
+  kCapsNetFashionMnist,
+  kCapsNetMnist,
+};
+
+/// All five rows of the paper's Table II, in table order.
+inline std::vector<BenchmarkId> all_benchmarks() {
+  return {BenchmarkId::kDeepCapsCifar10, BenchmarkId::kDeepCapsSvhn,
+          BenchmarkId::kDeepCapsMnist, BenchmarkId::kCapsNetFashionMnist,
+          BenchmarkId::kCapsNetMnist};
+}
+
+/// Builds the benchmark's tiny-profile model and synthetic dataset, then
+/// either loads cached trained parameters from `.bench_cache/` or trains
+/// and caches them. Deterministic per benchmark id.
+Benchmark load_benchmark(BenchmarkId id);
+
+/// Paper Table II reference accuracies (percent).
+double paper_accuracy(BenchmarkId id);
+
+const char* benchmark_name(BenchmarkId id);     ///< e.g. "DeepCaps / CIFAR-10".
+const char* benchmark_model_name(BenchmarkId id);
+const char* benchmark_dataset_name(BenchmarkId id);
+
+/// Prints a horizontal rule and a centered title.
+void print_header(const std::string& title);
+
+}  // namespace redcane::bench

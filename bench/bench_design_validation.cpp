@@ -1,0 +1,89 @@
+// Extension: end-to-end validation of the methodology's output.
+//
+// The paper stops at Step 6 — it selects approximate components per
+// operation but never measures the accuracy of the *finished* approximate
+// CapsNet. This bench closes the loop: after running ReD-CaNe, it injects
+// every site's selected component noise (its profiled NM and NA)
+// simultaneously at all sites, measures the resulting accuracy, and prices
+// the design with the energy model.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "capsnet/capsnet_model.hpp"
+#include "core/methodology.hpp"
+#include "energy/energy_model.hpp"
+#include "noise/injector.hpp"
+
+using namespace redcane;
+
+int main() {
+  bool ok = true;
+  for (bench::BenchmarkId id :
+       {bench::BenchmarkId::kCapsNetMnist, bench::BenchmarkId::kDeepCapsCifar10}) {
+    bench::Benchmark b = bench::load_benchmark(id);
+    bench::print_header(std::string("Design validation: approximate ") +
+                        bench::benchmark_name(id));
+
+    core::MethodologyConfig mc;
+    mc.resilience.seed = 606;
+    mc.tolerance_pct = 1.0;
+    const core::MethodologyResult r =
+        core::run_redcane(*b.model, b.dataset.test_x, b.dataset.test_y, b.dataset.name, mc);
+
+    // Re-profile the selected components to recover their NM/NA, and arm
+    // one injection rule per site with exactly that noise.
+    const auto profiled =
+        core::profile_library(approx::InputDistribution::uniform(),
+                              mc.profile_chain_length, mc.profile_samples, mc.profile_seed);
+    auto noise_of = [&](const approx::Multiplier* m) {
+      for (const core::ProfiledComponent& pc : profiled) {
+        if (pc.mul == m) return noise::NoiseSpec{pc.nm, pc.na};
+      }
+      return noise::NoiseSpec{};
+    };
+    std::vector<noise::InjectionRule> rules;
+    for (const core::SiteSelection& s : r.selections) {
+      rules.push_back(noise::layer_rule(s.site.kind, s.site.layer, noise_of(s.component)));
+    }
+    noise::GaussianInjector injector(rules, /*seed=*/607);
+    const double approx_acc =
+        capsnet::evaluate(*b.model, b.dataset.test_x, b.dataset.test_y, &injector);
+    const double drop = (approx_acc - r.baseline_accuracy) * 100.0;
+
+    std::printf("baseline accuracy:            %.2f%%\n", r.baseline_accuracy * 100.0);
+    std::printf("approximate-design accuracy:  %.2f%%  (drop %+.2f pp, %lld sites "
+                "injected)\n",
+                approx_acc * 100.0, drop, static_cast<long long>(injector.injections()));
+    std::printf("mean MAC-datapath power saving: %.1f%%\n",
+                r.mean_mac_power_saving() * 100.0);
+
+    // Energy of the designed datapath (MAC-site selections per layer).
+    std::vector<energy::LayerMultiplierChoice> choices;
+    for (const core::SiteSelection& s : r.selections) {
+      if (s.site.kind == capsnet::OpKind::kMacOutput) {
+        choices.push_back({s.site.layer, s.component});
+      }
+    }
+    const bool deepcaps = id == bench::BenchmarkId::kDeepCapsCifar10;
+    const auto layers =
+        deepcaps
+            ? energy::count_deepcaps_layers(
+                  dynamic_cast<capsnet::DeepCapsModel&>(*b.model).config())
+            : energy::count_capsnet_layers(
+                  dynamic_cast<capsnet::CapsNetModel&>(*b.model).config());
+    const energy::UnitEnergy ue = energy::UnitEnergy::paper_45nm();
+    const double exact_pj = energy::approximated_energy_pj(layers, ue, {});
+    const double approx_pj = energy::approximated_energy_pj(layers, ue, choices);
+    std::printf("inference energy: %.2f nJ -> %.2f nJ (saving %.1f%%)\n",
+                exact_pj / 1e3, approx_pj / 1e3, (1.0 - approx_pj / exact_pj) * 100.0);
+
+    // The design was built with a 1 pp per-operation budget; injecting all
+    // sites at once compounds, so grant the joint design a few pp.
+    ok = ok && drop > -5.0 && (1.0 - approx_pj / exact_pj) > 0.10;
+  }
+
+  std::printf("\nshape check (joint injection of every selected component keeps the "
+              "design within a few pp of baseline while saving >10%% energy): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// Reproduces paper Fig. 10: layer-wise resilience of the non-resilient
+// groups (MAC outputs, activations) of DeepCaps on CIFAR-10, over all 18
+// layers.
+//
+// Paper claims to reproduce:
+//   * the first convolutional layer is the least resilient;
+//   * Caps3D — the only convolutional layer with dynamic routing — is the
+//     most resilient, because routing coefficients adapt to the noise.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "capsnet/trainer.hpp"
+#include "core/report.hpp"
+#include "core/resilience.hpp"
+
+using namespace redcane;
+
+int main() {
+  bench::Benchmark b = bench::load_benchmark(bench::BenchmarkId::kDeepCapsCifar10);
+  bench::print_header(
+      "Fig. 10: layer-wise resilience of non-resilient groups, DeepCaps/CIFAR-10");
+
+  // Layer sweeps cost 18 layers x 2 groups x 9 NM points; trim the test
+  // set to keep the full-figure runtime reasonable on one CPU.
+  const Tensor test_x = capsnet::slice_rows(b.dataset.test_x, 0, 150);
+  const std::vector<std::int64_t> test_y(b.dataset.test_y.begin(),
+                                         b.dataset.test_y.begin() + 150);
+
+  core::ResilienceConfig rc;
+  rc.seed = 1010;
+  core::ResilienceAnalyzer analyzer(*b.model, test_x, test_y, rc);
+  std::printf("baseline accuracy: %.2f%%\n", analyzer.baseline() * 100.0);
+
+  const std::vector<std::string> layers = b.model->layer_names();
+  bool shape_holds = true;
+
+  for (capsnet::OpKind kind :
+       {capsnet::OpKind::kMacOutput, capsnet::OpKind::kActivation}) {
+    std::printf("\n--- group: %s ---\n", capsnet::op_kind_name(kind));
+    double conv_drop_at_0p05 = 0.0;
+    double caps3d_drop_at_0p05 = 0.0;
+    double worst_mid_drop = 0.0;
+    for (const std::string& layer : layers) {
+      const core::ResilienceCurve c = analyzer.sweep_layer(kind, layer);
+      std::printf("%s", core::render_curve(c).c_str());
+      const double at_0p05 = c.drop_pct[3];  // NM = 0.05 grid point.
+      if (layer == "Conv2D") conv_drop_at_0p05 = at_0p05;
+      if (layer == "Caps3D") caps3d_drop_at_0p05 = at_0p05;
+      worst_mid_drop = std::min(worst_mid_drop, at_0p05);
+    }
+    // Caps3D (routed) must be at least as resilient as the stem conv, and
+    // close to the top of the ranking.
+    if (caps3d_drop_at_0p05 < conv_drop_at_0p05 - 1.0) shape_holds = false;
+    std::printf("[%s] Conv2D drop@NM=0.05: %+.2f, Caps3D drop@NM=0.05: %+.2f, "
+                "worst layer: %+.2f\n",
+                capsnet::op_kind_name(kind), conv_drop_at_0p05, caps3d_drop_at_0p05,
+                worst_mid_drop);
+  }
+  std::printf("evaluations: %lld\n", static_cast<long long>(analyzer.evaluations()));
+
+  std::printf("\nshape check (routed Caps3D at least as resilient as the first conv "
+              "in both groups): %s\n",
+              shape_holds ? "PASS" : "FAIL");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Reproduces paper Fig. 5: optimization potential of applying approximate
+// components to the DeepCaps datapath.
+//
+// Scenarios: Acc (all exact), XM (approximate multipliers, NGR), XA
+// (approximate adders, 5LT), XAM (both). Paper savings: XM -28.3%,
+// XA -1.9%, XAM -30.2%.
+#include <cmath>
+#include <cstdio>
+
+#include "approx/library.hpp"
+#include "bench_common.hpp"
+#include "energy/energy_model.hpp"
+
+using namespace redcane;
+
+int main() {
+  bench::print_header("Fig. 5: optimization potential (Acc / XM / XA / XAM)");
+
+  const energy::OpCounts ops = energy::count_deepcaps(capsnet::DeepCapsConfig::paper());
+  const energy::UnitEnergy ue = energy::UnitEnergy::paper_45nm();
+  const approx::Multiplier& ngr = approx::multiplier_by_analog("mul8u_NGR");
+  const approx::Adder& lt5 = approx::adder_by_name("axa_loa6");  // add8u_5LT analog.
+
+  const auto scenarios = energy::optimization_potential(ops, ue, ngr, lt5);
+  const double paper_savings[] = {0.0, 28.3, 1.9, 30.2};
+
+  std::printf("%-6s %16s %12s %12s\n", "case", "energy [uJ]", "saving", "paper");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    std::printf("%-6s %16.2f %11.1f%% %11.1f%%\n", scenarios[i].label.c_str(),
+                scenarios[i].energy_pj / 1e6, scenarios[i].saving * 100.0,
+                paper_savings[i]);
+  }
+
+  const double xm = scenarios[1].saving * 100.0;
+  const double xa = scenarios[2].saving * 100.0;
+  const double xam = scenarios[3].saving * 100.0;
+  const bool shape_holds = xm > 20.0 && xa < 5.0 && xam > xm && std::abs(xam - xm - xa) < 0.5;
+  std::printf(
+      "\nshape check (XM >> XA, XAM ~= XM + XA, XM within a few points of "
+      "paper's -28.3%%): %s\n",
+      shape_holds ? "PASS" : "FAIL");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// Micro-kernel throughput benchmarks (google-benchmark harness): the
+// arithmetic and inference kernels the resilience sweeps are built on.
+#include <benchmark/benchmark.h>
+
+#include "approx/library.hpp"
+#include "capsnet/capsnet_model.hpp"
+#include "capsnet/routing.hpp"
+#include "capsnet/squash.hpp"
+#include "nn/conv2d.hpp"
+#include "noise/noise_model.hpp"
+#include "tensor/ops.hpp"
+
+using namespace redcane;
+
+namespace {
+
+void BM_ExactMultiplier(benchmark::State& state) {
+  const approx::Multiplier& m = approx::exact_multiplier();
+  std::uint32_t acc = 0;
+  std::uint8_t a = 3;
+  std::uint8_t b = 5;
+  for (auto _ : state) {
+    acc += m.multiply(a, b);
+    a += 7;
+    b += 13;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ExactMultiplier);
+
+void BM_ApproxMultiplier(benchmark::State& state) {
+  const approx::Multiplier* m =
+      approx::multiplier_library()[static_cast<std::size_t>(state.range(0))];
+  std::uint32_t acc = 0;
+  std::uint8_t a = 3;
+  std::uint8_t b = 5;
+  for (auto _ : state) {
+    acc += m->multiply(a, b);
+    a += 7;
+    b += 13;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetLabel(m->info().name);
+}
+BENCHMARK(BM_ApproxMultiplier)->DenseRange(1, 8, 1);
+
+void BM_Conv2DForward(benchmark::State& state) {
+  Rng rng(1);
+  const std::int64_t c = state.range(0);
+  const Tensor x = ops::uniform(Shape{1, 16, 16, c}, 0.0, 1.0, rng);
+  const Tensor w = ops::uniform(Shape{3, 3, c, c}, -0.5, 0.5, rng);
+  const Tensor b = ops::uniform(Shape{c}, -0.1, 0.1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::conv2d_forward(x, w, b, 1, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 16 * 9 * c * c);
+}
+BENCHMARK(BM_Conv2DForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Squash(benchmark::State& state) {
+  Rng rng(2);
+  const Tensor s = ops::uniform(Shape{1024, 8}, -2.0, 2.0, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(capsnet::squash(s));
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Squash);
+
+void BM_DynamicRouting(benchmark::State& state) {
+  Rng rng(3);
+  const Tensor votes = ops::uniform(Shape{16, 64, 10, 16}, -1.0, 1.0, rng);
+  const int iters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(capsnet::dynamic_routing(votes, iters, nullptr, "b"));
+  }
+  state.SetLabel(std::to_string(iters) + " iterations");
+}
+BENCHMARK(BM_DynamicRouting)->Arg(1)->Arg(3);
+
+void BM_NoiseInjection(benchmark::State& state) {
+  Rng rng(4);
+  Tensor x = ops::uniform(Shape{65536}, 0.0, 1.0, rng);
+  Rng nrng(5);
+  for (auto _ : state) {
+    noise::inject_noise(x, noise::NoiseSpec{0.05, 0.0}, nrng);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_NoiseInjection);
+
+void BM_CapsNetTinyInference(benchmark::State& state) {
+  Rng rng(6);
+  capsnet::CapsNetModel model(capsnet::CapsNetConfig::tiny(), rng);
+  Rng drng(7);
+  const Tensor x = ops::uniform(Shape{1, 28, 28, 1}, 0.0, 1.0, drng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x, false, nullptr));
+  }
+}
+BENCHMARK(BM_CapsNetTinyInference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

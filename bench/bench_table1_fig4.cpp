@@ -1,0 +1,80 @@
+// Reproduces paper Table I (operation counts and unit energies of the
+// DeepCaps inference) and Fig. 4 (energy breakdown per operation type).
+//
+// Paper claim to reproduce: multiplications dominate the computational
+// energy (~96%), additions are frequent but cheap (~3%), everything else
+// is noise — hence approximating multipliers first.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "energy/op_counter.hpp"
+
+using namespace redcane;
+
+namespace {
+
+const char* human(double v) {
+  static thread_local char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f G", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f M", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0f K", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table I: # ops and unit energy of DeepCaps inference (paper profile)");
+
+  const capsnet::DeepCapsConfig cfg = capsnet::DeepCapsConfig::paper();
+  const energy::OpCounts ours = energy::count_deepcaps(cfg);
+  const energy::UnitEnergy ue = energy::UnitEnergy::paper_45nm();
+
+  struct Row {
+    energy::OpType type;
+    double paper_count;
+  };
+  // Paper-reported counts (their synthesis covers the full 64x64-input
+  // DeepCaps variant; our analytic count walks the published 32x32
+  // architecture, so absolute counts differ by a constant factor while
+  // ratios and the energy ordering must match).
+  const Row rows[] = {
+      {energy::OpType::kAdd, 1.91e9},  {energy::OpType::kMul, 2.15e9},
+      {energy::OpType::kDiv, 4.17e6},  {energy::OpType::kExp, 175e3},
+      {energy::OpType::kSqrt, 502e3},
+  };
+
+  std::printf("%-16s %14s %14s %14s\n", "OPERATION", "# OPS (ours)", "# OPS (paper)",
+              "Unit E [pJ]");
+  for (const Row& r : rows) {
+    std::printf("%-16s %14s", energy::op_type_name(r.type),
+                human(static_cast<double>(ours.of(r.type))));
+    std::printf(" %14s %14.4f\n", human(r.paper_count), ue.of(r.type));
+  }
+
+  const double mul_add_ratio_ours =
+      static_cast<double>(ours.mul) / static_cast<double>(ours.add);
+  std::printf("\nmul/add count ratio: ours %.2f, paper %.2f\n", mul_add_ratio_ours,
+              2.15e9 / 1.91e9);
+
+  bench::print_header("Fig. 4: energy breakdown per operation type");
+  const double mul_share = ours.energy_share(energy::OpType::kMul, ue);
+  const double add_share = ours.energy_share(energy::OpType::kAdd, ue);
+  const double other_share = 1.0 - mul_share - add_share;
+  std::printf("%-8s %8s   %s\n", "op", "share", "paper");
+  std::printf("%-8s %7.1f%%   96%%\n", "Mult", mul_share * 100.0);
+  std::printf("%-8s %7.1f%%   3%%\n", "Add", add_share * 100.0);
+  std::printf("%-8s %7.1f%%   <1%%\n", "Other", other_share * 100.0);
+
+  const bool shape_holds = mul_share > 0.90 && add_share < 0.08;
+  std::printf("\nshape check (mult dominates >90%%, adds <8%%): %s\n",
+              shape_holds ? "PASS" : "FAIL");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+// Reproduces paper Table III: the grouping of CapsNet inference
+// operations into the four ReD-CaNe groups, extracted dynamically (Step 1)
+// from both architectures.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "capsnet/trainer.hpp"
+#include "core/groups.hpp"
+#include "core/report.hpp"
+
+using namespace redcane;
+
+int main() {
+  bool ok = true;
+  for (bench::BenchmarkId id :
+       {bench::BenchmarkId::kDeepCapsCifar10, bench::BenchmarkId::kCapsNetMnist}) {
+    bench::Benchmark b = bench::load_benchmark(id);
+    bench::print_header(std::string("Table III: operation groups of ") +
+                        bench::benchmark_name(id));
+    const Tensor probe = capsnet::slice_rows(b.dataset.test_x, 0, 1);
+    const std::vector<core::Site> sites = core::extract_sites(*b.model, probe);
+    std::printf("%s", core::render_groups(sites).c_str());
+
+    // Structural checks: all four groups populated; routed layers own the
+    // softmax / logits-update sites.
+    for (capsnet::OpKind kind : core::all_groups()) {
+      ok = ok && !core::sites_of_group(sites, kind).empty();
+    }
+    const auto sm = core::layers_of_group(sites, capsnet::OpKind::kSoftmax);
+    const bool deepcaps = id == bench::BenchmarkId::kDeepCapsCifar10;
+    ok = ok && (sm.size() == (deepcaps ? 2U : 1U));
+  }
+  std::printf("\nshape check (4 groups populated; softmax/logits only in routed "
+              "layers): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// Quickstart: train a small CapsNet on a synthetic MNIST stand-in, then
+// watch its accuracy degrade as approximation noise is injected into the
+// MAC outputs — the core loop of the ReD-CaNe methodology in ~60 lines.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "capsnet/capsnet_model.hpp"
+#include "capsnet/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "noise/injector.hpp"
+
+using namespace redcane;
+
+int main() {
+  // 1. Data: a deterministic synthetic MNIST-like dataset (28x28x1).
+  const data::Dataset ds =
+      data::make_benchmark(data::DatasetKind::kMnist, /*hw=*/28, /*train=*/800,
+                           /*test=*/200);
+  std::printf("dataset: %s\n", ds.summary().c_str());
+
+  // 2. Model: the CapsNet topology of Sabour et al. at the tiny profile.
+  Rng rng(7);
+  capsnet::CapsNetModel model(capsnet::CapsNetConfig::tiny(), rng);
+
+  // 3. Train with Adam on margin loss.
+  capsnet::TrainConfig tc;
+  tc.epochs = 6;
+  tc.batch_size = 25;
+  tc.lr = 2e-3;
+  tc.on_epoch = [](int epoch, double loss, double acc) {
+    std::printf("epoch %d: loss %.4f, train accuracy %.1f%%\n", epoch, loss, acc * 100.0);
+  };
+  capsnet::train(model, ds.train_x, ds.train_y, tc);
+
+  const double clean = capsnet::evaluate(model, ds.test_x, ds.test_y);
+  std::printf("\nclean test accuracy: %.1f%%\n\n", clean * 100.0);
+
+  // 4. Inject Gaussian approximation noise (paper Eq. 3-4) into all MAC
+  //    outputs and watch the accuracy drop grow with the noise magnitude.
+  std::printf("%-10s %12s %14s\n", "NM", "accuracy", "drop");
+  for (double nm : {0.001, 0.01, 0.05, 0.1, 0.5}) {
+    noise::GaussianInjector injector(
+        {noise::group_rule(capsnet::OpKind::kMacOutput, noise::NoiseSpec{nm, 0.0})},
+        /*seed=*/42);
+    const double noisy = capsnet::evaluate(model, ds.test_x, ds.test_y, &injector);
+    std::printf("%-10.3f %11.1f%% %+13.1f%%\n", nm, noisy * 100.0,
+                (noisy - clean) * 100.0);
+  }
+  std::printf("\nRule of thumb from the paper: MAC outputs stop tolerating noise "
+              "around NM ~ 0.01; routing coefficients tolerate 10x more.\n");
+  return 0;
+}

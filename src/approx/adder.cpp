@@ -1,0 +1,151 @@
+#include "approx/adder.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcane::approx {
+namespace {
+
+class ExactAdder final : public Adder {
+ public:
+  explicit ExactAdder(AdderInfo info) : Adder(std::move(info)) {}
+  std::uint32_t add(std::uint32_t a, std::uint32_t b) const override { return a + b; }
+};
+
+class LoaAdder final : public Adder {
+ public:
+  explicit LoaAdder(AdderInfo info)
+      : Adder(std::move(info)), low_mask_((1U << this->info().param) - 1U) {}
+  std::uint32_t add(std::uint32_t a, std::uint32_t b) const override {
+    const std::uint32_t high = (a & ~low_mask_) + (b & ~low_mask_);
+    return high | ((a | b) & low_mask_);
+  }
+
+ private:
+  std::uint32_t low_mask_;
+};
+
+class TruncAdder final : public Adder {
+ public:
+  explicit TruncAdder(AdderInfo info)
+      : Adder(std::move(info)), low_mask_((1U << this->info().param) - 1U) {}
+  std::uint32_t add(std::uint32_t a, std::uint32_t b) const override {
+    return (a & ~low_mask_) + (b & ~low_mask_);
+  }
+
+ private:
+  std::uint32_t low_mask_;
+};
+
+class SegmentedAdder final : public Adder {
+ public:
+  explicit SegmentedAdder(AdderInfo info) : Adder(std::move(info)) {}
+  std::uint32_t add(std::uint32_t a, std::uint32_t b) const override {
+    const int w = info().param;
+    std::uint32_t out = 0;
+    for (int base = 0; base < 32; base += w) {
+      const std::uint32_t mask = (w >= 32) ? ~0U : (((1U << w) - 1U) << base);
+      // Each segment adds independently; its carry-out is discarded.
+      out |= ((a & mask) + (b & mask)) & mask;
+    }
+    return out;
+  }
+};
+
+struct Registry {
+  std::vector<std::unique_ptr<Adder>> owned;
+  std::vector<const Adder*> view;
+
+  void put(std::unique_ptr<Adder> a) {
+    view.push_back(a.get());
+    owned.push_back(std::move(a));
+  }
+};
+
+Registry build_registry() {
+  Registry r;
+  // Power/area relative to an exact 20-bit ripple adder at the paper's
+  // operating point. The paper's Table I gives 0.0202 pJ/add for the exact
+  // unit; component-level power here only feeds the Fig. 5 study.
+  r.put(make_exact_adder({.name = "axa_exact",
+                          .family = "exact",
+                          .param = 0,
+                          .paper_analog = "add8u_accurate",
+                          .power_uw = 24.0,
+                          .area_um2 = 60.0}));
+  r.put(make_loa_adder({.name = "axa_loa4",
+                        .family = "loa",
+                        .param = 4,
+                        .paper_analog = "",
+                        .power_uw = 19.2,
+                        .area_um2 = 49.0}));
+  r.put(make_loa_adder({.name = "axa_loa6",
+                        .family = "loa",
+                        .param = 6,
+                        .paper_analog = "add8u_5LT",
+                        .power_uw = 16.6,
+                        .area_um2 = 43.0}));
+  r.put(make_loa_adder({.name = "axa_loa8",
+                        .family = "loa",
+                        .param = 8,
+                        .paper_analog = "",
+                        .power_uw = 14.1,
+                        .area_um2 = 37.0}));
+  r.put(make_trunc_adder({.name = "axa_trunc4",
+                          .family = "trunc",
+                          .param = 4,
+                          .paper_analog = "",
+                          .power_uw = 18.5,
+                          .area_um2 = 46.0}));
+  r.put(make_trunc_adder({.name = "axa_trunc6",
+                          .family = "trunc",
+                          .param = 6,
+                          .paper_analog = "",
+                          .power_uw = 15.7,
+                          .area_um2 = 40.0}));
+  r.put(make_segmented_adder({.name = "axa_seg8",
+                              .family = "seg",
+                              .param = 8,
+                              .paper_analog = "",
+                              .power_uw = 17.8,
+                              .area_um2 = 45.0}));
+  r.put(make_segmented_adder({.name = "axa_seg10",
+                              .family = "seg",
+                              .param = 10,
+                              .paper_analog = "",
+                              .power_uw = 19.6,
+                              .area_um2 = 50.0}));
+  return r;
+}
+
+Registry& registry() {
+  static Registry r = build_registry();
+  return r;
+}
+
+}  // namespace
+
+std::unique_ptr<Adder> make_exact_adder(AdderInfo info) {
+  return std::make_unique<ExactAdder>(std::move(info));
+}
+std::unique_ptr<Adder> make_loa_adder(AdderInfo info) {
+  return std::make_unique<LoaAdder>(std::move(info));
+}
+std::unique_ptr<Adder> make_trunc_adder(AdderInfo info) {
+  return std::make_unique<TruncAdder>(std::move(info));
+}
+std::unique_ptr<Adder> make_segmented_adder(AdderInfo info) {
+  return std::make_unique<SegmentedAdder>(std::move(info));
+}
+
+const std::vector<const Adder*>& adder_library() { return registry().view; }
+
+const Adder& adder_by_name(const std::string& name) {
+  for (const Adder* a : registry().view) {
+    if (a->info().name == name) return *a;
+  }
+  std::fprintf(stderr, "redcane::approx fatal: unknown adder '%s'\n", name.c_str());
+  std::abort();
+}
+
+}  // namespace redcane::approx

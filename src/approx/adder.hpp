@@ -1,0 +1,65 @@
+// Behavioral models of approximate adders.
+//
+// The paper's Fig. 5 study pairs an approximate multiplier (NGR) with an
+// approximate adder (5LT) and shows that adder approximation contributes
+// only ~1.9% energy saving because additions are ~3% of the energy budget.
+// We model the accumulator datapath as 20-bit (8x8 products accumulated
+// over up to 81-term MAC chains stay below 2^20 + slack).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace redcane::approx {
+
+/// Static metadata of an adder component.
+struct AdderInfo {
+  std::string name;          ///< e.g. "axa_loa6".
+  std::string family;        ///< "exact", "loa", "trunc", "seg".
+  int param = 0;             ///< Family parameter (k).
+  std::string paper_analog;  ///< EvoApprox8B analog ("add8u_5LT" etc.), "" if none.
+  double power_uw = 0.0;
+  double area_um2 = 0.0;
+};
+
+/// Interface of a behavioral accumulator-width adder.
+class Adder {
+ public:
+  virtual ~Adder() = default;
+
+  [[nodiscard]] virtual std::uint32_t add(std::uint32_t a, std::uint32_t b) const = 0;
+
+  [[nodiscard]] const AdderInfo& info() const { return info_; }
+
+  [[nodiscard]] std::int32_t error(std::uint32_t a, std::uint32_t b) const {
+    return static_cast<std::int32_t>(add(a, b)) - static_cast<std::int32_t>(a + b);
+  }
+
+ protected:
+  explicit Adder(AdderInfo info) : info_(std::move(info)) {}
+
+ private:
+  AdderInfo info_;
+};
+
+std::unique_ptr<Adder> make_exact_adder(AdderInfo info);
+/// Lower-part-OR adder: the k low result bits are the OR of the operands'
+/// low bits; no carry propagates from the low part.
+std::unique_ptr<Adder> make_loa_adder(AdderInfo info);  // param = k
+/// Truncated adder: the k low bits of both operands are dropped before an
+/// exact addition of the high parts.
+std::unique_ptr<Adder> make_trunc_adder(AdderInfo info);  // param = k
+/// Segmented (carry-cut) adder: carries do not cross segment boundaries of
+/// width param.
+std::unique_ptr<Adder> make_segmented_adder(AdderInfo info);  // param = segment width
+
+/// All adder components, exact first. Returned references are owned by a
+/// function-local static registry and live for the program duration.
+const std::vector<const Adder*>& adder_library();
+
+/// Lookup by name; aborts if absent (component names are compile-time data).
+const Adder& adder_by_name(const std::string& name);
+
+}  // namespace redcane::approx

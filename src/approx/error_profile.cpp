@@ -1,0 +1,80 @@
+#include "approx/error_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "approx/mac_chain.hpp"
+
+namespace redcane::approx {
+
+InputDistribution::InputDistribution(std::string label, std::vector<std::uint8_t> pool)
+    : label_(std::move(label)), pool_(std::move(pool)) {}
+
+InputDistribution InputDistribution::uniform() { return {"uniform", {}}; }
+
+InputDistribution InputDistribution::empirical(std::vector<std::uint8_t> pool) {
+  if (pool.empty()) {
+    std::fprintf(stderr, "redcane::approx fatal: empirical distribution needs samples\n");
+    std::abort();
+  }
+  return {"empirical", std::move(pool)};
+}
+
+std::uint8_t InputDistribution::sample(Rng& rng) const {
+  if (pool_.empty()) return static_cast<std::uint8_t>(rng.uniform_index(256));
+  return pool_[rng.uniform_index(pool_.size())];
+}
+
+ErrorProfile profile_multiplier(const Multiplier& mul, const InputDistribution& dist,
+                                const ProfileConfig& cfg) {
+  Rng rng(cfg.seed);
+  ErrorProfile p;
+  p.multiplier_name = mul.info().name;
+  p.distribution_label = dist.label();
+  p.chain_length = cfg.chain_length;
+  p.error_samples.reserve(static_cast<std::size_t>(cfg.samples));
+
+  std::vector<double> exact_outputs;
+  exact_outputs.reserve(static_cast<std::size_t>(cfg.samples));
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(cfg.chain_length));
+  std::vector<std::uint8_t> b(a.size());
+
+  for (std::int64_t s = 0; s < cfg.samples; ++s) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = dist.sample(rng);
+      b[i] = dist.sample(rng);
+    }
+    const MacResult r = run_mac_chain(mul, a, b);
+    p.error_samples.push_back(static_cast<double>(r.error()));
+    exact_outputs.push_back(static_cast<double>(r.exact));
+  }
+
+  p.error_moments = stats::moments(std::span<const double>(p.error_samples));
+  p.exact_moments = stats::moments(std::span<const double>(exact_outputs));
+
+  // NM/NA normalize by the full representable output range of the exact
+  // datapath rather than the per-sample empirical range: a hardware design
+  // sizes its fixed-point format to the datapath, not to one input batch.
+  // For a chain of n 8x8 MACs that range is n * 255^2.
+  const double range = static_cast<double>(cfg.chain_length) * 255.0 * 255.0;
+  p.nm = p.error_moments.stddev / range;
+  p.na = p.error_moments.mean / range;
+
+  const stats::Histogram h = error_histogram(p, 64);
+  p.gaussian_distance =
+      stats::gaussian_fit_distance(h, p.error_moments.mean, p.error_moments.stddev);
+  p.gaussian_like = p.gaussian_distance < kGaussianLikeThreshold;
+  return p;
+}
+
+stats::Histogram error_histogram(const ErrorProfile& profile, std::size_t bins) {
+  double bound = 1.0;
+  for (double e : profile.error_samples) bound = std::max(bound, std::abs(e));
+  stats::Histogram h(-bound * 1.02, bound * 1.02, bins);
+  h.add(std::span<const double>(profile.error_samples));
+  return h;
+}
+
+}  // namespace redcane::approx

@@ -1,0 +1,85 @@
+// Error profiling of approximate components (paper Sec. III-B, Fig. 6,
+// Table IV).
+//
+// Computes the distribution of arithmetic errors ΔP' = P'(a,b) − P(a,b)
+// over a representative input set I, for a single multiplication or for
+// 9-/81-long MAC chains, then fits Gaussian moments and derives the
+// range-relative noise parameters:
+//
+//     NM = std(Δ) / R(X)      NA = mean(Δ) / R(X)
+//
+// where R(X) is the dynamic range of the *exact* output population.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "approx/multiplier.hpp"
+#include "tensor/random.hpp"
+#include "tensor/stats.hpp"
+
+namespace redcane::approx {
+
+/// A source of 8-bit operand samples. Uniform sources model the paper's
+/// "modeled" distribution; empirical sources replay quantized network
+/// activations/weights ("real" distribution, Fig. 11 / Table IV).
+class InputDistribution {
+ public:
+  /// Uniform over [0, 255].
+  static InputDistribution uniform();
+
+  /// Empirical: samples are drawn (with replacement) from `pool`.
+  /// Aborts if pool is empty.
+  static InputDistribution empirical(std::vector<std::uint8_t> pool);
+
+  [[nodiscard]] std::uint8_t sample(Rng& rng) const;
+  [[nodiscard]] const std::string& label() const { return label_; }
+
+ private:
+  InputDistribution(std::string label, std::vector<std::uint8_t> pool);
+
+  std::string label_;
+  std::vector<std::uint8_t> pool_;  ///< Empty => uniform.
+};
+
+/// Profiling configuration.
+struct ProfileConfig {
+  std::int64_t samples = 100000;  ///< |I| per scenario (paper uses 1e5).
+  int chain_length = 1;           ///< 1 for single mult, 9 / 81 for MAC chains.
+  std::uint64_t seed = 42;
+};
+
+/// Result of profiling one component under one input distribution.
+struct ErrorProfile {
+  std::string multiplier_name;
+  std::string distribution_label;
+  int chain_length = 1;
+
+  stats::Moments error_moments;   ///< Moments of Δ.
+  stats::Moments exact_moments;   ///< Moments of the exact outputs (gives R(X)).
+  double nm = 0.0;                ///< std(Δ) / R(exact outputs).
+  double na = 0.0;                ///< mean(Δ) / R(exact outputs).
+  double gaussian_distance = 0.0; ///< L1 distance of Δ histogram to Gaussian fit.
+  bool gaussian_like = false;     ///< Paper: 31 of 35 components qualify.
+
+  std::vector<double> error_samples;  ///< Raw Δ samples (for histograms).
+};
+
+/// Profiles `mul` under `dist`: runs `cfg.samples` independent chains of
+/// `cfg.chain_length` MACs and aggregates errors.
+[[nodiscard]] ErrorProfile profile_multiplier(const Multiplier& mul,
+                                              const InputDistribution& dist,
+                                              const ProfileConfig& cfg);
+
+/// Threshold on gaussian_fit_distance below which a profile is declared
+/// Gaussian-like. Chosen so that heavily biased / multi-modal components
+/// (Mitchell-truncated, deep result truncation) fall outside, matching the
+/// paper's 31-of-35 observation.
+inline constexpr double kGaussianLikeThreshold = 0.35;
+
+/// Builds a histogram of a profile's error samples with symmetric bounds.
+[[nodiscard]] stats::Histogram error_histogram(const ErrorProfile& profile, std::size_t bins);
+
+}  // namespace redcane::approx

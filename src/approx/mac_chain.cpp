@@ -1,0 +1,42 @@
+#include "approx/mac_chain.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcane::approx {
+namespace {
+
+void check_lengths(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) {
+    std::fprintf(stderr, "redcane::approx fatal: MAC chain operand length mismatch\n");
+    std::abort();
+  }
+}
+
+}  // namespace
+
+MacResult run_mac_chain(const Multiplier& mul, std::span<const std::uint8_t> a,
+                        std::span<const std::uint8_t> b) {
+  check_lengths(a, b);
+  MacResult r;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    r.approx += mul.multiply(a[i], b[i]);
+    r.exact += static_cast<std::uint64_t>(a[i]) * b[i];
+  }
+  return r;
+}
+
+MacResult run_mac_chain(const Multiplier& mul, const Adder& add,
+                        std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
+  check_lengths(a, b);
+  MacResult r;
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = add.add(acc, mul.multiply(a[i], b[i]));
+    r.exact += static_cast<std::uint64_t>(a[i]) * b[i];
+  }
+  r.approx = acc;
+  return r;
+}
+
+}  // namespace redcane::approx

@@ -1,0 +1,38 @@
+// Multiply-and-accumulate chain simulator.
+//
+// The paper characterizes error accumulation over 1, 9 and 81 chained MAC
+// operations — the dot-product lengths of 3x3 and 9x9 convolution kernels
+// (Fig. 6). This module executes such chains with a chosen behavioral
+// multiplier (and optionally an approximate accumulator adder) and reports
+// the signed error versus the exact chain.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "approx/adder.hpp"
+#include "approx/multiplier.hpp"
+
+namespace redcane::approx {
+
+/// Result of one simulated MAC chain.
+struct MacResult {
+  std::uint64_t approx = 0;  ///< Accumulated approximate value.
+  std::uint64_t exact = 0;   ///< Accumulated exact value.
+
+  [[nodiscard]] std::int64_t error() const {
+    return static_cast<std::int64_t>(approx) - static_cast<std::int64_t>(exact);
+  }
+};
+
+/// Runs sum_i mul(a[i], b[i]) with the given multiplier and an exact
+/// accumulator. a and b must have equal length.
+[[nodiscard]] MacResult run_mac_chain(const Multiplier& mul, std::span<const std::uint8_t> a,
+                                      std::span<const std::uint8_t> b);
+
+/// Same, but accumulating through an approximate adder.
+[[nodiscard]] MacResult run_mac_chain(const Multiplier& mul, const Adder& add,
+                                      std::span<const std::uint8_t> a,
+                                      std::span<const std::uint8_t> b);
+
+}  // namespace redcane::approx

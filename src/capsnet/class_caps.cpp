@@ -1,0 +1,103 @@
+#include "capsnet/class_caps.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcane::capsnet {
+
+ClassCaps::ClassCaps(std::string name, const ClassCapsSpec& spec, Rng& rng)
+    : name_(std::move(name)),
+      spec_(spec),
+      w_(name_ + ".w", Tensor(Shape{spec.in_caps, spec.out_caps, spec.in_dim, spec.out_dim})) {
+  nn::he_init(w_.value, spec.in_dim, rng);
+}
+
+Tensor ClassCaps::compute_votes(const Tensor& x) const {
+  const std::int64_t n = x.shape().dim(0);
+  const std::int64_t ic = spec_.in_caps;
+  const std::int64_t id = spec_.in_dim;
+  const std::int64_t oc = spec_.out_caps;
+  const std::int64_t od = spec_.out_dim;
+  Tensor votes(Shape{n, ic, oc, od});
+  const auto xd = x.data();
+  const auto wd = w_.value.data();
+  auto vd = votes.data();
+#pragma omp parallel for if (n > 2)
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t i = 0; i < ic; ++i) {
+      const std::size_t xbase = static_cast<std::size_t>((ni * ic + i) * id);
+      for (std::int64_t j = 0; j < oc; ++j) {
+        const std::size_t wbase = static_cast<std::size_t>(((i * oc + j) * id) * od);
+        const std::size_t vbase = static_cast<std::size_t>(((ni * ic + i) * oc + j) * od);
+        for (std::int64_t p = 0; p < id; ++p) {
+          const float xv = xd[xbase + static_cast<std::size_t>(p)];
+          if (xv == 0.0F) continue;
+          const std::size_t wrow = wbase + static_cast<std::size_t>(p * od);
+          for (std::int64_t q = 0; q < od; ++q) {
+            vd[vbase + static_cast<std::size_t>(q)] +=
+                xv * wd[wrow + static_cast<std::size_t>(q)];
+          }
+        }
+      }
+    }
+  }
+  return votes;
+}
+
+Tensor ClassCaps::forward(const Tensor& x, bool train, PerturbationHook* hook) {
+  if (x.shape().rank() != 3 || x.shape().dim(1) != spec_.in_caps ||
+      x.shape().dim(2) != spec_.in_dim) {
+    std::fprintf(stderr, "redcane::capsnet fatal: ClassCaps input shape mismatch (%s)\n",
+                 x.shape().to_string().c_str());
+    std::abort();
+  }
+  Tensor votes = compute_votes(x);
+  emit(hook, name_, OpKind::kMacOutput, votes);
+
+  RoutingResult routed = dynamic_routing(votes, spec_.routing_iters, hook, name_);
+  if (train) {
+    cached_x_ = x;
+    cached_votes_ = votes;
+    cached_routing_ = routed;
+  }
+  return routed.v;
+}
+
+Tensor ClassCaps::backward(const Tensor& grad_out) {
+  const Tensor grad_votes = routing_backward(cached_votes_, cached_routing_, grad_out);
+  const std::int64_t n = cached_x_.shape().dim(0);
+  const std::int64_t ic = spec_.in_caps;
+  const std::int64_t id = spec_.in_dim;
+  const std::int64_t oc = spec_.out_caps;
+  const std::int64_t od = spec_.out_dim;
+
+  Tensor grad_x(cached_x_.shape());
+  const auto xd = cached_x_.data();
+  const auto gv = grad_votes.data();
+  const auto wd = w_.value.data();
+  auto gw = w_.grad.data();
+  auto gx = grad_x.data();
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t i = 0; i < ic; ++i) {
+      const std::size_t xbase = static_cast<std::size_t>((ni * ic + i) * id);
+      for (std::int64_t j = 0; j < oc; ++j) {
+        const std::size_t wbase = static_cast<std::size_t>(((i * oc + j) * id) * od);
+        const std::size_t vbase = static_cast<std::size_t>(((ni * ic + i) * oc + j) * od);
+        for (std::int64_t p = 0; p < id; ++p) {
+          const float xv = xd[xbase + static_cast<std::size_t>(p)];
+          const std::size_t wrow = wbase + static_cast<std::size_t>(p * od);
+          float gxacc = 0.0F;
+          for (std::int64_t q = 0; q < od; ++q) {
+            const float g = gv[vbase + static_cast<std::size_t>(q)];
+            gw[wrow + static_cast<std::size_t>(q)] += xv * g;
+            gxacc += wd[wrow + static_cast<std::size_t>(q)] * g;
+          }
+          gx[xbase + static_cast<std::size_t>(p)] += gxacc;
+        }
+      }
+    }
+  }
+  return grad_x;
+}
+
+}  // namespace redcane::capsnet

@@ -1,0 +1,74 @@
+#include "capsnet/conv_caps2d.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "capsnet/squash.hpp"
+
+namespace redcane::capsnet {
+
+ConvCaps2D::ConvCaps2D(std::string name, const ConvCaps2DSpec& spec, Rng& rng)
+    : name_(std::move(name)), spec_(spec) {
+  nn::Conv2DSpec cs;
+  cs.in_channels = spec.in_types * spec.in_dim;
+  cs.out_channels = spec.out_types * spec.out_dim;
+  cs.kernel = spec.kernel;
+  cs.stride = spec.stride;
+  cs.pad = spec.pad;
+  conv_ = std::make_unique<nn::Conv2D>(name_, cs, rng);
+  if (spec.batch_norm) {
+    bn_ = std::make_unique<nn::BatchNorm>(name_ + ".bn", cs.out_channels);
+  }
+}
+
+Tensor ConvCaps2D::forward_pre_squash(const Tensor& x, bool train, PerturbationHook* hook) {
+  if (x.shape().rank() != 5 || x.shape().dim(3) != spec_.in_types ||
+      x.shape().dim(4) != spec_.in_dim) {
+    std::fprintf(stderr, "redcane::capsnet fatal: ConvCaps2D input shape mismatch (%s)\n",
+                 x.shape().to_string().c_str());
+    std::abort();
+  }
+  in_shape_ = x.shape();
+  const std::int64_t n = x.shape().dim(0);
+  const std::int64_t h = x.shape().dim(1);
+  const std::int64_t w = x.shape().dim(2);
+  const Tensor flat = x.reshaped(Shape{n, h, w, spec_.in_types * spec_.in_dim});
+
+  Tensor pre = conv_->forward(flat, train);
+  if (bn_) pre = bn_->forward(pre, train);
+  emit(hook, name_, OpKind::kMacOutput, pre);
+  conv_out_shape_ = pre.shape();
+
+  return pre.reshaped(Shape{n, pre.shape().dim(1), pre.shape().dim(2), spec_.out_types,
+                            spec_.out_dim});
+}
+
+Tensor ConvCaps2D::forward(const Tensor& x, bool train, PerturbationHook* hook) {
+  Tensor pre = forward_pre_squash(x, train, hook);
+  if (train) cached_pre_squash_ = pre;
+  Tensor v = squash(pre);
+  emit(hook, name_, OpKind::kActivation, v);
+  return v;
+}
+
+Tensor ConvCaps2D::backward_pre_squash(const Tensor& grad_pre) {
+  Tensor g = grad_pre.reshaped(conv_out_shape_);
+  if (bn_) g = bn_->backward(g);
+  const Tensor grad_flat = conv_->backward(g);
+  return grad_flat.reshaped(in_shape_);
+}
+
+std::vector<nn::Param*> ConvCaps2D::params() {
+  std::vector<nn::Param*> out = conv_->params();
+  if (bn_) {
+    for (nn::Param* p : bn_->params()) out.push_back(p);
+  }
+  return out;
+}
+
+Tensor ConvCaps2D::backward(const Tensor& grad_out) {
+  const Tensor grad_pre = squash_backward(cached_pre_squash_, grad_out);
+  return backward_pre_squash(grad_pre);
+}
+
+}  // namespace redcane::capsnet

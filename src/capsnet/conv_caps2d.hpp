@@ -1,0 +1,60 @@
+// ConvCaps2D (DeepCaps [24]): a convolutional capsule layer without
+// routing. Input capsules [N, H, W, Ti, Di] are flattened to channels,
+// convolved to To*Do output channels, regrouped into capsules and
+// squashed. The conv output is a MacOutput site; the squashed capsules an
+// Activation site — these are exactly the per-layer sites of the paper's
+// Fig. 10 drill-down.
+#pragma once
+
+#include <memory>
+
+#include "capsnet/inject.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+
+namespace redcane::capsnet {
+
+struct ConvCaps2DSpec {
+  std::int64_t in_types = 0;
+  std::int64_t in_dim = 0;
+  std::int64_t out_types = 0;
+  std::int64_t out_dim = 0;
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t pad = 1;
+  /// Batch-normalize the conv output before squash (DeepCaps interleaves
+  /// BN with its capsule convolutions; prevents capsule-length collapse).
+  bool batch_norm = true;
+};
+
+/// Input/output: [N, H, W, T, D] rank-5 capsule maps.
+class ConvCaps2D final : public nn::Layer {
+ public:
+  ConvCaps2D(std::string name, const ConvCaps2DSpec& spec, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override { return forward(x, train, nullptr); }
+  Tensor forward(const Tensor& x, bool train, PerturbationHook* hook);
+
+  /// Variant returning the pre-squash capsule map (used by the residual
+  /// blocks that sum pre-activations before a shared squash).
+  Tensor forward_pre_squash(const Tensor& x, bool train, PerturbationHook* hook);
+
+  Tensor backward(const Tensor& grad_out) override;
+  /// Backward for the forward_pre_squash path (no squash Jacobian).
+  Tensor backward_pre_squash(const Tensor& grad_pre);
+
+  std::vector<nn::Param*> params() override;
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const ConvCaps2DSpec& spec() const { return spec_; }
+
+ private:
+  std::string name_;
+  ConvCaps2DSpec spec_;
+  std::unique_ptr<nn::Conv2D> conv_;
+  std::unique_ptr<nn::BatchNorm> bn_;  ///< Null when spec_.batch_norm is false.
+  Tensor cached_pre_squash_;  ///< rank-5 pre-squash output.
+  Shape conv_out_shape_;      ///< NHWC conv output shape.
+  Shape in_shape_;            ///< rank-5 input shape.
+};
+
+}  // namespace redcane::capsnet

@@ -1,0 +1,154 @@
+#include "capsnet/conv_caps3d.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcane::capsnet {
+
+ConvCaps3D::ConvCaps3D(std::string name, const ConvCaps3DSpec& spec, Rng& rng)
+    : name_(std::move(name)),
+      spec_(spec),
+      w_(name_ + ".w", Tensor(Shape{spec.in_types, spec.kernel, spec.kernel, spec.in_dim,
+                                    spec.out_types * spec.out_dim})) {
+  nn::he_init(w_.value, spec.kernel * spec.kernel * spec.in_dim, rng);
+}
+
+Tensor ConvCaps3D::compute_votes(const Tensor& x, std::int64_t& ho, std::int64_t& wo) const {
+  const std::int64_t n = x.shape().dim(0);
+  const std::int64_t h = x.shape().dim(1);
+  const std::int64_t w = x.shape().dim(2);
+  const std::int64_t ti = spec_.in_types;
+  const std::int64_t di = spec_.in_dim;
+  const std::int64_t to = spec_.out_types;
+  const std::int64_t dd = spec_.out_dim;
+  const std::int64_t k = spec_.kernel;
+  ho = (h + 2 * spec_.pad - k) / spec_.stride + 1;
+  wo = (w + 2 * spec_.pad - k) / spec_.stride + 1;
+
+  Tensor votes(Shape{n * ho * wo, ti, to, dd});
+  const auto xd = x.data();
+  const auto wd = w_.value.data();
+  auto vd = votes.data();
+  const std::int64_t jd = to * dd;
+
+#pragma omp parallel for collapse(2) if (n * ho > 2)
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t oy = 0; oy < ho; ++oy) {
+      for (std::int64_t ox = 0; ox < wo; ++ox) {
+        const std::size_t vpos =
+            static_cast<std::size_t>(((ni * ho + oy) * wo + ox) * ti * jd);
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          const std::int64_t iy = oy * spec_.stride + ky - spec_.pad;
+          if (iy < 0 || iy >= h) continue;
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            const std::int64_t ix = ox * spec_.stride + kx - spec_.pad;
+            if (ix < 0 || ix >= w) continue;
+            const std::size_t xbase =
+                static_cast<std::size_t>(((ni * h + iy) * w + ix) * ti * di);
+            for (std::int64_t i = 0; i < ti; ++i) {
+              const std::size_t wbase =
+                  static_cast<std::size_t>((((i * k + ky) * k + kx) * di) * jd);
+              const std::size_t vbase = vpos + static_cast<std::size_t>(i * jd);
+              for (std::int64_t p = 0; p < di; ++p) {
+                const float xv = xd[xbase + static_cast<std::size_t>(i * di + p)];
+                if (xv == 0.0F) continue;
+                const std::size_t wrow = wbase + static_cast<std::size_t>(p * jd);
+                for (std::int64_t q = 0; q < jd; ++q) {
+                  vd[vbase + static_cast<std::size_t>(q)] +=
+                      xv * wd[wrow + static_cast<std::size_t>(q)];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return votes;
+}
+
+Tensor ConvCaps3D::forward(const Tensor& x, bool train, PerturbationHook* hook) {
+  if (x.shape().rank() != 5 || x.shape().dim(3) != spec_.in_types ||
+      x.shape().dim(4) != spec_.in_dim) {
+    std::fprintf(stderr, "redcane::capsnet fatal: ConvCaps3D input shape mismatch (%s)\n",
+                 x.shape().to_string().c_str());
+    std::abort();
+  }
+  std::int64_t ho = 0;
+  std::int64_t wo = 0;
+  Tensor votes = compute_votes(x, ho, wo);
+  emit(hook, name_, OpKind::kMacOutput, votes);
+
+  RoutingResult routed = dynamic_routing(votes, spec_.routing_iters, hook, name_);
+  if (train) {
+    cached_x_ = x;
+    cached_votes_ = votes;
+    cached_routing_ = routed;
+    cached_ho_ = ho;
+    cached_wo_ = wo;
+  }
+  const std::int64_t n = x.shape().dim(0);
+  return routed.v.reshaped(Shape{n, ho, wo, spec_.out_types, spec_.out_dim});
+}
+
+Tensor ConvCaps3D::backward(const Tensor& grad_out) {
+  const std::int64_t n = cached_x_.shape().dim(0);
+  const std::int64_t h = cached_x_.shape().dim(1);
+  const std::int64_t w = cached_x_.shape().dim(2);
+  const std::int64_t ti = spec_.in_types;
+  const std::int64_t di = spec_.in_dim;
+  const std::int64_t to = spec_.out_types;
+  const std::int64_t dd = spec_.out_dim;
+  const std::int64_t k = spec_.kernel;
+  const std::int64_t jd = to * dd;
+
+  const Tensor grad_v =
+      grad_out.reshaped(Shape{n * cached_ho_ * cached_wo_, to, dd});
+  const Tensor grad_votes = routing_backward(cached_votes_, cached_routing_, grad_v);
+
+  Tensor grad_x(cached_x_.shape());
+  const auto xd = cached_x_.data();
+  const auto gv = grad_votes.data();
+  const auto wd = w_.value.data();
+  auto gw = w_.grad.data();
+  auto gx = grad_x.data();
+
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t oy = 0; oy < cached_ho_; ++oy) {
+      for (std::int64_t ox = 0; ox < cached_wo_; ++ox) {
+        const std::size_t vpos = static_cast<std::size_t>(
+            ((ni * cached_ho_ + oy) * cached_wo_ + ox) * ti * jd);
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          const std::int64_t iy = oy * spec_.stride + ky - spec_.pad;
+          if (iy < 0 || iy >= h) continue;
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            const std::int64_t ix = ox * spec_.stride + kx - spec_.pad;
+            if (ix < 0 || ix >= w) continue;
+            const std::size_t xbase =
+                static_cast<std::size_t>(((ni * h + iy) * w + ix) * ti * di);
+            for (std::int64_t i = 0; i < ti; ++i) {
+              const std::size_t wbase =
+                  static_cast<std::size_t>((((i * k + ky) * k + kx) * di) * jd);
+              const std::size_t vbase = vpos + static_cast<std::size_t>(i * jd);
+              for (std::int64_t p = 0; p < di; ++p) {
+                const std::size_t xi = xbase + static_cast<std::size_t>(i * di + p);
+                const float xv = xd[xi];
+                const std::size_t wrow = wbase + static_cast<std::size_t>(p * jd);
+                float gxacc = 0.0F;
+                for (std::int64_t q = 0; q < jd; ++q) {
+                  const float g = gv[vbase + static_cast<std::size_t>(q)];
+                  gw[wrow + static_cast<std::size_t>(q)] += xv * g;
+                  gxacc += wd[wrow + static_cast<std::size_t>(q)] * g;
+                }
+                gx[xi] += gxacc;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_x;
+}
+
+}  // namespace redcane::capsnet

@@ -1,0 +1,56 @@
+// ConvCaps3D (DeepCaps [24]): convolutional capsule layer *with* dynamic
+// routing — the "DYN ROUTING / CONVCAPS 3D" block of the paper's Fig. 2
+// and, per the paper's findings, one of the most error-resilient layers.
+//
+// Every input capsule type i casts convolutional votes for every output
+// type j; routing-by-agreement then runs independently at each output
+// spatial position over the (i -> j) vote matrix.
+#pragma once
+
+#include "capsnet/inject.hpp"
+#include "capsnet/routing.hpp"
+#include "nn/layer.hpp"
+
+namespace redcane::capsnet {
+
+struct ConvCaps3DSpec {
+  std::int64_t in_types = 0;
+  std::int64_t in_dim = 0;
+  std::int64_t out_types = 0;
+  std::int64_t out_dim = 0;
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t pad = 1;
+  int routing_iters = 3;
+};
+
+/// Input/output: [N, H, W, T, D] rank-5 capsule maps.
+class ConvCaps3D final : public nn::Layer {
+ public:
+  ConvCaps3D(std::string name, const ConvCaps3DSpec& spec, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override { return forward(x, train, nullptr); }
+  Tensor forward(const Tensor& x, bool train, PerturbationHook* hook);
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<nn::Param*> params() override { return {&w_}; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const ConvCaps3DSpec& spec() const { return spec_; }
+  void set_routing_iters(int iters) { spec_.routing_iters = iters; }
+
+ private:
+  /// votes[n, ho, wo, i, j, d] flattened to [N*Ho*Wo, I, J, D].
+  [[nodiscard]] Tensor compute_votes(const Tensor& x, std::int64_t& ho, std::int64_t& wo) const;
+
+  std::string name_;
+  ConvCaps3DSpec spec_;
+  nn::Param w_;  ///< [in_types, K, K, in_dim, out_types*out_dim]
+
+  Tensor cached_x_;
+  Tensor cached_votes_;
+  RoutingResult cached_routing_;
+  std::int64_t cached_ho_ = 0;
+  std::int64_t cached_wo_ = 0;
+};
+
+}  // namespace redcane::capsnet

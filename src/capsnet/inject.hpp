@@ -1,0 +1,53 @@
+// Perturbation hook: the seam between CapsNet inference and the noise-
+// injection machinery (paper Sec. V-B: "a specialized node for the noise
+// injection ... added to the graph").
+//
+// Every operation of the inference that the paper's Table III classifies
+// reports its output tensor through this interface before it is consumed
+// downstream. Implementations may mutate the tensor in place (Gaussian
+// injection, quantization) or just observe it (range recording).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace redcane::capsnet {
+
+/// Operation classes of Table III.
+enum class OpKind : std::uint8_t {
+  kMacOutput,     ///< Group 1: outputs of matrix multiplications / convolutions.
+  kActivation,    ///< Group 2: outputs of activation functions (ReLU or squash).
+  kSoftmax,       ///< Group 3: softmax results (k coefficients in dynamic routing).
+  kLogitsUpdate,  ///< Group 4: updates of the logits (b coefficients).
+};
+
+/// Human-readable group name as used in the paper's tables and plots.
+[[nodiscard]] inline const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMacOutput: return "MAC outputs";
+    case OpKind::kActivation: return "activations";
+    case OpKind::kSoftmax: return "softmax";
+    case OpKind::kLogitsUpdate: return "logits update";
+  }
+  return "?";
+}
+
+/// Inference-time perturbation/observation interface.
+class PerturbationHook {
+ public:
+  virtual ~PerturbationHook() = default;
+
+  /// Called with the freshly produced tensor of (layer, kind). The hook may
+  /// modify `x` in place; the modified values flow into the rest of the
+  /// inference.
+  virtual void process(const std::string& layer, OpKind kind, Tensor& x) = 0;
+};
+
+/// Convenience: dispatches to the hook when one is attached.
+inline void emit(PerturbationHook* hook, const std::string& layer, OpKind kind, Tensor& x) {
+  if (hook != nullptr) hook->process(layer, kind, x);
+}
+
+}  // namespace redcane::capsnet

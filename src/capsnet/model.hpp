@@ -1,0 +1,47 @@
+// Common interface of the two reproduced architectures (CapsNet [25] and
+// DeepCaps [24]). The ReD-CaNe methodology (src/core) drives models only
+// through this interface, so it is architecture-agnostic exactly as the
+// paper's flow is.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "capsnet/inject.hpp"
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace redcane::capsnet {
+
+class CapsModel {
+ public:
+  virtual ~CapsModel() = default;
+
+  /// Runs inference (train=false) or a cached training forward pass.
+  /// Returns class capsules [N, num_classes, dim]; their L2 lengths are
+  /// the classification scores. `hook` may be null.
+  virtual Tensor forward(const Tensor& x, bool train, PerturbationHook* hook) = 0;
+
+  /// Backward from dL/d(class capsules); must follow forward(train=true).
+  virtual Tensor backward(const Tensor& grad_v) = 0;
+
+  virtual std::vector<nn::Param*> params() = 0;
+
+  /// Injectable layer names, in network order (the paper's Fig. 10 axis).
+  [[nodiscard]] virtual std::vector<std::string> layer_names() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Expected input shape [H, W, C] (without batch).
+  [[nodiscard]] virtual Shape input_shape() const = 0;
+
+  [[nodiscard]] virtual std::int64_t num_classes() const = 0;
+
+  /// Classification scores: capsule lengths [N, num_classes].
+  [[nodiscard]] static Tensor class_lengths(const Tensor& v) {
+    return ops::l2_norm_last_axis(v);
+  }
+};
+
+}  // namespace redcane::capsnet

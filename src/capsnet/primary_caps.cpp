@@ -1,0 +1,39 @@
+#include "capsnet/primary_caps.hpp"
+
+#include "capsnet/squash.hpp"
+
+namespace redcane::capsnet {
+
+PrimaryCaps::PrimaryCaps(std::string name, const PrimaryCapsSpec& spec, Rng& rng)
+    : name_(std::move(name)), spec_(spec) {
+  nn::Conv2DSpec cs;
+  cs.in_channels = spec.in_channels;
+  cs.out_channels = spec.types * spec.dim;
+  cs.kernel = spec.kernel;
+  cs.stride = spec.stride;
+  cs.pad = spec.pad;
+  conv_ = std::make_unique<nn::Conv2D>(name_, cs, rng);
+}
+
+Tensor PrimaryCaps::forward(const Tensor& x, bool train, PerturbationHook* hook) {
+  Tensor pre = conv_->forward(x, train);
+  emit(hook, name_, OpKind::kMacOutput, pre);
+  conv_out_shape_ = pre.shape();
+
+  const std::int64_t n = pre.shape().dim(0);
+  const std::int64_t caps =
+      pre.shape().dim(1) * pre.shape().dim(2) * spec_.types;
+  Tensor grouped = pre.reshaped(Shape{n, caps, spec_.dim});
+  if (train) cached_pre_squash_ = grouped;
+
+  Tensor v = squash(grouped);
+  emit(hook, name_, OpKind::kActivation, v);
+  return v;
+}
+
+Tensor PrimaryCaps::backward(const Tensor& grad_out) {
+  const Tensor grad_pre = squash_backward(cached_pre_squash_, grad_out);
+  return conv_->backward(grad_pre.reshaped(conv_out_shape_));
+}
+
+}  // namespace redcane::capsnet

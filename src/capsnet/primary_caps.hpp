@@ -1,0 +1,44 @@
+// PrimaryCaps layer (Sabour et al. [25]): a convolution whose output
+// channels are regrouped into `types` capsules of `dim` elements each,
+// followed by squash. The conv output is a MacOutput injection site; the
+// squashed capsules are an Activation site.
+#pragma once
+
+#include <memory>
+
+#include "capsnet/inject.hpp"
+#include "nn/conv2d.hpp"
+
+namespace redcane::capsnet {
+
+struct PrimaryCapsSpec {
+  std::int64_t in_channels = 0;
+  std::int64_t types = 8;   ///< Number of capsule types.
+  std::int64_t dim = 8;     ///< Capsule dimensionality.
+  std::int64_t kernel = 9;
+  std::int64_t stride = 2;
+  std::int64_t pad = 0;
+};
+
+/// Output: [N, Ho*Wo*types, dim] squashed capsules.
+class PrimaryCaps final : public nn::Layer {
+ public:
+  PrimaryCaps(std::string name, const PrimaryCapsSpec& spec, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override { return forward(x, train, nullptr); }
+  Tensor forward(const Tensor& x, bool train, PerturbationHook* hook);
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<nn::Param*> params() override { return conv_->params(); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] nn::Conv2D& conv() { return *conv_; }
+
+ private:
+  std::string name_;
+  PrimaryCapsSpec spec_;
+  std::unique_ptr<nn::Conv2D> conv_;
+  Tensor cached_pre_squash_;  ///< [N, caps, dim] pre-squash, for backward.
+  Shape conv_out_shape_;      ///< NHWC shape of the conv output.
+};
+
+}  // namespace redcane::capsnet

@@ -1,0 +1,118 @@
+#include "capsnet/routing.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "capsnet/squash.hpp"
+#include "tensor/ops.hpp"
+
+namespace redcane::capsnet {
+namespace {
+
+struct VoteDims {
+  std::int64_t m, i, j, d;
+};
+
+VoteDims dims_of(const Tensor& u_hat) {
+  if (u_hat.shape().rank() != 4) {
+    std::fprintf(stderr, "redcane::capsnet fatal: routing expects votes [m, I, J, D]\n");
+    std::abort();
+  }
+  return {u_hat.shape().dim(0), u_hat.shape().dim(1), u_hat.shape().dim(2),
+          u_hat.shape().dim(3)};
+}
+
+}  // namespace
+
+RoutingResult dynamic_routing(const Tensor& u_hat, int iterations, PerturbationHook* hook,
+                              const std::string& layer) {
+  const VoteDims dd = dims_of(u_hat);
+  Tensor b(Shape{dd.m, dd.i, dd.j});
+  RoutingResult out;
+  const auto ud = u_hat.data();
+
+  for (int it = 0; it < iterations; ++it) {
+    Tensor c = ops::softmax(b, 2);
+    emit(hook, layer, OpKind::kSoftmax, c);
+
+    Tensor s(Shape{dd.m, dd.j, dd.d});
+    {
+      auto sd = s.data();
+      const auto cd = c.data();
+      for (std::int64_t m = 0; m < dd.m; ++m) {
+        for (std::int64_t i = 0; i < dd.i; ++i) {
+          const std::size_t crow = static_cast<std::size_t>((m * dd.i + i) * dd.j);
+          const std::size_t urow = static_cast<std::size_t>(((m * dd.i + i) * dd.j) * dd.d);
+          for (std::int64_t j = 0; j < dd.j; ++j) {
+            const float cij = cd[crow + static_cast<std::size_t>(j)];
+            if (cij == 0.0F) continue;
+            const std::size_t ubase = urow + static_cast<std::size_t>(j * dd.d);
+            const std::size_t sbase = static_cast<std::size_t>((m * dd.j + j) * dd.d);
+            for (std::int64_t k = 0; k < dd.d; ++k) {
+              sd[sbase + static_cast<std::size_t>(k)] +=
+                  cij * ud[ubase + static_cast<std::size_t>(k)];
+            }
+          }
+        }
+      }
+    }
+    emit(hook, layer, OpKind::kMacOutput, s);
+
+    Tensor v = squash(s);
+    emit(hook, layer, OpKind::kActivation, v);
+
+    if (it + 1 < iterations) {
+      // b += <u_hat, v> agreement update.
+      auto bd = b.data();
+      const auto vd = v.data();
+      for (std::int64_t m = 0; m < dd.m; ++m) {
+        for (std::int64_t i = 0; i < dd.i; ++i) {
+          for (std::int64_t j = 0; j < dd.j; ++j) {
+            const std::size_t ubase =
+                static_cast<std::size_t>(((m * dd.i + i) * dd.j + j) * dd.d);
+            const std::size_t vbase = static_cast<std::size_t>((m * dd.j + j) * dd.d);
+            double dot = 0.0;
+            for (std::int64_t k = 0; k < dd.d; ++k) {
+              dot += static_cast<double>(ud[ubase + static_cast<std::size_t>(k)]) *
+                     vd[vbase + static_cast<std::size_t>(k)];
+            }
+            bd[static_cast<std::size_t>((m * dd.i + i) * dd.j + j)] +=
+                static_cast<float>(dot);
+          }
+        }
+      }
+      emit(hook, layer, OpKind::kLogitsUpdate, b);
+    }
+
+    out.s = std::move(s);
+    out.c = std::move(c);
+    out.v = std::move(v);
+  }
+  return out;
+}
+
+Tensor routing_backward(const Tensor& u_hat, const RoutingResult& fwd, const Tensor& grad_v) {
+  const VoteDims dd = dims_of(u_hat);
+  // dL/ds through squash, then distribute to votes weighted by the final c.
+  const Tensor grad_s = squash_backward(fwd.s, grad_v);
+  Tensor grad_u(u_hat.shape());
+  const auto gs = grad_s.data();
+  const auto cd = fwd.c.data();
+  auto gu = grad_u.data();
+  for (std::int64_t m = 0; m < dd.m; ++m) {
+    for (std::int64_t i = 0; i < dd.i; ++i) {
+      for (std::int64_t j = 0; j < dd.j; ++j) {
+        const float cij = cd[static_cast<std::size_t>((m * dd.i + i) * dd.j + j)];
+        const std::size_t ubase = static_cast<std::size_t>(((m * dd.i + i) * dd.j + j) * dd.d);
+        const std::size_t sbase = static_cast<std::size_t>((m * dd.j + j) * dd.d);
+        for (std::int64_t k = 0; k < dd.d; ++k) {
+          gu[ubase + static_cast<std::size_t>(k)] =
+              cij * gs[sbase + static_cast<std::size_t>(k)];
+        }
+      }
+    }
+  }
+  return grad_u;
+}
+
+}  // namespace redcane::capsnet

@@ -1,0 +1,45 @@
+// Dynamic routing-by-agreement (Sabour et al. [25]), the core iterative
+// algorithm of capsule networks and the focal point of the paper's
+// resilience study (Fig. 3).
+//
+// Given votes u_hat[m, i, j, d] (m folds batch and, for convolutional
+// routing, spatial position; i = input capsule, j = output capsule,
+// d = output capsule dimension), the routing iterates:
+//
+//   b = 0
+//   for it in 1..r:
+//     c = softmax_j(b)                         -> Softmax site
+//     s[m,j,:]  = sum_i c[m,i,j] * u_hat[m,i,j,:]   -> MacOutput site
+//     v = squash(s)                            -> Activation site
+//     if it < r: b[m,i,j] += <u_hat[m,i,j,:], v[m,j,:]>  -> LogitsUpdate site
+//
+// Each site reports through the PerturbationHook so noise can be injected
+// exactly where the paper's Fig. 3 places its X/+/SQ/SM boxes.
+#pragma once
+
+#include <string>
+
+#include "capsnet/inject.hpp"
+#include "tensor/tensor.hpp"
+
+namespace redcane::capsnet {
+
+struct RoutingResult {
+  Tensor v;  ///< [m, J, D] routed output capsules.
+  Tensor s;  ///< [m, J, D] final pre-squash weighted sums.
+  Tensor c;  ///< [m, I, J] final coupling coefficients.
+};
+
+/// Runs `iterations` rounds of routing on votes [m, I, J, D].
+/// `layer` labels the hook callbacks (e.g. "ClassCaps").
+[[nodiscard]] RoutingResult dynamic_routing(const Tensor& u_hat, int iterations,
+                                            PerturbationHook* hook, const std::string& layer);
+
+/// Backward through routing with the coupling coefficients treated as
+/// constants (straight-through routing, the standard training-time
+/// approximation): given final c and pre-squash s from the forward pass
+/// and dL/dv, returns dL/du_hat.
+[[nodiscard]] Tensor routing_backward(const Tensor& u_hat, const RoutingResult& fwd,
+                                      const Tensor& grad_v);
+
+}  // namespace redcane::capsnet

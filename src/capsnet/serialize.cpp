@@ -1,0 +1,57 @@
+#include "capsnet/serialize.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace redcane::capsnet {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'D', 'C', 'N'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool save_params(CapsModel& model, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) return false;
+  const std::vector<nn::Param*> params = model.params();
+  const std::uint64_t count = params.size();
+  if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1) return false;
+  for (nn::Param* p : params) {
+    const std::uint64_t n = static_cast<std::uint64_t>(p->value.numel());
+    if (std::fwrite(&n, sizeof(n), 1, f.get()) != 1) return false;
+    if (std::fwrite(p->value.data().data(), sizeof(float), n, f.get()) != n) return false;
+  }
+  return true;
+}
+
+bool load_params(CapsModel& model, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4) return false;
+  for (int i = 0; i < 4; ++i) {
+    if (magic[i] != kMagic[i]) return false;
+  }
+  const std::vector<nn::Param*> params = model.params();
+  std::uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) return false;
+  if (count != params.size()) return false;
+  for (nn::Param* p : params) {
+    std::uint64_t n = 0;
+    if (std::fread(&n, sizeof(n), 1, f.get()) != 1) return false;
+    if (n != static_cast<std::uint64_t>(p->value.numel())) return false;
+    if (std::fread(p->value.data().data(), sizeof(float), n, f.get()) != n) return false;
+  }
+  return true;
+}
+
+}  // namespace redcane::capsnet

@@ -1,0 +1,23 @@
+// Flat binary (de)serialization of model parameters.
+//
+// Format: magic "RDCN", u64 param count, then per param a u64 element
+// count followed by raw little-endian float32 data. Shapes/names are not
+// stored — loading validates element counts against the constructed
+// model, which is rebuilt from its config (the configs are code).
+// Benchmarks use this to cache trained models across binaries.
+#pragma once
+
+#include <string>
+
+#include "capsnet/model.hpp"
+
+namespace redcane::capsnet {
+
+/// Writes all parameters of `model`. Returns false on I/O failure.
+bool save_params(CapsModel& model, const std::string& path);
+
+/// Loads parameters into `model`. Returns false when the file is missing,
+/// malformed, or its layout does not match the model.
+bool load_params(CapsModel& model, const std::string& path);
+
+}  // namespace redcane::capsnet

@@ -1,0 +1,79 @@
+#include "capsnet/squash.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcane::capsnet {
+namespace {
+
+void check_rank(const Tensor& t) {
+  if (t.shape().rank() < 1) {
+    std::fprintf(stderr, "redcane::capsnet fatal: squash requires rank >= 1\n");
+    std::abort();
+  }
+}
+
+}  // namespace
+
+Tensor squash(const Tensor& s, double eps) {
+  check_rank(s);
+  const std::int64_t d = s.shape().dim(-1);
+  const std::int64_t rows = s.numel() / d;
+  Tensor v = s;
+  auto vd = v.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    double norm2 = 0.0;
+    for (std::int64_t k = 0; k < d; ++k) {
+      const double x = vd[static_cast<std::size_t>(r * d + k)];
+      norm2 += x * x;
+    }
+    const double norm = std::sqrt(norm2) + eps;
+    // v = s * |s| / (1 + |s|^2), written as a single scale factor.
+    const double scale = norm / (1.0 + norm2);
+    for (std::int64_t k = 0; k < d; ++k) {
+      vd[static_cast<std::size_t>(r * d + k)] = static_cast<float>(
+          vd[static_cast<std::size_t>(r * d + k)] * scale);
+    }
+  }
+  return v;
+}
+
+Tensor squash_backward(const Tensor& s, const Tensor& grad_v, double eps) {
+  check_rank(s);
+  if (s.shape() != grad_v.shape()) {
+    std::fprintf(stderr, "redcane::capsnet fatal: squash_backward shape mismatch\n");
+    std::abort();
+  }
+  const std::int64_t d = s.shape().dim(-1);
+  const std::int64_t rows = s.numel() / d;
+  Tensor grad_s(s.shape());
+  const auto sd = s.data();
+  const auto gv = grad_v.data();
+  auto gs = grad_s.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::size_t base = static_cast<std::size_t>(r * d);
+    double norm2 = 0.0;
+    double dot = 0.0;  // s . grad_v
+    for (std::int64_t k = 0; k < d; ++k) {
+      const double sv = sd[base + static_cast<std::size_t>(k)];
+      norm2 += sv * sv;
+      dot += sv * gv[base + static_cast<std::size_t>(k)];
+    }
+    const double rn = std::sqrt(norm2) + eps;
+    const double denom = 1.0 + norm2;
+    // v = c(r) s with c = r / (1 + r^2); dv/ds = c I + (c'/r) s s^T,
+    // c' = (1 - r^2) / (1 + r^2)^2.
+    const double c = rn / denom;
+    const double cprime = (1.0 - norm2) / (denom * denom);
+    const double radial = cprime / rn * dot;
+    for (std::int64_t k = 0; k < d; ++k) {
+      gs[base + static_cast<std::size_t>(k)] = static_cast<float>(
+          c * gv[base + static_cast<std::size_t>(k)] +
+          radial * sd[base + static_cast<std::size_t>(k)]);
+    }
+  }
+  return grad_s;
+}
+
+}  // namespace redcane::capsnet

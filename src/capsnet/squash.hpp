@@ -1,0 +1,22 @@
+// The squashing nonlinearity of capsule networks (Sabour et al. [25]):
+//
+//   squash(s) = |s|^2 / (1 + |s|^2) * s / |s|
+//
+// applied along the last axis (the capsule dimension). It bounds capsule
+// lengths to [0, 1) so that length encodes existence probability.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace redcane::capsnet {
+
+/// Squash along the last axis.
+[[nodiscard]] Tensor squash(const Tensor& s, double eps = 1e-8);
+
+/// Backward of squash: given s (pre-activation) and dL/dv, returns dL/ds.
+/// Uses the analytic Jacobian
+///   dv/ds = a/|s| * (I - ssᵀ/|s|^2) + 2/(1+|s|^2)^2 * ssᵀ/|s|^2 ... folded
+/// into the standard two-term form (radial + tangential).
+[[nodiscard]] Tensor squash_backward(const Tensor& s, const Tensor& grad_v, double eps = 1e-8);
+
+}  // namespace redcane::capsnet

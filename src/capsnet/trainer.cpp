@@ -1,0 +1,133 @@
+#include "capsnet/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+#include "tensor/random.hpp"
+
+namespace redcane::capsnet {
+
+Tensor slice_rows(const Tensor& t, std::int64_t begin, std::int64_t end) {
+  const std::int64_t n = t.shape().dim(0);
+  if (begin < 0 || end > n || begin >= end) {
+    std::fprintf(stderr, "redcane::capsnet fatal: bad row slice [%lld, %lld) of %lld\n",
+                 static_cast<long long>(begin), static_cast<long long>(end),
+                 static_cast<long long>(n));
+    std::abort();
+  }
+  Shape out_shape = t.shape();
+  const std::int64_t row = t.numel() / n;
+  Shape s;
+  s.push_back(end - begin);
+  for (std::size_t a = 1; a < out_shape.rank(); ++a) {
+    s.push_back(out_shape.dim(static_cast<std::int64_t>(a)));
+  }
+  Tensor out(s);
+  std::memcpy(out.data().data(), t.data().data() + begin * row,
+              static_cast<std::size_t>((end - begin) * row) * sizeof(float));
+  return out;
+}
+
+namespace {
+
+Batch gather(const Tensor& images, const std::vector<std::int64_t>& labels,
+             std::span<const std::int64_t> idx) {
+  const std::int64_t n = images.shape().dim(0);
+  const std::int64_t row = images.numel() / n;
+  Shape s;
+  s.push_back(static_cast<std::int64_t>(idx.size()));
+  for (std::size_t a = 1; a < images.shape().rank(); ++a) {
+    s.push_back(images.shape().dim(static_cast<std::int64_t>(a)));
+  }
+  Batch b{Tensor(s), {}};
+  b.labels.reserve(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    std::memcpy(b.x.data().data() + static_cast<std::int64_t>(i) * row,
+                images.data().data() + idx[i] * row,
+                static_cast<std::size_t>(row) * sizeof(float));
+    b.labels.push_back(labels[static_cast<std::size_t>(idx[i])]);
+  }
+  return b;
+}
+
+}  // namespace
+
+TrainStats train(CapsModel& model, const Tensor& images,
+                 const std::vector<std::int64_t>& labels, const TrainConfig& cfg) {
+  const std::int64_t n = images.shape().dim(0);
+  nn::Adam opt(cfg.lr);
+  const std::vector<nn::Param*> params = model.params();
+  Rng rng(cfg.shuffle_seed);
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainStats stats;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic generator.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    }
+    double loss_sum = 0.0;
+    double acc_sum = 0.0;
+    std::int64_t batches = 0;
+    for (std::int64_t at = 0; at + cfg.batch_size <= n; at += cfg.batch_size) {
+      const Batch batch = gather(
+          images, labels,
+          std::span<const std::int64_t>(order.data() + at,
+                                        static_cast<std::size_t>(cfg.batch_size)));
+      const Tensor v = model.forward(batch.x, /*train=*/true, nullptr);
+      const Tensor lengths = CapsModel::class_lengths(v);
+      const nn::LossResult lr = nn::margin_loss(lengths, batch.labels, cfg.margin);
+      loss_sum += lr.loss;
+      acc_sum += nn::accuracy(lengths, batch.labels);
+      ++batches;
+
+      // dL/dv = dL/d|v| * v/|v| per class capsule.
+      Tensor grad_v(v.shape());
+      const std::int64_t classes = v.shape().dim(1);
+      const std::int64_t d = v.shape().dim(2);
+      for (std::int64_t i = 0; i < cfg.batch_size; ++i) {
+        for (std::int64_t k = 0; k < classes; ++k) {
+          const double len = std::max(1e-9, static_cast<double>(lengths(i, k)));
+          const double gl = lr.grad(i, k);
+          for (std::int64_t q = 0; q < d; ++q) {
+            grad_v(i, k, q) = static_cast<float>(gl * v(i, k, q) / len);
+          }
+        }
+      }
+      (void)model.backward(grad_v);
+      opt.step(params);
+    }
+    stats.final_loss = loss_sum / std::max<std::int64_t>(1, batches);
+    stats.final_train_accuracy = acc_sum / std::max<std::int64_t>(1, batches);
+    stats.epochs_run = epoch + 1;
+    if (cfg.on_epoch) cfg.on_epoch(epoch, stats.final_loss, stats.final_train_accuracy);
+  }
+  return stats;
+}
+
+double evaluate(CapsModel& model, const Tensor& images,
+                const std::vector<std::int64_t>& labels, PerturbationHook* hook,
+                std::int64_t batch_size) {
+  const std::int64_t n = images.shape().dim(0);
+  std::int64_t hits = 0;
+  for (std::int64_t at = 0; at < n; at += batch_size) {
+    const std::int64_t end = std::min(n, at + batch_size);
+    const Tensor x = slice_rows(images, at, end);
+    const Tensor v = model.forward(x, /*train=*/false, hook);
+    const Tensor lengths = CapsModel::class_lengths(v);
+    const std::vector<std::int64_t> pred = ops::argmax_last_axis(lengths);
+    for (std::int64_t i = 0; i < end - at; ++i) {
+      if (pred[static_cast<std::size_t>(i)] == labels[static_cast<std::size_t>(at + i)]) {
+        ++hits;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+}  // namespace redcane::capsnet

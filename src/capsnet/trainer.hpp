@@ -1,0 +1,50 @@
+// Mini-batch trainer and evaluator for CapsModels (the TensorFlow-GPU
+// substitute of the paper's Fig. 8 experimental setup).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "capsnet/model.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace redcane::capsnet {
+
+/// A labeled image batch: x is [N, H, W, C].
+struct Batch {
+  Tensor x;
+  std::vector<std::int64_t> labels;
+};
+
+struct TrainConfig {
+  int epochs = 5;
+  std::int64_t batch_size = 32;
+  double lr = 1e-3;
+  nn::MarginLossSpec margin;
+  std::uint64_t shuffle_seed = 7;
+  /// Optional per-epoch callback (epoch, mean train loss, train accuracy).
+  std::function<void(int, double, double)> on_epoch;
+};
+
+struct TrainStats {
+  double final_loss = 0.0;
+  double final_train_accuracy = 0.0;
+  int epochs_run = 0;
+};
+
+/// Trains with Adam on margin loss over class-capsule lengths.
+TrainStats train(CapsModel& model, const Tensor& images,
+                 const std::vector<std::int64_t>& labels, const TrainConfig& cfg);
+
+/// Test accuracy under optional perturbation; batches internally.
+[[nodiscard]] double evaluate(CapsModel& model, const Tensor& images,
+                              const std::vector<std::int64_t>& labels,
+                              PerturbationHook* hook = nullptr,
+                              std::int64_t batch_size = 64);
+
+/// Slices rows [begin, end) of a [N, ...] tensor into a new tensor.
+[[nodiscard]] Tensor slice_rows(const Tensor& t, std::int64_t begin, std::int64_t end);
+
+}  // namespace redcane::capsnet

@@ -1,0 +1,37 @@
+// Result export: CSV and JSON renderings of methodology outputs, so the
+// figures can be re-plotted outside this repository (gnuplot, pandas).
+//
+// CSV layouts:
+//   curves:     label,kind,layer,nm,drop_pct        (one row per grid point)
+//   selections: layer,kind,tolerable_nm,component,power_uw,power_saving
+//   profiles:   name,family,analog,power_uw,area_um2,nm,na,gaussian_like
+//
+// The JSON writer emits a single self-contained object mirroring
+// MethodologyResult. Both are plain strings — callers decide where to
+// write them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/methodology.hpp"
+#include "core/selection.hpp"
+
+namespace redcane::core {
+
+/// One row per (curve, NM grid point).
+[[nodiscard]] std::string curves_to_csv(const std::vector<ResilienceCurve>& curves);
+
+/// One row per site selection.
+[[nodiscard]] std::string selections_to_csv(const std::vector<SiteSelection>& selections);
+
+/// One row per profiled library component.
+[[nodiscard]] std::string profiles_to_csv(const std::vector<ProfiledComponent>& profiled);
+
+/// Complete methodology result as a JSON object.
+[[nodiscard]] std::string result_to_json(const MethodologyResult& result);
+
+/// Writes `content` to `path`; returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace redcane::core

@@ -1,0 +1,68 @@
+#include "core/groups.hpp"
+
+#include <algorithm>
+
+namespace redcane::core {
+namespace {
+
+/// Hook that records the (layer, kind) visit order without perturbing.
+class SiteCollector final : public capsnet::PerturbationHook {
+ public:
+  void process(const std::string& layer, capsnet::OpKind kind, Tensor& x) override {
+    (void)x;
+    const Site s{layer, kind};
+    if (std::find(sites_.begin(), sites_.end(), s) == sites_.end()) sites_.push_back(s);
+  }
+
+  [[nodiscard]] std::vector<Site> take() { return std::move(sites_); }
+
+ private:
+  std::vector<Site> sites_;
+};
+
+}  // namespace
+
+std::array<capsnet::OpKind, 4> all_groups() {
+  return {capsnet::OpKind::kMacOutput, capsnet::OpKind::kActivation,
+          capsnet::OpKind::kSoftmax, capsnet::OpKind::kLogitsUpdate};
+}
+
+const char* group_description(capsnet::OpKind kind) {
+  switch (kind) {
+    case capsnet::OpKind::kMacOutput:
+      return "Outputs of the matrix multiplications";
+    case capsnet::OpKind::kActivation:
+      return "Output of the activation functions (RELU or SQUASH)";
+    case capsnet::OpKind::kSoftmax:
+      return "Results of the softmax (k coefficients in dynamic routing)";
+    case capsnet::OpKind::kLogitsUpdate:
+      return "Update of the logits (b coefficients in dynamic routing)";
+  }
+  return "?";
+}
+
+std::vector<Site> extract_sites(capsnet::CapsModel& model, const Tensor& probe_x) {
+  SiteCollector collector;
+  (void)model.forward(probe_x, /*train=*/false, &collector);
+  return collector.take();
+}
+
+std::vector<Site> sites_of_group(const std::vector<Site>& sites, capsnet::OpKind kind) {
+  std::vector<Site> out;
+  for (const Site& s : sites) {
+    if (s.kind == kind) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::string> layers_of_group(const std::vector<Site>& sites,
+                                         capsnet::OpKind kind) {
+  std::vector<std::string> out;
+  for (const Site& s : sites) {
+    if (s.kind != kind) continue;
+    if (std::find(out.begin(), out.end(), s.layer) == out.end()) out.push_back(s.layer);
+  }
+  return out;
+}
+
+}  // namespace redcane::core

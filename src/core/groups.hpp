@@ -1,0 +1,50 @@
+// Step 1 of ReD-CaNe: Group Extraction (paper Sec. IV, Table III).
+//
+// The operations of a CapsNet inference are partitioned into four groups
+// by operation type: MAC outputs, activations, softmax results, and logits
+// updates. Sites are discovered dynamically — a probe inference runs with
+// a recording hook, so the extracted list is exactly the set of tensors
+// the real inference produces (no hand-maintained tables).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "capsnet/model.hpp"
+
+namespace redcane::core {
+
+/// One injectable operation site: a (layer, operation-kind) pair.
+struct Site {
+  std::string layer;
+  capsnet::OpKind kind;
+
+  [[nodiscard]] std::string to_string() const {
+    return layer + "/" + capsnet::op_kind_name(kind);
+  }
+  [[nodiscard]] bool operator==(const Site& o) const {
+    return layer == o.layer && kind == o.kind;
+  }
+};
+
+/// The four groups of Table III, in the paper's numbering order.
+[[nodiscard]] std::array<capsnet::OpKind, 4> all_groups();
+
+/// Paper Table III description of a group.
+[[nodiscard]] const char* group_description(capsnet::OpKind kind);
+
+/// Discovers all sites by probing the model with one forward pass of
+/// `probe_x` (any small batch with the model's input shape). Sites are
+/// returned in execution order, first occurrence only.
+[[nodiscard]] std::vector<Site> extract_sites(capsnet::CapsModel& model, const Tensor& probe_x);
+
+/// Sites belonging to one group.
+[[nodiscard]] std::vector<Site> sites_of_group(const std::vector<Site>& sites,
+                                               capsnet::OpKind kind);
+
+/// Distinct layer names of a group's sites, in execution order.
+[[nodiscard]] std::vector<std::string> layers_of_group(const std::vector<Site>& sites,
+                                                       capsnet::OpKind kind);
+
+}  // namespace redcane::core

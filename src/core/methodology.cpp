@@ -1,0 +1,129 @@
+#include "core/methodology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "capsnet/trainer.hpp"
+
+namespace redcane::core {
+namespace {
+
+/// |drop| of a curve at the grid point closest to `nm`.
+double drop_at(const ResilienceCurve& curve, double nm) {
+  double best_dist = 1e18;
+  double drop = 0.0;
+  for (std::size_t i = 0; i < curve.nms.size(); ++i) {
+    const double d = std::abs(curve.nms[i] - nm);
+    if (d < best_dist) {
+      best_dist = d;
+      drop = curve.drop_pct[i];
+    }
+  }
+  return std::abs(drop);
+}
+
+}  // namespace
+
+double MethodologyResult::mean_mac_power_saving() const {
+  double sum = 0.0;
+  std::int64_t count = 0;
+  for (const SiteSelection& s : selections) {
+    if (s.site.kind != capsnet::OpKind::kMacOutput) continue;
+    sum += s.power_saving();
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+MethodologyResult run_redcane(capsnet::CapsModel& model, const Tensor& test_x,
+                              const std::vector<std::int64_t>& test_y,
+                              const std::string& dataset_name, const MethodologyConfig& cfg) {
+  MethodologyResult r;
+  r.model_name = model.name();
+  r.dataset_name = dataset_name;
+
+  // Step 1: Group Extraction, probing with a single test image.
+  const Tensor probe = capsnet::slice_rows(test_x, 0, 1);
+  r.sites = extract_sites(model, probe);
+
+  ResilienceAnalyzer analyzer(model, test_x, test_y, cfg.resilience);
+  r.baseline_accuracy = analyzer.baseline();
+
+  // Step 2: Group-Wise Resilience Analysis.
+  for (capsnet::OpKind kind : all_groups()) {
+    r.group_curves.push_back(analyzer.sweep_group(kind));
+  }
+
+  // Step 3: Mark Resilient Groups.
+  for (std::size_t g = 0; g < r.group_curves.size(); ++g) {
+    const capsnet::OpKind kind = all_groups()[g];
+    if (drop_at(r.group_curves[g], cfg.mark_nm) <= cfg.mark_threshold_pct) {
+      r.resilient_groups.push_back(kind);
+    } else {
+      r.non_resilient_groups.push_back(kind);
+    }
+  }
+
+  // Step 4: Layer-Wise Resilience Analysis for Non-Resilient Groups only
+  // (the paper's pruning: resilient groups skip the per-layer drill-down).
+  const std::size_t grid = cfg.resilience.sweep.nms.size() -
+                           (cfg.resilience.sweep.na == 0.0 ? 1 : 0);  // NM=0 is free.
+  std::int64_t skipped_layer_evals = 0;
+  for (capsnet::OpKind kind : all_groups()) {
+    const std::vector<std::string> layers = layers_of_group(r.sites, kind);
+    const bool non_resilient =
+        std::find(r.non_resilient_groups.begin(), r.non_resilient_groups.end(), kind) !=
+        r.non_resilient_groups.end();
+    if (!non_resilient) {
+      skipped_layer_evals +=
+          static_cast<std::int64_t>(layers.size()) * static_cast<std::int64_t>(grid);
+      continue;
+    }
+    for (const std::string& layer : layers) {
+      r.layer_curves.push_back(analyzer.sweep_layer(kind, layer));
+    }
+  }
+  r.evaluations_saved_by_pruning = skipped_layer_evals;
+
+  // Step 5: Mark Resilient Layers. A layer is resilient within its group
+  // when it tolerates `mark_nm` with the marking threshold.
+  for (const ResilienceCurve& curve : r.layer_curves) {
+    if (drop_at(curve, cfg.mark_nm) <= cfg.mark_threshold_pct) {
+      r.resilient_layers.push_back(*curve.layer + "/" +
+                                   capsnet::op_kind_name(curve.kind));
+    }
+  }
+
+  // Step 6: Select Approximate Components per operation.
+  const std::vector<ProfiledComponent> profiled =
+      profile_library(approx::InputDistribution::uniform(), cfg.profile_chain_length,
+                      cfg.profile_samples, cfg.profile_seed);
+  for (const Site& site : r.sites) {
+    SiteSelection sel;
+    sel.site = site;
+    // Tolerable NM from the most specific curve available for this site.
+    const ResilienceCurve* curve = nullptr;
+    for (const ResilienceCurve& lc : r.layer_curves) {
+      if (lc.kind == site.kind && lc.layer == site.layer) {
+        curve = &lc;
+        break;
+      }
+    }
+    if (curve == nullptr) {
+      for (const ResilienceCurve& gc : r.group_curves) {
+        if (gc.kind == site.kind) {
+          curve = &gc;
+          break;
+        }
+      }
+    }
+    sel.tolerable_nm = curve ? curve->tolerable_nm(cfg.tolerance_pct) : 0.0;
+    sel.component = select_component(profiled, sel.tolerable_nm);
+    r.selections.push_back(sel);
+  }
+
+  r.evaluations_run = analyzer.evaluations();
+  return r;
+}
+
+}  // namespace redcane::core

@@ -1,0 +1,69 @@
+// The complete 6-step ReD-CaNe methodology (paper Fig. 7):
+//
+//   1. Group Extraction
+//   2. Group-Wise Resilience Analysis
+//   3. Mark Resilient Groups
+//   4. Layer-Wise Resilience Analysis for Non-Resilient Groups
+//   5. Mark Resilient Layers for Each Non-Resilient Group
+//   6. Select Approximate Components
+//
+// Output: the design of an approximate CapsNet — a per-operation choice of
+// approximate multiplier plus the projected energy of the approximated
+// inference.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capsnet/model.hpp"
+#include "core/resilience.hpp"
+#include "core/selection.hpp"
+
+namespace redcane::core {
+
+struct MethodologyConfig {
+  ResilienceConfig resilience;
+  /// A group is marked resilient when its |drop| at `mark_nm` stays within
+  /// `mark_threshold_pct` percentage points (Step 3). The paper marks
+  /// softmax and logits update, whose curves are flat at NM = 0.05 where
+  /// MAC outputs / activations already lose tens of percent.
+  double mark_nm = 0.05;
+  double mark_threshold_pct = 2.0;
+  /// Accuracy-drop budget per operation when picking its tolerable NM
+  /// (Steps 3/5 -> 6).
+  double tolerance_pct = 1.0;
+  /// Error-profiling setup for the component library (Step 6).
+  int profile_chain_length = 9;
+  std::int64_t profile_samples = 20000;
+  std::uint64_t profile_seed = 7;
+};
+
+struct MethodologyResult {
+  std::string model_name;
+  std::string dataset_name;
+  double baseline_accuracy = 0.0;
+
+  std::vector<Site> sites;                     // Step 1.
+  std::vector<ResilienceCurve> group_curves;   // Step 2.
+  std::vector<capsnet::OpKind> resilient_groups;      // Step 3.
+  std::vector<capsnet::OpKind> non_resilient_groups;  // Step 3.
+  std::vector<ResilienceCurve> layer_curves;   // Step 4 (non-resilient groups only).
+  std::vector<std::string> resilient_layers;   // Step 5 ("layer/kind" keys).
+  std::vector<SiteSelection> selections;       // Step 6, one per site.
+
+  std::int64_t evaluations_run = 0;
+  std::int64_t evaluations_saved_by_pruning = 0;  ///< D3: Step-4 restriction.
+
+  /// Mean selected power saving over MAC-output sites (the multiplier
+  /// datapath the paper targets).
+  [[nodiscard]] double mean_mac_power_saving() const;
+};
+
+/// Runs the full flow on a trained model + test set.
+[[nodiscard]] MethodologyResult run_redcane(capsnet::CapsModel& model, const Tensor& test_x,
+                                            const std::vector<std::int64_t>& test_y,
+                                            const std::string& dataset_name,
+                                            const MethodologyConfig& cfg);
+
+}  // namespace redcane::core

@@ -1,0 +1,87 @@
+#include "core/report.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace redcane::core {
+namespace {
+
+std::string fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_curve(const ResilienceCurve& curve) {
+  std::string out = fmt("  %-14s |", curve.label.c_str());
+  for (double nm : curve.nms) out += fmt(" %7.3g", nm);
+  out += "\n  accuracy drop |";
+  for (double d : curve.drop_pct) out += fmt(" %+7.2f", d);
+  out += "\n";
+  return out;
+}
+
+std::string render_groups(const std::vector<Site>& sites) {
+  std::string out;
+  int group_no = 1;
+  for (capsnet::OpKind kind : all_groups()) {
+    out += fmt("# %d  %-13s  %s\n", group_no++, capsnet::op_kind_name(kind),
+               group_description(kind));
+    out += "     sites:";
+    int printed = 0;
+    for (const Site& s : sites) {
+      if (s.kind != kind) continue;
+      out += " " + s.layer;
+      ++printed;
+    }
+    if (printed == 0) out += " (none)";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_report(const MethodologyResult& r) {
+  std::string out;
+  out += fmt("=== ReD-CaNe report: %s on %s ===\n", r.model_name.c_str(),
+             r.dataset_name.c_str());
+  out += fmt("baseline accuracy: %.2f%%\n\n", r.baseline_accuracy * 100.0);
+
+  out += "--- Step 1: groups (Table III) ---\n";
+  out += render_groups(r.sites);
+
+  out += "\n--- Step 2: group-wise resilience ---\n";
+  for (const ResilienceCurve& c : r.group_curves) out += render_curve(c);
+
+  out += "\n--- Step 3: marks ---\nresilient groups:";
+  for (capsnet::OpKind k : r.resilient_groups) out += fmt(" [%s]", capsnet::op_kind_name(k));
+  out += "\nnon-resilient groups:";
+  for (capsnet::OpKind k : r.non_resilient_groups) {
+    out += fmt(" [%s]", capsnet::op_kind_name(k));
+  }
+  out += "\n";
+
+  out += "\n--- Step 4/5: layer-wise resilience of non-resilient groups ---\n";
+  for (const ResilienceCurve& c : r.layer_curves) out += render_curve(c);
+  out += "resilient layers:";
+  for (const std::string& l : r.resilient_layers) out += " [" + l + "]";
+  out += fmt("\nevaluations run: %lld, saved by Step-4 pruning: %lld\n",
+             static_cast<long long>(r.evaluations_run),
+             static_cast<long long>(r.evaluations_saved_by_pruning));
+
+  out += "\n--- Step 6: selected approximate components ---\n";
+  for (const SiteSelection& s : r.selections) {
+    out += fmt("  %-28s tolerable NM %-8.4g -> %-18s (power saving %4.1f%%)\n",
+               s.site.to_string().c_str(), s.tolerable_nm,
+               s.component->info().name.c_str(), s.power_saving() * 100.0);
+  }
+  out += fmt("mean MAC-datapath power saving: %.1f%%\n",
+             r.mean_mac_power_saving() * 100.0);
+  return out;
+}
+
+}  // namespace redcane::core

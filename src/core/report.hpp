@@ -1,0 +1,20 @@
+// Text rendering of methodology results (console tables mirroring the
+// paper's figures/tables).
+#pragma once
+
+#include <string>
+
+#include "core/methodology.hpp"
+
+namespace redcane::core {
+
+/// Full multi-section report of a run (groups, curves, marks, selections).
+[[nodiscard]] std::string render_report(const MethodologyResult& r);
+
+/// One resilience curve as a fixed-width table row block.
+[[nodiscard]] std::string render_curve(const ResilienceCurve& curve);
+
+/// The Table III-style grouping of a site list.
+[[nodiscard]] std::string render_groups(const std::vector<Site>& sites);
+
+}  // namespace redcane::core

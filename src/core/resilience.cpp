@@ -1,0 +1,71 @@
+#include "core/resilience.hpp"
+
+#include <cmath>
+
+#include "capsnet/trainer.hpp"
+
+namespace redcane::core {
+
+double ResilienceCurve::tolerable_nm(double tolerance_pct) const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < nms.size(); ++i) {
+    if (nms[i] == 0.0) continue;
+    if (std::abs(drop_pct[i]) <= tolerance_pct && nms[i] > best) best = nms[i];
+  }
+  return best;
+}
+
+ResilienceAnalyzer::ResilienceAnalyzer(capsnet::CapsModel& model, const Tensor& test_x,
+                                       const std::vector<std::int64_t>& test_y,
+                                       ResilienceConfig cfg)
+    : model_(model), test_x_(test_x), test_y_(test_y), cfg_(cfg) {}
+
+double ResilienceAnalyzer::baseline() {
+  if (!baseline_.has_value()) {
+    baseline_ = capsnet::evaluate(model_, test_x_, test_y_, nullptr, cfg_.eval_batch);
+  }
+  return *baseline_;
+}
+
+double ResilienceAnalyzer::accuracy_with_rules(const std::vector<noise::InjectionRule>& rules,
+                                               std::uint64_t salt) {
+  noise::GaussianInjector injector(rules, cfg_.seed ^ (salt * 0x9E3779B97F4A7C15ULL));
+  ++evaluations_;
+  return capsnet::evaluate(model_, test_x_, test_y_, &injector, cfg_.eval_batch);
+}
+
+ResilienceCurve ResilienceAnalyzer::sweep(capsnet::OpKind kind,
+                                          const std::optional<std::string>& layer) {
+  ResilienceCurve curve;
+  curve.kind = kind;
+  curve.layer = layer;
+  curve.label = layer.value_or(std::string(capsnet::op_kind_name(kind)));
+  const double base = baseline();
+
+  std::uint64_t salt = 1;
+  for (double nm : cfg_.sweep.nms) {
+    const noise::NoiseSpec spec{nm, cfg_.sweep.na};
+    std::vector<noise::InjectionRule> rules;
+    if (layer.has_value()) {
+      rules.push_back(noise::layer_rule(kind, *layer, spec));
+    } else {
+      rules.push_back(noise::group_rule(kind, spec));
+    }
+    const double acc =
+        (nm == 0.0 && cfg_.sweep.na == 0.0) ? base : accuracy_with_rules(rules, salt++);
+    curve.nms.push_back(nm);
+    curve.drop_pct.push_back((acc - base) * 100.0);
+  }
+  return curve;
+}
+
+ResilienceCurve ResilienceAnalyzer::sweep_group(capsnet::OpKind kind) {
+  return sweep(kind, std::nullopt);
+}
+
+ResilienceCurve ResilienceAnalyzer::sweep_layer(capsnet::OpKind kind,
+                                                const std::string& layer) {
+  return sweep(kind, layer);
+}
+
+}  // namespace redcane::core

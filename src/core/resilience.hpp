@@ -1,0 +1,85 @@
+// Steps 2-5 of ReD-CaNe: group-wise and layer-wise resilience analysis.
+//
+// A "step of resilience analysis consists of setting the input parameters
+// of the noise injection, i.e., NM and NA, adding the noise to the
+// selected CapsNet operations, and monitoring the accuracy for the noisy
+// CapsNet" (paper Sec. IV). Sweeps use the paper's NM grid
+// [0.5 ... 0.001] plus the clean point NM = 0.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "capsnet/model.hpp"
+#include "core/groups.hpp"
+#include "noise/injector.hpp"
+
+namespace redcane::core {
+
+/// The NM grid of a resilience sweep.
+struct NmSweep {
+  std::vector<double> nms{0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0};
+  double na = 0.0;
+
+  /// The grid of the paper's Figs. 9, 10, 12.
+  static NmSweep paper() { return NmSweep{}; }
+};
+
+/// One resilience curve: accuracy drop (percentage points, noisy − clean;
+/// negative = degradation) per NM grid point.
+struct ResilienceCurve {
+  std::string label;                 ///< e.g. "#1: MAC outputs" or "Caps2D7".
+  capsnet::OpKind kind;
+  std::optional<std::string> layer;  ///< Set for layer-wise curves.
+  std::vector<double> nms;
+  std::vector<double> drop_pct;
+
+  /// Largest NM on the grid whose |drop| <= tolerance (0 when even the
+  /// smallest NM violates it).
+  [[nodiscard]] double tolerable_nm(double tolerance_pct) const;
+};
+
+struct ResilienceConfig {
+  NmSweep sweep = NmSweep::paper();
+  std::uint64_t seed = 2020;
+  std::int64_t eval_batch = 64;
+};
+
+/// Drives noisy evaluations of one trained model on one test set.
+class ResilienceAnalyzer {
+ public:
+  ResilienceAnalyzer(capsnet::CapsModel& model, const Tensor& test_x,
+                     const std::vector<std::int64_t>& test_y, ResilienceConfig cfg);
+
+  /// Clean test accuracy in [0, 1] (computed once, cached).
+  [[nodiscard]] double baseline();
+
+  /// Accuracy in [0, 1] with the given injection rules active.
+  [[nodiscard]] double accuracy_with_rules(const std::vector<noise::InjectionRule>& rules,
+                                           std::uint64_t salt);
+
+  /// Step 2: noise in every operation of one group, other groups clean.
+  [[nodiscard]] ResilienceCurve sweep_group(capsnet::OpKind kind);
+
+  /// Step 4: noise in one layer of one group only.
+  [[nodiscard]] ResilienceCurve sweep_layer(capsnet::OpKind kind, const std::string& layer);
+
+  /// Number of noisy evaluations run so far (exploration cost, D3).
+  [[nodiscard]] std::int64_t evaluations() const { return evaluations_; }
+
+  [[nodiscard]] const ResilienceConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] ResilienceCurve sweep(capsnet::OpKind kind,
+                                      const std::optional<std::string>& layer);
+
+  capsnet::CapsModel& model_;
+  const Tensor& test_x_;
+  const std::vector<std::int64_t>& test_y_;
+  ResilienceConfig cfg_;
+  std::optional<double> baseline_;
+  std::int64_t evaluations_ = 0;
+};
+
+}  // namespace redcane::core

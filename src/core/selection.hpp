@@ -1,0 +1,46 @@
+// Step 6 of ReD-CaNe: Select Approximate Components.
+//
+// Each operation's tolerable noise magnitude (from Steps 2-5) is matched
+// against the profiled NM of every library component; the lowest-power
+// component whose NM fits is selected — "more aggressive approximations
+// are selected for more resilient operations" (paper Sec. IV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "approx/error_profile.hpp"
+#include "approx/library.hpp"
+#include "core/groups.hpp"
+
+namespace redcane::core {
+
+/// A library component with its profiled noise parameters.
+struct ProfiledComponent {
+  const approx::Multiplier* mul = nullptr;
+  double nm = 0.0;
+  double na = 0.0;
+  bool gaussian_like = true;
+};
+
+/// Profiles every library multiplier once under `dist` with `chain_length`
+/// MACs per sample (9 for 3x3 kernels, 81 for 9x9; paper Sec. III-B).
+[[nodiscard]] std::vector<ProfiledComponent> profile_library(
+    const approx::InputDistribution& dist, int chain_length, std::int64_t samples,
+    std::uint64_t seed);
+
+/// The lowest-power Gaussian-like component with nm <= tolerable_nm and
+/// |na| <= tolerable_nm. Always succeeds: the exact multiplier has nm = 0.
+[[nodiscard]] const approx::Multiplier* select_component(
+    const std::vector<ProfiledComponent>& profiled, double tolerable_nm);
+
+/// One operation's final choice.
+struct SiteSelection {
+  Site site;
+  double tolerable_nm = 0.0;
+  const approx::Multiplier* component = nullptr;
+
+  [[nodiscard]] double power_saving() const;
+};
+
+}  // namespace redcane::core

@@ -1,0 +1,19 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+
+namespace redcane::data {
+
+std::int64_t Dataset::num_classes() const {
+  std::int64_t mx = -1;
+  for (std::int64_t y : train_y) mx = std::max(mx, y);
+  for (std::int64_t y : test_y) mx = std::max(mx, y);
+  return mx + 1;
+}
+
+std::string Dataset::summary() const {
+  return name + ": train " + train_x.shape().to_string() + ", test " +
+         test_x.shape().to_string() + ", " + std::to_string(num_classes()) + " classes";
+}
+
+}  // namespace redcane::data

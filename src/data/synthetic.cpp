@@ -1,0 +1,247 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcane::data {
+namespace {
+
+/// One class prototype: [hw, hw, channels] in [0, 1].
+class Prototype {
+ public:
+  Prototype(const SyntheticSpec& spec, std::int64_t cls) : hw_(spec.hw), c_(spec.channels) {
+    img_.assign(static_cast<std::size_t>(hw_ * hw_ * c_), 0.0F);
+    // Class-seeded generator: the prototype is a pure function of
+    // (seed, kind, class), independent of sample order.
+    Rng rng(spec.seed * 1000003ULL + static_cast<std::uint64_t>(cls) * 7919ULL +
+            static_cast<std::uint64_t>(spec.kind));
+    switch (spec.kind) {
+      case DatasetKind::kMnist:
+        paint_strokes(rng, /*strokes=*/4 + static_cast<int>(cls % 3), /*bg=*/0.0);
+        break;
+      case DatasetKind::kFashionMnist:
+        paint_silhouette(rng);
+        break;
+      case DatasetKind::kCifar10:
+        paint_textured_blobs(rng, /*blobs=*/3 + static_cast<int>(cls % 3));
+        break;
+      case DatasetKind::kSvhn:
+        paint_background(rng);
+        paint_strokes(rng, 4 + static_cast<int>(cls % 3), /*bg=*/-1.0);
+        break;
+    }
+  }
+
+  [[nodiscard]] float at(std::int64_t y, std::int64_t x, std::int64_t ch) const {
+    return img_[static_cast<std::size_t>((y * hw_ + x) * c_ + ch)];
+  }
+
+ private:
+  void set(std::int64_t y, std::int64_t x, std::int64_t ch, float v) {
+    if (y < 0 || y >= hw_ || x < 0 || x >= hw_) return;
+    auto& p = img_[static_cast<std::size_t>((y * hw_ + x) * c_ + ch)];
+    p = std::clamp(v, 0.0F, 1.0F);
+  }
+
+  void stamp(std::int64_t y, std::int64_t x, std::span<const float> color, float alpha) {
+    for (std::int64_t ch = 0; ch < c_; ++ch) {
+      const float base = (y >= 0 && y < hw_ && x >= 0 && x < hw_)
+                             ? img_[static_cast<std::size_t>((y * hw_ + x) * c_ + ch)]
+                             : 0.0F;
+      set(y, x, ch, base + alpha * color[static_cast<std::size_t>(ch % 3)]);
+    }
+  }
+
+  std::vector<float> random_color(Rng& rng) const {
+    std::vector<float> color(3);
+    for (float& v : color) v = static_cast<float>(rng.uniform(0.55, 1.0));
+    if (c_ == 1) color[1] = color[2] = color[0];
+    return color;
+  }
+
+  /// Thick line segments emulating pen strokes. bg >= 0 clears to bg first.
+  void paint_strokes(Rng& rng, int strokes, double bg) {
+    if (bg >= 0.0) {
+      std::fill(img_.begin(), img_.end(), static_cast<float>(bg));
+    }
+    const std::vector<float> color = random_color(rng);
+    for (int s = 0; s < strokes; ++s) {
+      double y = rng.uniform(0.15, 0.85) * static_cast<double>(hw_);
+      double x = rng.uniform(0.15, 0.85) * static_cast<double>(hw_);
+      double angle = rng.uniform(0.0, 2.0 * M_PI);
+      const double curvature = rng.uniform(-0.25, 0.25);
+      const int steps = static_cast<int>(rng.uniform(0.4, 0.9) * static_cast<double>(hw_));
+      for (int t = 0; t < steps; ++t) {
+        const auto iy = static_cast<std::int64_t>(y);
+        const auto ix = static_cast<std::int64_t>(x);
+        for (std::int64_t dy = 0; dy <= 1; ++dy) {
+          for (std::int64_t dx = 0; dx <= 1; ++dx) stamp(iy + dy, ix + dx, color, 1.0F);
+        }
+        y += std::sin(angle);
+        x += std::cos(angle);
+        angle += curvature;
+      }
+    }
+  }
+
+  /// Filled garment-like region with horizontal texture bands.
+  void paint_silhouette(Rng& rng) {
+    const std::vector<float> color = random_color(rng);
+    const double cy = rng.uniform(0.35, 0.65) * static_cast<double>(hw_);
+    const double cx = rng.uniform(0.35, 0.65) * static_cast<double>(hw_);
+    const double ry = rng.uniform(0.2, 0.42) * static_cast<double>(hw_);
+    const double rx = rng.uniform(0.2, 0.42) * static_cast<double>(hw_);
+    const double band = rng.uniform(2.0, 5.0);
+    const double pow_n = rng.uniform(1.2, 3.5);  // Super-ellipse exponent.
+    for (std::int64_t y = 0; y < hw_; ++y) {
+      for (std::int64_t x = 0; x < hw_; ++x) {
+        const double u = std::abs((static_cast<double>(y) - cy) / ry);
+        const double v = std::abs((static_cast<double>(x) - cx) / rx);
+        if (std::pow(u, pow_n) + std::pow(v, pow_n) <= 1.0) {
+          const double texture =
+              0.75 + 0.25 * std::sin(static_cast<double>(y) / band * 2.0 * M_PI);
+          for (std::int64_t ch = 0; ch < c_; ++ch) {
+            set(y, x, ch, static_cast<float>(color[static_cast<std::size_t>(ch % 3)] * texture));
+          }
+        }
+      }
+    }
+  }
+
+  /// Soft colored Gaussian blobs with per-blob spatial frequency texture.
+  void paint_textured_blobs(Rng& rng, int blobs) {
+    for (int bIdx = 0; bIdx < blobs; ++bIdx) {
+      const std::vector<float> color = random_color(rng);
+      const double cy = rng.uniform(0.2, 0.8) * static_cast<double>(hw_);
+      const double cx = rng.uniform(0.2, 0.8) * static_cast<double>(hw_);
+      const double sigma = rng.uniform(0.12, 0.3) * static_cast<double>(hw_);
+      const double fy = rng.uniform(0.0, 0.6);
+      const double fx = rng.uniform(0.0, 0.6);
+      for (std::int64_t y = 0; y < hw_; ++y) {
+        for (std::int64_t x = 0; x < hw_; ++x) {
+          const double d2 = (static_cast<double>(y) - cy) * (static_cast<double>(y) - cy) +
+                            (static_cast<double>(x) - cx) * (static_cast<double>(x) - cx);
+          const double g = std::exp(-d2 / (2.0 * sigma * sigma));
+          if (g < 0.05) continue;
+          const double texture =
+              0.8 + 0.2 * std::sin(fy * static_cast<double>(y) + fx * static_cast<double>(x));
+          for (std::int64_t ch = 0; ch < c_; ++ch) {
+            const auto idx = static_cast<std::size_t>((y * hw_ + x) * c_ + ch);
+            img_[idx] = std::clamp(
+                img_[idx] + static_cast<float>(g * texture *
+                                               color[static_cast<std::size_t>(ch % 3)]),
+                0.0F, 1.0F);
+          }
+        }
+      }
+    }
+  }
+
+  /// Low-frequency colored background clutter (SVHN-style).
+  void paint_background(Rng& rng) {
+    const double fy = rng.uniform(0.1, 0.4);
+    const double fx = rng.uniform(0.1, 0.4);
+    const double phase = rng.uniform(0.0, 2.0 * M_PI);
+    for (std::int64_t y = 0; y < hw_; ++y) {
+      for (std::int64_t x = 0; x < hw_; ++x) {
+        for (std::int64_t ch = 0; ch < c_; ++ch) {
+          const double v = 0.25 + 0.15 * std::sin(fy * static_cast<double>(y) +
+                                                  fx * static_cast<double>(x) + phase +
+                                                  static_cast<double>(ch));
+          img_[static_cast<std::size_t>((y * hw_ + x) * c_ + ch)] = static_cast<float>(v);
+        }
+      }
+    }
+  }
+
+  std::int64_t hw_;
+  std::int64_t c_;
+  std::vector<float> img_;
+};
+
+void render_sample(const Prototype& proto, const SyntheticSpec& spec, Rng& rng,
+                   std::span<float> out) {
+  const std::int64_t hw = spec.hw;
+  const std::int64_t c = spec.channels;
+  const int shift_y =
+      static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(2 * spec.max_shift + 1))) -
+      spec.max_shift;
+  const int shift_x =
+      static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(2 * spec.max_shift + 1))) -
+      spec.max_shift;
+  const double amp = 1.0 + rng.uniform(-spec.amplitude_jitter, spec.amplitude_jitter);
+  for (std::int64_t y = 0; y < hw; ++y) {
+    for (std::int64_t x = 0; x < hw; ++x) {
+      const std::int64_t sy = y - shift_y;
+      const std::int64_t sx = x - shift_x;
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        double v = 0.0;
+        if (sy >= 0 && sy < hw && sx >= 0 && sx < hw) v = proto.at(sy, sx, ch);
+        v = v * amp + rng.normal(0.0, spec.pixel_noise);
+        out[static_cast<std::size_t>((y * hw + x) * c + ch)] =
+            static_cast<float>(std::clamp(v, 0.0, 1.0));
+      }
+    }
+  }
+}
+
+void fill_split(const std::vector<Prototype>& protos, const SyntheticSpec& spec,
+                std::uint64_t seed, Tensor& x, std::vector<std::int64_t>& y) {
+  Rng rng(seed);
+  const std::int64_t n = x.shape().dim(0);
+  const std::int64_t row = x.numel() / n;
+  y.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t cls = i % spec.classes;  // Balanced classes.
+    y[static_cast<std::size_t>(i)] = cls;
+    render_sample(protos[static_cast<std::size_t>(cls)], spec, rng,
+                  x.data().subspan(static_cast<std::size_t>(i * row),
+                                   static_cast<std::size_t>(row)));
+  }
+}
+
+}  // namespace
+
+const char* dataset_kind_name(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kMnist: return "MNIST";
+    case DatasetKind::kFashionMnist: return "Fashion-MNIST";
+    case DatasetKind::kCifar10: return "CIFAR-10";
+    case DatasetKind::kSvhn: return "SVHN";
+  }
+  return "?";
+}
+
+Dataset make_synthetic(const SyntheticSpec& spec) {
+  if (spec.channels != 1 && spec.channels != 3) {
+    std::fprintf(stderr, "redcane::data fatal: channels must be 1 or 3\n");
+    std::abort();
+  }
+  std::vector<Prototype> protos;
+  protos.reserve(static_cast<std::size_t>(spec.classes));
+  for (std::int64_t c = 0; c < spec.classes; ++c) protos.emplace_back(spec, c);
+
+  Dataset ds;
+  ds.name = std::string(dataset_kind_name(spec.kind)) + "(synthetic)";
+  ds.train_x = Tensor(Shape{spec.train_count, spec.hw, spec.hw, spec.channels});
+  ds.test_x = Tensor(Shape{spec.test_count, spec.hw, spec.hw, spec.channels});
+  fill_split(protos, spec, spec.seed ^ 0xAAAAAAAAULL, ds.train_x, ds.train_y);
+  fill_split(protos, spec, spec.seed ^ 0x55555555ULL, ds.test_x, ds.test_y);
+  return ds;
+}
+
+Dataset make_benchmark(DatasetKind kind, std::int64_t hw, std::int64_t train_count,
+                       std::int64_t test_count, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.kind = kind;
+  spec.hw = hw;
+  spec.channels = (kind == DatasetKind::kCifar10 || kind == DatasetKind::kSvhn) ? 3 : 1;
+  spec.train_count = train_count;
+  spec.test_count = test_count;
+  spec.seed = seed;
+  return make_synthetic(spec);
+}
+
+}  // namespace redcane::data

@@ -1,0 +1,59 @@
+#include "energy/energy_model.hpp"
+
+#include "approx/library.hpp"
+
+namespace redcane::energy {
+
+double mul_energy_pj(const approx::Multiplier& mul, const UnitEnergy& ue) {
+  const double exact_power = approx::exact_multiplier().info().power_uw;
+  return ue.mul_pj * (mul.info().power_uw / exact_power);
+}
+
+double add_energy_pj(const approx::Adder& add, const UnitEnergy& ue) {
+  const double exact_power = approx::adder_by_name("axa_exact").info().power_uw;
+  return ue.add_pj * (add.info().power_uw / exact_power);
+}
+
+std::vector<EnergyScenario> optimization_potential(const OpCounts& ops, const UnitEnergy& ue,
+                                                   const approx::Multiplier& mul,
+                                                   const approx::Adder& add) {
+  const double non_mul_add = static_cast<double>(ops.div) * ue.div_pj +
+                             static_cast<double>(ops.exp) * ue.exp_pj +
+                             static_cast<double>(ops.sqrt) * ue.sqrt_pj;
+  const double mul_acc = static_cast<double>(ops.mul) * ue.mul_pj;
+  const double add_acc = static_cast<double>(ops.add) * ue.add_pj;
+  const double mul_apx = static_cast<double>(ops.mul) * mul_energy_pj(mul, ue);
+  const double add_apx = static_cast<double>(ops.add) * add_energy_pj(add, ue);
+
+  const double acc = mul_acc + add_acc + non_mul_add;
+  std::vector<EnergyScenario> out{
+      {"Acc", acc, 0.0},
+      {"XM", mul_apx + add_acc + non_mul_add, 0.0},
+      {"XA", mul_acc + add_apx + non_mul_add, 0.0},
+      {"XAM", mul_apx + add_apx + non_mul_add, 0.0},
+  };
+  for (EnergyScenario& s : out) s.saving = 1.0 - s.energy_pj / acc;
+  return out;
+}
+
+double approximated_energy_pj(const std::vector<LayerOps>& layers, const UnitEnergy& ue,
+                              const std::vector<LayerMultiplierChoice>& selection) {
+  double total = 0.0;
+  for (const LayerOps& l : layers) {
+    const approx::Multiplier* mul = &approx::exact_multiplier();
+    for (const LayerMultiplierChoice& c : selection) {
+      if (c.layer == l.layer && c.multiplier != nullptr) {
+        mul = c.multiplier;
+        break;
+      }
+    }
+    total += static_cast<double>(l.ops.mul) * mul_energy_pj(*mul, ue);
+    total += static_cast<double>(l.ops.add) * ue.add_pj;
+    total += static_cast<double>(l.ops.div) * ue.div_pj;
+    total += static_cast<double>(l.ops.exp) * ue.exp_pj;
+    total += static_cast<double>(l.ops.sqrt) * ue.sqrt_pj;
+  }
+  return total;
+}
+
+}  // namespace redcane::energy

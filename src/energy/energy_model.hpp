@@ -1,0 +1,50 @@
+// Energy accounting for accurate and approximated CapsNet datapaths.
+//
+// Reproduces the paper's Fig. 4 (energy breakdown by op type) and Fig. 5
+// (optimization potential of approximating multipliers and/or adders:
+// Acc / XM / XA / XAM). An approximate component's per-op energy is the
+// exact unit energy scaled by the component's power ratio — the same
+// first-order model the paper uses when it quotes "-29.4% power" for NGR.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "approx/adder.hpp"
+#include "approx/multiplier.hpp"
+#include "energy/op_counter.hpp"
+
+namespace redcane::energy {
+
+/// One bar of the Fig. 5 study.
+struct EnergyScenario {
+  std::string label;        ///< "Acc", "XM", "XA", "XAM".
+  double energy_pj = 0.0;
+  double saving = 0.0;      ///< Relative saving vs the accurate scenario.
+};
+
+/// Computes the four Fig. 5 scenarios for a network's op counts, using
+/// `mul` for the approximated multiplier and `add` for the adder.
+[[nodiscard]] std::vector<EnergyScenario> optimization_potential(
+    const OpCounts& ops, const UnitEnergy& ue, const approx::Multiplier& mul,
+    const approx::Adder& add);
+
+/// Energy of one inference when each layer uses its own selected
+/// multiplier (Step-6 output); layers absent from `selection` stay exact.
+struct LayerMultiplierChoice {
+  std::string layer;
+  const approx::Multiplier* multiplier = nullptr;
+};
+
+[[nodiscard]] double approximated_energy_pj(const std::vector<LayerOps>& layers,
+                                            const UnitEnergy& ue,
+                                            const std::vector<LayerMultiplierChoice>& selection);
+
+/// Per-op energy of a multiplier component: exact mul energy scaled by the
+/// component's power ratio to the exact unit.
+[[nodiscard]] double mul_energy_pj(const approx::Multiplier& mul, const UnitEnergy& ue);
+
+/// Same for adders.
+[[nodiscard]] double add_energy_pj(const approx::Adder& add, const UnitEnergy& ue);
+
+}  // namespace redcane::energy

@@ -1,0 +1,61 @@
+// Analytic per-inference operation counters (paper Table I).
+//
+// Counts the arithmetic operations (adds, multiplies, divisions,
+// exponentials, square roots) executed by one forward pass of a CapsNet or
+// DeepCaps configuration, walking the same layer topology the models
+// implement. Multiplications dominating the count/energy is the paper's
+// motivating observation (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capsnet/capsnet_model.hpp"
+#include "capsnet/deepcaps_model.hpp"
+#include "energy/unit_energy.hpp"
+
+namespace redcane::energy {
+
+struct OpCounts {
+  std::uint64_t add = 0;
+  std::uint64_t mul = 0;
+  std::uint64_t div = 0;
+  std::uint64_t exp = 0;
+  std::uint64_t sqrt = 0;
+
+  OpCounts& operator+=(const OpCounts& o);
+
+  [[nodiscard]] std::uint64_t of(OpType t) const;
+  [[nodiscard]] std::uint64_t total() const { return add + mul + div + exp + sqrt; }
+
+  /// Total energy in picojoules under the given unit-energy table.
+  [[nodiscard]] double energy_pj(const UnitEnergy& ue) const;
+
+  /// Energy share of one op type in [0, 1] (Fig. 4 breakdown).
+  [[nodiscard]] double energy_share(OpType t, const UnitEnergy& ue) const;
+};
+
+/// Per-layer breakdown entry.
+struct LayerOps {
+  std::string layer;
+  OpCounts ops;
+};
+
+/// Op counts of one inference (batch 1) of the given configuration.
+[[nodiscard]] OpCounts count_capsnet(const capsnet::CapsNetConfig& cfg);
+[[nodiscard]] OpCounts count_deepcaps(const capsnet::DeepCapsConfig& cfg);
+
+/// Layer-resolved variants (used by the component-selection energy report).
+[[nodiscard]] std::vector<LayerOps> count_capsnet_layers(const capsnet::CapsNetConfig& cfg);
+[[nodiscard]] std::vector<LayerOps> count_deepcaps_layers(const capsnet::DeepCapsConfig& cfg);
+
+/// Building blocks (exposed for unit testing).
+[[nodiscard]] OpCounts conv_ops(std::int64_t ho, std::int64_t wo, std::int64_t cout,
+                                std::int64_t k, std::int64_t cin, bool bias);
+[[nodiscard]] OpCounts squash_ops(std::int64_t capsules, std::int64_t dim);
+[[nodiscard]] OpCounts softmax_ops(std::int64_t lanes, std::int64_t extent);
+[[nodiscard]] OpCounts routing_ops(std::int64_t m, std::int64_t in_caps, std::int64_t out_caps,
+                                   std::int64_t dim, int iterations);
+
+}  // namespace redcane::energy

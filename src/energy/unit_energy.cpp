@@ -1,0 +1,33 @@
+#include "energy/unit_energy.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcane::energy {
+
+const char* op_type_name(OpType t) {
+  switch (t) {
+    case OpType::kAdd: return "Addition";
+    case OpType::kMul: return "Multiplication";
+    case OpType::kDiv: return "Division";
+    case OpType::kExp: return "Exponential";
+    case OpType::kSqrt: return "Square Root";
+  }
+  return "?";
+}
+
+double UnitEnergy::of(OpType t) const {
+  switch (t) {
+    case OpType::kAdd: return add_pj;
+    case OpType::kMul: return mul_pj;
+    case OpType::kDiv: return div_pj;
+    case OpType::kExp: return exp_pj;
+    case OpType::kSqrt: return sqrt_pj;
+  }
+  std::fprintf(stderr, "redcane::energy fatal: bad op type\n");
+  std::abort();
+}
+
+UnitEnergy UnitEnergy::paper_45nm() { return UnitEnergy{}; }
+
+}  // namespace redcane::energy

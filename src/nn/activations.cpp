@@ -1,0 +1,26 @@
+#include "nn/activations.hpp"
+
+namespace redcane::nn {
+
+Tensor relu(const Tensor& x) {
+  Tensor out = x;
+  for (float& v : out.data()) v = v > 0.0F ? v : 0.0F;
+  return out;
+}
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  if (train) cached_x_ = x;
+  return relu(x);
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  auto gd = grad_in.data();
+  const auto xd = cached_x_.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) {
+    if (xd[i] <= 0.0F) gd[i] = 0.0F;
+  }
+  return grad_in;
+}
+
+}  // namespace redcane::nn

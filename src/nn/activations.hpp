@@ -1,0 +1,21 @@
+// Pointwise activations with backward passes.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace redcane::nn {
+
+/// Rectified linear unit.
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_x_;
+};
+
+/// Functional forms for inference-only paths.
+[[nodiscard]] Tensor relu(const Tensor& x);
+
+}  // namespace redcane::nn

@@ -1,0 +1,116 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcane::nn {
+
+BatchNorm::BatchNorm(std::string name, std::int64_t channels, double momentum, double eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(name + ".gamma", Tensor(Shape{channels}, 1.0F)),
+      beta_(name + ".beta", Tensor(Shape{channels})),
+      running_mean_(name + ".rmean", Tensor(Shape{channels})),
+      running_var_(name + ".rvar", Tensor(Shape{channels}, 1.0F)) {}
+
+Tensor BatchNorm::forward(const Tensor& x, bool train) {
+  if (x.shape().dim(-1) != channels_) {
+    std::fprintf(stderr, "redcane::nn fatal: BatchNorm channel mismatch\n");
+    std::abort();
+  }
+  const std::int64_t c = channels_;
+  const std::int64_t rows = x.numel() / c;
+  const auto xd = x.data();
+
+  std::vector<double> mean(static_cast<std::size_t>(c), 0.0);
+  std::vector<double> var(static_cast<std::size_t>(c), 0.0);
+  if (train) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t k = 0; k < c; ++k) {
+        mean[static_cast<std::size_t>(k)] += xd[static_cast<std::size_t>(r * c + k)];
+      }
+    }
+    for (std::int64_t k = 0; k < c; ++k) mean[static_cast<std::size_t>(k)] /= rows;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t k = 0; k < c; ++k) {
+        const double d =
+            xd[static_cast<std::size_t>(r * c + k)] - mean[static_cast<std::size_t>(k)];
+        var[static_cast<std::size_t>(k)] += d * d;
+      }
+    }
+    for (std::int64_t k = 0; k < c; ++k) {
+      var[static_cast<std::size_t>(k)] /= rows;
+      // Update running statistics.
+      auto& rm = running_mean_.value.at(k);
+      auto& rv = running_var_.value.at(k);
+      rm = static_cast<float>(momentum_ * rm + (1.0 - momentum_) * mean[static_cast<std::size_t>(k)]);
+      rv = static_cast<float>(momentum_ * rv + (1.0 - momentum_) * var[static_cast<std::size_t>(k)]);
+    }
+  } else {
+    for (std::int64_t k = 0; k < c; ++k) {
+      mean[static_cast<std::size_t>(k)] = running_mean_.value.at(k);
+      var[static_cast<std::size_t>(k)] = running_var_.value.at(k);
+    }
+  }
+
+  Tensor out(x.shape());
+  auto od = out.data();
+  std::vector<double> inv_std(static_cast<std::size_t>(c));
+  for (std::int64_t k = 0; k < c; ++k) {
+    inv_std[static_cast<std::size_t>(k)] =
+        1.0 / std::sqrt(var[static_cast<std::size_t>(k)] + eps_);
+  }
+  Tensor xhat(x.shape());
+  auto hd = xhat.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t k = 0; k < c; ++k) {
+      const std::size_t i = static_cast<std::size_t>(r * c + k);
+      const double h = (xd[i] - mean[static_cast<std::size_t>(k)]) *
+                       inv_std[static_cast<std::size_t>(k)];
+      hd[i] = static_cast<float>(h);
+      od[i] = static_cast<float>(gamma_.value.at(k) * h + beta_.value.at(k));
+    }
+  }
+  if (train) {
+    cached_xhat_ = std::move(xhat);
+    cached_inv_std_ = std::move(inv_std);
+  }
+  return out;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_out) {
+  const std::int64_t c = channels_;
+  const std::int64_t rows = grad_out.numel() / c;
+  const auto gd = grad_out.data();
+  const auto hd = cached_xhat_.data();
+
+  std::vector<double> sum_dy(static_cast<std::size_t>(c), 0.0);
+  std::vector<double> sum_dy_xhat(static_cast<std::size_t>(c), 0.0);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t k = 0; k < c; ++k) {
+      const std::size_t i = static_cast<std::size_t>(r * c + k);
+      sum_dy[static_cast<std::size_t>(k)] += gd[i];
+      sum_dy_xhat[static_cast<std::size_t>(k)] += static_cast<double>(gd[i]) * hd[i];
+    }
+  }
+  for (std::int64_t k = 0; k < c; ++k) {
+    beta_.grad.at(k) += static_cast<float>(sum_dy[static_cast<std::size_t>(k)]);
+    gamma_.grad.at(k) += static_cast<float>(sum_dy_xhat[static_cast<std::size_t>(k)]);
+  }
+
+  Tensor grad_in(grad_out.shape());
+  auto gid = grad_in.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t k = 0; k < c; ++k) {
+      const std::size_t i = static_cast<std::size_t>(r * c + k);
+      const std::size_t kk = static_cast<std::size_t>(k);
+      const double term = gd[i] - sum_dy[kk] / rows - hd[i] * sum_dy_xhat[kk] / rows;
+      gid[i] = static_cast<float>(gamma_.value.at(k) * cached_inv_std_[kk] * term);
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace redcane::nn

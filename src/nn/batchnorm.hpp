@@ -1,0 +1,45 @@
+// Batch normalization over the last (channel) axis.
+//
+// DeepCaps [24] interleaves batch normalization with its convolutional
+// capsule layers; without it, fifteen stacked squash nonlinearities
+// collapse capsule lengths toward zero and gradients vanish. Training
+// uses batch statistics; inference uses exponential running statistics.
+//
+// Running statistics are exposed through params() alongside gamma/beta so
+// parameter serialization captures them; their gradients are always zero,
+// which makes them a fixed point of every optimizer in src/nn.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace redcane::nn {
+
+class BatchNorm final : public Layer {
+ public:
+  BatchNorm(std::string name, std::int64_t channels, double momentum = 0.9,
+            double eps = 1e-5);
+
+  /// x: [..., channels] — any leading shape, normalized per channel.
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override {
+    return {&gamma_, &beta_, &running_mean_, &running_var_};
+  }
+
+  [[nodiscard]] std::int64_t channels() const { return channels_; }
+
+ private:
+  std::int64_t channels_;
+  double momentum_;
+  double eps_;
+  Param gamma_;
+  Param beta_;
+  Param running_mean_;
+  Param running_var_;
+
+  // Forward(train) caches for backward.
+  Tensor cached_xhat_;
+  std::vector<double> cached_inv_std_;
+};
+
+}  // namespace redcane::nn

@@ -1,0 +1,142 @@
+#include "nn/conv2d.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcane::nn {
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  std::fprintf(stderr, "redcane::nn fatal: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                      std::int64_t stride, std::int64_t pad) {
+  if (x.shape().rank() != 4 || w.shape().rank() != 4) fail("conv2d expects NHWC x, KKIO w");
+  const std::int64_t n = x.shape().dim(0);
+  const std::int64_t h = x.shape().dim(1);
+  const std::int64_t wd = x.shape().dim(2);
+  const std::int64_t cin = x.shape().dim(3);
+  const std::int64_t kh = w.shape().dim(0);
+  const std::int64_t kw = w.shape().dim(1);
+  const std::int64_t cout = w.shape().dim(3);
+  if (w.shape().dim(2) != cin) fail("conv2d channel mismatch");
+  const std::int64_t ho = (h + 2 * pad - kh) / stride + 1;
+  const std::int64_t wo = (wd + 2 * pad - kw) / stride + 1;
+  if (ho <= 0 || wo <= 0) fail("conv2d produces empty output");
+
+  Tensor out(Shape{n, ho, wo, cout});
+  const auto xd = x.data();
+  const auto wdta = w.data();
+  auto od = out.data();
+  const bool has_bias = !bias.empty();
+
+#pragma omp parallel for collapse(2) if (n * ho > 4)
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t oy = 0; oy < ho; ++oy) {
+      for (std::int64_t ox = 0; ox < wo; ++ox) {
+        float* orow = &od[static_cast<std::size_t>(((ni * ho + oy) * wo + ox) * cout)];
+        if (has_bias) {
+          for (std::int64_t co = 0; co < cout; ++co) orow[co] = bias.at(co);
+        } else {
+          for (std::int64_t co = 0; co < cout; ++co) orow[co] = 0.0F;
+        }
+        for (std::int64_t ky = 0; ky < kh; ++ky) {
+          const std::int64_t iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= h) continue;
+          for (std::int64_t kx = 0; kx < kw; ++kx) {
+            const std::int64_t ix = ox * stride + kx - pad;
+            if (ix < 0 || ix >= wd) continue;
+            const float* xrow = &xd[static_cast<std::size_t>(((ni * h + iy) * wd + ix) * cin)];
+            const float* wrow = &wdta[static_cast<std::size_t>((ky * kw + kx) * cin * cout)];
+            for (std::int64_t ci = 0; ci < cin; ++ci) {
+              const float xv = xrow[ci];
+              if (xv == 0.0F) continue;
+              const float* wc = &wrow[ci * cout];
+              for (std::int64_t co = 0; co < cout; ++co) orow[co] += xv * wc[co];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Conv2D::Conv2D(std::string name, const Conv2DSpec& spec, Rng& rng)
+    : spec_(spec),
+      w_(name + ".w",
+         Tensor(Shape{spec.kernel, spec.kernel, spec.in_channels, spec.out_channels})),
+      b_(name + ".b", Tensor(Shape{spec.out_channels})) {
+  he_init(w_.value, spec.kernel * spec.kernel * spec.in_channels, rng);
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool train) {
+  if (train) cached_x_ = x;
+  return conv2d_forward(x, w_.value, spec_.bias ? b_.value : Tensor(), spec_.stride, spec_.pad);
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_x_;
+  if (x.empty()) fail("Conv2D::backward without cached forward");
+  const std::int64_t n = x.shape().dim(0);
+  const std::int64_t h = x.shape().dim(1);
+  const std::int64_t wd = x.shape().dim(2);
+  const std::int64_t cin = x.shape().dim(3);
+  const std::int64_t kh = spec_.kernel;
+  const std::int64_t kw = spec_.kernel;
+  const std::int64_t cout = spec_.out_channels;
+  const std::int64_t ho = grad_out.shape().dim(1);
+  const std::int64_t wo = grad_out.shape().dim(2);
+
+  Tensor grad_in(x.shape());
+  const auto xd = x.data();
+  const auto gd = grad_out.data();
+  auto gid = grad_in.data();
+  auto gw = w_.grad.data();
+  auto gb = b_.grad.data();
+  const auto wv = w_.value.data();
+
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t oy = 0; oy < ho; ++oy) {
+      for (std::int64_t ox = 0; ox < wo; ++ox) {
+        const float* grow = &gd[static_cast<std::size_t>(((ni * ho + oy) * wo + ox) * cout)];
+        if (spec_.bias) {
+          for (std::int64_t co = 0; co < cout; ++co) gb[static_cast<std::size_t>(co)] += grow[co];
+        }
+        for (std::int64_t ky = 0; ky < kh; ++ky) {
+          const std::int64_t iy = oy * spec_.stride + ky - spec_.pad;
+          if (iy < 0 || iy >= h) continue;
+          for (std::int64_t kx = 0; kx < kw; ++kx) {
+            const std::int64_t ix = ox * spec_.stride + kx - spec_.pad;
+            if (ix < 0 || ix >= wd) continue;
+            const std::size_t xbase = static_cast<std::size_t>(((ni * h + iy) * wd + ix) * cin);
+            const std::size_t wbase = static_cast<std::size_t>((ky * kw + kx) * cin * cout);
+            for (std::int64_t ci = 0; ci < cin; ++ci) {
+              const float xv = xd[xbase + static_cast<std::size_t>(ci)];
+              float gi = 0.0F;
+              const std::size_t wrow = wbase + static_cast<std::size_t>(ci * cout);
+              for (std::int64_t co = 0; co < cout; ++co) {
+                const float g = grow[co];
+                gw[wrow + static_cast<std::size_t>(co)] += xv * g;
+                gi += wv[wrow + static_cast<std::size_t>(co)] * g;
+              }
+              gid[xbase + static_cast<std::size_t>(ci)] += gi;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Conv2D::params() {
+  if (spec_.bias) return {&w_, &b_};
+  return {&w_};
+}
+
+}  // namespace redcane::nn

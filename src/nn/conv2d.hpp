@@ -1,0 +1,47 @@
+// 2D convolution layer (NHWC), with analytic backward pass.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace redcane::nn {
+
+struct Conv2DSpec {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;  ///< Symmetric zero padding.
+  bool bias = true;
+};
+
+/// Convolution over [N, H, W, Cin] with weights [KH, KW, Cin, Cout].
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::string name, const Conv2DSpec& spec, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+
+  [[nodiscard]] const Conv2DSpec& spec() const { return spec_; }
+  [[nodiscard]] Param& weight() { return w_; }
+  [[nodiscard]] const Param& weight() const { return w_; }
+
+  /// Output spatial extent for a given input extent.
+  [[nodiscard]] std::int64_t out_extent(std::int64_t in_extent) const {
+    return (in_extent + 2 * spec_.pad - spec_.kernel) / spec_.stride + 1;
+  }
+
+ private:
+  Conv2DSpec spec_;
+  Param w_;
+  Param b_;
+  Tensor cached_x_;  ///< Input cached during forward(train=true).
+};
+
+/// Stateless functional forward used by inference-only paths (noise
+/// injection hooks operate on the returned pre-activation tensor).
+[[nodiscard]] Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                                    std::int64_t stride, std::int64_t pad);
+
+}  // namespace redcane::nn

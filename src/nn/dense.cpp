@@ -1,0 +1,53 @@
+#include "nn/dense.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tensor/ops.hpp"
+
+namespace redcane::nn {
+
+Dense::Dense(std::string name, std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      w_(name + ".w", Tensor(Shape{in_features, out_features})),
+      b_(name + ".b", Tensor(Shape{out_features})) {
+  he_init(w_.value, in_features, rng);
+}
+
+Tensor Dense::forward(const Tensor& x, bool train) {
+  if (x.shape().rank() != 2 || x.shape().dim(1) != in_) {
+    std::fprintf(stderr, "redcane::nn fatal: Dense input shape mismatch\n");
+    std::abort();
+  }
+  if (train) cached_x_ = x;
+  Tensor out = ops::matmul(x, w_.value);
+  const std::int64_t n = out.shape().dim(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < out_; ++j) out(i, j) += b_.value.at(j);
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  const std::int64_t n = cached_x_.shape().dim(0);
+  // dW = x^T g, db = sum_n g, dx = g W^T.
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < out_; ++j) {
+      const float g = grad_out(i, j);
+      b_.grad.at(j) += g;
+      for (std::int64_t k = 0; k < in_; ++k) w_.grad(k, j) += cached_x_(i, k) * g;
+    }
+  }
+  Tensor grad_in(cached_x_.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t k = 0; k < in_; ++k) {
+      float acc = 0.0F;
+      for (std::int64_t j = 0; j < out_; ++j) acc += grad_out(i, j) * w_.value(k, j);
+      grad_in(i, k) = acc;
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace redcane::nn

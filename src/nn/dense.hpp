@@ -1,0 +1,24 @@
+// Fully-connected layer over the last axis: [N, in] -> [N, out].
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace redcane::nn {
+
+class Dense final : public Layer {
+ public:
+  Dense(std::string name, std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  Param w_;  ///< [in, out]
+  Param b_;  ///< [out]
+  Tensor cached_x_;
+};
+
+}  // namespace redcane::nn

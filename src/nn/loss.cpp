@@ -1,0 +1,82 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "tensor/ops.hpp"
+
+namespace redcane::nn {
+namespace {
+
+void check_labels(const Tensor& scores, const std::vector<std::int64_t>& labels) {
+  if (scores.shape().rank() != 2 ||
+      scores.shape().dim(0) != static_cast<std::int64_t>(labels.size())) {
+    std::fprintf(stderr, "redcane::nn fatal: loss shape/label mismatch\n");
+    std::abort();
+  }
+}
+
+}  // namespace
+
+LossResult margin_loss(const Tensor& lengths, const std::vector<std::int64_t>& labels,
+                       const MarginLossSpec& spec) {
+  check_labels(lengths, labels);
+  const std::int64_t n = lengths.shape().dim(0);
+  const std::int64_t c = lengths.shape().dim(1);
+  LossResult r;
+  r.grad = Tensor(lengths.shape());
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t k = 0; k < c; ++k) {
+      const double v = lengths(i, k);
+      const bool target = labels[static_cast<std::size_t>(i)] == k;
+      if (target) {
+        const double m = std::max(0.0, spec.m_plus - v);
+        total += m * m;
+        r.grad(i, k) = static_cast<float>(-2.0 * m / static_cast<double>(n));
+      } else {
+        const double m = std::max(0.0, v - spec.m_minus);
+        total += spec.lambda * m * m;
+        r.grad(i, k) = static_cast<float>(2.0 * spec.lambda * m / static_cast<double>(n));
+      }
+    }
+  }
+  r.loss = total / static_cast<double>(n);
+  return r;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  check_labels(logits, labels);
+  const std::int64_t n = logits.shape().dim(0);
+  const std::int64_t c = logits.shape().dim(1);
+  const Tensor probs = ops::softmax(logits, 1);
+  LossResult r;
+  r.grad = Tensor(logits.shape());
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    const double p = std::max(1e-12, static_cast<double>(probs(i, y)));
+    total -= std::log(p);
+    for (std::int64_t k = 0; k < c; ++k) {
+      const double indicator = (k == y) ? 1.0 : 0.0;
+      r.grad(i, k) = static_cast<float>((probs(i, k) - indicator) / static_cast<double>(n));
+    }
+  }
+  r.loss = total / static_cast<double>(n);
+  return r;
+}
+
+double accuracy(const Tensor& scores, const std::vector<std::int64_t>& labels) {
+  check_labels(scores, labels);
+  const std::vector<std::int64_t> pred = ops::argmax_last_axis(scores);
+  std::int64_t hits = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (pred[i] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+}  // namespace redcane::nn

@@ -1,0 +1,39 @@
+// Training losses.
+//
+// Margin loss is the CapsNet classification loss of Sabour et al. [25]:
+//   L_k = T_k * max(0, m+ - |v_k|)^2 + λ (1 - T_k) * max(0, |v_k| - m-)^2
+// computed on class-capsule lengths. Cross-entropy over logits is provided
+// for conventional heads and unit tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace redcane::nn {
+
+struct LossResult {
+  double loss = 0.0;  ///< Mean loss over the batch.
+  Tensor grad;        ///< dL/d(input), same shape as the input.
+};
+
+struct MarginLossSpec {
+  double m_plus = 0.9;
+  double m_minus = 0.1;
+  double lambda = 0.5;
+};
+
+/// lengths: [N, num_classes] capsule lengths; labels: per-sample class ids.
+[[nodiscard]] LossResult margin_loss(const Tensor& lengths,
+                                     const std::vector<std::int64_t>& labels,
+                                     const MarginLossSpec& spec = {});
+
+/// logits: [N, num_classes]; softmax cross-entropy with mean reduction.
+[[nodiscard]] LossResult softmax_cross_entropy(const Tensor& logits,
+                                               const std::vector<std::int64_t>& labels);
+
+/// Fraction of rows whose argmax equals the label.
+[[nodiscard]] double accuracy(const Tensor& scores, const std::vector<std::int64_t>& labels);
+
+}  // namespace redcane::nn

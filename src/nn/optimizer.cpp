@@ -1,0 +1,45 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace redcane::nn {
+
+void Sgd::step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    Tensor& vel = velocity_.try_emplace(p, Tensor(p->value.shape())).first->second;
+    auto vd = vel.data();
+    auto gd = p->grad.data();
+    auto wd = p->value.data();
+    for (std::size_t i = 0; i < wd.size(); ++i) {
+      vd[i] = static_cast<float>(momentum_ * vd[i] - lr_ * gd[i]);
+      wd[i] += vd[i];
+    }
+    p->zero_grad();
+  }
+}
+
+void Adam::step(const std::vector<Param*>& params) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (Param* p : params) {
+    State& s = state_
+                   .try_emplace(p, State{Tensor(p->value.shape()), Tensor(p->value.shape())})
+                   .first->second;
+    auto md = s.m.data();
+    auto vd = s.v.data();
+    auto gd = p->grad.data();
+    auto wd = p->value.data();
+    for (std::size_t i = 0; i < wd.size(); ++i) {
+      const double g = gd[i];
+      md[i] = static_cast<float>(beta1_ * md[i] + (1.0 - beta1_) * g);
+      vd[i] = static_cast<float>(beta2_ * vd[i] + (1.0 - beta2_) * g * g);
+      const double mhat = md[i] / bc1;
+      const double vhat = vd[i] / bc2;
+      wd[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+    p->zero_grad();
+  }
+}
+
+}  // namespace redcane::nn

@@ -1,0 +1,49 @@
+// First-order optimizers over Param lists.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace redcane::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using each param's accumulated gradient, then
+  /// zeroes the gradients.
+  virtual void step(const std::vector<Param*>& params) = 0;
+};
+
+/// SGD with classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.9) : lr_(lr), momentum_(momentum) {}
+  void step(const std::vector<Param*>& params) override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::unordered_map<const Param*, Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void step(const std::vector<Param*>& params) override;
+
+ private:
+  struct State {
+    Tensor m;
+    Tensor v;
+  };
+  double lr_, beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::unordered_map<const Param*, State> state_;
+};
+
+}  // namespace redcane::nn

@@ -1,0 +1,35 @@
+#include "noise/injector.hpp"
+
+namespace redcane::noise {
+
+GaussianInjector::GaussianInjector(std::vector<InjectionRule> rules, std::uint64_t seed)
+    : rules_(std::move(rules)), rng_(seed) {}
+
+void GaussianInjector::process(const std::string& layer, capsnet::OpKind kind, Tensor& x) {
+  ++sites_visited_;
+  for (const InjectionRule& rule : rules_) {
+    if (!rule.matches(layer, kind)) continue;
+    if (!rule.noise.is_zero()) {
+      inject_noise(x, rule.noise, rng_);
+      ++injections_;
+    }
+    return;  // First matching rule wins.
+  }
+}
+
+InjectionRule group_rule(capsnet::OpKind kind, const NoiseSpec& noise) {
+  InjectionRule r;
+  r.kind = kind;
+  r.noise = noise;
+  return r;
+}
+
+InjectionRule layer_rule(capsnet::OpKind kind, std::string layer, const NoiseSpec& noise) {
+  InjectionRule r;
+  r.kind = kind;
+  r.layer = std::move(layer);
+  r.noise = noise;
+  return r;
+}
+
+}  // namespace redcane::noise

@@ -1,0 +1,17 @@
+#include "noise/noise_model.hpp"
+
+#include "tensor/stats.hpp"
+
+namespace redcane::noise {
+
+void inject_noise(Tensor& x, const NoiseSpec& spec, Rng& rng) {
+  if (spec.is_zero() || x.empty()) return;
+  const stats::Moments m = stats::moments(x);
+  const double range = m.range();
+  if (range <= 0.0) return;
+  const double stddev = spec.nm * range;
+  const double mean = spec.na * range;
+  for (float& v : x.data()) v += static_cast<float>(rng.normal(mean, stddev));
+}
+
+}  // namespace redcane::noise

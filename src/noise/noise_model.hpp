@@ -1,0 +1,29 @@
+// The paper's noise-injection model (Sec. III-C, Eq. 3-4):
+//
+//   ΔX = Gauss(shape, NM * R(X)) + NA * R(X)
+//   X' = X + ΔX
+//
+// where R(X) = max(X) - min(X) is the dynamic range of the tensor being
+// perturbed. NM (noise magnitude) and NA (noise average) are the range-
+// relative std and mean of the approximate component's arithmetic error.
+#pragma once
+
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace redcane::noise {
+
+/// Range-relative Gaussian noise parameters.
+struct NoiseSpec {
+  double nm = 0.0;  ///< std(Δ) / R(X).
+  double na = 0.0;  ///< mean(Δ) / R(X).
+
+  [[nodiscard]] bool is_zero() const { return nm == 0.0 && na == 0.0; }
+};
+
+/// Applies Eq. 3-4 in place. The range R(X) is computed from the tensor
+/// itself, exactly as the paper's TensorFlow graph node does. A constant
+/// tensor (R = 0) receives no noise.
+void inject_noise(Tensor& x, const NoiseSpec& spec, Rng& rng);
+
+}  // namespace redcane::noise

@@ -1,0 +1,17 @@
+#include "noise/quantize_hook.hpp"
+
+#include "quant/quantizer.hpp"
+
+namespace redcane::noise {
+
+QuantizeHook::QuantizeHook(int bits, std::optional<capsnet::OpKind> kind)
+    : bits_(bits), kind_(kind) {}
+
+void QuantizeHook::process(const std::string& layer, capsnet::OpKind kind, Tensor& x) {
+  (void)layer;
+  if (kind_.has_value() && *kind_ != kind) return;
+  x = quant::quantize_dequantize(x, bits_);
+  ++count_;
+}
+
+}  // namespace redcane::noise

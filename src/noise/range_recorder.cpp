@@ -1,0 +1,68 @@
+#include "noise/range_recorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcane::noise {
+
+stats::Moments SiteRecord::moments() const {
+  stats::Moments m;
+  m.count = count;
+  if (count == 0) return m;
+  m.mean = sum / static_cast<double>(count);
+  const double var = std::max(0.0, sum_sq / static_cast<double>(count) - m.mean * m.mean);
+  m.stddev = std::sqrt(var);
+  m.min = min;
+  m.max = max;
+  return m;
+}
+
+RangeRecorder::RangeRecorder(std::size_t reservoir_per_site, std::uint64_t seed)
+    : cap_(reservoir_per_site), rng_(seed) {}
+
+void RangeRecorder::process(const std::string& layer, capsnet::OpKind kind, Tensor& x) {
+  SiteRecord& rec = records_[SiteKey{layer, kind}];
+  for (float v : x.data()) {
+    if (rec.count == 0) {
+      rec.min = v;
+      rec.max = v;
+    } else {
+      rec.min = std::min(rec.min, static_cast<double>(v));
+      rec.max = std::max(rec.max, static_cast<double>(v));
+    }
+    rec.sum += v;
+    rec.sum_sq += static_cast<double>(v) * v;
+    ++rec.count;
+    // Vitter's algorithm R reservoir sampling.
+    if (rec.reservoir.size() < cap_) {
+      rec.reservoir.push_back(v);
+    } else {
+      const std::uint64_t j = rng_.uniform_index(static_cast<std::uint64_t>(rec.count));
+      if (j < cap_) rec.reservoir[static_cast<std::size_t>(j)] = v;
+    }
+  }
+}
+
+const SiteRecord& RangeRecorder::record(const std::string& layer,
+                                        capsnet::OpKind kind) const {
+  const auto it = records_.find(SiteKey{layer, kind});
+  if (it == records_.end()) {
+    std::fprintf(stderr, "redcane::noise fatal: no record for site %s/%s\n", layer.c_str(),
+                 capsnet::op_kind_name(kind));
+    std::abort();
+  }
+  return it->second;
+}
+
+std::vector<float> RangeRecorder::pooled_samples(capsnet::OpKind kind) const {
+  std::vector<float> out;
+  for (const auto& [key, rec] : records_) {
+    if (key.kind != kind) continue;
+    out.insert(out.end(), rec.reservoir.begin(), rec.reservoir.end());
+  }
+  return out;
+}
+
+}  // namespace redcane::noise

@@ -1,0 +1,66 @@
+// RangeRecorder: an observing PerturbationHook that captures per-site
+// value statistics during clean inference. It powers
+//   * Fig. 11 — the input-distribution study of the DeepCaps convolutions
+//     (histograms of quantized activation values, per layer), and
+//   * the "real" input pools of Table IV — empirical 8-bit operand
+//     samples handed to the error profiler.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capsnet/inject.hpp"
+#include "tensor/random.hpp"
+#include "tensor/stats.hpp"
+
+namespace redcane::noise {
+
+/// Key identifying one observation site.
+struct SiteKey {
+  std::string layer;
+  capsnet::OpKind kind;
+
+  bool operator<(const SiteKey& o) const {
+    if (layer != o.layer) return layer < o.layer;
+    return static_cast<int>(kind) < static_cast<int>(o.kind);
+  }
+};
+
+/// Streaming per-site statistics plus a reservoir of raw values.
+struct SiteRecord {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::int64_t count = 0;
+  std::vector<float> reservoir;
+
+  [[nodiscard]] stats::Moments moments() const;
+};
+
+class RangeRecorder final : public capsnet::PerturbationHook {
+ public:
+  /// `reservoir_per_site` caps the raw samples kept per site (uniform
+  /// reservoir sampling keeps them unbiased).
+  explicit RangeRecorder(std::size_t reservoir_per_site = 100000, std::uint64_t seed = 99);
+
+  void process(const std::string& layer, capsnet::OpKind kind, Tensor& x) override;
+
+  [[nodiscard]] const std::map<SiteKey, SiteRecord>& records() const { return records_; }
+
+  /// Record for a site; aborts if the site was never observed.
+  [[nodiscard]] const SiteRecord& record(const std::string& layer, capsnet::OpKind kind) const;
+
+  /// Pooled reservoir samples of every site of the given kind (e.g. all
+  /// activation tensors = all convolution inputs).
+  [[nodiscard]] std::vector<float> pooled_samples(capsnet::OpKind kind) const;
+
+ private:
+  std::size_t cap_;
+  Rng rng_;
+  std::map<SiteKey, SiteRecord> records_;
+};
+
+}  // namespace redcane::noise

@@ -1,0 +1,124 @@
+#include "quant/approx_conv.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcane::quant {
+namespace {
+
+struct ConvDims {
+  std::int64_t n, h, w, cin, kh, kw, cout, ho, wo;
+};
+
+ConvDims dims_of(const Tensor& x, const Tensor& w, const ApproxConvSpec& spec) {
+  if (x.shape().rank() != 4 || w.shape().rank() != 4) {
+    std::fprintf(stderr, "redcane::quant fatal: conv2d expects NHWC x and KKIO w\n");
+    std::abort();
+  }
+  ConvDims d{};
+  d.n = x.shape().dim(0);
+  d.h = x.shape().dim(1);
+  d.w = x.shape().dim(2);
+  d.cin = x.shape().dim(3);
+  d.kh = w.shape().dim(0);
+  d.kw = w.shape().dim(1);
+  d.cout = w.shape().dim(3);
+  if (w.shape().dim(2) != d.cin) {
+    std::fprintf(stderr, "redcane::quant fatal: conv2d channel mismatch\n");
+    std::abort();
+  }
+  d.ho = (d.h + 2 * spec.pad - d.kh) / spec.stride + 1;
+  d.wo = (d.w + 2 * spec.pad - d.kw) / spec.stride + 1;
+  return d;
+}
+
+}  // namespace
+
+Tensor approx_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     const ApproxConvSpec& spec, const approx::Multiplier& mul) {
+  const ConvDims d = dims_of(x, w, spec);
+  const QuantParams px = fit_params(x, spec.bits);
+  const QuantParams pw = fit_params(w, spec.bits);
+  const std::vector<std::uint32_t> qx = quantize(x, px);
+  const std::vector<std::uint32_t> qw = quantize(w, pw);
+
+  Tensor out(Shape{d.n, d.ho, d.wo, d.cout});
+  const bool has_bias = !bias.empty();
+
+  for (std::int64_t n = 0; n < d.n; ++n) {
+    for (std::int64_t oy = 0; oy < d.ho; ++oy) {
+      for (std::int64_t ox = 0; ox < d.wo; ++ox) {
+        for (std::int64_t co = 0; co < d.cout; ++co) {
+          // Affine expansion: x = mx + qx*sx, w = mw + qw*sw.
+          //   sum x*w = mx*mw*K + mw*sx*Σqx + mx*sw*Σqw + sx*sw*Σ qx*qw
+          // Only the code-by-code product term uses the approximate unit.
+          std::uint64_t acc_qq = 0;
+          std::uint64_t acc_qx = 0;
+          std::uint64_t acc_qw = 0;
+          std::int64_t taps = 0;
+          for (std::int64_t ky = 0; ky < d.kh; ++ky) {
+            const std::int64_t iy = oy * spec.stride + ky - spec.pad;
+            if (iy < 0 || iy >= d.h) continue;  // Zero-padded taps contribute x = 0,
+            for (std::int64_t kx = 0; kx < d.kw; ++kx) {  // handled via the tap count.
+              const std::int64_t ix = ox * spec.stride + kx - spec.pad;
+              if (ix < 0 || ix >= d.w) continue;
+              for (std::int64_t ci = 0; ci < d.cin; ++ci) {
+                const auto xi = static_cast<std::size_t>(
+                    ((n * d.h + iy) * d.w + ix) * d.cin + ci);
+                const auto wi = static_cast<std::size_t>(
+                    ((ky * d.kw + kx) * d.cin + ci) * d.cout + co);
+                const auto a = static_cast<std::uint8_t>(qx[xi]);
+                const auto b = static_cast<std::uint8_t>(qw[wi]);
+                acc_qq += mul.multiply(a, b);
+                acc_qx += a;
+                acc_qw += b;
+                ++taps;
+              }
+            }
+          }
+          // Padding taps carry x exactly 0, i.e. code qx0 = (0 - min)/step.
+          // We instead model padded taps as contributing true zero to all
+          // four accumulators, which is exact for the reference too.
+          double v = px.min * pw.min * static_cast<double>(taps);
+          v += pw.min * px.step() * static_cast<double>(acc_qx);
+          v += px.min * pw.step() * static_cast<double>(acc_qw);
+          v += px.step() * pw.step() * static_cast<double>(acc_qq);
+          if (has_bias) v += bias.at(co);
+          out(n, oy, ox, co) = static_cast<float>(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor reference_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
+                        const ApproxConvSpec& spec) {
+  const ConvDims d = dims_of(x, w, spec);
+  Tensor out(Shape{d.n, d.ho, d.wo, d.cout});
+  const bool has_bias = !bias.empty();
+  for (std::int64_t n = 0; n < d.n; ++n) {
+    for (std::int64_t oy = 0; oy < d.ho; ++oy) {
+      for (std::int64_t ox = 0; ox < d.wo; ++ox) {
+        for (std::int64_t co = 0; co < d.cout; ++co) {
+          double acc = has_bias ? bias.at(co) : 0.0;
+          for (std::int64_t ky = 0; ky < d.kh; ++ky) {
+            const std::int64_t iy = oy * spec.stride + ky - spec.pad;
+            if (iy < 0 || iy >= d.h) continue;
+            for (std::int64_t kx = 0; kx < d.kw; ++kx) {
+              const std::int64_t ix = ox * spec.stride + kx - spec.pad;
+              if (ix < 0 || ix >= d.w) continue;
+              for (std::int64_t ci = 0; ci < d.cin; ++ci) {
+                acc += static_cast<double>(x(n, iy, ix, ci)) * w(ky, kx, ci, co);
+              }
+            }
+          }
+          out(n, oy, ox, co) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace redcane::quant

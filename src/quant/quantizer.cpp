@@ -1,0 +1,55 @@
+#include "quant/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/stats.hpp"
+
+namespace redcane::quant {
+
+QuantParams fit_params(const Tensor& t, int bits) {
+  const stats::Moments m = stats::moments(t);
+  QuantParams p;
+  p.bits = bits;
+  p.min = m.min;
+  p.max = m.max;
+  if (!(p.max > p.min)) p.max = p.min + 1.0;
+  return p;
+}
+
+std::vector<std::uint32_t> quantize(const Tensor& t, const QuantParams& p) {
+  std::vector<std::uint32_t> codes;
+  codes.reserve(static_cast<std::size_t>(t.numel()));
+  const double inv_step = 1.0 / p.step();
+  for (float v : t.data()) {
+    const double q = std::round((static_cast<double>(v) - p.min) * inv_step);
+    const double clamped = std::clamp(q, 0.0, static_cast<double>(p.max_code()));
+    codes.push_back(static_cast<std::uint32_t>(clamped));
+  }
+  return codes;
+}
+
+std::vector<std::uint8_t> quantize_u8(const Tensor& t, const QuantParams& p) {
+  std::vector<std::uint8_t> out;
+  const std::vector<std::uint32_t> codes = quantize(t, p);
+  out.reserve(codes.size());
+  for (std::uint32_t c : codes) out.push_back(static_cast<std::uint8_t>(std::min(c, 255U)));
+  return out;
+}
+
+Tensor dequantize(const std::vector<std::uint32_t>& codes, const Shape& shape,
+                  const QuantParams& p) {
+  Tensor t(shape);
+  auto td = t.data();
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    td[i] = static_cast<float>(p.min + static_cast<double>(codes[i]) * p.step());
+  }
+  return t;
+}
+
+Tensor quantize_dequantize(const Tensor& t, int bits) {
+  const QuantParams p = fit_params(t, bits);
+  return dequantize(quantize(t, p), t.shape(), p);
+}
+
+}  // namespace redcane::quant

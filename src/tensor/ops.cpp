@@ -1,0 +1,184 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcane::ops {
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  std::fprintf(stderr, "redcane::ops fatal: %s\n", what);
+  std::abort();
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) fail("shape mismatch");
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  Tensor c = a;
+  auto cd = c.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] += bd[i];
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  Tensor c = a;
+  auto cd = c.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] -= bd[i];
+  return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  Tensor c = a;
+  auto cd = c.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] *= bd[i];
+  return c;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor c = a;
+  for (float& v : c.data()) v *= s;
+  return c;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  auto ad = a.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < ad.size(); ++i) ad[i] += bd[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (float& v : a.data()) v *= s;
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor c = a;
+  for (float& v : c.data()) v = f(v);
+  return c;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.shape().rank() != 2 || b.shape().rank() != 2) fail("matmul expects rank-2 tensors");
+  const std::int64_t m = a.shape().dim(0);
+  const std::int64_t k = a.shape().dim(1);
+  const std::int64_t k2 = b.shape().dim(0);
+  const std::int64_t n = b.shape().dim(1);
+  if (k != k2) fail("matmul inner dimension mismatch");
+  Tensor c(Shape{m, n});
+  const auto ad = a.data();
+  const auto bd = b.data();
+  auto cd = c.data();
+  // ikj loop order: unit-stride inner loop over both b and c.
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = ad[static_cast<std::size_t>(i * k + kk)];
+      if (aik == 0.0F) continue;
+      const std::size_t brow = static_cast<std::size_t>(kk * n);
+      const std::size_t crow = static_cast<std::size_t>(i * n);
+      for (std::int64_t j = 0; j < n; ++j) {
+        cd[crow + static_cast<std::size_t>(j)] += aik * bd[brow + static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor softmax(const Tensor& a, std::int64_t axis) {
+  const std::size_t ax = a.shape().normalize_axis(axis);
+  const std::int64_t extent = a.shape().dim(static_cast<std::int64_t>(ax));
+  const std::int64_t stride = a.shape().stride(static_cast<std::int64_t>(ax));
+  const std::int64_t numel = a.numel();
+  const std::int64_t block = extent * stride;
+  Tensor c = a;
+  auto cd = c.data();
+  for (std::int64_t base = 0; base < numel; base += block) {
+    for (std::int64_t off = 0; off < stride; ++off) {
+      // One softmax lane: elements base+off, base+off+stride, ...
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::int64_t e = 0; e < extent; ++e) {
+        mx = std::max(mx, cd[static_cast<std::size_t>(base + off + e * stride)]);
+      }
+      float denom = 0.0F;
+      for (std::int64_t e = 0; e < extent; ++e) {
+        auto& v = cd[static_cast<std::size_t>(base + off + e * stride)];
+        v = std::exp(v - mx);
+        denom += v;
+      }
+      for (std::int64_t e = 0; e < extent; ++e) {
+        cd[static_cast<std::size_t>(base + off + e * stride)] /= denom;
+      }
+    }
+  }
+  return c;
+}
+
+double sum(const Tensor& a) {
+  double s = 0.0;
+  for (float v : a.data()) s += v;
+  return s;
+}
+
+std::vector<std::int64_t> argmax_last_axis(const Tensor& a) {
+  if (a.shape().rank() == 0) fail("argmax requires rank >= 1");
+  const std::int64_t last = a.shape().dim(-1);
+  const std::int64_t rows = a.numel() / last;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  const auto ad = a.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int64_t best = 0;
+    float best_v = ad[static_cast<std::size_t>(r * last)];
+    for (std::int64_t j = 1; j < last; ++j) {
+      const float v = ad[static_cast<std::size_t>(r * last + j)];
+      if (v > best_v) {
+        best_v = v;
+        best = j;
+      }
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+Tensor l2_norm_last_axis(const Tensor& a) {
+  if (a.shape().rank() == 0) fail("l2_norm requires rank >= 1");
+  const std::int64_t last = a.shape().dim(-1);
+  const std::int64_t rows = a.numel() / last;
+  Tensor out(a.shape().without_axis(-1));
+  const auto ad = a.data();
+  auto od = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    double s = 0.0;
+    for (std::int64_t j = 0; j < last; ++j) {
+      const float v = ad[static_cast<std::size_t>(r * last + j)];
+      s += static_cast<double>(v) * v;
+    }
+    od[static_cast<std::size_t>(r)] = static_cast<float>(std::sqrt(s));
+  }
+  return out;
+}
+
+Tensor gaussian(const Shape& shape, double mean, double stddev, Rng& rng) {
+  Tensor t(shape);
+  for (float& v : t.data()) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor uniform(const Shape& shape, double lo, double hi, Rng& rng) {
+  Tensor t(shape);
+  for (float& v : t.data()) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+}  // namespace redcane::ops

@@ -1,0 +1,59 @@
+// Elementwise and linear-algebra primitives on Tensor.
+//
+// These are the building blocks shared by the NN substrate, the CapsNet
+// library and the noise-injection machinery. All functions are pure
+// (inputs by const reference, result by value) unless named *_inplace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace redcane::ops {
+
+/// c = a + b (shapes must match).
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);
+
+/// c = a - b (shapes must match).
+[[nodiscard]] Tensor sub(const Tensor& a, const Tensor& b);
+
+/// c = a * b elementwise (shapes must match).
+[[nodiscard]] Tensor mul(const Tensor& a, const Tensor& b);
+
+/// c = a * s.
+[[nodiscard]] Tensor scale(const Tensor& a, float s);
+
+/// a += b (shapes must match).
+void add_inplace(Tensor& a, const Tensor& b);
+
+/// a *= s.
+void scale_inplace(Tensor& a, float s);
+
+/// Applies `f` to every element, returning a new tensor.
+[[nodiscard]] Tensor map(const Tensor& a, const std::function<float(float)>& f);
+
+/// Matrix product of [m, k] x [k, n] -> [m, n].
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Softmax along `axis` (numerically stabilized by max subtraction).
+[[nodiscard]] Tensor softmax(const Tensor& a, std::int64_t axis);
+
+/// Sum of all elements.
+[[nodiscard]] double sum(const Tensor& a);
+
+/// Index of the maximum element along the last axis, for each slice of the
+/// leading axes. Result shape: input shape without the last axis.
+[[nodiscard]] std::vector<std::int64_t> argmax_last_axis(const Tensor& a);
+
+/// L2 norms along the last axis. Result shape: input without last axis.
+[[nodiscard]] Tensor l2_norm_last_axis(const Tensor& a);
+
+/// Tensor of iid Gaussian samples with the given shape.
+[[nodiscard]] Tensor gaussian(const Shape& shape, double mean, double stddev, Rng& rng);
+
+/// Tensor of iid uniform samples in [lo, hi) with the given shape.
+[[nodiscard]] Tensor uniform(const Shape& shape, double lo, double hi, Rng& rng);
+
+}  // namespace redcane::ops

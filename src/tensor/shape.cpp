@@ -1,0 +1,87 @@
+#include "tensor/shape.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcane {
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  std::fprintf(stderr, "redcane::Shape fatal: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) {
+  if (dims.size() > kMaxRank) fail("rank exceeds kMaxRank");
+  for (std::int64_t d : dims) {
+    if (d < 0) fail("negative dimension extent");
+    dims_[rank_++] = d;
+  }
+}
+
+std::size_t Shape::normalize_axis(std::int64_t axis) const {
+  const auto r = static_cast<std::int64_t>(rank_);
+  if (axis < 0) axis += r;
+  if (axis < 0 || axis >= r) fail("axis out of range");
+  return static_cast<std::size_t>(axis);
+}
+
+std::int64_t Shape::dim(std::int64_t axis) const {
+  return dims_[normalize_axis(axis)];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+  return n;
+}
+
+std::int64_t Shape::stride(std::int64_t axis) const {
+  const std::size_t a = normalize_axis(axis);
+  std::int64_t s = 1;
+  for (std::size_t i = a + 1; i < rank_; ++i) s *= dims_[i];
+  return s;
+}
+
+void Shape::push_back(std::int64_t extent) {
+  if (rank_ == kMaxRank) fail("rank exceeds kMaxRank");
+  if (extent < 0) fail("negative dimension extent");
+  dims_[rank_++] = extent;
+}
+
+Shape Shape::without_axis(std::int64_t axis) const {
+  const std::size_t a = normalize_axis(axis);
+  Shape out;
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i != a) out.push_back(dims_[i]);
+  }
+  return out;
+}
+
+Shape Shape::with_appended(std::int64_t extent) const {
+  Shape out = *this;
+  out.push_back(extent);
+  return out;
+}
+
+bool Shape::operator==(const Shape& other) const {
+  if (rank_ != other.rank_) return false;
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (dims_[i] != other.dims_[i]) return false;
+  }
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i != 0) s += ", ";
+    s += std::to_string(dims_[i]);
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace redcane

@@ -1,0 +1,65 @@
+// Shape: dimension vector and index arithmetic for row-major tensors.
+//
+// Part of the tensor substrate of the ReD-CaNe reproduction. Shapes are
+// small value types (at most kMaxRank dimensions) with O(rank) operations.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace redcane {
+
+/// Maximum tensor rank supported by the library. CapsNet inference needs at
+/// most rank 6 (e.g. [N, H, W, caps, dim, routing]); 8 leaves headroom.
+inline constexpr std::size_t kMaxRank = 8;
+
+/// A tensor shape: an ordered list of dimension extents.
+///
+/// Invariant: every dimension extent is >= 0; rank() <= kMaxRank.
+/// A rank-0 shape denotes a scalar with numel() == 1.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+
+  /// Number of dimensions.
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+
+  /// Extent of dimension `axis`. Negative axes count from the back
+  /// (-1 is the last axis), mirroring NumPy semantics.
+  [[nodiscard]] std::int64_t dim(std::int64_t axis) const;
+
+  /// Total number of elements (product of extents; 1 for rank 0).
+  [[nodiscard]] std::int64_t numel() const;
+
+  /// Row-major stride of dimension `axis` (in elements).
+  [[nodiscard]] std::int64_t stride(std::int64_t axis) const;
+
+  /// Appends one dimension at the end. Aborts if rank would exceed kMaxRank.
+  void push_back(std::int64_t extent);
+
+  /// Returns a shape equal to this one with `axis` removed.
+  [[nodiscard]] Shape without_axis(std::int64_t axis) const;
+
+  /// Returns a shape equal to this one with `extent` appended.
+  [[nodiscard]] Shape with_appended(std::int64_t extent) const;
+
+  /// Normalizes a possibly-negative axis into [0, rank). Aborts when out of
+  /// range: axis errors are programming errors, not runtime conditions.
+  [[nodiscard]] std::size_t normalize_axis(std::int64_t axis) const;
+
+  [[nodiscard]] bool operator==(const Shape& other) const;
+  [[nodiscard]] bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Human-readable form, e.g. "[2, 3, 4]".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::array<std::int64_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace redcane

@@ -1,0 +1,35 @@
+#include "nn/activations.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcane::nn {
+namespace {
+
+TEST(ReLUTest, ClampsNegatives) {
+  const Tensor x(Shape{4}, {-2.0F, -0.5F, 0.0F, 3.0F});
+  const Tensor y = relu(x);
+  EXPECT_EQ(y.at(0), 0.0F);
+  EXPECT_EQ(y.at(1), 0.0F);
+  EXPECT_EQ(y.at(2), 0.0F);
+  EXPECT_EQ(y.at(3), 3.0F);
+}
+
+TEST(ReLUTest, BackwardMasksByInputSign) {
+  ReLU layer;
+  const Tensor x(Shape{4}, {-1.0F, 2.0F, -3.0F, 4.0F});
+  (void)layer.forward(x, /*train=*/true);
+  const Tensor g(Shape{4}, {1.0F, 1.0F, 1.0F, 1.0F});
+  const Tensor gi = layer.backward(g);
+  EXPECT_EQ(gi.at(0), 0.0F);
+  EXPECT_EQ(gi.at(1), 1.0F);
+  EXPECT_EQ(gi.at(2), 0.0F);
+  EXPECT_EQ(gi.at(3), 1.0F);
+}
+
+TEST(ReLUTest, StatelessLayerHasNoParams) {
+  ReLU layer;
+  EXPECT_TRUE(layer.params().empty());
+}
+
+}  // namespace
+}  // namespace redcane::nn

@@ -1,0 +1,97 @@
+#include "approx/adder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/random.hpp"
+
+namespace redcane::approx {
+namespace {
+
+TEST(AdderLibrary, HasComponentsExactFirst) {
+  const auto& lib = adder_library();
+  ASSERT_GE(lib.size(), 6U);
+  EXPECT_EQ(lib.front()->info().name, "axa_exact");
+}
+
+TEST(AdderLibrary, LookupByName) {
+  EXPECT_EQ(adder_by_name("axa_loa6").info().paper_analog, "add8u_5LT");
+}
+
+TEST(AdderLibrary, ExactAddsExactly) {
+  const Adder& a = adder_by_name("axa_exact");
+  EXPECT_EQ(a.add(123456, 654321), 777777U);
+  EXPECT_EQ(a.error(1, 2), 0);
+}
+
+class AdderProperty : public ::testing::TestWithParam<const Adder*> {};
+
+TEST_P(AdderProperty, ZeroPlusZeroIsZero) {
+  EXPECT_EQ(GetParam()->add(0, 0), 0U) << GetParam()->info().name;
+}
+
+TEST_P(AdderProperty, Commutative) {
+  const Adder& a = *GetParam();
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.uniform_index(1 << 20));
+    const auto y = static_cast<std::uint32_t>(rng.uniform_index(1 << 20));
+    EXPECT_EQ(a.add(x, y), a.add(y, x)) << a.info().name;
+  }
+}
+
+TEST_P(AdderProperty, ErrorBoundedByLowPart) {
+  const Adder& a = *GetParam();
+  const int k = a.info().param;
+  // All families only corrupt a bounded low region; segmented adders can
+  // additionally lose inter-segment carries (one per boundary).
+  const double bound = (a.info().family == "seg")
+                           ? static_cast<double>(1 << 20)  // carries across segments
+                           : 2.0 * static_cast<double>(1 << std::max(1, k));
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.uniform_index(1 << 19));
+    const auto y = static_cast<std::uint32_t>(rng.uniform_index(1 << 19));
+    EXPECT_LE(std::abs(static_cast<double>(a.error(x, y))), bound) << a.info().name;
+  }
+}
+
+TEST_P(AdderProperty, PowerAtMostExact) {
+  const double exact = adder_by_name("axa_exact").info().power_uw;
+  EXPECT_LE(GetParam()->info().power_uw, exact + 1e-9) << GetParam()->info().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAdders, AdderProperty, ::testing::ValuesIn(adder_library()),
+                         [](const ::testing::TestParamInfo<const Adder*>& info) {
+                           return info.param->info().name;
+                         });
+
+TEST(AdderFamilies, LoaHighPartExact) {
+  const Adder& a = adder_by_name("axa_loa6");
+  // Operands with zero low parts add exactly.
+  EXPECT_EQ(a.add(0x1000, 0x2000), 0x3000U);
+  EXPECT_EQ(a.error(0x40, 0x80), 0);
+}
+
+TEST(AdderFamilies, LoaLowPartIsOr) {
+  const Adder& a = adder_by_name("axa_loa4");
+  EXPECT_EQ(a.add(0b0101, 0b0011), 0b0111U);  // OR, not sum.
+}
+
+TEST(AdderFamilies, TruncDropsLowBits) {
+  const Adder& a = adder_by_name("axa_trunc4");
+  EXPECT_EQ(a.add(0xF, 0xF), 0U);
+  EXPECT_EQ(a.add(0x1F, 0x2F), 0x30U);
+}
+
+TEST(AdderFamilies, SegmentedLosesCrossSegmentCarry) {
+  const Adder& a = adder_by_name("axa_seg8");
+  // 0xFF + 0x01 carries across the first 8-bit segment boundary: lost.
+  EXPECT_EQ(a.add(0xFF, 0x01), 0x00U);
+  // No boundary crossing: exact.
+  EXPECT_EQ(a.add(0x10, 0x20), 0x30U);
+}
+
+}  // namespace
+}  // namespace redcane::approx

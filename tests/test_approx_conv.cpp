@@ -1,0 +1,117 @@
+#include "quant/approx_conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/error_profile.hpp"
+#include "approx/library.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+#include "tensor/stats.hpp"
+
+namespace redcane::quant {
+namespace {
+
+struct ConvFixture {
+  Tensor x;
+  Tensor w;
+  Tensor bias;
+  ApproxConvSpec spec;
+
+  static ConvFixture random(std::uint64_t seed) {
+    Rng rng(seed);
+    ConvFixture f;
+    f.x = ops::uniform(Shape{2, 8, 8, 3}, 0.0, 1.0, rng);
+    f.w = ops::uniform(Shape{3, 3, 3, 4}, -0.5, 0.5, rng);
+    f.bias = ops::uniform(Shape{4}, -0.1, 0.1, rng);
+    f.spec.stride = 1;
+    f.spec.pad = 1;
+    f.spec.bits = 8;
+    return f;
+  }
+};
+
+TEST(ApproxConv, ExactMultiplierMatchesReferenceWithinQuantError) {
+  const ConvFixture f = ConvFixture::random(1);
+  const Tensor ref = reference_conv2d(f.x, f.w, f.bias, f.spec);
+  const Tensor got = approx_conv2d(f.x, f.w, f.bias, f.spec, approx::exact_multiplier());
+  ASSERT_EQ(ref.shape(), got.shape());
+  // 8-bit quantization over 27 taps: per-output error bounded by
+  // taps * (step_x * |w|max + step_w * |x|max + step_x * step_w) / 2-ish.
+  for (std::int64_t i = 0; i < ref.numel(); ++i) {
+    EXPECT_NEAR(ref.at(i), got.at(i), 0.08) << "at " << i;
+  }
+}
+
+TEST(ApproxConv, OutputShapes) {
+  const ConvFixture f = ConvFixture::random(2);
+  const Tensor got = approx_conv2d(f.x, f.w, f.bias, f.spec, approx::exact_multiplier());
+  EXPECT_EQ(got.shape(), (Shape{2, 8, 8, 4}));
+  ApproxConvSpec strided = f.spec;
+  strided.stride = 2;
+  const Tensor s = approx_conv2d(f.x, f.w, f.bias, strided, approx::exact_multiplier());
+  EXPECT_EQ(s.shape(), (Shape{2, 4, 4, 4}));
+}
+
+TEST(ApproxConv, ApproximateMultiplierAddsError) {
+  const ConvFixture f = ConvFixture::random(3);
+  const Tensor exact = approx_conv2d(f.x, f.w, f.bias, f.spec, approx::exact_multiplier());
+  const Tensor noisy =
+      approx_conv2d(f.x, f.w, f.bias, f.spec, approx::multiplier_by_name("axm_drum3_jv3"));
+  double max_abs = 0.0;
+  for (std::int64_t i = 0; i < exact.numel(); ++i) {
+    max_abs = std::max(max_abs, std::abs(static_cast<double>(exact.at(i) - noisy.at(i))));
+  }
+  EXPECT_GT(max_abs, 1e-4);
+}
+
+TEST(ApproxConv, ErrorScalesWithComponentAggressiveness) {
+  const ConvFixture f = ConvFixture::random(4);
+  const Tensor ref = reference_conv2d(f.x, f.w, f.bias, f.spec);
+  auto rms_err = [&](const approx::Multiplier& m) {
+    const Tensor got = approx_conv2d(f.x, f.w, f.bias, f.spec, m);
+    double e = 0.0;
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      const double d = ref.at(i) - got.at(i);
+      e += d * d;
+    }
+    return std::sqrt(e / static_cast<double>(ref.numel()));
+  };
+  const double gentle = rms_err(approx::multiplier_by_analog("mul8u_NGR"));
+  const double aggressive = rms_err(approx::multiplier_by_analog("mul8u_QKX"));
+  EXPECT_LT(gentle, aggressive);
+}
+
+TEST(ApproxConv, GaussianNoiseModelPredictsRealErrorScale) {
+  // D1 validation: the range-relative NM measured on the real approximate
+  // conv output should be within an order of magnitude of the NM profiled
+  // from the multiplier in isolation.
+  const ConvFixture f = ConvFixture::random(5);
+  const approx::Multiplier& m = approx::multiplier_by_analog("mul8u_DM1");
+  const Tensor exact = approx_conv2d(f.x, f.w, f.bias, f.spec, approx::exact_multiplier());
+  const Tensor noisy = approx_conv2d(f.x, f.w, f.bias, f.spec, m);
+  const Tensor delta = ops::sub(noisy, exact);
+  const stats::Moments dm = stats::moments(delta);
+  const stats::Moments xm = stats::moments(exact);
+  const double real_nm = dm.stddev / xm.range();
+
+  approx::ProfileConfig pc;
+  pc.samples = 20000;
+  pc.chain_length = 27;  // 3x3x3 taps.
+  const approx::ErrorProfile profile =
+      approx::profile_multiplier(m, approx::InputDistribution::uniform(), pc);
+  EXPECT_GT(real_nm, profile.nm / 10.0);
+  EXPECT_LT(real_nm, profile.nm * 10.0);
+}
+
+TEST(ApproxConv, ValidPaddingSkipsBorder) {
+  const ConvFixture f = ConvFixture::random(6);
+  ApproxConvSpec valid = f.spec;
+  valid.pad = 0;
+  const Tensor got = approx_conv2d(f.x, f.w, f.bias, valid, approx::exact_multiplier());
+  EXPECT_EQ(got.shape(), (Shape{2, 6, 6, 4}));
+}
+
+}  // namespace
+}  // namespace redcane::quant

@@ -1,0 +1,121 @@
+#include "nn/batchnorm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+#include "tensor/stats.hpp"
+
+namespace redcane::nn {
+namespace {
+
+TEST(BatchNormTest, NormalizesPerChannelInTraining) {
+  Rng rng(1);
+  BatchNorm bn("bn", 4);
+  Tensor x = ops::uniform(Shape{64, 4}, 2.0, 8.0, rng);
+  // Give channel 2 a very different scale.
+  for (std::int64_t r = 0; r < 64; ++r) x(r, 2) = x(r, 2) * 20.0F - 50.0F;
+  const Tensor y = bn.forward(x, /*train=*/true);
+  for (std::int64_t k = 0; k < 4; ++k) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (std::int64_t r = 0; r < 64; ++r) {
+      sum += y(r, k);
+      sq += static_cast<double>(y(r, k)) * y(r, k);
+    }
+    const double mean = sum / 64.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4) << "channel " << k;
+    EXPECT_NEAR(sq / 64.0 - mean * mean, 1.0, 1e-2) << "channel " << k;
+  }
+}
+
+TEST(BatchNormTest, GammaBetaAffine) {
+  Rng rng(2);
+  BatchNorm bn("bn", 2);
+  bn.params()[0]->value.fill(3.0F);  // gamma
+  bn.params()[1]->value.fill(-1.0F);  // beta
+  const Tensor x = ops::uniform(Shape{128, 2}, -1.0, 1.0, rng);
+  const Tensor y = bn.forward(x, true);
+  const stats::Moments m = stats::moments(y);
+  EXPECT_NEAR(m.mean, -1.0, 0.05);
+  EXPECT_NEAR(m.stddev, 3.0, 0.1);
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  Rng rng(3);
+  BatchNorm bn("bn", 3);
+  // Warm up running stats on data with mean 5, std 2.
+  for (int step = 0; step < 200; ++step) {
+    Tensor x(Shape{32, 3});
+    for (float& v : x.data()) v = static_cast<float>(rng.normal(5.0, 2.0));
+    (void)bn.forward(x, true);
+  }
+  // Eval on a constant tensor: output should be ~(5 - 5)/2 = 0 per element
+  // shifted by how far the input is from the running mean.
+  Tensor probe(Shape{4, 3}, 5.0F);
+  const Tensor y = bn.forward(probe, false);
+  for (float v : y.data()) EXPECT_NEAR(v, 0.0, 0.2);
+  Tensor probe2(Shape{4, 3}, 7.0F);  // One running std above the mean.
+  const Tensor y2 = bn.forward(probe2, false);
+  for (float v : y2.data()) EXPECT_NEAR(v, 1.0, 0.2);
+}
+
+TEST(BatchNormTest, EvalModeIsDeterministicAndStateless) {
+  Rng rng(4);
+  BatchNorm bn("bn", 2);
+  const Tensor x = ops::uniform(Shape{16, 2}, -1.0, 1.0, rng);
+  const Tensor a = bn.forward(x, false);
+  const Tensor b = bn.forward(x, false);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(BatchNormTest, GradientCheck) {
+  Rng rng(5);
+  BatchNorm bn("bn", 3);
+  bn.params()[0]->value = Tensor(Shape{3}, {1.5F, 0.7F, -2.0F});
+  Tensor x = ops::uniform(Shape{8, 3}, -2.0, 2.0, rng);
+
+  const Tensor y0 = bn.forward(x, true);
+  const Tensor grad_in = bn.backward(y0);  // L = 0.5 sum y^2.
+
+  auto loss_at = [&](Tensor& target, std::int64_t idx, float eps) {
+    const float saved = target.at(idx);
+    target.at(idx) = saved + eps;
+    const Tensor y = bn.forward(x, true);
+    target.at(idx) = saved;
+    double l = 0.0;
+    for (float v : y.data()) l += 0.5 * static_cast<double>(v) * v;
+    return l;
+  };
+  for (std::int64_t idx = 0; idx < x.numel(); idx += 5) {
+    const double num = (loss_at(x, idx, 1e-3F) - loss_at(x, idx, -1e-3F)) / 2e-3;
+    EXPECT_NEAR(grad_in.at(idx), num, 2e-2) << "x idx " << idx;
+  }
+  // gamma gradient (param index 0). Re-run forward to restore caches.
+  (void)bn.forward(x, true);
+  Param* gamma = bn.params()[0];
+  gamma->zero_grad();
+  (void)bn.backward(y0);
+  for (std::int64_t k = 0; k < 3; ++k) {
+    const double num =
+        (loss_at(gamma->value, k, 1e-3F) - loss_at(gamma->value, k, -1e-3F)) / 2e-3;
+    EXPECT_NEAR(gamma->grad.at(k), num, 5e-2) << "gamma " << k;
+  }
+}
+
+TEST(BatchNormTest, RunningStatsHaveZeroGradients) {
+  Rng rng(6);
+  BatchNorm bn("bn", 2);
+  const Tensor x = ops::uniform(Shape{8, 2}, -1.0, 1.0, rng);
+  const Tensor y = bn.forward(x, true);
+  (void)bn.backward(y);
+  // params(): gamma, beta, running_mean, running_var.
+  ASSERT_EQ(bn.params().size(), 4U);
+  for (float g : bn.params()[2]->grad.data()) EXPECT_EQ(g, 0.0F);
+  for (float g : bn.params()[3]->grad.data()) EXPECT_EQ(g, 0.0F);
+}
+
+}  // namespace
+}  // namespace redcane::nn

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "capsnet/class_caps.hpp"
+#include "capsnet/conv_caps2d.hpp"
+#include "capsnet/conv_caps3d.hpp"
+#include "capsnet/primary_caps.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace redcane::capsnet {
+namespace {
+
+class KindCounter final : public PerturbationHook {
+ public:
+  void process(const std::string&, OpKind kind, Tensor&) override {
+    switch (kind) {
+      case OpKind::kMacOutput: ++mac; break;
+      case OpKind::kActivation: ++act; break;
+      case OpKind::kSoftmax: ++sm; break;
+      case OpKind::kLogitsUpdate: ++lu; break;
+    }
+  }
+  int mac = 0, act = 0, sm = 0, lu = 0;
+};
+
+TEST(PrimaryCapsLayer, OutputShapeAndSquashedLengths) {
+  Rng rng(1);
+  PrimaryCapsSpec spec;
+  spec.in_channels = 4;
+  spec.types = 3;
+  spec.dim = 4;
+  spec.kernel = 3;
+  spec.stride = 2;
+  PrimaryCaps layer("p", spec, rng);
+  const Tensor x = ops::uniform(Shape{2, 9, 9, 4}, 0.0, 1.0, rng);
+  const Tensor v = layer.forward(x, false, nullptr);
+  // (9 - 3)/2 + 1 = 4 -> 4*4*3 = 48 capsules.
+  EXPECT_EQ(v.shape(), (Shape{2, 48, 4}));
+  const Tensor lens = ops::l2_norm_last_axis(v);
+  for (float l : lens.data()) EXPECT_LT(l, 1.0F);
+}
+
+TEST(PrimaryCapsLayer, HookSeesMacAndActivation) {
+  Rng rng(2);
+  PrimaryCapsSpec spec;
+  spec.in_channels = 2;
+  spec.types = 2;
+  spec.dim = 4;
+  spec.kernel = 3;
+  spec.stride = 1;
+  PrimaryCaps layer("p", spec, rng);
+  const Tensor x = ops::uniform(Shape{1, 5, 5, 2}, 0.0, 1.0, rng);
+  KindCounter counter;
+  (void)layer.forward(x, false, &counter);
+  EXPECT_EQ(counter.mac, 1);
+  EXPECT_EQ(counter.act, 1);
+  EXPECT_EQ(counter.sm, 0);
+}
+
+TEST(ClassCapsLayer, OutputShapeAndHookKinds) {
+  Rng rng(3);
+  ClassCapsSpec spec;
+  spec.in_caps = 12;
+  spec.in_dim = 4;
+  spec.out_caps = 5;
+  spec.out_dim = 6;
+  spec.routing_iters = 3;
+  ClassCaps layer("c", spec, rng);
+  const Tensor x = ops::uniform(Shape{2, 12, 4}, -1.0, 1.0, rng);
+  KindCounter counter;
+  const Tensor v = layer.forward(x, false, &counter);
+  EXPECT_EQ(v.shape(), (Shape{2, 5, 6}));
+  EXPECT_EQ(counter.mac, 1 + 3);  // Votes + one s per iteration.
+  EXPECT_EQ(counter.act, 3);
+  EXPECT_EQ(counter.sm, 3);
+  EXPECT_EQ(counter.lu, 2);
+}
+
+TEST(ClassCapsLayer, TrainingReducesMarginLossOnToyTask) {
+  Rng rng(4);
+  ClassCapsSpec spec;
+  spec.in_caps = 8;
+  spec.in_dim = 4;
+  spec.out_caps = 2;
+  spec.out_dim = 4;
+  ClassCaps layer("c", spec, rng);
+
+  // Two fixed input patterns, two classes.
+  Rng drng(5);
+  const Tensor x0 = ops::uniform(Shape{4, 8, 4}, -1.0, 1.0, drng);
+  const std::vector<std::int64_t> labels{0, 1, 0, 1};
+
+  nn::Adam opt(0.01);
+  double first = 0.0;
+  double last = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    const Tensor v = layer.forward(x0, true, nullptr);
+    const Tensor lens = ops::l2_norm_last_axis(v);
+    const nn::LossResult lr = nn::margin_loss(lens, labels);
+    if (step == 0) first = lr.loss;
+    last = lr.loss;
+    Tensor grad_v(v.shape());
+    for (std::int64_t i = 0; i < 4; ++i) {
+      for (std::int64_t j = 0; j < 2; ++j) {
+        const double len = std::max(1e-9, static_cast<double>(lens(i, j)));
+        for (std::int64_t q = 0; q < 4; ++q) {
+          grad_v(i, j, q) = static_cast<float>(lr.grad(i, j) * v(i, j, q) / len);
+        }
+      }
+    }
+    (void)layer.backward(grad_v);
+    opt.step(layer.params());
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(ConvCaps2DLayer, ShapeStrideAndSquash) {
+  Rng rng(6);
+  ConvCaps2DSpec spec;
+  spec.in_types = 2;
+  spec.in_dim = 4;
+  spec.out_types = 3;
+  spec.out_dim = 4;
+  spec.kernel = 3;
+  spec.stride = 2;
+  spec.pad = 1;
+  ConvCaps2D layer("cc", spec, rng);
+  const Tensor x = ops::uniform(Shape{2, 8, 8, 2, 4}, -1.0, 1.0, rng);
+  const Tensor v = layer.forward(x, false, nullptr);
+  EXPECT_EQ(v.shape(), (Shape{2, 4, 4, 3, 4}));
+  const Tensor lens = ops::l2_norm_last_axis(v);
+  for (float l : lens.data()) EXPECT_LT(l, 1.0F);
+}
+
+TEST(ConvCaps2DLayer, BackwardShapesMatch) {
+  Rng rng(7);
+  ConvCaps2DSpec spec;
+  spec.in_types = 2;
+  spec.in_dim = 4;
+  spec.out_types = 2;
+  spec.out_dim = 4;
+  ConvCaps2D layer("cc", spec, rng);
+  const Tensor x = ops::uniform(Shape{1, 6, 6, 2, 4}, -1.0, 1.0, rng);
+  const Tensor v = layer.forward(x, true, nullptr);
+  const Tensor g = layer.backward(v);
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(ConvCaps3DLayer, ShapeAndRoutingHooks) {
+  Rng rng(8);
+  ConvCaps3DSpec spec;
+  spec.in_types = 2;
+  spec.in_dim = 4;
+  spec.out_types = 3;
+  spec.out_dim = 4;
+  spec.routing_iters = 3;
+  ConvCaps3D layer("c3", spec, rng);
+  const Tensor x = ops::uniform(Shape{2, 4, 4, 2, 4}, -1.0, 1.0, rng);
+  KindCounter counter;
+  const Tensor v = layer.forward(x, false, &counter);
+  EXPECT_EQ(v.shape(), (Shape{2, 4, 4, 3, 4}));
+  EXPECT_EQ(counter.sm, 3);
+  EXPECT_EQ(counter.lu, 2);
+  EXPECT_EQ(counter.mac, 1 + 3);
+}
+
+TEST(ConvCaps3DLayer, BackwardShapesMatch) {
+  Rng rng(9);
+  ConvCaps3DSpec spec;
+  spec.in_types = 2;
+  spec.in_dim = 3;
+  spec.out_types = 2;
+  spec.out_dim = 3;
+  ConvCaps3D layer("c3", spec, rng);
+  const Tensor x = ops::uniform(Shape{1, 3, 3, 2, 3}, -1.0, 1.0, rng);
+  const Tensor v = layer.forward(x, true, nullptr);
+  const Tensor g = layer.backward(v);
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(ConvCaps3DLayer, RoutingItersOverride) {
+  Rng rng(10);
+  ConvCaps3DSpec spec;
+  spec.in_types = 2;
+  spec.in_dim = 3;
+  spec.out_types = 2;
+  spec.out_dim = 3;
+  spec.routing_iters = 3;
+  ConvCaps3D layer("c3", spec, rng);
+  layer.set_routing_iters(1);
+  const Tensor x = ops::uniform(Shape{1, 3, 3, 2, 3}, -1.0, 1.0, rng);
+  KindCounter counter;
+  (void)layer.forward(x, false, &counter);
+  EXPECT_EQ(counter.sm, 1);
+  EXPECT_EQ(counter.lu, 0);
+}
+
+}  // namespace
+}  // namespace redcane::capsnet

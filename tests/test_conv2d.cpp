@@ -1,0 +1,150 @@
+#include "nn/conv2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace redcane::nn {
+namespace {
+
+/// Naive reference convolution for cross-checking the production kernel.
+Tensor naive_conv(const Tensor& x, const Tensor& w, const Tensor& bias, std::int64_t stride,
+                  std::int64_t pad) {
+  const std::int64_t n = x.shape().dim(0);
+  const std::int64_t h = x.shape().dim(1);
+  const std::int64_t wd = x.shape().dim(2);
+  const std::int64_t cin = x.shape().dim(3);
+  const std::int64_t k = w.shape().dim(0);
+  const std::int64_t cout = w.shape().dim(3);
+  const std::int64_t ho = (h + 2 * pad - k) / stride + 1;
+  const std::int64_t wo = (wd + 2 * pad - k) / stride + 1;
+  Tensor out(Shape{n, ho, wo, cout});
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t oy = 0; oy < ho; ++oy) {
+      for (std::int64_t ox = 0; ox < wo; ++ox) {
+        for (std::int64_t co = 0; co < cout; ++co) {
+          double acc = bias.empty() ? 0.0 : bias.at(co);
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              for (std::int64_t ci = 0; ci < cin; ++ci) {
+                const std::int64_t iy = oy * stride + ky - pad;
+                const std::int64_t ix = ox * stride + kx - pad;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= wd) continue;
+                acc += static_cast<double>(x(ni, iy, ix, ci)) * w(ky, kx, ci, co);
+              }
+            }
+          }
+          out(ni, oy, ox, co) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Conv2DForward, MatchesNaiveReference) {
+  Rng rng(1);
+  const Tensor x = ops::uniform(Shape{2, 7, 7, 3}, -1.0, 1.0, rng);
+  const Tensor w = ops::uniform(Shape{3, 3, 3, 5}, -1.0, 1.0, rng);
+  const Tensor b = ops::uniform(Shape{5}, -0.2, 0.2, rng);
+  for (const auto& [stride, pad] : {std::pair<std::int64_t, std::int64_t>{1, 0},
+                                    {1, 1},
+                                    {2, 1},
+                                    {2, 0}}) {
+    const Tensor got = conv2d_forward(x, w, b, stride, pad);
+    const Tensor ref = naive_conv(x, w, b, stride, pad);
+    ASSERT_EQ(got.shape(), ref.shape()) << "stride " << stride << " pad " << pad;
+    for (std::int64_t i = 0; i < got.numel(); ++i) {
+      EXPECT_NEAR(got.at(i), ref.at(i), 1e-4);
+    }
+  }
+}
+
+TEST(Conv2DForward, IdentityKernel) {
+  Rng rng(2);
+  const Tensor x = ops::uniform(Shape{1, 5, 5, 1}, -1.0, 1.0, rng);
+  Tensor w(Shape{1, 1, 1, 1});
+  w.at(0) = 1.0F;
+  const Tensor got = conv2d_forward(x, w, Tensor(), 1, 0);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(got.at(i), x.at(i));
+}
+
+TEST(Conv2DForward, NoBiasOmitsOffset) {
+  Rng rng(3);
+  const Tensor x = ops::uniform(Shape{1, 4, 4, 2}, -1.0, 1.0, rng);
+  const Tensor w(Shape{3, 3, 2, 2});  // Zero weights.
+  const Tensor got = conv2d_forward(x, w, Tensor(), 1, 1);
+  for (float v : got.data()) EXPECT_EQ(v, 0.0F);
+}
+
+/// Central-difference gradient check of the trainable layer.
+TEST(Conv2DBackward, GradientCheck) {
+  Rng rng(4);
+  Conv2DSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 3;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.pad = 1;
+  Conv2D layer("t", spec, rng);
+  Tensor x = ops::uniform(Shape{1, 4, 4, 2}, -1.0, 1.0, rng);
+
+  // Scalar objective: sum of outputs squared / 2 -> dL/dy = y.
+  const Tensor y0 = layer.forward(x, /*train=*/true);
+  const Tensor grad_in = layer.backward(y0);
+
+  auto loss_at = [&](Tensor& target, std::int64_t idx, float eps) {
+    const float saved = target.at(idx);
+    target.at(idx) = saved + eps;
+    const Tensor y = layer.forward(x, false);
+    target.at(idx) = saved;
+    double l = 0.0;
+    for (float v : y.data()) l += 0.5 * static_cast<double>(v) * v;
+    return l;
+  };
+
+  // Check input gradient on a few indices.
+  for (std::int64_t idx : {0L, 7L, 15L, 31L}) {
+    const double num =
+        (loss_at(x, idx, 1e-3F) - loss_at(x, idx, -1e-3F)) / 2e-3;
+    EXPECT_NEAR(grad_in.at(idx), num, 5e-2) << "input idx " << idx;
+  }
+  // Check weight gradient.
+  Param& w = layer.weight();
+  for (std::int64_t idx : {0L, 11L, 29L, 53L}) {
+    const double num =
+        (loss_at(w.value, idx, 1e-3F) - loss_at(w.value, idx, -1e-3F)) / 2e-3;
+    EXPECT_NEAR(w.grad.at(idx), num, 5e-2) << "weight idx " << idx;
+  }
+}
+
+TEST(Conv2D, OutExtentFormula) {
+  Rng rng(5);
+  Conv2DSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 1;
+  spec.kernel = 3;
+  spec.stride = 2;
+  spec.pad = 1;
+  const Conv2D layer("t", spec, rng);
+  EXPECT_EQ(layer.out_extent(16), 8);
+  EXPECT_EQ(layer.out_extent(5), 3);
+}
+
+TEST(Conv2D, ParamsExposeWeightAndBias) {
+  Rng rng(6);
+  Conv2DSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 2;
+  Conv2D layer("t", spec, rng);
+  EXPECT_EQ(layer.params().size(), 2U);
+  spec.bias = false;
+  Conv2D nobias("t2", spec, rng);
+  EXPECT_EQ(nobias.params().size(), 1U);
+}
+
+}  // namespace
+}  // namespace redcane::nn

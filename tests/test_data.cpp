@@ -1,0 +1,125 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace redcane::data {
+namespace {
+
+SyntheticSpec small_spec(DatasetKind kind) {
+  SyntheticSpec s;
+  s.kind = kind;
+  s.hw = 16;
+  s.channels = (kind == DatasetKind::kCifar10 || kind == DatasetKind::kSvhn) ? 3 : 1;
+  s.train_count = 100;
+  s.test_count = 40;
+  s.seed = 9;
+  return s;
+}
+
+TEST(Synthetic, ShapesAndRanges) {
+  const Dataset ds = make_synthetic(small_spec(DatasetKind::kMnist));
+  EXPECT_EQ(ds.train_x.shape(), (Shape{100, 16, 16, 1}));
+  EXPECT_EQ(ds.test_x.shape(), (Shape{40, 16, 16, 1}));
+  for (float v : ds.train_x.data()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+TEST(Synthetic, BalancedLabels) {
+  const Dataset ds = make_synthetic(small_spec(DatasetKind::kCifar10));
+  std::vector<int> counts(10, 0);
+  for (std::int64_t y : ds.train_y) ++counts[static_cast<std::size_t>(y)];
+  for (int c : counts) EXPECT_EQ(c, 10);
+  EXPECT_EQ(ds.num_classes(), 10);
+}
+
+TEST(Synthetic, DeterministicInSpec) {
+  const Dataset a = make_synthetic(small_spec(DatasetKind::kSvhn));
+  const Dataset b = make_synthetic(small_spec(DatasetKind::kSvhn));
+  for (std::int64_t i = 0; i < a.train_x.numel(); ++i) {
+    ASSERT_EQ(a.train_x.at(i), b.train_x.at(i));
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticSpec s1 = small_spec(DatasetKind::kMnist);
+  SyntheticSpec s2 = s1;
+  s2.seed = 10;
+  const Dataset a = make_synthetic(s1);
+  const Dataset b = make_synthetic(s2);
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < a.train_x.numel(); ++i) {
+    diff += std::abs(a.train_x.at(i) - b.train_x.at(i));
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Synthetic, ClassesAreSeparable) {
+  // Nearest-prototype classification on noise-free class means must beat
+  // chance by a wide margin: the generator must produce learnable classes.
+  const Dataset ds = make_synthetic(small_spec(DatasetKind::kMnist));
+  const std::int64_t dim = ds.train_x.numel() / ds.train_x.shape().dim(0);
+  std::vector<std::vector<double>> means(10, std::vector<double>(static_cast<std::size_t>(dim)));
+  std::vector<int> counts(10, 0);
+  for (std::int64_t i = 0; i < ds.train_x.shape().dim(0); ++i) {
+    const auto y = static_cast<std::size_t>(ds.train_y[static_cast<std::size_t>(i)]);
+    ++counts[y];
+    for (std::int64_t k = 0; k < dim; ++k) {
+      means[y][static_cast<std::size_t>(k)] += ds.train_x.at(i * dim + k);
+    }
+  }
+  for (std::size_t c = 0; c < 10; ++c) {
+    for (double& v : means[c]) v /= counts[c];
+  }
+  int hits = 0;
+  const std::int64_t n_test = ds.test_x.shape().dim(0);
+  for (std::int64_t i = 0; i < n_test; ++i) {
+    double best = 1e18;
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < 10; ++c) {
+      double d2 = 0.0;
+      for (std::int64_t k = 0; k < dim; ++k) {
+        const double d = ds.test_x.at(i * dim + k) - means[c][static_cast<std::size_t>(k)];
+        d2 += d * d;
+      }
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    if (static_cast<std::int64_t>(best_c) == ds.test_y[static_cast<std::size_t>(i)]) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(n_test), 0.8);
+}
+
+TEST(Synthetic, SamplesWithinClassVary) {
+  const Dataset ds = make_synthetic(small_spec(DatasetKind::kMnist));
+  // Samples 0 and 10 share class 0 but must not be identical (augmentation).
+  const std::int64_t dim = ds.train_x.numel() / ds.train_x.shape().dim(0);
+  double diff = 0.0;
+  for (std::int64_t k = 0; k < dim; ++k) {
+    diff += std::abs(ds.train_x.at(k) - ds.train_x.at(10 * dim + k));
+  }
+  EXPECT_GT(diff, 0.5);
+}
+
+TEST(Synthetic, BenchmarkShortcutsShapes) {
+  const Dataset cifar = make_benchmark(DatasetKind::kCifar10, 32, 50, 20);
+  EXPECT_EQ(cifar.train_x.shape(), (Shape{50, 32, 32, 3}));
+  const Dataset mnist = make_benchmark(DatasetKind::kMnist, 28, 50, 20);
+  EXPECT_EQ(mnist.train_x.shape(), (Shape{50, 28, 28, 1}));
+  EXPECT_EQ(mnist.name, "MNIST(synthetic)");
+}
+
+TEST(Synthetic, KindNames) {
+  EXPECT_STREQ(dataset_kind_name(DatasetKind::kMnist), "MNIST");
+  EXPECT_STREQ(dataset_kind_name(DatasetKind::kFashionMnist), "Fashion-MNIST");
+  EXPECT_STREQ(dataset_kind_name(DatasetKind::kCifar10), "CIFAR-10");
+  EXPECT_STREQ(dataset_kind_name(DatasetKind::kSvhn), "SVHN");
+}
+
+}  // namespace
+}  // namespace redcane::data

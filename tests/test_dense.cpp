@@ -1,0 +1,58 @@
+#include "nn/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace redcane::nn {
+namespace {
+
+TEST(Dense, ForwardShape) {
+  Rng rng(1);
+  Dense layer("d", 4, 3, rng);
+  const Tensor x = ops::uniform(Shape{2, 4}, -1.0, 1.0, rng);
+  const Tensor y = layer.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+}
+
+TEST(Dense, GradientCheck) {
+  Rng rng(2);
+  Dense layer("d", 3, 2, rng);
+  Tensor x = ops::uniform(Shape{2, 3}, -1.0, 1.0, rng);
+  const Tensor y0 = layer.forward(x, true);
+  const Tensor grad_in = layer.backward(y0);  // dL/dy = y for L = sum y^2/2.
+
+  auto loss_at = [&](Tensor& target, std::int64_t idx, float eps) {
+    const float saved = target.at(idx);
+    target.at(idx) = saved + eps;
+    const Tensor y = layer.forward(x, false);
+    target.at(idx) = saved;
+    double l = 0.0;
+    for (float v : y.data()) l += 0.5 * static_cast<double>(v) * v;
+    return l;
+  };
+  for (std::int64_t idx = 0; idx < x.numel(); ++idx) {
+    const double num = (loss_at(x, idx, 1e-3F) - loss_at(x, idx, -1e-3F)) / 2e-3;
+    EXPECT_NEAR(grad_in.at(idx), num, 1e-2);
+  }
+  Param* w = layer.params()[0];
+  for (std::int64_t idx = 0; idx < w->value.numel(); ++idx) {
+    const double num = (loss_at(w->value, idx, 1e-3F) - loss_at(w->value, idx, -1e-3F)) / 2e-3;
+    EXPECT_NEAR(w->grad.at(idx), num, 1e-2);
+  }
+}
+
+TEST(Dense, BiasShiftsOutput) {
+  Rng rng(3);
+  Dense layer("d", 2, 2, rng);
+  Param* b = layer.params()[1];
+  b->value.fill(1.5F);
+  const Tensor x(Shape{1, 2});  // Zero input.
+  const Tensor y = layer.forward(x, false);
+  EXPECT_FLOAT_EQ(y(0, 0), 1.5F);
+  EXPECT_FLOAT_EQ(y(0, 1), 1.5F);
+}
+
+}  // namespace
+}  // namespace redcane::nn

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "approx/library.hpp"
+#include "energy/energy_model.hpp"
+#include "energy/op_counter.hpp"
+
+namespace redcane::energy {
+namespace {
+
+TEST(UnitEnergyTable, MatchesPaperTableI) {
+  const UnitEnergy ue = UnitEnergy::paper_45nm();
+  EXPECT_DOUBLE_EQ(ue.add_pj, 0.0202);
+  EXPECT_DOUBLE_EQ(ue.mul_pj, 0.5354);
+  EXPECT_DOUBLE_EQ(ue.div_pj, 1.0717);
+  EXPECT_DOUBLE_EQ(ue.exp_pj, 0.1578);
+  EXPECT_DOUBLE_EQ(ue.sqrt_pj, 0.7805);
+  EXPECT_DOUBLE_EQ(ue.of(OpType::kMul), 0.5354);
+}
+
+TEST(OpCounts, ArithmeticAndEnergy) {
+  OpCounts c;
+  c.add = 100;
+  c.mul = 10;
+  const UnitEnergy ue;
+  EXPECT_NEAR(c.energy_pj(ue), 100 * 0.0202 + 10 * 0.5354, 1e-9);
+  OpCounts d;
+  d.div = 5;
+  c += d;
+  EXPECT_EQ(c.div, 5U);
+  EXPECT_EQ(c.total(), 115U);
+}
+
+TEST(ConvOps, HandCount) {
+  // 4x4 output, 2 out channels, 3x3 kernel, 3 in channels, bias.
+  const OpCounts c = conv_ops(4, 4, 2, 3, 3, true);
+  EXPECT_EQ(c.mul, 4U * 4U * 2U * 27U);
+  EXPECT_EQ(c.add, 4U * 4U * 2U * 27U);  // 26 accumulate + 1 bias.
+}
+
+TEST(SquashOps, HandCount) {
+  const OpCounts c = squash_ops(10, 8);
+  EXPECT_EQ(c.mul, 10U * 16U);
+  EXPECT_EQ(c.add, 10U * 8U);
+  EXPECT_EQ(c.sqrt, 10U);
+  EXPECT_EQ(c.div, 10U);
+}
+
+TEST(SoftmaxOps, HandCount) {
+  const OpCounts c = softmax_ops(6, 10);
+  EXPECT_EQ(c.exp, 60U);
+  EXPECT_EQ(c.add, 54U);
+  EXPECT_EQ(c.div, 60U);
+}
+
+TEST(RoutingOps, IterationStructure) {
+  const OpCounts r1 = routing_ops(1, 8, 4, 8, 1);
+  const OpCounts r3 = routing_ops(1, 8, 4, 8, 3);
+  // More iterations, more work; logits updates appear only for iters >= 2.
+  EXPECT_GT(r3.mul, 2U * r1.mul);
+  EXPECT_GT(r3.exp, r1.exp);
+}
+
+TEST(DeepCapsCount, MultipliationsDominateEnergy) {
+  // The paper's headline: ~96% of compute energy is multipliers.
+  const OpCounts c = count_deepcaps(capsnet::DeepCapsConfig::paper());
+  const UnitEnergy ue;
+  EXPECT_GT(c.energy_share(OpType::kMul, ue), 0.90);
+  EXPECT_LT(c.energy_share(OpType::kAdd, ue), 0.08);
+}
+
+TEST(DeepCapsCount, PaperProfileIsGigaOpScale) {
+  const OpCounts c = count_deepcaps(capsnet::DeepCapsConfig::paper());
+  EXPECT_GT(c.mul, 100'000'000ULL);  // Hundreds of MMACs per inference.
+  EXPECT_GT(c.add, 100'000'000ULL);
+  EXPECT_GT(c.div, c.exp / 100);     // Divisions from squash + softmax.
+  EXPECT_GT(c.sqrt, 0ULL);
+}
+
+TEST(DeepCapsCount, LayerBreakdownSumsToTotal) {
+  const auto layers = count_deepcaps_layers(capsnet::DeepCapsConfig::tiny());
+  EXPECT_EQ(layers.size(), 18U);
+  OpCounts sum;
+  for (const LayerOps& l : layers) sum += l.ops;
+  const OpCounts total = count_deepcaps(capsnet::DeepCapsConfig::tiny());
+  EXPECT_EQ(sum.mul, total.mul);
+  EXPECT_EQ(sum.add, total.add);
+}
+
+TEST(CapsNetCount, LayerBreakdown) {
+  const auto layers = count_capsnet_layers(capsnet::CapsNetConfig::paper());
+  ASSERT_EQ(layers.size(), 3U);
+  EXPECT_EQ(layers[0].layer, "Conv1");
+  // PrimaryCaps conv dominates CapsNet multiplications.
+  EXPECT_GT(layers[1].ops.mul, layers[0].ops.mul);
+}
+
+TEST(OptimizationPotential, ReproducesFig5Ordering) {
+  // XM saves much more than XA; XAM slightly beats XM (paper: -28.3%,
+  // -1.9%, -30.2%).
+  const OpCounts c = count_deepcaps(capsnet::DeepCapsConfig::paper());
+  const UnitEnergy ue;
+  const auto scenarios =
+      optimization_potential(c, ue, approx::multiplier_by_analog("mul8u_NGR"),
+                             approx::adder_by_name("axa_loa6"));
+  ASSERT_EQ(scenarios.size(), 4U);
+  EXPECT_EQ(scenarios[0].label, "Acc");
+  EXPECT_NEAR(scenarios[0].saving, 0.0, 1e-12);
+  const double xm = scenarios[1].saving;
+  const double xa = scenarios[2].saving;
+  const double xam = scenarios[3].saving;
+  EXPECT_GT(xm, 0.20);
+  EXPECT_LT(xm, 0.35);
+  EXPECT_LT(xa, 0.05);
+  EXPECT_GT(xam, xm);
+  EXPECT_NEAR(xam, xm + xa, 1e-9);
+}
+
+TEST(ApproximatedEnergy, SelectionReducesEnergy) {
+  const auto layers = count_deepcaps_layers(capsnet::DeepCapsConfig::tiny());
+  const UnitEnergy ue;
+  const double exact = approximated_energy_pj(layers, ue, {});
+  const std::vector<LayerMultiplierChoice> choice{
+      {"Caps2D1", &approx::multiplier_by_analog("mul8u_DM1")}};
+  const double cheaper = approximated_energy_pj(layers, ue, choice);
+  EXPECT_LT(cheaper, exact);
+}
+
+TEST(MulEnergy, ScalesWithComponentPower) {
+  const UnitEnergy ue;
+  EXPECT_DOUBLE_EQ(mul_energy_pj(approx::exact_multiplier(), ue), ue.mul_pj);
+  const double ngr = mul_energy_pj(approx::multiplier_by_analog("mul8u_NGR"), ue);
+  EXPECT_NEAR(ngr / ue.mul_pj, 276.0 / 391.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace redcane::energy

@@ -1,0 +1,118 @@
+#include "approx/error_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/library.hpp"
+
+namespace redcane::approx {
+namespace {
+
+ProfileConfig quick(int chain = 1) {
+  ProfileConfig c;
+  c.samples = 20000;
+  c.chain_length = chain;
+  c.seed = 42;
+  return c;
+}
+
+TEST(ErrorProfile, ExactComponentHasZeroNoise) {
+  const ErrorProfile p =
+      profile_multiplier(exact_multiplier(), InputDistribution::uniform(), quick());
+  EXPECT_EQ(p.nm, 0.0);
+  EXPECT_EQ(p.na, 0.0);
+  EXPECT_EQ(p.error_moments.stddev, 0.0);
+}
+
+TEST(ErrorProfile, DrumNgrIsSmallAndNearlyUnbiased) {
+  const Multiplier& m = multiplier_by_analog("mul8u_NGR");
+  const ErrorProfile p = profile_multiplier(m, InputDistribution::uniform(), quick(9));
+  EXPECT_GT(p.nm, 0.0);
+  EXPECT_LT(p.nm, 0.01);               // Small-error component.
+  EXPECT_LT(std::abs(p.na), 0.002);    // Unbiased family.
+}
+
+TEST(ErrorProfile, MitchellHasNegativeBias) {
+  const ErrorProfile p = profile_multiplier(multiplier_by_name("axm_mitchell"),
+                                            InputDistribution::uniform(), quick(9));
+  EXPECT_LT(p.na, 0.0);
+}
+
+TEST(ErrorProfile, NmOrderingFollowsAggressiveness) {
+  const auto nm_of = [](const char* name) {
+    return profile_multiplier(multiplier_by_name(name), InputDistribution::uniform(), quick(9))
+        .nm;
+  };
+  EXPECT_LT(nm_of("axm_res2_14vp"), nm_of("axm_res8"));
+  EXPECT_LT(nm_of("axm_drum6_2hh"), nm_of("axm_drum4_dm1"));
+  EXPECT_LT(nm_of("axm_drum4_dm1"), nm_of("axm_drum3_jv3"));
+  EXPECT_LT(nm_of("axm_op2_19db"), nm_of("axm_op3_12n4"));
+}
+
+TEST(ErrorProfile, MajorityOfLibraryIsGaussianLike) {
+  // Paper Sec. III-B: 31 of 35 components show Gaussian-like error
+  // distributions in the 9-MAC accumulation scenario.
+  int gaussian_like = 0;
+  for (const Multiplier* m : multiplier_library()) {
+    const ProfileConfig cfg = quick(9);
+    if (profile_multiplier(*m, InputDistribution::uniform(), cfg).gaussian_like) {
+      ++gaussian_like;
+    }
+  }
+  EXPECT_GE(gaussian_like, 28);
+  EXPECT_LE(gaussian_like, 35);
+}
+
+TEST(ErrorProfile, AccumulationImprovesGaussianity) {
+  // CLT: the 81-MAC error of a component is closer to Gaussian than the
+  // single-multiplication error.
+  const Multiplier& m = multiplier_by_name("axm_op3_12n4");
+  const ErrorProfile p1 = profile_multiplier(m, InputDistribution::uniform(), quick(1));
+  const ErrorProfile p81 = profile_multiplier(m, InputDistribution::uniform(), quick(81));
+  EXPECT_LT(p81.gaussian_distance, p1.gaussian_distance);
+}
+
+TEST(ErrorProfile, EmpiricalDistributionChangesNm) {
+  // Paper Table IV: modeled (uniform) vs real input distributions yield
+  // different NM — the parameters are dataset dependent.
+  const Multiplier& m = multiplier_by_analog("mul8u_YX7");
+  const ErrorProfile uni = profile_multiplier(m, InputDistribution::uniform(), quick(9));
+  // A low-valued empirical pool (activations concentrate near zero).
+  std::vector<std::uint8_t> pool;
+  for (int i = 0; i < 256; ++i) pool.push_back(static_cast<std::uint8_t>(i % 64));
+  const ErrorProfile emp =
+      profile_multiplier(m, InputDistribution::empirical(pool), quick(9));
+  EXPECT_NE(uni.nm, emp.nm);
+  EXPECT_LT(emp.nm, uni.nm);  // Smaller operands -> smaller absolute errors.
+}
+
+TEST(ErrorProfile, HistogramCoversAllSamples) {
+  const ErrorProfile p = profile_multiplier(multiplier_by_name("axm_bam8_96d"),
+                                            InputDistribution::uniform(), quick(9));
+  const stats::Histogram h = error_histogram(p, 64);
+  EXPECT_EQ(h.total(), static_cast<std::int64_t>(p.error_samples.size()));
+}
+
+TEST(InputDistribution, UniformCoversByteRange) {
+  const InputDistribution d = InputDistribution::uniform();
+  Rng rng(1);
+  bool seen_low = false;
+  bool seen_high = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint8_t v = d.sample(rng);
+    if (v < 16) seen_low = true;
+    if (v > 239) seen_high = true;
+  }
+  EXPECT_TRUE(seen_low);
+  EXPECT_TRUE(seen_high);
+}
+
+TEST(InputDistribution, EmpiricalReplaysPool) {
+  const InputDistribution d = InputDistribution::empirical({7, 7, 7});
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 7);
+}
+
+}  // namespace
+}  // namespace redcane::approx

@@ -1,0 +1,106 @@
+#include "core/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "approx/library.hpp"
+
+namespace redcane::core {
+namespace {
+
+ResilienceCurve sample_curve() {
+  ResilienceCurve c;
+  c.label = "#1: MAC outputs";
+  c.kind = capsnet::OpKind::kMacOutput;
+  c.nms = {0.5, 0.05, 0.0};
+  c.drop_pct = {-80.0, -1.5, 0.0};
+  return c;
+}
+
+TEST(ExportCsv, CurvesHaveHeaderAndRows) {
+  const std::string csv = curves_to_csv({sample_curve()});
+  EXPECT_NE(csv.find("label,kind,layer,nm,drop_pct\n"), std::string::npos);
+  EXPECT_NE(csv.find("#1: MAC outputs,MAC outputs,,0.5,-80\n"), std::string::npos);
+  // One header + 3 grid points.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+TEST(ExportCsv, LayerCurveCarriesLayerColumn) {
+  ResilienceCurve c = sample_curve();
+  c.layer = "Caps2D7";
+  const std::string csv = curves_to_csv({c});
+  EXPECT_NE(csv.find(",Caps2D7,"), std::string::npos);
+}
+
+TEST(ExportCsv, Selections) {
+  SiteSelection s;
+  s.site = {"Conv1", capsnet::OpKind::kMacOutput};
+  s.tolerable_nm = 0.02;
+  s.component = &approx::multiplier_by_analog("mul8u_DM1");
+  const std::string csv = selections_to_csv({s});
+  EXPECT_NE(csv.find("Conv1,MAC outputs,0.02,axm_drum4_dm1,195,"), std::string::npos);
+}
+
+TEST(ExportCsv, Profiles) {
+  std::vector<ProfiledComponent> p{
+      {&approx::exact_multiplier(), 0.0, 0.0, true},
+      {&approx::multiplier_by_analog("mul8u_NGR"), 0.004, 0.001, true}};
+  const std::string csv = profiles_to_csv(p);
+  EXPECT_NE(csv.find("axm_exact,exact,mul8u_1JFF,391,710,0,0,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("axm_drum5_ngr,drum,mul8u_NGR,276,512,0.004,0.001,1\n"),
+            std::string::npos);
+}
+
+TEST(ExportJson, ResultRoundTripsKeyFields) {
+  MethodologyResult r;
+  r.model_name = "CapsNet";
+  r.dataset_name = "MNIST(synthetic)";
+  r.baseline_accuracy = 0.97;
+  r.sites = {{"Conv1", capsnet::OpKind::kMacOutput}};
+  r.group_curves = {sample_curve()};
+  r.resilient_groups = {capsnet::OpKind::kSoftmax};
+  SiteSelection s;
+  s.site = r.sites[0];
+  s.tolerable_nm = 0.05;
+  s.component = &approx::exact_multiplier();
+  r.selections = {s};
+  r.evaluations_run = 12;
+  r.evaluations_saved_by_pruning = 34;
+
+  const std::string json = result_to_json(r);
+  EXPECT_NE(json.find("\"model\":\"CapsNet\""), std::string::npos);
+  EXPECT_NE(json.find("\"baseline_accuracy\":0.97"), std::string::npos);
+  EXPECT_NE(json.find("\"nm\":[0.5,0.05,0]"), std::string::npos);
+  EXPECT_NE(json.find("\"drop_pct\":[-80,-1.5,0]"), std::string::npos);
+  EXPECT_NE(json.find("\"resilient_groups\":[\"softmax\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"evaluations_saved\":34"), std::string::npos);
+  // Balanced braces / brackets (cheap well-formedness proxy).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ExportJson, EscapesQuotes) {
+  MethodologyResult r;
+  r.model_name = "a\"b\\c";
+  const std::string json = result_to_json(r);
+  EXPECT_NE(json.find("\"model\":\"a\\\"b\\\\c\""), std::string::npos);
+}
+
+TEST(ExportFile, WritesAndFailsGracefully) {
+  const std::string path = ::testing::TempDir() + "/export_test.csv";
+  EXPECT_TRUE(write_text_file(path, "a,b\n1,2\n"));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[32] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "a,b\n1,2\n");
+  EXPECT_FALSE(write_text_file("/nonexistent_dir_xyz/file.csv", "x"));
+}
+
+}  // namespace
+}  // namespace redcane::core

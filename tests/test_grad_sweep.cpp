@@ -1,0 +1,159 @@
+// Randomized gradient-check sweeps over layer configurations: the same
+// central-difference validation as the targeted tests, fuzzed across
+// kernel sizes, strides, paddings, channel counts and seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "capsnet/conv_caps2d.hpp"
+#include "capsnet/squash.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace redcane {
+namespace {
+
+struct ConvCase {
+  std::int64_t hw;
+  std::int64_t cin;
+  std::int64_t cout;
+  std::int64_t kernel;
+  std::int64_t stride;
+  std::int64_t pad;
+  std::uint64_t seed;
+};
+
+void PrintTo(const ConvCase& c, std::ostream* os) {
+  *os << "hw" << c.hw << "_c" << c.cin << "to" << c.cout << "_k" << c.kernel << "s"
+      << c.stride << "p" << c.pad;
+}
+
+class ConvGradSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGradSweep, InputAndWeightGradientsMatchNumeric) {
+  const ConvCase cc = GetParam();
+  Rng rng(cc.seed);
+  nn::Conv2DSpec spec;
+  spec.in_channels = cc.cin;
+  spec.out_channels = cc.cout;
+  spec.kernel = cc.kernel;
+  spec.stride = cc.stride;
+  spec.pad = cc.pad;
+  nn::Conv2D layer("sweep", spec, rng);
+  Tensor x = ops::uniform(Shape{2, cc.hw, cc.hw, cc.cin}, -1.0, 1.0, rng);
+
+  const Tensor y0 = layer.forward(x, true);
+  const Tensor grad_in = layer.backward(y0);  // L = 0.5 sum y^2.
+
+  auto loss_at = [&](Tensor& target, std::int64_t idx, float eps) {
+    const float saved = target.at(idx);
+    target.at(idx) = saved + eps;
+    const Tensor y = layer.forward(x, false);
+    target.at(idx) = saved;
+    double l = 0.0;
+    for (float v : y.data()) l += 0.5 * static_cast<double>(v) * v;
+    return l;
+  };
+
+  // Probe a deterministic random subset of indices.
+  Rng probe(cc.seed ^ 0xABCD);
+  for (int p = 0; p < 6; ++p) {
+    const auto idx =
+        static_cast<std::int64_t>(probe.uniform_index(static_cast<std::uint64_t>(x.numel())));
+    const double num = (loss_at(x, idx, 1e-3F) - loss_at(x, idx, -1e-3F)) / 2e-3;
+    EXPECT_NEAR(grad_in.at(idx), num, 5e-2) << "input idx " << idx;
+  }
+  nn::Param& w = layer.weight();
+  for (int p = 0; p < 6; ++p) {
+    const auto idx = static_cast<std::int64_t>(
+        probe.uniform_index(static_cast<std::uint64_t>(w.value.numel())));
+    const double num = (loss_at(w.value, idx, 1e-3F) - loss_at(w.value, idx, -1e-3F)) / 2e-3;
+    EXPECT_NEAR(w.grad.at(idx), num, 5e-2) << "weight idx " << idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvGradSweep,
+    ::testing::Values(ConvCase{5, 1, 2, 3, 1, 0, 11}, ConvCase{6, 2, 3, 3, 1, 1, 22},
+                      ConvCase{8, 3, 2, 3, 2, 1, 33}, ConvCase{7, 2, 2, 5, 1, 2, 44},
+                      ConvCase{9, 1, 4, 5, 2, 0, 55}, ConvCase{4, 4, 4, 1, 1, 0, 66},
+                      ConvCase{10, 2, 2, 3, 3, 1, 77}),
+    [](const ::testing::TestParamInfo<ConvCase>& info) {
+      const ConvCase& c = info.param;
+      return "hw" + std::to_string(c.hw) + "_c" + std::to_string(c.cin) + "to" +
+             std::to_string(c.cout) + "_k" + std::to_string(c.kernel) + "s" +
+             std::to_string(c.stride) + "p" + std::to_string(c.pad);
+    });
+
+/// Squash gradient fuzz across capsule dimensions and magnitudes.
+class SquashGradSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SquashGradSweep, MatchesNumeric) {
+  const std::int64_t d = GetParam();
+  Rng rng(static_cast<std::uint64_t>(d) * 17);
+  // Include small-norm rows (the eps-guarded regime).
+  Tensor s = ops::uniform(Shape{6, d}, -3.0, 3.0, rng);
+  for (std::int64_t k = 0; k < d; ++k) s(0, k) *= 0.01F;
+  const Tensor v0 = capsnet::squash(s);
+  const Tensor grad_s = capsnet::squash_backward(s, v0);
+  auto loss_at = [&](std::int64_t idx, float eps) {
+    const float saved = s.at(idx);
+    s.at(idx) = saved + eps;
+    const Tensor v = capsnet::squash(s);
+    s.at(idx) = saved;
+    double l = 0.0;
+    for (float x : v.data()) l += 0.5 * static_cast<double>(x) * x;
+    return l;
+  };
+  for (std::int64_t idx = 0; idx < s.numel(); ++idx) {
+    const double num = (loss_at(idx, 1e-3F) - loss_at(idx, -1e-3F)) / 2e-3;
+    EXPECT_NEAR(grad_s.at(idx), num, 3e-3) << idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SquashGradSweep, ::testing::Values(1, 2, 4, 8, 16),
+                         [](const ::testing::TestParamInfo<std::int64_t>& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+/// ConvCaps2D full-chain (conv + BN + squash) backward shape/finite checks
+/// across capsule geometries.
+struct CapsCase {
+  std::int64_t ti, di, to, dd, stride;
+};
+
+class CapsGradSweep : public ::testing::TestWithParam<CapsCase> {};
+
+TEST_P(CapsGradSweep, BackwardIsFiniteAndShaped) {
+  const CapsCase cc = GetParam();
+  Rng rng(99);
+  capsnet::ConvCaps2DSpec spec;
+  spec.in_types = cc.ti;
+  spec.in_dim = cc.di;
+  spec.out_types = cc.to;
+  spec.out_dim = cc.dd;
+  spec.stride = cc.stride;
+  capsnet::ConvCaps2D layer("sweep", spec, rng);
+  const Tensor x = ops::uniform(Shape{2, 6, 6, cc.ti, cc.di}, -1.0, 1.0, rng);
+  const Tensor v = layer.forward(x, true, nullptr);
+  const Tensor g = layer.backward(v);
+  EXPECT_EQ(g.shape(), x.shape());
+  for (float gv : g.data()) EXPECT_TRUE(std::isfinite(gv));
+  bool any_nonzero = false;
+  for (float gv : g.data()) any_nonzero = any_nonzero || gv != 0.0F;
+  EXPECT_TRUE(any_nonzero);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CapsGradSweep,
+                         ::testing::Values(CapsCase{1, 4, 1, 4, 1}, CapsCase{2, 4, 2, 8, 1},
+                                           CapsCase{4, 2, 2, 4, 2}, CapsCase{2, 8, 4, 4, 2}),
+                         [](const ::testing::TestParamInfo<CapsCase>& info) {
+                           const CapsCase& c = info.param;
+                           return "t" + std::to_string(c.ti) + "d" + std::to_string(c.di) +
+                                  "_t" + std::to_string(c.to) + "d" + std::to_string(c.dd) +
+                                  "_s" + std::to_string(c.stride);
+                         });
+
+}  // namespace
+}  // namespace redcane

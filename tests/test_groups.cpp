@@ -1,0 +1,86 @@
+#include "core/groups.hpp"
+
+#include <gtest/gtest.h>
+
+#include "capsnet/capsnet_model.hpp"
+#include "capsnet/deepcaps_model.hpp"
+#include "tensor/ops.hpp"
+
+namespace redcane::core {
+namespace {
+
+using capsnet::OpKind;
+
+TEST(Groups, FourGroupsInPaperOrder) {
+  const auto g = all_groups();
+  EXPECT_EQ(g[0], OpKind::kMacOutput);
+  EXPECT_EQ(g[1], OpKind::kActivation);
+  EXPECT_EQ(g[2], OpKind::kSoftmax);
+  EXPECT_EQ(g[3], OpKind::kLogitsUpdate);
+}
+
+TEST(Groups, DescriptionsMatchTableIII) {
+  EXPECT_STREQ(group_description(OpKind::kSoftmax),
+               "Results of the softmax (k coefficients in dynamic routing)");
+}
+
+TEST(Groups, CapsNetSiteExtraction) {
+  Rng rng(1);
+  capsnet::CapsNetModel model(capsnet::CapsNetConfig::tiny(), rng);
+  Rng drng(2);
+  const Tensor probe = ops::uniform(Shape{1, 28, 28, 1}, 0.0, 1.0, drng);
+  const std::vector<Site> sites = extract_sites(model, probe);
+
+  // MAC outputs: Conv1, PrimaryCaps conv, ClassCaps votes + routing s.
+  const auto mac = sites_of_group(sites, OpKind::kMacOutput);
+  EXPECT_EQ(mac.size(), 3U);
+  // Softmax / logits update exist only in ClassCaps (single routed layer).
+  const auto sm = layers_of_group(sites, OpKind::kSoftmax);
+  ASSERT_EQ(sm.size(), 1U);
+  EXPECT_EQ(sm[0], "ClassCaps");
+  const auto lu = layers_of_group(sites, OpKind::kLogitsUpdate);
+  ASSERT_EQ(lu.size(), 1U);
+}
+
+TEST(Groups, DeepCapsSiteExtractionCoversAllLayers) {
+  Rng rng(3);
+  capsnet::DeepCapsModel model(capsnet::DeepCapsConfig::tiny(), rng);
+  Rng drng(4);
+  const Tensor probe = ops::uniform(Shape{1, 16, 16, 3}, 0.0, 1.0, drng);
+  const std::vector<Site> sites = extract_sites(model, probe);
+
+  const auto mac_layers = layers_of_group(sites, OpKind::kMacOutput);
+  // 18 layers all produce MAC outputs.
+  EXPECT_EQ(mac_layers.size(), 18U);
+  // Two routed layers -> softmax and logits-update in exactly those.
+  const auto sm_layers = layers_of_group(sites, OpKind::kSoftmax);
+  ASSERT_EQ(sm_layers.size(), 2U);
+  EXPECT_EQ(sm_layers[0], "Caps3D");
+  EXPECT_EQ(sm_layers[1], "ClassCaps");
+  const auto lu_layers = layers_of_group(sites, OpKind::kLogitsUpdate);
+  EXPECT_EQ(lu_layers.size(), 2U);
+}
+
+TEST(Groups, SitesAreUniqueAndOrdered) {
+  Rng rng(5);
+  capsnet::DeepCapsModel model(capsnet::DeepCapsConfig::tiny(), rng);
+  Rng drng(6);
+  const Tensor probe = ops::uniform(Shape{1, 16, 16, 3}, 0.0, 1.0, drng);
+  const std::vector<Site> sites = extract_sites(model, probe);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < sites.size(); ++j) {
+      EXPECT_FALSE(sites[i] == sites[j]) << sites[i].to_string();
+    }
+  }
+  // First site is the stem conv's MAC output.
+  EXPECT_EQ(sites.front().layer, "Conv2D");
+  EXPECT_EQ(sites.front().kind, OpKind::kMacOutput);
+}
+
+TEST(Groups, SiteToString) {
+  const Site s{"Caps3D", OpKind::kSoftmax};
+  EXPECT_EQ(s.to_string(), "Caps3D/softmax");
+}
+
+}  // namespace
+}  // namespace redcane::core

@@ -1,0 +1,149 @@
+// Cross-module integration tests: trained model -> methodology -> design
+// -> joint injection -> energy, and serialization of stateful (BN) models.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "capsnet/deepcaps_model.hpp"
+#include "capsnet/serialize.hpp"
+#include "capsnet/trainer.hpp"
+#include "core/methodology.hpp"
+#include "data/synthetic.hpp"
+#include "energy/energy_model.hpp"
+#include "noise/injector.hpp"
+
+namespace redcane {
+namespace {
+
+/// Small trained DeepCaps shared across the integration tests.
+struct DeepFixture {
+  std::unique_ptr<capsnet::DeepCapsModel> model;
+  data::Dataset ds;
+
+  DeepFixture() {
+    Rng rng(3);
+    model = std::make_unique<capsnet::DeepCapsModel>(capsnet::DeepCapsConfig::tiny(), rng);
+    ds = data::make_benchmark(data::DatasetKind::kCifar10, 16, 300, 100, 55);
+    capsnet::TrainConfig tc;
+    tc.epochs = 5;
+    tc.batch_size = 25;
+    tc.lr = 3e-3;
+    capsnet::train(*model, ds.train_x, ds.train_y, tc);
+  }
+};
+
+DeepFixture& fixture() {
+  static DeepFixture f;
+  return f;
+}
+
+TEST(Integration, DeepCapsTrainsWellOnTinyBudget) {
+  DeepFixture& f = fixture();
+  EXPECT_GT(capsnet::evaluate(*f.model, f.ds.test_x, f.ds.test_y), 0.8);
+}
+
+TEST(Integration, SerializeRoundTripsBatchNormState) {
+  DeepFixture& f = fixture();
+  const Tensor x = capsnet::slice_rows(f.ds.test_x, 0, 8);
+  const Tensor before = f.model->forward(x, false, nullptr);
+
+  const std::string path = ::testing::TempDir() + "/deepcaps_bn.bin";
+  ASSERT_TRUE(capsnet::save_params(*f.model, path));
+
+  Rng rng(999);
+  capsnet::DeepCapsModel fresh(capsnet::DeepCapsConfig::tiny(), rng);
+  ASSERT_TRUE(capsnet::load_params(fresh, path));
+  const Tensor after = fresh.forward(x, false, nullptr);
+  // Identical outputs require the BN running statistics to have survived
+  // the round trip, not just conv weights.
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    ASSERT_EQ(before.at(i), after.at(i)) << i;
+  }
+}
+
+TEST(Integration, MethodologyDesignSurvivesJointInjection) {
+  DeepFixture& f = fixture();
+  core::MethodologyConfig mc;
+  mc.resilience.sweep.nms = {0.5, 0.1, 0.02, 0.005, 0.0};
+  mc.profile_samples = 5000;
+  mc.mark_threshold_pct = 5.0;
+  mc.tolerance_pct = 2.0;
+  const core::MethodologyResult r =
+      core::run_redcane(*f.model, f.ds.test_x, f.ds.test_y, f.ds.name, mc);
+
+  const auto profiled = core::profile_library(approx::InputDistribution::uniform(),
+                                              mc.profile_chain_length, 5000, 1);
+  std::vector<noise::InjectionRule> rules;
+  for (const core::SiteSelection& s : r.selections) {
+    for (const core::ProfiledComponent& pc : profiled) {
+      if (pc.mul == s.component) {
+        rules.push_back(noise::layer_rule(s.site.kind, s.site.layer,
+                                          noise::NoiseSpec{pc.nm, pc.na}));
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(rules.size(), r.selections.size());
+  noise::GaussianInjector injector(rules, 71);
+  const double acc = capsnet::evaluate(*f.model, f.ds.test_x, f.ds.test_y, &injector);
+  EXPECT_GT(acc, r.baseline_accuracy - 0.10);  // Joint budget: a few pp.
+}
+
+TEST(Integration, SelectionRespectsProfiledNoise) {
+  DeepFixture& f = fixture();
+  core::MethodologyConfig mc;
+  mc.resilience.sweep.nms = {0.5, 0.1, 0.02, 0.0};
+  mc.profile_samples = 5000;
+  const core::MethodologyResult r =
+      core::run_redcane(*f.model, f.ds.test_x, f.ds.test_y, f.ds.name, mc);
+
+  const auto profiled = core::profile_library(approx::InputDistribution::uniform(),
+                                              mc.profile_chain_length,
+                                              mc.profile_samples, mc.profile_seed);
+  for (const core::SiteSelection& s : r.selections) {
+    for (const core::ProfiledComponent& pc : profiled) {
+      if (pc.mul != s.component) continue;
+      EXPECT_LE(pc.nm, s.tolerable_nm + 1e-12) << s.site.to_string();
+      EXPECT_LE(std::abs(pc.na), s.tolerable_nm + 1e-12) << s.site.to_string();
+    }
+  }
+}
+
+TEST(Integration, EnergyOfDesignBelowAccurate) {
+  DeepFixture& f = fixture();
+  core::MethodologyConfig mc;
+  mc.resilience.sweep.nms = {0.5, 0.1, 0.02, 0.0};
+  mc.profile_samples = 5000;
+  const core::MethodologyResult r =
+      core::run_redcane(*f.model, f.ds.test_x, f.ds.test_y, f.ds.name, mc);
+
+  std::vector<energy::LayerMultiplierChoice> choices;
+  for (const core::SiteSelection& s : r.selections) {
+    if (s.site.kind == capsnet::OpKind::kMacOutput) {
+      choices.push_back({s.site.layer, s.component});
+    }
+  }
+  const auto layers = energy::count_deepcaps_layers(f.model->config());
+  const energy::UnitEnergy ue;
+  const double exact = energy::approximated_energy_pj(layers, ue, {});
+  const double designed = energy::approximated_energy_pj(layers, ue, choices);
+  EXPECT_LT(designed, exact);
+}
+
+TEST(Integration, ResilienceSweepIsSeedDeterministic) {
+  DeepFixture& f = fixture();
+  core::ResilienceConfig rc;
+  rc.sweep.nms = {0.1, 0.02, 0.0};
+  rc.seed = 13;
+  core::ResilienceAnalyzer a(*f.model, f.ds.test_x, f.ds.test_y, rc);
+  core::ResilienceAnalyzer b(*f.model, f.ds.test_x, f.ds.test_y, rc);
+  const core::ResilienceCurve ca = a.sweep_group(capsnet::OpKind::kActivation);
+  const core::ResilienceCurve cb = b.sweep_group(capsnet::OpKind::kActivation);
+  ASSERT_EQ(ca.drop_pct.size(), cb.drop_pct.size());
+  for (std::size_t i = 0; i < ca.drop_pct.size(); ++i) {
+    EXPECT_EQ(ca.drop_pct[i], cb.drop_pct[i]);
+  }
+}
+
+}  // namespace
+}  // namespace redcane

@@ -1,0 +1,78 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace redcane::nn {
+namespace {
+
+TEST(MarginLoss, PerfectPredictionIsZero) {
+  // Target length above m+, others below m-.
+  const Tensor lengths(Shape{1, 3}, {0.95F, 0.05F, 0.02F});
+  const LossResult r = margin_loss(lengths, {0});
+  EXPECT_NEAR(r.loss, 0.0, 1e-9);
+  for (float g : r.grad.data()) EXPECT_NEAR(g, 0.0, 1e-9);
+}
+
+TEST(MarginLoss, PenalizesWeakTarget) {
+  const Tensor lengths(Shape{1, 2}, {0.3F, 0.05F});
+  const LossResult r = margin_loss(lengths, {0});
+  // (0.9 - 0.3)^2 = 0.36.
+  EXPECT_NEAR(r.loss, 0.36, 1e-6);
+  EXPECT_LT(r.grad(0, 0), 0.0F);  // Push target length up.
+}
+
+TEST(MarginLoss, PenalizesStrongNonTarget) {
+  const Tensor lengths(Shape{1, 2}, {0.95F, 0.8F});
+  const LossResult r = margin_loss(lengths, {0});
+  // lambda * (0.8 - 0.1)^2 = 0.5 * 0.49.
+  EXPECT_NEAR(r.loss, 0.245, 1e-6);
+  EXPECT_GT(r.grad(0, 1), 0.0F);  // Push non-target length down.
+}
+
+TEST(MarginLoss, GradientCheck) {
+  Tensor lengths(Shape{2, 3}, {0.4F, 0.3F, 0.6F, 0.2F, 0.85F, 0.15F});
+  const std::vector<std::int64_t> labels{2, 1};
+  const LossResult r = margin_loss(lengths, labels);
+  for (std::int64_t idx = 0; idx < lengths.numel(); ++idx) {
+    const float saved = lengths.at(idx);
+    lengths.at(idx) = saved + 1e-3F;
+    const double lp = margin_loss(lengths, labels).loss;
+    lengths.at(idx) = saved - 1e-3F;
+    const double lm = margin_loss(lengths, labels).loss;
+    lengths.at(idx) = saved;
+    EXPECT_NEAR(r.grad.at(idx), (lp - lm) / 2e-3, 1e-3) << idx;
+  }
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  const Tensor logits(Shape{1, 4});
+  const LossResult r = softmax_cross_entropy(logits, {2});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+}
+
+TEST(CrossEntropy, GradientCheck) {
+  Tensor logits(Shape{2, 3}, {0.5F, -1.0F, 2.0F, 0.1F, 0.2F, -0.3F});
+  const std::vector<std::int64_t> labels{0, 2};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  for (std::int64_t idx = 0; idx < logits.numel(); ++idx) {
+    const float saved = logits.at(idx);
+    logits.at(idx) = saved + 1e-3F;
+    const double lp = softmax_cross_entropy(logits, labels).loss;
+    logits.at(idx) = saved - 1e-3F;
+    const double lm = softmax_cross_entropy(logits, labels).loss;
+    logits.at(idx) = saved;
+    EXPECT_NEAR(r.grad.at(idx), (lp - lm) / 2e-3, 1e-3) << idx;
+  }
+}
+
+TEST(Accuracy, CountsArgmaxHits) {
+  const Tensor scores(Shape{4, 2}, {0.9F, 0.1F, 0.2F, 0.8F, 0.6F, 0.4F, 0.3F, 0.7F});
+  EXPECT_DOUBLE_EQ(accuracy(scores, {0, 1, 0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(scores, {1, 0, 1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy(scores, {0, 0, 0, 0}), 0.5);
+}
+
+}  // namespace
+}  // namespace redcane::nn

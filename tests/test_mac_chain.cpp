@@ -1,0 +1,83 @@
+#include "approx/mac_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "approx/library.hpp"
+#include "tensor/random.hpp"
+
+namespace redcane::approx {
+namespace {
+
+TEST(MacChain, ExactMultiplierGivesZeroError) {
+  Rng rng(1);
+  std::vector<std::uint8_t> a(81);
+  std::vector<std::uint8_t> b(81);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::uint8_t>(rng.uniform_index(256));
+    b[i] = static_cast<std::uint8_t>(rng.uniform_index(256));
+  }
+  const MacResult r = run_mac_chain(exact_multiplier(), a, b);
+  EXPECT_EQ(r.error(), 0);
+  EXPECT_EQ(r.approx, r.exact);
+}
+
+TEST(MacChain, SingleElementMatchesMultiplier) {
+  const Multiplier& m = multiplier_by_name("axm_drum4_dm1");
+  const std::vector<std::uint8_t> a{200};
+  const std::vector<std::uint8_t> b{123};
+  const MacResult r = run_mac_chain(m, a, b);
+  EXPECT_EQ(r.approx, m.multiply(200, 123));
+  EXPECT_EQ(r.exact, 200ULL * 123ULL);
+}
+
+TEST(MacChain, ErrorsAccumulateWithLength) {
+  // For a biased component (result truncation), error grows ~linearly.
+  const Multiplier& m = multiplier_by_name("axm_res8");
+  Rng rng(2);
+  auto mean_abs_error = [&](int len) {
+    double sum = 0.0;
+    const int trials = 300;
+    std::vector<std::uint8_t> a(static_cast<std::size_t>(len));
+    std::vector<std::uint8_t> b(a.size());
+    for (int t = 0; t < trials; ++t) {
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = static_cast<std::uint8_t>(rng.uniform_index(256));
+        b[i] = static_cast<std::uint8_t>(rng.uniform_index(256));
+      }
+      sum += std::abs(static_cast<double>(run_mac_chain(m, a, b).error()));
+    }
+    return sum / trials;
+  };
+  const double e1 = mean_abs_error(1);
+  const double e9 = mean_abs_error(9);
+  const double e81 = mean_abs_error(81);
+  EXPECT_GT(e9, 3.0 * e1);
+  EXPECT_GT(e81, 3.0 * e9);
+}
+
+TEST(MacChain, ApproxAdderAddsMoreError) {
+  const Multiplier& exact_mul = exact_multiplier();
+  const Adder& trunc = adder_by_name("axa_trunc6");
+  Rng rng(3);
+  std::vector<std::uint8_t> a(81);
+  std::vector<std::uint8_t> b(81);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::uint8_t>(1 + rng.uniform_index(255));
+    b[i] = static_cast<std::uint8_t>(1 + rng.uniform_index(255));
+  }
+  const MacResult with_exact_add = run_mac_chain(exact_mul, a, b);
+  const MacResult with_trunc_add = run_mac_chain(exact_mul, trunc, a, b);
+  EXPECT_EQ(with_exact_add.error(), 0);
+  EXPECT_LT(with_trunc_add.error(), 0);  // Truncation bias, negative.
+}
+
+TEST(MacChain, EmptyChainIsZero) {
+  const MacResult r = run_mac_chain(exact_multiplier(), {}, {});
+  EXPECT_EQ(r.approx, 0U);
+  EXPECT_EQ(r.exact, 0U);
+}
+
+}  // namespace
+}  // namespace redcane::approx

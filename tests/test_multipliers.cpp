@@ -1,0 +1,219 @@
+#include "approx/multiplier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "approx/library.hpp"
+#include "tensor/random.hpp"
+
+namespace redcane::approx {
+namespace {
+
+TEST(MultiplierLibrary, Has35Components) {
+  EXPECT_EQ(multiplier_library().size(), 35U);
+}
+
+TEST(MultiplierLibrary, ExactIsFirstAndExact) {
+  const Multiplier& m = exact_multiplier();
+  EXPECT_EQ(m.info().name, "axm_exact");
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 0; b < 256; b += 11) {
+      EXPECT_EQ(m.multiply(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                static_cast<std::uint32_t>(a * b));
+    }
+  }
+}
+
+TEST(MultiplierLibrary, NamesAreUnique) {
+  const auto& lib = multiplier_library();
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    for (std::size_t j = i + 1; j < lib.size(); ++j) {
+      EXPECT_NE(lib[i]->info().name, lib[j]->info().name);
+    }
+  }
+}
+
+TEST(MultiplierLibrary, LookupByNameAndAnalog) {
+  EXPECT_EQ(multiplier_by_name("axm_drum5_ngr").info().paper_analog, "mul8u_NGR");
+  EXPECT_EQ(multiplier_by_analog("mul8u_DM1").info().name, "axm_drum4_dm1");
+}
+
+TEST(MultiplierLibrary, PaperAnalogCountMatchesTableIV) {
+  EXPECT_EQ(paper_analog_multipliers().size(), 15U);
+}
+
+TEST(MultiplierLibrary, PaperAnalogPowerMatchesTableIV) {
+  EXPECT_DOUBLE_EQ(multiplier_by_analog("mul8u_1JFF").info().power_uw, 391.0);
+  EXPECT_DOUBLE_EQ(multiplier_by_analog("mul8u_NGR").info().power_uw, 276.0);
+  EXPECT_DOUBLE_EQ(multiplier_by_analog("mul8u_DM1").info().power_uw, 195.0);
+  EXPECT_DOUBLE_EQ(multiplier_by_analog("mul8u_QKX").info().power_uw, 29.0);
+  EXPECT_NEAR(multiplier_by_analog("mul8u_NGR").info().power_saving(391.0), 0.294, 0.01);
+}
+
+/// Properties every library component must satisfy.
+class MultiplierProperty : public ::testing::TestWithParam<const Multiplier*> {};
+
+TEST_P(MultiplierProperty, ZeroAnnihilates) {
+  const Multiplier& m = *GetParam();
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(m.multiply(static_cast<std::uint8_t>(a), 0), 0U)
+        << m.info().name << " a=" << a;
+    EXPECT_EQ(m.multiply(0, static_cast<std::uint8_t>(a)), 0U)
+        << m.info().name << " a=" << a;
+  }
+}
+
+TEST_P(MultiplierProperty, OutputBounded) {
+  // Approximate products must stay within 2x of the representable exact
+  // range (no runaway bit patterns).
+  const Multiplier& m = *GetParam();
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    EXPECT_LE(m.multiply(a, b), 2U * 255U * 255U) << m.info().name;
+  }
+}
+
+TEST_P(MultiplierProperty, RelativeErrorBounded) {
+  // Every design family here has worst-case relative error well below
+  // 100% for large products; sanity-bound the mean absolute error.
+  const Multiplier& m = *GetParam();
+  Rng rng(2);
+  double err_sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    err_sum += std::abs(static_cast<double>(m.error(a, b)));
+  }
+  EXPECT_LT(err_sum / n, 6000.0) << m.info().name;  // < ~9% of max product.
+}
+
+TEST_P(MultiplierProperty, PowerAndAreaPositiveAndAtMostExact) {
+  const MultiplierInfo& info = GetParam()->info();
+  const MultiplierInfo& exact = exact_multiplier().info();
+  EXPECT_GT(info.power_uw, 0.0) << info.name;
+  EXPECT_GT(info.area_um2, 0.0) << info.name;
+  EXPECT_LE(info.power_uw, exact.power_uw + 1e-9) << info.name;
+  EXPECT_LE(info.area_um2, exact.area_um2 + 1e-9) << info.name;
+}
+
+TEST_P(MultiplierProperty, Deterministic) {
+  const Multiplier& m = *GetParam();
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    EXPECT_EQ(m.multiply(a, b), m.multiply(a, b)) << m.info().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllComponents, MultiplierProperty,
+                         ::testing::ValuesIn(multiplier_library()),
+                         [](const ::testing::TestParamInfo<const Multiplier*>& info) {
+                           return info.param->info().name;
+                         });
+
+TEST(MultiplierFamilies, ResTruncErrorIsNegativeBias) {
+  const Multiplier& m = multiplier_by_name("axm_res4_ck5");
+  for (int a = 1; a < 256; a += 5) {
+    for (int b = 1; b < 256; b += 7) {
+      const std::int32_t e =
+          m.error(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
+      EXPECT_LE(e, 0);
+      EXPECT_GE(e, -15);  // 2^4 - 1.
+    }
+  }
+}
+
+TEST(MultiplierFamilies, DrumPassesSmallValuesExactly) {
+  const Multiplier& m = multiplier_by_name("axm_drum4_dm1");
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      EXPECT_EQ(m.multiply(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                static_cast<std::uint32_t>(a * b));
+    }
+  }
+}
+
+TEST(MultiplierFamilies, DrumIsNearlyUnbiased) {
+  const Multiplier& m = multiplier_by_name("axm_drum5_ngr");
+  Rng rng(4);
+  double bias = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    bias += m.error(a, b);
+  }
+  EXPECT_LT(std::abs(bias / n), 250.0);  // < 0.4% of the output range.
+}
+
+TEST(MultiplierFamilies, MitchellAlwaysUnderestimates) {
+  const Multiplier& m = multiplier_by_name("axm_mitchell");
+  for (int a = 1; a < 256; a += 3) {
+    for (int b = 1; b < 256; b += 5) {
+      EXPECT_LE(m.error(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)), 0)
+          << a << "*" << b;
+    }
+  }
+}
+
+TEST(MultiplierFamilies, MitchellExactOnPowersOfTwo) {
+  const Multiplier& m = multiplier_by_name("axm_mitchell");
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      const auto a = static_cast<std::uint8_t>(1 << i);
+      const auto b = static_cast<std::uint8_t>(1 << j);
+      EXPECT_EQ(m.multiply(a, b), static_cast<std::uint32_t>(a * b));
+    }
+  }
+}
+
+TEST(MultiplierFamilies, KulkarniMatchesKnownBlockError) {
+  // The 2x2 block computes 3*3 = 7; thus 3*3 on the full multiplier is 7.
+  const Multiplier& m = multiplier_by_name("axm_kulkarni_qkx");
+  EXPECT_EQ(m.multiply(3, 3), 7U);
+  // Values without any 3x3 sub-block interaction stay exact.
+  EXPECT_EQ(m.multiply(2, 2), 4U);
+  EXPECT_EQ(m.multiply(16, 16), 256U);
+}
+
+TEST(MultiplierFamilies, BamDropsOnlyLowColumns) {
+  const Multiplier& m = multiplier_by_name("axm_bam5_gs2");
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const std::int32_t e = m.error(a, b);
+    EXPECT_LE(e, 0);
+    // Worst case: all PP bits in columns 0..4 set.
+    EXPECT_GE(e, -((1 + 2 + 4 + 8 + 16) * 8));
+  }
+}
+
+TEST(MultiplierFamilies, LoaNeverOvershootsExactByMuch) {
+  // OR-compression can only lose carries, never invent value above the
+  // column-wise OR bound.
+  const Multiplier& m = multiplier_by_name("axm_loa7_7c1");
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    EXPECT_LE(m.error(a, b), 0);
+  }
+}
+
+TEST(MultiplierFamilies, HybridTruncComposesBothTruncations) {
+  const Multiplier& m = multiplier_by_name("axm_hy_o1r4");
+  // Low operand bits and low result bits are zeroed.
+  const std::uint32_t p = m.multiply(255, 255);
+  EXPECT_EQ(p % 16, 0U);
+  EXPECT_EQ(p, ((255U & 0xFE) * (255U & 0xFE)) & ~0xFU);
+}
+
+}  // namespace
+}  // namespace redcane::approx

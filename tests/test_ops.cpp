@@ -1,0 +1,130 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace redcane {
+namespace {
+
+TEST(Ops, AddSubMul) {
+  const Tensor a(Shape{3}, {1.0F, 2.0F, 3.0F});
+  const Tensor b(Shape{3}, {4.0F, 5.0F, 6.0F});
+  const Tensor s = ops::add(a, b);
+  EXPECT_EQ(s.at(0), 5.0F);
+  EXPECT_EQ(s.at(2), 9.0F);
+  const Tensor d = ops::sub(b, a);
+  EXPECT_EQ(d.at(1), 3.0F);
+  const Tensor m = ops::mul(a, b);
+  EXPECT_EQ(m.at(2), 18.0F);
+}
+
+TEST(Ops, ScaleAndInplace) {
+  Tensor a(Shape{2}, {1.0F, -2.0F});
+  const Tensor s = ops::scale(a, 3.0F);
+  EXPECT_EQ(s.at(1), -6.0F);
+  ops::scale_inplace(a, 0.5F);
+  EXPECT_EQ(a.at(0), 0.5F);
+  Tensor b(Shape{2}, {1.0F, 1.0F});
+  ops::add_inplace(b, a);
+  EXPECT_EQ(b.at(0), 1.5F);
+}
+
+TEST(Ops, MapAppliesFunction) {
+  const Tensor a(Shape{3}, {-1.0F, 0.0F, 2.0F});
+  const Tensor m = ops::map(a, [](float v) { return v * v; });
+  EXPECT_EQ(m.at(0), 1.0F);
+  EXPECT_EQ(m.at(2), 4.0F);
+}
+
+TEST(Ops, MatmulMatchesHand) {
+  const Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = ops::matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c(0, 0), 58.0F);
+  EXPECT_FLOAT_EQ(c(0, 1), 64.0F);
+  EXPECT_FLOAT_EQ(c(1, 0), 139.0F);
+  EXPECT_FLOAT_EQ(c(1, 1), 154.0F);
+}
+
+TEST(Ops, MatmulIdentity) {
+  const Tensor a(Shape{2, 2}, {3, 4, 5, 6});
+  const Tensor eye(Shape{2, 2}, {1, 0, 0, 1});
+  const Tensor c = ops::matmul(a, eye);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c.at(i), a.at(i));
+}
+
+TEST(Ops, SoftmaxSumsToOne) {
+  const Tensor a(Shape{2, 4}, {1, 2, 3, 4, -1, 0, 1, 2});
+  const Tensor s = ops::softmax(a, 1);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < 4; ++j) sum += s(r, j);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+  // Monotone in the logits.
+  EXPECT_GT(s(0, 3), s(0, 0));
+}
+
+TEST(Ops, SoftmaxAlongMiddleAxis) {
+  const Tensor a(Shape{2, 3, 2}, std::vector<float>(12, 0.0F));
+  const Tensor s = ops::softmax(a, 1);
+  // Uniform logits -> 1/3 everywhere along axis 1.
+  for (float v : s.data()) EXPECT_NEAR(v, 1.0 / 3.0, 1e-6);
+}
+
+TEST(Ops, SoftmaxIsShiftInvariant) {
+  const Tensor a(Shape{1, 3}, {1.0F, 2.0F, 3.0F});
+  const Tensor b(Shape{1, 3}, {101.0F, 102.0F, 103.0F});
+  const Tensor sa = ops::softmax(a, 1);
+  const Tensor sb = ops::softmax(b, 1);
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_NEAR(sa.at(i), sb.at(i), 1e-6);
+}
+
+TEST(Ops, SumAccumulates) {
+  const Tensor a(Shape{4}, {0.5F, 0.5F, 1.0F, -1.0F});
+  EXPECT_NEAR(ops::sum(a), 1.0, 1e-9);
+}
+
+TEST(Ops, ArgmaxLastAxis) {
+  const Tensor a(Shape{2, 3}, {1, 5, 2, 9, 0, 3});
+  const auto idx = ops::argmax_last_axis(a);
+  ASSERT_EQ(idx.size(), 2U);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(Ops, L2NormLastAxis) {
+  const Tensor a(Shape{2, 2}, {3, 4, 0, 0});
+  const Tensor n = ops::l2_norm_last_axis(a);
+  EXPECT_EQ(n.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(n.at(0), 5.0F);
+  EXPECT_FLOAT_EQ(n.at(1), 0.0F);
+}
+
+TEST(Ops, GaussianTensorMoments) {
+  Rng rng(3);
+  const Tensor g = ops::gaussian(Shape{100000}, 2.0, 3.0, rng);
+  double sum = 0.0;
+  double sq = 0.0;
+  for (float v : g.data()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / g.numel();
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / g.numel() - mean * mean), 3.0, 0.05);
+}
+
+TEST(Ops, UniformTensorBounds) {
+  Rng rng(5);
+  const Tensor u = ops::uniform(Shape{1000}, -1.0, 1.0, rng);
+  for (float v : u.data()) {
+    EXPECT_GE(v, -1.0F);
+    EXPECT_LT(v, 1.0F);
+  }
+}
+
+}  // namespace
+}  // namespace redcane

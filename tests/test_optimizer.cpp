@@ -1,0 +1,64 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace redcane::nn {
+namespace {
+
+/// Minimize f(w) = 0.5 * ||w - target||^2 with gradient w - target.
+void run_quadratic(Optimizer& opt, Param& p, const Tensor& target, int steps) {
+  for (int s = 0; s < steps; ++s) {
+    for (std::int64_t i = 0; i < p.value.numel(); ++i) {
+      p.grad.at(i) = p.value.at(i) - target.at(i);
+    }
+    opt.step({&p});
+  }
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Param p("w", Tensor(Shape{4}, 5.0F));
+  const Tensor target(Shape{4}, {1.0F, -2.0F, 0.5F, 3.0F});
+  Sgd opt(0.1, 0.9);
+  run_quadratic(opt, p, target, 200);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_NEAR(p.value.at(i), target.at(i), 1e-3);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Param p("w", Tensor(Shape{4}, 5.0F));
+  const Tensor target(Shape{4}, {1.0F, -2.0F, 0.5F, 3.0F});
+  Adam opt(0.1);
+  run_quadratic(opt, p, target, 500);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_NEAR(p.value.at(i), target.at(i), 1e-2);
+}
+
+TEST(Optimizers, StepZeroesGradients) {
+  Param p("w", Tensor(Shape{2}, 1.0F));
+  p.grad.fill(3.0F);
+  Adam opt(0.01);
+  opt.step({&p});
+  for (float g : p.grad.data()) EXPECT_EQ(g, 0.0F);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  const Tensor target(Shape{1}, 0.0F);
+  Param slow("a", Tensor(Shape{1}, 10.0F));
+  Param fast("b", Tensor(Shape{1}, 10.0F));
+  Sgd no_mom(0.01, 0.0);
+  Sgd mom(0.01, 0.9);
+  run_quadratic(no_mom, slow, target, 50);
+  run_quadratic(mom, fast, target, 50);
+  EXPECT_LT(std::abs(fast.value.at(0)), std::abs(slow.value.at(0)));
+}
+
+TEST(Adam, FirstStepIsLrSized) {
+  Param p("w", Tensor(Shape{1}, 1.0F));
+  p.grad.at(0) = 100.0F;  // Magnitude is normalized away by Adam.
+  Adam opt(0.05);
+  opt.step({&p});
+  EXPECT_NEAR(p.value.at(0), 1.0F - 0.05F, 1e-4);
+}
+
+}  // namespace
+}  // namespace redcane::nn

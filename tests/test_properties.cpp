@@ -1,0 +1,191 @@
+// Cross-module property suites (parameterized sweeps).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/library.hpp"
+#include "data/synthetic.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace redcane {
+namespace {
+
+// ---------------------------------------------------------------------
+// Quantizer properties over a wordlength sweep.
+class QuantizerBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerBits, RoundTripWithinHalfStep) {
+  const int bits = GetParam();
+  Rng rng(bits);
+  const Tensor t = ops::uniform(Shape{500}, -2.5, 7.5, rng);
+  const quant::QuantParams p = quant::fit_params(t, bits);
+  const Tensor r = quant::dequantize(quant::quantize(t, p), t.shape(), p);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::abs(t.at(i) - r.at(i)), p.step() * 0.5 + 1e-6) << "bits " << bits;
+  }
+}
+
+TEST_P(QuantizerBits, QuantizationIsIdempotent) {
+  const int bits = GetParam();
+  Rng rng(100 + bits);
+  const Tensor t = ops::uniform(Shape{300}, 0.0, 1.0, rng);
+  const Tensor once = quant::quantize_dequantize(t, bits);
+  const Tensor twice = quant::quantize_dequantize(once, bits);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_NEAR(once.at(i), twice.at(i), 1e-6) << "bits " << bits;
+  }
+}
+
+TEST_P(QuantizerBits, CodesStayInRange) {
+  const int bits = GetParam();
+  Rng rng(200 + bits);
+  const Tensor t = ops::uniform(Shape{300}, -10.0, 10.0, rng);
+  const quant::QuantParams p = quant::fit_params(t, bits);
+  for (std::uint32_t c : quant::quantize(t, p)) EXPECT_LE(c, p.max_code());
+}
+
+INSTANTIATE_TEST_SUITE_P(Wordlengths, QuantizerBits, ::testing::Values(3, 4, 6, 8, 10, 12),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "b" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Synthetic dataset properties over every dataset kind.
+class DatasetKinds : public ::testing::TestWithParam<data::DatasetKind> {};
+
+TEST_P(DatasetKinds, ValuesInUnitInterval) {
+  data::SyntheticSpec s;
+  s.kind = GetParam();
+  s.hw = 12;
+  s.channels =
+      (s.kind == data::DatasetKind::kCifar10 || s.kind == data::DatasetKind::kSvhn) ? 3 : 1;
+  s.train_count = 40;
+  s.test_count = 20;
+  const data::Dataset ds = data::make_synthetic(s);
+  for (float v : ds.train_x.data()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+TEST_P(DatasetKinds, ClassesSeparableByNearestPrototype) {
+  data::SyntheticSpec s;
+  s.kind = GetParam();
+  s.hw = 16;
+  s.channels =
+      (s.kind == data::DatasetKind::kCifar10 || s.kind == data::DatasetKind::kSvhn) ? 3 : 1;
+  s.train_count = 100;
+  s.test_count = 50;
+  s.seed = 77;
+  const data::Dataset ds = data::make_synthetic(s);
+
+  const std::int64_t dim = ds.train_x.numel() / ds.train_x.shape().dim(0);
+  std::vector<std::vector<double>> means(10, std::vector<double>(static_cast<std::size_t>(dim)));
+  std::vector<int> counts(10, 0);
+  for (std::int64_t i = 0; i < ds.train_x.shape().dim(0); ++i) {
+    const auto y = static_cast<std::size_t>(ds.train_y[static_cast<std::size_t>(i)]);
+    ++counts[y];
+    for (std::int64_t k = 0; k < dim; ++k) {
+      means[y][static_cast<std::size_t>(k)] += ds.train_x.at(i * dim + k);
+    }
+  }
+  for (std::size_t c = 0; c < 10; ++c) {
+    for (double& v : means[c]) v /= std::max(1, counts[c]);
+  }
+  int hits = 0;
+  for (std::int64_t i = 0; i < ds.test_x.shape().dim(0); ++i) {
+    double best = 1e300;
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < 10; ++c) {
+      double d2 = 0.0;
+      for (std::int64_t k = 0; k < dim; ++k) {
+        const double d = ds.test_x.at(i * dim + k) - means[c][static_cast<std::size_t>(k)];
+        d2 += d * d;
+      }
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    if (static_cast<std::int64_t>(best_c) == ds.test_y[static_cast<std::size_t>(i)]) ++hits;
+  }
+  // Raw-pixel nearest-prototype is a weak classifier for the textured
+  // kinds under shift augmentation; 40% is still 8x chance and proves the
+  // class structure a CapsNet then learns to >95%.
+  EXPECT_GT(hits, 20) << "kind " << data::dataset_kind_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DatasetKinds,
+                         ::testing::Values(data::DatasetKind::kMnist,
+                                           data::DatasetKind::kFashionMnist,
+                                           data::DatasetKind::kCifar10,
+                                           data::DatasetKind::kSvhn),
+                         [](const ::testing::TestParamInfo<data::DatasetKind>& info) {
+                           std::string n = data::dataset_kind_name(info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// ---------------------------------------------------------------------
+// DRUM relative-error bound: |err| / exact <= 2^-(k-2) for nonzero inputs.
+class DrumBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(DrumBound, RelativeErrorBounded) {
+  const int k = GetParam();
+  const approx::Multiplier& m =
+      approx::multiplier_by_name(k == 4   ? "axm_drum4_dm1"
+                                 : k == 5 ? "axm_drum5_ngr"
+                                 : k == 6 ? "axm_drum6_2hh"
+                                          : "axm_drum3_jv3");
+  // Worst case per operand: a = 2^t segments to 2^t + 2^(t-k+1), a relative
+  // overshoot of 2^(1-k); the product bound is (1 + 2^(1-k))^2 - 1, reached
+  // exactly at power-of-two operand pairs.
+  const double bound = std::pow(1.0 + std::pow(2.0, 1 - k), 2.0) - 1.0 + 1e-9;
+  for (int a = 1; a < 256; a += 3) {
+    for (int b = 1; b < 256; b += 5) {
+      const double exact = static_cast<double>(a) * b;
+      const double err = std::abs(static_cast<double>(
+          m.error(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b))));
+      EXPECT_LE(err / exact, bound) << "k=" << k << " " << a << "*" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, DrumBound, ::testing::Values(3, 4, 5, 6),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Result-truncation exact error identity: err = -(p mod 2^k).
+class ResTruncIdentity : public ::testing::TestWithParam<const approx::Multiplier*> {};
+
+TEST_P(ResTruncIdentity, ErrorIsNegativeRemainder) {
+  const approx::Multiplier& m = *GetParam();
+  const int k = m.info().param;
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const std::uint32_t p = static_cast<std::uint32_t>(a) * b;
+    EXPECT_EQ(m.error(a, b), -static_cast<std::int32_t>(p % (1U << k)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllResTrunc, ResTruncIdentity,
+    ::testing::Values(&approx::multiplier_by_name("axm_res2_14vp"),
+                      &approx::multiplier_by_name("axm_res4_ck5"),
+                      &approx::multiplier_by_name("axm_res6"),
+                      &approx::multiplier_by_name("axm_res8"),
+                      &approx::multiplier_by_name("axm_res10")),
+    [](const ::testing::TestParamInfo<const approx::Multiplier*>& info) {
+      return info.param->info().name;
+    });
+
+}  // namespace
+}  // namespace redcane

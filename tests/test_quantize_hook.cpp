@@ -1,0 +1,68 @@
+#include "noise/quantize_hook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/quantizer.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace redcane::noise {
+namespace {
+
+using capsnet::OpKind;
+
+TEST(QuantizeHook, RoundTripsTensor) {
+  Rng rng(1);
+  Tensor x = ops::uniform(Shape{500}, -2.0, 2.0, rng);
+  const Tensor ref = quant::quantize_dequantize(x, 8);
+  QuantizeHook hook(8);
+  hook.process("l", OpKind::kMacOutput, x);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(x.at(i), ref.at(i));
+  EXPECT_EQ(hook.tensors_quantized(), 1);
+}
+
+TEST(QuantizeHook, KindFilterSkipsOthers) {
+  Rng rng(2);
+  Tensor x = ops::uniform(Shape{100}, 0.0, 1.0, rng);
+  const Tensor x0 = x;
+  QuantizeHook hook(4, OpKind::kActivation);
+  hook.process("l", OpKind::kMacOutput, x);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(x.at(i), x0.at(i));
+  EXPECT_EQ(hook.tensors_quantized(), 0);
+  hook.process("l", OpKind::kActivation, x);
+  EXPECT_EQ(hook.tensors_quantized(), 1);
+}
+
+TEST(QuantizeHook, QuantizationIsIdempotent) {
+  // Quantizing an already-quantized tensor with the same bit width must be
+  // a no-op: the codes reproduce exactly.
+  Rng rng(3);
+  Tensor x = ops::uniform(Shape{300}, -1.0, 5.0, rng);
+  QuantizeHook hook(6);
+  hook.process("l", OpKind::kActivation, x);
+  const Tensor once = x;
+  hook.process("l", OpKind::kActivation, x);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_NEAR(x.at(i), once.at(i), 1e-6);
+}
+
+TEST(QuantizeHook, FewerBitsMoreDistortion) {
+  Rng rng(4);
+  const Tensor base = ops::uniform(Shape{2000}, 0.0, 1.0, rng);
+  auto distortion = [&](int bits) {
+    Tensor x = base;
+    QuantizeHook hook(bits);
+    hook.process("l", OpKind::kMacOutput, x);
+    double e = 0.0;
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      e += std::abs(x.at(i) - base.at(i));
+    }
+    return e;
+  };
+  EXPECT_GT(distortion(3), distortion(5));
+  EXPECT_GT(distortion(5), distortion(8));
+}
+
+}  // namespace
+}  // namespace redcane::noise

@@ -1,0 +1,143 @@
+#include "core/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "capsnet/capsnet_model.hpp"
+#include "capsnet/trainer.hpp"
+#include "data/synthetic.hpp"
+
+namespace redcane::core {
+namespace {
+
+using capsnet::OpKind;
+
+/// Shared trained micro-model: trained once, reused across tests.
+struct TrainedFixture {
+  std::unique_ptr<capsnet::CapsNetModel> model;
+  data::Dataset ds;
+
+  TrainedFixture() {
+    capsnet::CapsNetConfig cfg;
+    cfg.input_hw = 14;
+    cfg.conv1_kernel = 5;
+    cfg.conv1_channels = 8;
+    cfg.primary_kernel = 5;
+    cfg.primary_stride = 2;
+    cfg.primary_types = 2;
+    cfg.primary_dim = 4;
+    cfg.class_dim = 4;
+    Rng rng(1);
+    model = std::make_unique<capsnet::CapsNetModel>(cfg, rng);
+
+    data::SyntheticSpec s;
+    s.kind = data::DatasetKind::kMnist;
+    s.hw = 14;
+    s.train_count = 300;
+    s.test_count = 100;
+    s.seed = 33;
+    ds = data::make_synthetic(s);
+
+    capsnet::TrainConfig tc;
+    tc.epochs = 10;
+    tc.batch_size = 20;
+    tc.lr = 3e-3;
+    capsnet::train(*model, ds.train_x, ds.train_y, tc);
+  }
+};
+
+TrainedFixture& fixture() {
+  static TrainedFixture f;
+  return f;
+}
+
+ResilienceConfig quick_config() {
+  ResilienceConfig rc;
+  rc.sweep.nms = {0.5, 0.05, 0.005, 0.0};
+  rc.seed = 11;
+  return rc;
+}
+
+TEST(Resilience, BaselineIsCachedAndHigh) {
+  TrainedFixture& f = fixture();
+  ResilienceAnalyzer analyzer(*f.model, f.ds.test_x, f.ds.test_y, quick_config());
+  const double b1 = analyzer.baseline();
+  const double b2 = analyzer.baseline();
+  EXPECT_EQ(b1, b2);
+  EXPECT_GT(b1, 0.6);
+  EXPECT_EQ(analyzer.evaluations(), 0);  // Baseline is not a noisy evaluation.
+}
+
+TEST(Resilience, CleanPointHasZeroDrop) {
+  TrainedFixture& f = fixture();
+  ResilienceAnalyzer analyzer(*f.model, f.ds.test_x, f.ds.test_y, quick_config());
+  const ResilienceCurve c = analyzer.sweep_group(OpKind::kMacOutput);
+  ASSERT_EQ(c.nms.size(), 4U);
+  EXPECT_EQ(c.nms.back(), 0.0);
+  EXPECT_EQ(c.drop_pct.back(), 0.0);
+}
+
+TEST(Resilience, LargeMacNoiseDestroysAccuracy) {
+  TrainedFixture& f = fixture();
+  ResilienceAnalyzer analyzer(*f.model, f.ds.test_x, f.ds.test_y, quick_config());
+  const ResilienceCurve c = analyzer.sweep_group(OpKind::kMacOutput);
+  // NM = 0.5 in every MAC output -> accuracy near chance.
+  EXPECT_LT(c.drop_pct.front(), -30.0);
+}
+
+TEST(Resilience, SoftmaxGroupIsMoreResilientThanMac) {
+  // The paper's headline finding at group level.
+  TrainedFixture& f = fixture();
+  ResilienceAnalyzer analyzer(*f.model, f.ds.test_x, f.ds.test_y, quick_config());
+  const ResilienceCurve mac = analyzer.sweep_group(OpKind::kMacOutput);
+  const ResilienceCurve sm = analyzer.sweep_group(OpKind::kSoftmax);
+  // At NM = 0.05 (index 1) softmax noise hurts far less than MAC noise.
+  EXPECT_GT(sm.drop_pct[1], mac.drop_pct[1] + 5.0);
+}
+
+TEST(Resilience, LogitsUpdateGroupIsResilient) {
+  TrainedFixture& f = fixture();
+  ResilienceAnalyzer analyzer(*f.model, f.ds.test_x, f.ds.test_y, quick_config());
+  const ResilienceCurve lu = analyzer.sweep_group(OpKind::kLogitsUpdate);
+  // Moderate logits noise barely moves accuracy.
+  EXPECT_GT(lu.drop_pct[1], -5.0);
+}
+
+TEST(Resilience, LayerSweepTargetsOneLayer) {
+  TrainedFixture& f = fixture();
+  ResilienceAnalyzer analyzer(*f.model, f.ds.test_x, f.ds.test_y, quick_config());
+  const ResilienceCurve conv1 = analyzer.sweep_layer(OpKind::kMacOutput, "Conv1");
+  ASSERT_TRUE(conv1.layer.has_value());
+  EXPECT_EQ(*conv1.layer, "Conv1");
+  EXPECT_LT(conv1.drop_pct.front(), -10.0);  // First conv is least resilient.
+}
+
+TEST(Resilience, EvaluationCountTracksSweeps) {
+  TrainedFixture& f = fixture();
+  ResilienceAnalyzer analyzer(*f.model, f.ds.test_x, f.ds.test_y, quick_config());
+  (void)analyzer.sweep_group(OpKind::kActivation);
+  // 4 grid points, NM=0 evaluated from the cached baseline.
+  EXPECT_EQ(analyzer.evaluations(), 3);
+}
+
+TEST(ResilienceCurve, TolerableNmPicksLargestSafePoint) {
+  ResilienceCurve c;
+  c.nms = {0.5, 0.05, 0.005, 0.0};
+  c.drop_pct = {-60.0, -0.4, -0.1, 0.0};
+  EXPECT_DOUBLE_EQ(c.tolerable_nm(1.0), 0.05);
+  EXPECT_DOUBLE_EQ(c.tolerable_nm(0.2), 0.005);
+  c.drop_pct = {-60.0, -5.0, -3.0, 0.0};
+  EXPECT_DOUBLE_EQ(c.tolerable_nm(1.0), 0.0);
+}
+
+TEST(ResilienceCurve, PositiveDropCountsAsSafe) {
+  // Small noise can *improve* accuracy (regularization); that is safe.
+  ResilienceCurve c;
+  c.nms = {0.1, 0.01, 0.0};
+  c.drop_pct = {0.5, 0.2, 0.0};
+  EXPECT_DOUBLE_EQ(c.tolerable_nm(1.0), 0.1);
+}
+
+}  // namespace
+}  // namespace redcane::core

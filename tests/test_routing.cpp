@@ -1,0 +1,149 @@
+#include "capsnet/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "capsnet/squash.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace redcane::capsnet {
+namespace {
+
+/// Hook that records every site visit.
+class Recorder final : public PerturbationHook {
+ public:
+  struct Visit {
+    std::string layer;
+    OpKind kind;
+    Shape shape;
+  };
+  void process(const std::string& layer, OpKind kind, Tensor& x) override {
+    visits.push_back({layer, kind, x.shape()});
+  }
+  std::vector<Visit> visits;
+};
+
+TEST(Routing, OutputShapes) {
+  Rng rng(1);
+  const Tensor votes = ops::uniform(Shape{2, 6, 4, 8}, -1.0, 1.0, rng);
+  const RoutingResult r = dynamic_routing(votes, 3, nullptr, "t");
+  EXPECT_EQ(r.v.shape(), (Shape{2, 4, 8}));
+  EXPECT_EQ(r.s.shape(), (Shape{2, 4, 8}));
+  EXPECT_EQ(r.c.shape(), (Shape{2, 6, 4}));
+}
+
+TEST(Routing, CouplingCoefficientsAreSoftmaxed) {
+  Rng rng(2);
+  const Tensor votes = ops::uniform(Shape{1, 5, 3, 4}, -1.0, 1.0, rng);
+  const RoutingResult r = dynamic_routing(votes, 3, nullptr, "t");
+  for (std::int64_t i = 0; i < 5; ++i) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < 3; ++j) sum += r.c(0, i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Routing, OneIterationIsUniformCoupling) {
+  Rng rng(3);
+  const Tensor votes = ops::uniform(Shape{1, 4, 2, 3}, -1.0, 1.0, rng);
+  const RoutingResult r = dynamic_routing(votes, 1, nullptr, "t");
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 2; ++j) EXPECT_NEAR(r.c(0, i, j), 0.5, 1e-6);
+  }
+}
+
+TEST(Routing, AgreementStrengthensCoupling) {
+  // Two output capsules; all input votes agree with output 0's direction
+  // and disagree with output 1's. After 3 iterations c[:,0] > c[:,1].
+  const std::int64_t I = 4;
+  Tensor votes(Shape{1, I, 2, 2});
+  for (std::int64_t i = 0; i < I; ++i) {
+    votes(0, i, 0, 0) = 1.0F;   // All vote (1, 0) for output 0.
+    votes(0, i, 0, 1) = 0.0F;
+    votes(0, i, 1, 0) = (i % 2 == 0) ? 1.0F : -1.0F;  // Conflicting votes.
+    votes(0, i, 1, 1) = (i % 2 == 0) ? -1.0F : 1.0F;
+  }
+  const RoutingResult r = dynamic_routing(votes, 3, nullptr, "t");
+  for (std::int64_t i = 0; i < I; ++i) {
+    EXPECT_GT(r.c(0, i, 0), r.c(0, i, 1)) << "input " << i;
+  }
+  // The agreed-upon output capsule is longer.
+  const double len0 = std::hypot(r.v(0, 0, 0), r.v(0, 0, 1));
+  const double len1 = std::hypot(r.v(0, 1, 0), r.v(0, 1, 1));
+  EXPECT_GT(len0, len1);
+}
+
+TEST(Routing, FinalVEqualsSquashOfFinalS) {
+  Rng rng(4);
+  const Tensor votes = ops::uniform(Shape{2, 3, 3, 4}, -1.0, 1.0, rng);
+  const RoutingResult r = dynamic_routing(votes, 3, nullptr, "t");
+  const Tensor v2 = squash(r.s);
+  for (std::int64_t i = 0; i < r.v.numel(); ++i) EXPECT_NEAR(r.v.at(i), v2.at(i), 1e-5);
+}
+
+TEST(Routing, HookSeesAllFourSiteKindsInOrder) {
+  Rng rng(5);
+  const Tensor votes = ops::uniform(Shape{1, 3, 2, 2}, -1.0, 1.0, rng);
+  Recorder rec;
+  (void)dynamic_routing(votes, 3, &rec, "layerX");
+  // Per iteration: softmax, mac, activation; logits update except last.
+  // 3 iters -> 3*3 + 2 = 11 visits.
+  ASSERT_EQ(rec.visits.size(), 11U);
+  EXPECT_EQ(rec.visits[0].kind, OpKind::kSoftmax);
+  EXPECT_EQ(rec.visits[1].kind, OpKind::kMacOutput);
+  EXPECT_EQ(rec.visits[2].kind, OpKind::kActivation);
+  EXPECT_EQ(rec.visits[3].kind, OpKind::kLogitsUpdate);
+  for (const auto& v : rec.visits) EXPECT_EQ(v.layer, "layerX");
+  // Shapes: softmax/logits over [m, I, J]; mac/activation over [m, J, D].
+  EXPECT_EQ(rec.visits[0].shape, (Shape{1, 3, 2}));
+  EXPECT_EQ(rec.visits[1].shape, (Shape{1, 2, 2}));
+}
+
+TEST(Routing, PerturbedLogitsChangeCoupling) {
+  Rng rng(6);
+  const Tensor votes = ops::uniform(Shape{1, 4, 3, 4}, -1.0, 1.0, rng);
+  const RoutingResult clean = dynamic_routing(votes, 3, nullptr, "t");
+
+  class LogitNoiser final : public PerturbationHook {
+   public:
+    void process(const std::string&, OpKind kind, Tensor& x) override {
+      if (kind != OpKind::kLogitsUpdate) return;
+      Rng rng(123);
+      for (float& v : x.data()) v += static_cast<float>(rng.normal(0.0, 5.0));
+    }
+  } noiser;
+  const RoutingResult noisy = dynamic_routing(votes, 3, &noiser, "t");
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < clean.c.numel(); ++i) {
+    diff += std::abs(clean.c.at(i) - noisy.c.at(i));
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(RoutingBackward, GradientCheckWithFrozenCoupling) {
+  // The backward treats c as constant; check against a forward that also
+  // freezes c (single-iteration routing has constant uniform c).
+  Rng rng(7);
+  Tensor votes = ops::uniform(Shape{1, 3, 2, 3}, -1.0, 1.0, rng);
+  const RoutingResult r = dynamic_routing(votes, 1, nullptr, "t");
+  const Tensor grad_u = routing_backward(votes, r, r.v);  // dL/dv = v.
+
+  auto loss_at = [&](std::int64_t idx, float eps) {
+    const float saved = votes.at(idx);
+    votes.at(idx) = saved + eps;
+    const RoutingResult rr = dynamic_routing(votes, 1, nullptr, "t");
+    votes.at(idx) = saved;
+    double l = 0.0;
+    for (float v : rr.v.data()) l += 0.5 * static_cast<double>(v) * v;
+    return l;
+  };
+  for (std::int64_t idx = 0; idx < votes.numel(); ++idx) {
+    const double num = (loss_at(idx, 1e-3F) - loss_at(idx, -1e-3F)) / 2e-3;
+    EXPECT_NEAR(grad_u.at(idx), num, 2e-3) << idx;
+  }
+}
+
+}  // namespace
+}  // namespace redcane::capsnet

@@ -1,0 +1,70 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcane {
+namespace {
+
+TEST(Shape, DefaultIsScalar) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0U);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, InitializerList) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3U);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.dim(2), 4);
+  EXPECT_EQ(s.numel(), 24);
+}
+
+TEST(Shape, NegativeAxisIndexing) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-2), 3);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(Shape, RowMajorStrides) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.stride(0), 12);
+  EXPECT_EQ(s.stride(1), 4);
+  EXPECT_EQ(s.stride(2), 1);
+  EXPECT_EQ(s.stride(-1), 1);
+}
+
+TEST(Shape, PushBackGrowsRank) {
+  Shape s;
+  s.push_back(5);
+  s.push_back(7);
+  EXPECT_EQ(s.rank(), 2U);
+  EXPECT_EQ(s.numel(), 35);
+}
+
+TEST(Shape, WithoutAxis) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.without_axis(1), (Shape{2, 4}));
+  EXPECT_EQ(s.without_axis(-1), (Shape{2, 3}));
+}
+
+TEST(Shape, WithAppended) {
+  const Shape s{2, 3};
+  EXPECT_EQ(s.with_appended(4), (Shape{2, 3, 4}));
+}
+
+TEST(Shape, EqualityAndToString) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_NE((Shape{1, 2}), (Shape{2, 1}));
+  EXPECT_NE((Shape{1, 2}), (Shape{1, 2, 1}));
+  EXPECT_EQ((Shape{1, 2}).to_string(), "[1, 2]");
+}
+
+TEST(Shape, ZeroExtentGivesZeroNumel) {
+  const Shape s{4, 0, 3};
+  EXPECT_EQ(s.numel(), 0);
+}
+
+}  // namespace
+}  // namespace redcane

@@ -1,0 +1,99 @@
+#include "capsnet/squash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace redcane::capsnet {
+namespace {
+
+double norm_of(const Tensor& t, std::int64_t row, std::int64_t d) {
+  double s = 0.0;
+  for (std::int64_t k = 0; k < d; ++k) {
+    const double v = t.at(row * d + k);
+    s += v * v;
+  }
+  return std::sqrt(s);
+}
+
+TEST(Squash, OutputLengthBelowOne) {
+  Rng rng(1);
+  const Tensor s = ops::uniform(Shape{50, 8}, -10.0, 10.0, rng);
+  const Tensor v = squash(s);
+  for (std::int64_t r = 0; r < 50; ++r) {
+    EXPECT_LT(norm_of(v, r, 8), 1.0);
+  }
+}
+
+TEST(Squash, PreservesDirection) {
+  const Tensor s(Shape{1, 3}, {3.0F, 0.0F, 4.0F});
+  const Tensor v = squash(s);
+  // v parallel to s: cross ratios equal.
+  EXPECT_NEAR(v.at(0) / s.at(0), v.at(2) / s.at(2), 1e-6);
+  EXPECT_EQ(v.at(1), 0.0F);
+  EXPECT_GT(v.at(0), 0.0F);
+}
+
+TEST(Squash, LengthIsMonotoneInInputNorm) {
+  auto len_of = [](float scale) {
+    const Tensor s(Shape{1, 2}, {scale, 0.0F});
+    const Tensor v = squash(s);
+    return std::abs(v.at(0));
+  };
+  EXPECT_LT(len_of(0.1F), len_of(0.5F));
+  EXPECT_LT(len_of(0.5F), len_of(2.0F));
+  EXPECT_LT(len_of(2.0F), len_of(10.0F));
+}
+
+TEST(Squash, KnownValue) {
+  // |s| = 1 -> |v| = 1/2.
+  const Tensor s(Shape{1, 1}, {1.0F});
+  const Tensor v = squash(s);
+  EXPECT_NEAR(v.at(0), 0.5F, 1e-5);
+}
+
+TEST(Squash, ZeroVectorStaysZero) {
+  const Tensor s(Shape{1, 4});
+  const Tensor v = squash(s);
+  for (float x : v.data()) EXPECT_NEAR(x, 0.0F, 1e-6);
+}
+
+TEST(Squash, LargeInputApproachesUnitLength) {
+  const Tensor s(Shape{1, 2}, {300.0F, 400.0F});
+  const Tensor v = squash(s);
+  EXPECT_NEAR(norm_of(v, 0, 2), 1.0, 1e-2);
+}
+
+TEST(SquashBackward, GradientCheck) {
+  Rng rng(2);
+  Tensor s = ops::uniform(Shape{4, 5}, -2.0, 2.0, rng);
+  const Tensor v0 = squash(s);
+  // L = 0.5 sum v^2 -> dL/dv = v.
+  const Tensor grad_s = squash_backward(s, v0);
+  auto loss_at = [&](std::int64_t idx, float eps) {
+    const float saved = s.at(idx);
+    s.at(idx) = saved + eps;
+    const Tensor v = squash(s);
+    s.at(idx) = saved;
+    double l = 0.0;
+    for (float x : v.data()) l += 0.5 * static_cast<double>(x) * x;
+    return l;
+  };
+  for (std::int64_t idx = 0; idx < s.numel(); ++idx) {
+    const double num = (loss_at(idx, 1e-3F) - loss_at(idx, -1e-3F)) / 2e-3;
+    EXPECT_NEAR(grad_s.at(idx), num, 2e-3) << idx;
+  }
+}
+
+TEST(SquashBackward, ShapeMatchesInput) {
+  Rng rng(3);
+  const Tensor s = ops::uniform(Shape{2, 3, 4}, -1.0, 1.0, rng);
+  const Tensor g = ops::uniform(Shape{2, 3, 4}, -1.0, 1.0, rng);
+  EXPECT_EQ(squash_backward(s, g).shape(), s.shape());
+}
+
+}  // namespace
+}  // namespace redcane::capsnet

@@ -1,0 +1,99 @@
+#include "tensor/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/random.hpp"
+
+namespace redcane {
+namespace {
+
+TEST(Moments, SimpleSample) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const stats::Moments m = stats::moments(std::span<const double>(xs));
+  EXPECT_DOUBLE_EQ(m.mean, 2.5);
+  EXPECT_DOUBLE_EQ(m.min, 1.0);
+  EXPECT_DOUBLE_EQ(m.max, 4.0);
+  EXPECT_DOUBLE_EQ(m.range(), 3.0);
+  EXPECT_NEAR(m.stddev, 1.1180339887, 1e-9);
+  EXPECT_EQ(m.count, 4);
+}
+
+TEST(Moments, EmptyIsZero) {
+  const std::vector<double> xs;
+  const stats::Moments m = stats::moments(std::span<const double>(xs));
+  EXPECT_EQ(m.count, 0);
+  EXPECT_EQ(m.mean, 0.0);
+}
+
+TEST(Moments, TensorOverload) {
+  const Tensor t(Shape{3}, {-1.0F, 0.0F, 1.0F});
+  const stats::Moments m = stats::moments(t);
+  EXPECT_DOUBLE_EQ(m.mean, 0.0);
+  EXPECT_DOUBLE_EQ(m.range(), 2.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  stats::Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(15.0);   // clamped to bin 9
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(9), 2);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(Histogram, BinCenters) {
+  const stats::Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Histogram, Frequencies) {
+  stats::Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.25);
+  h.add(0.75);
+  EXPECT_NEAR(h.frequency(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.frequency(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(GaussianFit, NormalSamplesScoreWell) {
+  Rng rng(1);
+  stats::Histogram h(-5.0, 5.0, 64);
+  for (int i = 0; i < 100000; ++i) h.add(rng.normal());
+  EXPECT_LT(stats::gaussian_fit_distance(h, 0.0, 1.0), 0.05);
+}
+
+TEST(GaussianFit, UniformSamplesScoreWorse) {
+  Rng rng(1);
+  stats::Histogram h(-5.0, 5.0, 64);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform(-4.0, 4.0));
+  const stats::Moments m = [] {
+    Rng r2(1);
+    std::vector<double> xs;
+    for (int i = 0; i < 100000; ++i) xs.push_back(r2.uniform(-4.0, 4.0));
+    return stats::moments(std::span<const double>(xs));
+  }();
+  EXPECT_GT(stats::gaussian_fit_distance(h, m.mean, m.stddev), 0.2);
+}
+
+TEST(GaussianFit, ExpectedCountsSumToTotal) {
+  const stats::Histogram h(-4.0, 4.0, 32);
+  const std::vector<double> exp = stats::gaussian_expected_counts(h, 0.0, 1.0, 1000);
+  double sum = 0.0;
+  for (double e : exp) sum += e;
+  EXPECT_NEAR(sum, 1000.0, 1.0);  // Mass within +/-4 sigma.
+}
+
+TEST(GaussianFit, DegenerateStddevPutsMassAtMean) {
+  stats::Histogram h(-1.0, 1.0, 4);
+  h.add(0.6);
+  const std::vector<double> exp = stats::gaussian_expected_counts(h, 0.6, 0.0, 10);
+  EXPECT_DOUBLE_EQ(exp[3], 10.0);
+}
+
+}  // namespace
+}  // namespace redcane

@@ -1,0 +1,74 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcane {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Tensor, FillConstructor) {
+  const Tensor t(Shape{4}, 2.5F);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5F);
+}
+
+TEST(Tensor, FromValues) {
+  const Tensor t(Shape{2, 2}, {1.0F, 2.0F, 3.0F, 4.0F});
+  EXPECT_EQ(t(0, 0), 1.0F);
+  EXPECT_EQ(t(0, 1), 2.0F);
+  EXPECT_EQ(t(1, 0), 3.0F);
+  EXPECT_EQ(t(1, 1), 4.0F);
+}
+
+TEST(Tensor, MultiIndexWriteReads) {
+  Tensor t(Shape{2, 3, 4});
+  t(1, 2, 3) = 9.0F;
+  EXPECT_EQ(t.at(1 * 12 + 2 * 4 + 3), 9.0F);
+}
+
+TEST(Tensor, Rank5Access) {
+  Tensor t(Shape{2, 2, 2, 2, 2});
+  t(1, 0, 1, 0, 1) = 3.0F;
+  EXPECT_EQ(t(1, 0, 1, 0, 1), 3.0F);
+  EXPECT_EQ(t.at(16 + 4 + 1), 3.0F);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 3});
+  for (std::int64_t i = 0; i < 6; ++i) t.at(i) = static_cast<float>(i);
+  const Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(r.at(i), static_cast<float>(i));
+}
+
+TEST(Tensor, FillOverwrites) {
+  Tensor t(Shape{3}, 1.0F);
+  t.fill(-2.0F);
+  for (float v : t.data()) EXPECT_EQ(v, -2.0F);
+}
+
+TEST(Tensor, EmptyDefault) {
+  const Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(Tensor, ValueSemanticsCopyIsDeep) {
+  Tensor a(Shape{2}, 1.0F);
+  Tensor b = a;
+  b.at(0) = 5.0F;
+  EXPECT_EQ(a.at(0), 1.0F);
+  EXPECT_EQ(b.at(0), 5.0F);
+}
+
+TEST(Tensor, ToStringMentionsShape) {
+  const Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.to_string(), "Tensor[2, 3] (6 elements)");
+}
+
+}  // namespace
+}  // namespace redcane

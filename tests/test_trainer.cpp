@@ -1,0 +1,86 @@
+#include "capsnet/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "capsnet/capsnet_model.hpp"
+#include "data/synthetic.hpp"
+#include "tensor/ops.hpp"
+
+namespace redcane::capsnet {
+namespace {
+
+/// Micro CapsNet profile for fast unit tests.
+CapsNetConfig micro_config() {
+  CapsNetConfig c;
+  c.input_hw = 14;
+  c.conv1_kernel = 5;
+  c.conv1_channels = 8;
+  c.primary_kernel = 5;
+  c.primary_stride = 2;
+  c.primary_types = 2;
+  c.primary_dim = 4;
+  c.class_dim = 4;
+  return c;
+}
+
+data::Dataset micro_dataset() {
+  data::SyntheticSpec s;
+  s.kind = data::DatasetKind::kMnist;
+  s.hw = 14;
+  s.channels = 1;
+  s.train_count = 200;
+  s.test_count = 80;
+  s.seed = 21;
+  return data::make_synthetic(s);
+}
+
+TEST(SliceRows, ExtractsContiguousRows) {
+  Tensor t(Shape{4, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  const Tensor s = slice_rows(t, 1, 3);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.at(0), 2.0F);
+  EXPECT_EQ(s.at(3), 5.0F);
+}
+
+TEST(Trainer, LossDecreasesAndAccuracyRises) {
+  Rng rng(1);
+  CapsNetModel model(micro_config(), rng);
+  const data::Dataset ds = micro_dataset();
+
+  std::vector<double> losses;
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.batch_size = 20;
+  cfg.lr = 3e-3;
+  cfg.on_epoch = [&](int, double loss, double) { losses.push_back(loss); };
+  const TrainStats stats = train(model, ds.train_x, ds.train_y, cfg);
+
+  ASSERT_EQ(losses.size(), 8U);
+  EXPECT_LT(losses.back(), losses.front());
+  EXPECT_EQ(stats.epochs_run, 8);
+  EXPECT_GT(stats.final_train_accuracy, 0.5);
+
+  const double test_acc = evaluate(model, ds.test_x, ds.test_y);
+  EXPECT_GT(test_acc, 0.5);
+}
+
+TEST(Trainer, EvaluateIsDeterministicWithoutHook) {
+  Rng rng(2);
+  CapsNetModel model(micro_config(), rng);
+  const data::Dataset ds = micro_dataset();
+  const double a = evaluate(model, ds.test_x, ds.test_y);
+  const double b = evaluate(model, ds.test_x, ds.test_y);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Trainer, EvaluateBatchSizeInvariant) {
+  Rng rng(3);
+  CapsNetModel model(micro_config(), rng);
+  const data::Dataset ds = micro_dataset();
+  const double a = evaluate(model, ds.test_x, ds.test_y, nullptr, 16);
+  const double b = evaluate(model, ds.test_x, ds.test_y, nullptr, 80);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace redcane::capsnet
