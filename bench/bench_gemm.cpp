@@ -1,0 +1,156 @@
+// Measures the compute-core speedup that motivates the im2col + blocked
+// GEMM refactor: naive 7-deep conv loops vs the lowered GEMM path vs the
+// LUT-accelerated approximate path, on a DeepCaps-sized layer, plus a raw
+// matmul comparison. Every resilience sweep is a loop of these forwards,
+// so this ratio is the throughput of the whole methodology.
+//
+// Usage: bench_gemm [--quick]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "approx/library.hpp"
+#include "bench_common.hpp"
+#include "nn/conv2d.hpp"
+#include "quant/approx_conv.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace redcane::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double time_ms(const std::function<void()>& fn, int iters) {
+  fn();  // Warm-up (page faults, caches).
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count() / iters;
+}
+
+/// The seed's 7-deep conv loop nest (scalar accumulation, per-tap bounds
+/// checks) — the baseline every conv path used before the refactor.
+Tensor naive_conv(const Tensor& x, const Tensor& w, const Tensor& bias, std::int64_t stride,
+                  std::int64_t pad) {
+  const std::int64_t n = x.shape().dim(0);
+  const std::int64_t h = x.shape().dim(1);
+  const std::int64_t wd = x.shape().dim(2);
+  const std::int64_t cin = x.shape().dim(3);
+  const std::int64_t kh = w.shape().dim(0);
+  const std::int64_t kw = w.shape().dim(1);
+  const std::int64_t cout = w.shape().dim(3);
+  const std::int64_t ho = (h + 2 * pad - kh) / stride + 1;
+  const std::int64_t wo = (wd + 2 * pad - kw) / stride + 1;
+  Tensor out(Shape{n, ho, wo, cout});
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t oy = 0; oy < ho; ++oy) {
+      for (std::int64_t ox = 0; ox < wo; ++ox) {
+        for (std::int64_t co = 0; co < cout; ++co) {
+          float acc = bias.empty() ? 0.0F : bias.at(co);
+          for (std::int64_t ky = 0; ky < kh; ++ky) {
+            const std::int64_t iy = oy * stride + ky - pad;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kx = 0; kx < kw; ++kx) {
+              const std::int64_t ix = ox * stride + kx - pad;
+              if (ix < 0 || ix >= wd) continue;
+              for (std::int64_t ci = 0; ci < cin; ++ci) {
+                acc += x(ni, iy, ix, ci) * w(ky, kx, ci, co);
+              }
+            }
+          }
+          out(ni, oy, ox, co) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.shape().dim(0);
+  const std::int64_t k = a.shape().dim(1);
+  const std::int64_t n = b.shape().dim(1);
+  Tensor c(Shape{m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0F;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += a(i, kk) * b(kk, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+int run(bool quick) {
+  print_header("GEMM compute core: naive vs im2col+GEMM vs LUT-approx");
+
+  Rng rng(42);
+  // DeepCaps mid-stack capsule conv: 16x16 map, 32 types x 8D in and out
+  // (256 channels each side), 3x3 kernel — the layer class that dominates
+  // resilience-sweep wall time. --quick shrinks it for CI smoke runs.
+  const std::int64_t batch = quick ? 1 : 2;
+  const std::int64_t hw = quick ? 8 : 16;
+  const std::int64_t ch = quick ? 64 : 256;
+  const Tensor x = ops::uniform(Shape{batch, hw, hw, ch}, -1.0, 1.0, rng);
+  const Tensor w = ops::uniform(Shape{3, 3, ch, ch}, -0.2, 0.2, rng);
+  const Tensor bias = ops::uniform(Shape{ch}, -0.1, 0.1, rng);
+  const int iters = quick ? 2 : 3;
+
+  const double t_naive =
+      time_ms([&] { (void)naive_conv(x, w, bias, 1, 1); }, iters);
+  const double t_gemm =
+      time_ms([&] { (void)nn::conv2d_forward(x, w, bias, 1, 1); }, iters);
+
+  quant::ApproxConvSpec aspec;
+  aspec.stride = 1;
+  aspec.pad = 1;
+  const approx::Multiplier& mul = approx::exact_multiplier();
+  const double t_lut =
+      time_ms([&] { (void)quant::approx_conv2d(x, w, bias, aspec, mul); }, iters);
+
+  const double macs = static_cast<double>(batch * hw * hw) * 9.0 * ch * ch;
+  std::printf("conv layer [%lld, %lld, %lld, %lld] * [3, 3, %lld, %lld]  (%.1f MMACs)\n\n",
+              static_cast<long long>(batch), static_cast<long long>(hw),
+              static_cast<long long>(hw), static_cast<long long>(ch),
+              static_cast<long long>(ch), static_cast<long long>(ch), macs / 1e6);
+  std::printf("  %-34s %10.2f ms  %8.1f MMAC/s\n", "naive 7-loop conv", t_naive,
+              macs / t_naive / 1e3);
+  std::printf("  %-34s %10.2f ms  %8.1f MMAC/s  (%.2fx vs naive)\n", "im2col + blocked GEMM",
+              t_gemm, macs / t_gemm / 1e3, t_naive / t_gemm);
+  std::printf("  %-34s %10.2f ms  %8.1f MMAC/s  (%.2fx vs naive)\n",
+              "LUT-approx (8-bit codes, u8 GEMM)", t_lut, macs / t_lut / 1e3, t_naive / t_lut);
+
+  // Raw matmul: the same core also backs ops::matmul (dense layers,
+  // routing-free capsule projections).
+  const std::int64_t mm = quick ? 128 : 512;
+  const Tensor a = ops::uniform(Shape{mm, mm}, -1.0, 1.0, rng);
+  const Tensor b = ops::uniform(Shape{mm, mm}, -1.0, 1.0, rng);
+  const double t_mm_naive = time_ms([&] { (void)naive_matmul(a, b); }, iters);
+  const double t_mm_gemm = time_ms([&] { (void)ops::matmul(a, b); }, iters);
+  std::printf("\nmatmul [%lld x %lld]\n", static_cast<long long>(mm),
+              static_cast<long long>(mm));
+  std::printf("  %-34s %10.2f ms\n", "naive ijk triple loop", t_mm_naive);
+  std::printf("  %-34s %10.2f ms  (%.2fx vs naive)\n", "blocked GEMM (ops::matmul)", t_mm_gemm,
+              t_mm_naive / t_mm_gemm);
+
+  const double speedup = t_naive / t_gemm;
+  std::printf("\n%s: im2col+GEMM is %.2fx the naive conv path (target >= 2x)\n",
+              speedup >= 2.0 ? "PASS" : "FAIL", speedup);
+  return speedup >= 2.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace redcane::bench
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  return redcane::bench::run(quick);
+}

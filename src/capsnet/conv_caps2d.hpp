@@ -4,6 +4,9 @@
 // squashed. The conv output is a MacOutput site; the squashed capsules an
 // Activation site — these are exactly the per-layer sites of the paper's
 // Fig. 10 drill-down.
+//
+// The convolution itself is an nn::Conv2D, so forward and backward route
+// through the shared im2col + blocked-GEMM core (tensor/gemm.hpp).
 #pragma once
 
 #include <memory>

@@ -1,9 +1,34 @@
 #include "capsnet/conv_caps3d.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
+
+#include "nn/im2col.hpp"
+#include "tensor/gemm.hpp"
 
 namespace redcane::capsnet {
+namespace {
+
+// The vote computation is a grouped convolution: each input capsule type i
+// is convolved independently (cin = in_dim) with its own weight slice
+// [K, K, in_dim, out_types*out_dim] to produce votes[:, i, :]. The helpers
+// below gather/scatter the per-type planes so each group is a plain
+// im2col + GEMM on the shared core.
+
+/// Copies x[n, h, w, i, :] (rank-5, row-major) into a dense [n, h, w, di]
+/// plane for type `i`.
+void gather_type_plane(const float* x, std::int64_t spatial, std::int64_t ti, std::int64_t di,
+                       std::int64_t i, float* plane) {
+  const float* src = x + i * di;
+  const std::int64_t xstride = ti * di;
+  for (std::int64_t s = 0; s < spatial; ++s) {
+    for (std::int64_t p = 0; p < di; ++p) plane[s * di + p] = src[s * xstride + p];
+  }
+}
+
+}  // namespace
 
 ConvCaps3D::ConvCaps3D(std::string name, const ConvCaps3DSpec& spec, Rng& rng)
     : name_(std::move(name)),
@@ -19,49 +44,34 @@ Tensor ConvCaps3D::compute_votes(const Tensor& x, std::int64_t& ho, std::int64_t
   const std::int64_t w = x.shape().dim(2);
   const std::int64_t ti = spec_.in_types;
   const std::int64_t di = spec_.in_dim;
-  const std::int64_t to = spec_.out_types;
-  const std::int64_t dd = spec_.out_dim;
-  const std::int64_t k = spec_.kernel;
-  ho = (h + 2 * spec_.pad - k) / spec_.stride + 1;
-  wo = (w + 2 * spec_.pad - k) / spec_.stride + 1;
+  const std::int64_t jd = spec_.out_types * spec_.out_dim;
 
-  Tensor votes(Shape{n * ho * wo, ti, to, dd});
+  const nn::ConvDims d = nn::make_conv_dims(Shape{n, h, w, di}, spec_.kernel, spec_.kernel,
+                                            jd, spec_.stride, spec_.pad);
+  ho = d.ho;
+  wo = d.wo;
+  const std::int64_t m = d.rows();
+  const std::int64_t k = d.cols();
+
+  Tensor votes(Shape{m, ti, spec_.out_types, spec_.out_dim});
   const auto xd = x.data();
   const auto wd = w_.value.data();
   auto vd = votes.data();
-  const std::int64_t jd = to * dd;
 
-#pragma omp parallel for collapse(2) if (n * ho > 2)
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t oy = 0; oy < ho; ++oy) {
-      for (std::int64_t ox = 0; ox < wo; ++ox) {
-        const std::size_t vpos =
-            static_cast<std::size_t>(((ni * ho + oy) * wo + ox) * ti * jd);
-        for (std::int64_t ky = 0; ky < k; ++ky) {
-          const std::int64_t iy = oy * spec_.stride + ky - spec_.pad;
-          if (iy < 0 || iy >= h) continue;
-          for (std::int64_t kx = 0; kx < k; ++kx) {
-            const std::int64_t ix = ox * spec_.stride + kx - spec_.pad;
-            if (ix < 0 || ix >= w) continue;
-            const std::size_t xbase =
-                static_cast<std::size_t>(((ni * h + iy) * w + ix) * ti * di);
-            for (std::int64_t i = 0; i < ti; ++i) {
-              const std::size_t wbase =
-                  static_cast<std::size_t>((((i * k + ky) * k + kx) * di) * jd);
-              const std::size_t vbase = vpos + static_cast<std::size_t>(i * jd);
-              for (std::int64_t p = 0; p < di; ++p) {
-                const float xv = xd[xbase + static_cast<std::size_t>(i * di + p)];
-                if (xv == 0.0F) continue;
-                const std::size_t wrow = wbase + static_cast<std::size_t>(p * jd);
-                for (std::int64_t q = 0; q < jd; ++q) {
-                  vd[vbase + static_cast<std::size_t>(q)] +=
-                      xv * wd[wrow + static_cast<std::size_t>(q)];
-                }
-              }
-            }
-          }
-        }
-      }
+  std::vector<float> plane(static_cast<std::size_t>(n * h * w * di));
+  std::vector<float> cols(static_cast<std::size_t>(m * k));
+  std::vector<float> votes_i(static_cast<std::size_t>(m * jd));
+  for (std::int64_t i = 0; i < ti; ++i) {
+    gather_type_plane(xd.data(), n * h * w, ti, di, i, plane.data());
+    nn::im2col(plane.data(), d, cols.data());
+    // votes_i [M, jd] = cols [M, K] * w_i [K, jd]; the weight slice for
+    // type i is contiguous in [ti, K, K, di, jd] layout.
+    gemm::gemm_f32(false, false, m, jd, k, cols.data(), &wd[static_cast<std::size_t>(i * k * jd)],
+                   0.0F, votes_i.data());
+    for (std::int64_t r = 0; r < m; ++r) {
+      float* dst = &vd[static_cast<std::size_t>((r * ti + i) * jd)];
+      const float* src = &votes_i[static_cast<std::size_t>(r * jd)];
+      for (std::int64_t q = 0; q < jd; ++q) dst[q] = src[q];
     }
   }
   return votes;
@@ -99,12 +109,16 @@ Tensor ConvCaps3D::backward(const Tensor& grad_out) {
   const std::int64_t di = spec_.in_dim;
   const std::int64_t to = spec_.out_types;
   const std::int64_t dd = spec_.out_dim;
-  const std::int64_t k = spec_.kernel;
   const std::int64_t jd = to * dd;
 
   const Tensor grad_v =
       grad_out.reshaped(Shape{n * cached_ho_ * cached_wo_, to, dd});
   const Tensor grad_votes = routing_backward(cached_votes_, cached_routing_, grad_v);
+
+  const nn::ConvDims d = nn::make_conv_dims(Shape{n, h, w, di}, spec_.kernel, spec_.kernel,
+                                            jd, spec_.stride, spec_.pad);
+  const std::int64_t m = d.rows();
+  const std::int64_t k = d.cols();
 
   Tensor grad_x(cached_x_.shape());
   const auto xd = cached_x_.data();
@@ -113,39 +127,31 @@ Tensor ConvCaps3D::backward(const Tensor& grad_out) {
   auto gw = w_.grad.data();
   auto gx = grad_x.data();
 
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t oy = 0; oy < cached_ho_; ++oy) {
-      for (std::int64_t ox = 0; ox < cached_wo_; ++ox) {
-        const std::size_t vpos = static_cast<std::size_t>(
-            ((ni * cached_ho_ + oy) * cached_wo_ + ox) * ti * jd);
-        for (std::int64_t ky = 0; ky < k; ++ky) {
-          const std::int64_t iy = oy * spec_.stride + ky - spec_.pad;
-          if (iy < 0 || iy >= h) continue;
-          for (std::int64_t kx = 0; kx < k; ++kx) {
-            const std::int64_t ix = ox * spec_.stride + kx - spec_.pad;
-            if (ix < 0 || ix >= w) continue;
-            const std::size_t xbase =
-                static_cast<std::size_t>(((ni * h + iy) * w + ix) * ti * di);
-            for (std::int64_t i = 0; i < ti; ++i) {
-              const std::size_t wbase =
-                  static_cast<std::size_t>((((i * k + ky) * k + kx) * di) * jd);
-              const std::size_t vbase = vpos + static_cast<std::size_t>(i * jd);
-              for (std::int64_t p = 0; p < di; ++p) {
-                const std::size_t xi = xbase + static_cast<std::size_t>(i * di + p);
-                const float xv = xd[xi];
-                const std::size_t wrow = wbase + static_cast<std::size_t>(p * jd);
-                float gxacc = 0.0F;
-                for (std::int64_t q = 0; q < jd; ++q) {
-                  const float g = gv[vbase + static_cast<std::size_t>(q)];
-                  gw[wrow + static_cast<std::size_t>(q)] += xv * g;
-                  gxacc += wd[wrow + static_cast<std::size_t>(q)] * g;
-                }
-                gx[xi] += gxacc;
-              }
-            }
-          }
-        }
-      }
+  std::vector<float> plane(static_cast<std::size_t>(n * h * w * di));
+  std::vector<float> cols(static_cast<std::size_t>(m * k));
+  std::vector<float> gv_i(static_cast<std::size_t>(m * jd));
+  std::vector<float> grad_cols(static_cast<std::size_t>(m * k));
+  std::vector<float> grad_plane(static_cast<std::size_t>(n * h * w * di));
+  for (std::int64_t i = 0; i < ti; ++i) {
+    for (std::int64_t r = 0; r < m; ++r) {
+      const float* src = &gv[static_cast<std::size_t>((r * ti + i) * jd)];
+      float* dst = &gv_i[static_cast<std::size_t>(r * jd)];
+      for (std::int64_t q = 0; q < jd; ++q) dst[q] = src[q];
+    }
+    // grad_w_i [K, jd] += cols_i^T [K, M] * grad_votes_i [M, jd].
+    gather_type_plane(xd.data(), n * h * w, ti, di, i, plane.data());
+    nn::im2col(plane.data(), d, cols.data());
+    gemm::gemm_f32(true, false, k, jd, m, cols.data(), gv_i.data(), 1.0F,
+                   &gw[static_cast<std::size_t>(i * k * jd)]);
+    // grad_cols_i [M, K] = grad_votes_i [M, jd] * w_i^T [jd, K].
+    gemm::gemm_f32(false, true, m, k, jd, gv_i.data(),
+                   &wd[static_cast<std::size_t>(i * k * jd)], 0.0F, grad_cols.data());
+    std::fill(grad_plane.begin(), grad_plane.end(), 0.0F);
+    nn::col2im(grad_cols.data(), d, grad_plane.data());
+    const std::int64_t xstride = ti * di;
+    float* gdst = gx.data() + i * di;
+    for (std::int64_t s = 0; s < n * h * w; ++s) {
+      for (std::int64_t p = 0; p < di; ++p) gdst[s * xstride + p] = grad_plane[s * di + p];
     }
   }
   return grad_x;

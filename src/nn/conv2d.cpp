@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "nn/im2col.hpp"
+#include "tensor/gemm.hpp"
+
 namespace redcane::nn {
 namespace {
 
@@ -15,52 +18,19 @@ namespace {
 
 Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
                       std::int64_t stride, std::int64_t pad) {
-  if (x.shape().rank() != 4 || w.shape().rank() != 4) fail("conv2d expects NHWC x, KKIO w");
-  const std::int64_t n = x.shape().dim(0);
-  const std::int64_t h = x.shape().dim(1);
-  const std::int64_t wd = x.shape().dim(2);
-  const std::int64_t cin = x.shape().dim(3);
-  const std::int64_t kh = w.shape().dim(0);
-  const std::int64_t kw = w.shape().dim(1);
-  const std::int64_t cout = w.shape().dim(3);
-  if (w.shape().dim(2) != cin) fail("conv2d channel mismatch");
-  const std::int64_t ho = (h + 2 * pad - kh) / stride + 1;
-  const std::int64_t wo = (wd + 2 * pad - kw) / stride + 1;
-  if (ho <= 0 || wo <= 0) fail("conv2d produces empty output");
-
-  Tensor out(Shape{n, ho, wo, cout});
-  const auto xd = x.data();
-  const auto wdta = w.data();
-  auto od = out.data();
-  const bool has_bias = !bias.empty();
-
-#pragma omp parallel for collapse(2) if (n * ho > 4)
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t oy = 0; oy < ho; ++oy) {
-      for (std::int64_t ox = 0; ox < wo; ++ox) {
-        float* orow = &od[static_cast<std::size_t>(((ni * ho + oy) * wo + ox) * cout)];
-        if (has_bias) {
-          for (std::int64_t co = 0; co < cout; ++co) orow[co] = bias.at(co);
-        } else {
-          for (std::int64_t co = 0; co < cout; ++co) orow[co] = 0.0F;
-        }
-        for (std::int64_t ky = 0; ky < kh; ++ky) {
-          const std::int64_t iy = oy * stride + ky - pad;
-          if (iy < 0 || iy >= h) continue;
-          for (std::int64_t kx = 0; kx < kw; ++kx) {
-            const std::int64_t ix = ox * stride + kx - pad;
-            if (ix < 0 || ix >= wd) continue;
-            const float* xrow = &xd[static_cast<std::size_t>(((ni * h + iy) * wd + ix) * cin)];
-            const float* wrow = &wdta[static_cast<std::size_t>((ky * kw + kx) * cin * cout)];
-            for (std::int64_t ci = 0; ci < cin; ++ci) {
-              const float xv = xrow[ci];
-              if (xv == 0.0F) continue;
-              const float* wc = &wrow[ci * cout];
-              for (std::int64_t co = 0; co < cout; ++co) orow[co] += xv * wc[co];
-            }
-          }
-        }
-      }
+  const ConvDims d = make_conv_dims(x.shape(), w.shape(), stride, pad);
+  // Lower to cols [M, K] * w [K, Cout]: KKIO weights are already the
+  // right matrix row-major.
+  const Tensor cols = im2col(x, d);
+  Tensor out(Shape{d.n, d.ho, d.wo, d.cout});
+  gemm::gemm_f32(false, false, d.rows(), d.cout, d.cols(), cols.data().data(),
+                 w.data().data(), 0.0F, out.data().data());
+  if (!bias.empty()) {
+    auto od = out.data();
+    const auto bd = bias.data();
+    for (std::int64_t r = 0; r < d.rows(); ++r) {
+      float* orow = &od[static_cast<std::size_t>(r * d.cout)];
+      for (std::int64_t co = 0; co < d.cout; ++co) orow[co] += bd[static_cast<std::size_t>(co)];
     }
   }
   return out;
@@ -82,55 +52,34 @@ Tensor Conv2D::forward(const Tensor& x, bool train) {
 Tensor Conv2D::backward(const Tensor& grad_out) {
   const Tensor& x = cached_x_;
   if (x.empty()) fail("Conv2D::backward without cached forward");
-  const std::int64_t n = x.shape().dim(0);
-  const std::int64_t h = x.shape().dim(1);
-  const std::int64_t wd = x.shape().dim(2);
-  const std::int64_t cin = x.shape().dim(3);
-  const std::int64_t kh = spec_.kernel;
-  const std::int64_t kw = spec_.kernel;
-  const std::int64_t cout = spec_.out_channels;
-  const std::int64_t ho = grad_out.shape().dim(1);
-  const std::int64_t wo = grad_out.shape().dim(2);
-
-  Tensor grad_in(x.shape());
-  const auto xd = x.data();
+  const ConvDims d = make_conv_dims(x.shape(), w_.value.shape(), spec_.stride, spec_.pad);
+  if (grad_out.shape().dim(1) != d.ho || grad_out.shape().dim(2) != d.wo) {
+    fail("Conv2D::backward grad shape mismatch");
+  }
+  const std::int64_t m = d.rows();
+  const std::int64_t k = d.cols();
   const auto gd = grad_out.data();
-  auto gid = grad_in.data();
-  auto gw = w_.grad.data();
-  auto gb = b_.grad.data();
-  const auto wv = w_.value.data();
 
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t oy = 0; oy < ho; ++oy) {
-      for (std::int64_t ox = 0; ox < wo; ++ox) {
-        const float* grow = &gd[static_cast<std::size_t>(((ni * ho + oy) * wo + ox) * cout)];
-        if (spec_.bias) {
-          for (std::int64_t co = 0; co < cout; ++co) gb[static_cast<std::size_t>(co)] += grow[co];
-        }
-        for (std::int64_t ky = 0; ky < kh; ++ky) {
-          const std::int64_t iy = oy * spec_.stride + ky - spec_.pad;
-          if (iy < 0 || iy >= h) continue;
-          for (std::int64_t kx = 0; kx < kw; ++kx) {
-            const std::int64_t ix = ox * spec_.stride + kx - spec_.pad;
-            if (ix < 0 || ix >= wd) continue;
-            const std::size_t xbase = static_cast<std::size_t>(((ni * h + iy) * wd + ix) * cin);
-            const std::size_t wbase = static_cast<std::size_t>((ky * kw + kx) * cin * cout);
-            for (std::int64_t ci = 0; ci < cin; ++ci) {
-              const float xv = xd[xbase + static_cast<std::size_t>(ci)];
-              float gi = 0.0F;
-              const std::size_t wrow = wbase + static_cast<std::size_t>(ci * cout);
-              for (std::int64_t co = 0; co < cout; ++co) {
-                const float g = grow[co];
-                gw[wrow + static_cast<std::size_t>(co)] += xv * g;
-                gi += wv[wrow + static_cast<std::size_t>(co)] * g;
-              }
-              gid[xbase + static_cast<std::size_t>(ci)] += gi;
-            }
-          }
-        }
-      }
+  if (spec_.bias) {
+    auto gb = b_.grad.data();
+    for (std::int64_t r = 0; r < m; ++r) {
+      const float* grow = &gd[static_cast<std::size_t>(r * d.cout)];
+      for (std::int64_t co = 0; co < d.cout; ++co) gb[static_cast<std::size_t>(co)] += grow[co];
     }
   }
+
+  // grad_w [K, Cout] += cols^T [K, M] * grad_out [M, Cout].
+  const Tensor cols = im2col(x, d);
+  gemm::gemm_f32(true, false, k, d.cout, m, cols.data().data(), gd.data(), 1.0F,
+                 w_.grad.data().data());
+
+  // grad_cols [M, K] = grad_out [M, Cout] * w^T [Cout, K]; col2im folds the
+  // patch gradients back onto the input image.
+  Tensor grad_cols(Shape{m, k});
+  gemm::gemm_f32(false, true, m, k, d.cout, gd.data(), w_.value.data().data(), 0.0F,
+                 grad_cols.data().data());
+  Tensor grad_in(x.shape());
+  col2im(grad_cols.data().data(), d, grad_in.data().data());
   return grad_in;
 }
 

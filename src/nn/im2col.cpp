@@ -1,0 +1,154 @@
+#include "nn/im2col.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace redcane::nn {
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  std::fprintf(stderr, "redcane::nn fatal: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+ConvDims make_conv_dims(const Shape& x, std::int64_t kh, std::int64_t kw, std::int64_t cout,
+                        std::int64_t stride, std::int64_t pad) {
+  if (x.rank() != 4) fail("conv expects NHWC input");
+  if (stride <= 0) fail("conv stride must be positive");
+  ConvDims d;
+  d.n = x.dim(0);
+  d.h = x.dim(1);
+  d.w = x.dim(2);
+  d.cin = x.dim(3);
+  d.kh = kh;
+  d.kw = kw;
+  d.cout = cout;
+  d.stride = stride;
+  d.pad = pad;
+  d.ho = (d.h + 2 * pad - kh) / stride + 1;
+  d.wo = (d.w + 2 * pad - kw) / stride + 1;
+  if (d.ho <= 0 || d.wo <= 0) fail("conv produces empty output");
+  return d;
+}
+
+ConvDims make_conv_dims(const Shape& x, const Shape& w, std::int64_t stride, std::int64_t pad) {
+  if (w.rank() != 4) fail("conv expects KKIO weights");
+  ConvDims d = make_conv_dims(x, w.dim(0), w.dim(1), w.dim(3), stride, pad);
+  if (w.dim(2) != d.cin) fail("conv channel mismatch");
+  return d;
+}
+
+// The three lowerings below share their loop structure: iterate output
+// positions (= patch rows) and kernel rows, handling each kernel row as one
+// contiguous run of kw*cin elements when fully inside the image, tap by tap
+// otherwise.
+
+void im2col(const float* x, const ConvDims& d, float* cols) {
+  const std::int64_t row_len = d.cols();
+#pragma omp parallel for collapse(2) if (d.n * d.ho > 8)
+  for (std::int64_t ni = 0; ni < d.n; ++ni) {
+    for (std::int64_t oy = 0; oy < d.ho; ++oy) {
+      for (std::int64_t ox = 0; ox < d.wo; ++ox) {
+        float* row = cols + ((ni * d.ho + oy) * d.wo + ox) * row_len;
+        for (std::int64_t ky = 0; ky < d.kh; ++ky) {
+          const std::int64_t iy = oy * d.stride + ky - d.pad;
+          float* dst = row + ky * d.kw * d.cin;
+          if (iy < 0 || iy >= d.h) {
+            std::memset(dst, 0, static_cast<std::size_t>(d.kw * d.cin) * sizeof(float));
+            continue;
+          }
+          const std::int64_t ix0 = ox * d.stride - d.pad;
+          const float* src_row = x + ((ni * d.h + iy) * d.w) * d.cin;
+          if (ix0 >= 0 && ix0 + d.kw <= d.w) {
+            std::memcpy(dst, src_row + ix0 * d.cin,
+                        static_cast<std::size_t>(d.kw * d.cin) * sizeof(float));
+            continue;
+          }
+          for (std::int64_t kx = 0; kx < d.kw; ++kx) {
+            const std::int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= d.w) {
+              std::memset(dst + kx * d.cin, 0, static_cast<std::size_t>(d.cin) * sizeof(float));
+            } else {
+              std::memcpy(dst + kx * d.cin, src_row + ix * d.cin,
+                          static_cast<std::size_t>(d.cin) * sizeof(float));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor im2col(const Tensor& x, const ConvDims& d) {
+  Tensor cols(Shape{d.rows(), d.cols()});
+  im2col(x.data().data(), d, cols.data().data());
+  return cols;
+}
+
+void col2im(const float* cols, const ConvDims& d, float* x) {
+  const std::int64_t row_len = d.cols();
+  // Serial: overlapping patches scatter-add into the same image elements.
+  for (std::int64_t ni = 0; ni < d.n; ++ni) {
+    for (std::int64_t oy = 0; oy < d.ho; ++oy) {
+      for (std::int64_t ox = 0; ox < d.wo; ++ox) {
+        const float* row = cols + ((ni * d.ho + oy) * d.wo + ox) * row_len;
+        for (std::int64_t ky = 0; ky < d.kh; ++ky) {
+          const std::int64_t iy = oy * d.stride + ky - d.pad;
+          if (iy < 0 || iy >= d.h) continue;
+          const float* src = row + ky * d.kw * d.cin;
+          float* dst_row = x + ((ni * d.h + iy) * d.w) * d.cin;
+          const std::int64_t ix0 = ox * d.stride - d.pad;
+          for (std::int64_t kx = 0; kx < d.kw; ++kx) {
+            const std::int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= d.w) continue;
+            float* dst = dst_row + ix * d.cin;
+            const float* s = src + kx * d.cin;
+            for (std::int64_t ci = 0; ci < d.cin; ++ci) dst[ci] += s[ci];
+          }
+        }
+      }
+    }
+  }
+}
+
+void im2col_codes(const std::uint8_t* x, const ConvDims& d, std::uint8_t* cols,
+                  std::uint8_t* mask) {
+  const std::int64_t row_len = d.cols();
+  for (std::int64_t ni = 0; ni < d.n; ++ni) {
+    for (std::int64_t oy = 0; oy < d.ho; ++oy) {
+      for (std::int64_t ox = 0; ox < d.wo; ++ox) {
+        const std::int64_t base = ((ni * d.ho + oy) * d.wo + ox) * row_len;
+        std::uint8_t* row = cols + base;
+        std::uint8_t* mrow = mask + base;
+        for (std::int64_t ky = 0; ky < d.kh; ++ky) {
+          const std::int64_t iy = oy * d.stride + ky - d.pad;
+          std::uint8_t* dst = row + ky * d.kw * d.cin;
+          std::uint8_t* mdst = mrow + ky * d.kw * d.cin;
+          if (iy < 0 || iy >= d.h) {
+            std::memset(dst, 0, static_cast<std::size_t>(d.kw * d.cin));
+            std::memset(mdst, 0, static_cast<std::size_t>(d.kw * d.cin));
+            continue;
+          }
+          const std::uint8_t* src_row = x + ((ni * d.h + iy) * d.w) * d.cin;
+          const std::int64_t ix0 = ox * d.stride - d.pad;
+          for (std::int64_t kx = 0; kx < d.kw; ++kx) {
+            const std::int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= d.w) {
+              std::memset(dst + kx * d.cin, 0, static_cast<std::size_t>(d.cin));
+              std::memset(mdst + kx * d.cin, 0, static_cast<std::size_t>(d.cin));
+            } else {
+              std::memcpy(dst + kx * d.cin, src_row + ix * d.cin,
+                          static_cast<std::size_t>(d.cin));
+              std::memset(mdst + kx * d.cin, 1, static_cast<std::size_t>(d.cin));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace redcane::nn

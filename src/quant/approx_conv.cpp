@@ -2,91 +2,70 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
+
+#include "nn/im2col.hpp"
+#include "tensor/gemm.hpp"
 
 namespace redcane::quant {
 namespace {
 
-struct ConvDims {
-  std::int64_t n, h, w, cin, kh, kw, cout, ho, wo;
-};
-
-ConvDims dims_of(const Tensor& x, const Tensor& w, const ApproxConvSpec& spec) {
-  if (x.shape().rank() != 4 || w.shape().rank() != 4) {
-    std::fprintf(stderr, "redcane::quant fatal: conv2d expects NHWC x and KKIO w\n");
-    std::abort();
-  }
-  ConvDims d{};
-  d.n = x.shape().dim(0);
-  d.h = x.shape().dim(1);
-  d.w = x.shape().dim(2);
-  d.cin = x.shape().dim(3);
-  d.kh = w.shape().dim(0);
-  d.kw = w.shape().dim(1);
-  d.cout = w.shape().dim(3);
-  if (w.shape().dim(2) != d.cin) {
-    std::fprintf(stderr, "redcane::quant fatal: conv2d channel mismatch\n");
-    std::abort();
-  }
-  d.ho = (d.h + 2 * spec.pad - d.kh) / spec.stride + 1;
-  d.wo = (d.w + 2 * spec.pad - d.kw) / spec.stride + 1;
-  return d;
+nn::ConvDims dims_of(const Tensor& x, const Tensor& w, const ApproxConvSpec& spec) {
+  return nn::make_conv_dims(x.shape(), w.shape(), spec.stride, spec.pad);
 }
 
 }  // namespace
 
 Tensor approx_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
                      const ApproxConvSpec& spec, const approx::Multiplier& mul) {
-  const ConvDims d = dims_of(x, w, spec);
+  const nn::ConvDims d = dims_of(x, w, spec);
   const QuantParams px = fit_params(x, spec.bits);
   const QuantParams pw = fit_params(w, spec.bits);
-  const std::vector<std::uint32_t> qx = quantize(x, px);
-  const std::vector<std::uint32_t> qw = quantize(w, pw);
+  const std::vector<std::uint8_t> qx = quantize_u8(x, px);
+  const std::vector<std::uint8_t> qw = quantize_u8(w, pw);
+
+  // One table build per layer call replaces one Multiplier virtual call
+  // per code pair: 65536 products up front, then pure loads in the GEMM.
+  std::vector<std::uint32_t> lut(256 * 256);
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      lut[static_cast<std::size_t>((a << 8) | b)] =
+          mul.multiply(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
+    }
+  }
+
+  const std::int64_t m = d.rows();
+  const std::int64_t k = d.cols();
+  std::vector<std::uint8_t> cols(static_cast<std::size_t>(m * k));
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(m * k));
+  nn::im2col_codes(qx.data(), d, cols.data(), mask.data());
+
+  // Affine expansion: x = mx + qx*sx, w = mw + qw*sw.
+  //   sum x*w = mx*mw*taps + mw*sx*Σqx + mx*sw*Σqw + sx*sw*Σ qx*qw
+  // Only the code-by-code product term uses the approximate unit; padding
+  // taps are masked out so they contribute true zero to all accumulators.
+  std::vector<std::uint64_t> acc_qq(static_cast<std::size_t>(m * d.cout));
+  std::vector<std::uint64_t> acc_qw(static_cast<std::size_t>(m * d.cout));
+  std::vector<std::uint64_t> acc_qx(static_cast<std::size_t>(m));
+  std::vector<std::int64_t> taps(static_cast<std::size_t>(m));
+  gemm::gemm_u8_lut(m, d.cout, k, cols.data(), mask.data(), qw.data(), lut.data(),
+                    acc_qq.data(), acc_qw.data(), acc_qx.data(), taps.data());
 
   Tensor out(Shape{d.n, d.ho, d.wo, d.cout});
+  auto od = out.data();
   const bool has_bias = !bias.empty();
-
-  for (std::int64_t n = 0; n < d.n; ++n) {
-    for (std::int64_t oy = 0; oy < d.ho; ++oy) {
-      for (std::int64_t ox = 0; ox < d.wo; ++ox) {
-        for (std::int64_t co = 0; co < d.cout; ++co) {
-          // Affine expansion: x = mx + qx*sx, w = mw + qw*sw.
-          //   sum x*w = mx*mw*K + mw*sx*Σqx + mx*sw*Σqw + sx*sw*Σ qx*qw
-          // Only the code-by-code product term uses the approximate unit.
-          std::uint64_t acc_qq = 0;
-          std::uint64_t acc_qx = 0;
-          std::uint64_t acc_qw = 0;
-          std::int64_t taps = 0;
-          for (std::int64_t ky = 0; ky < d.kh; ++ky) {
-            const std::int64_t iy = oy * spec.stride + ky - spec.pad;
-            if (iy < 0 || iy >= d.h) continue;  // Zero-padded taps contribute x = 0,
-            for (std::int64_t kx = 0; kx < d.kw; ++kx) {  // handled via the tap count.
-              const std::int64_t ix = ox * spec.stride + kx - spec.pad;
-              if (ix < 0 || ix >= d.w) continue;
-              for (std::int64_t ci = 0; ci < d.cin; ++ci) {
-                const auto xi = static_cast<std::size_t>(
-                    ((n * d.h + iy) * d.w + ix) * d.cin + ci);
-                const auto wi = static_cast<std::size_t>(
-                    ((ky * d.kw + kx) * d.cin + ci) * d.cout + co);
-                const auto a = static_cast<std::uint8_t>(qx[xi]);
-                const auto b = static_cast<std::uint8_t>(qw[wi]);
-                acc_qq += mul.multiply(a, b);
-                acc_qx += a;
-                acc_qw += b;
-                ++taps;
-              }
-            }
-          }
-          // Padding taps carry x exactly 0, i.e. code qx0 = (0 - min)/step.
-          // We instead model padded taps as contributing true zero to all
-          // four accumulators, which is exact for the reference too.
-          double v = px.min * pw.min * static_cast<double>(taps);
-          v += pw.min * px.step() * static_cast<double>(acc_qx);
-          v += px.min * pw.step() * static_cast<double>(acc_qw);
-          v += px.step() * pw.step() * static_cast<double>(acc_qq);
-          if (has_bias) v += bias.at(co);
-          out(n, oy, ox, co) = static_cast<float>(v);
-        }
-      }
+  const double sx = px.step();
+  const double sw = pw.step();
+  for (std::int64_t r = 0; r < m; ++r) {
+    const double row_base = px.min * pw.min * static_cast<double>(taps[static_cast<std::size_t>(r)]) +
+                            pw.min * sx * static_cast<double>(acc_qx[static_cast<std::size_t>(r)]);
+    for (std::int64_t co = 0; co < d.cout; ++co) {
+      const std::size_t idx = static_cast<std::size_t>(r * d.cout + co);
+      double v = row_base;
+      v += px.min * sw * static_cast<double>(acc_qw[idx]);
+      v += sx * sw * static_cast<double>(acc_qq[idx]);
+      if (has_bias) v += bias.at(co);
+      od[idx] = static_cast<float>(v);
     }
   }
   return out;
@@ -94,28 +73,34 @@ Tensor approx_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
 
 Tensor reference_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
                         const ApproxConvSpec& spec) {
-  const ConvDims d = dims_of(x, w, spec);
+  const nn::ConvDims d = dims_of(x, w, spec);
+  const std::int64_t m = d.rows();
+  const std::int64_t k = d.cols();
+  const Tensor cols = nn::im2col(x, d);
   Tensor out(Shape{d.n, d.ho, d.wo, d.cout});
+  auto od = out.data();
+  const auto cd = cols.data();
+  const auto wd = w.data();
   const bool has_bias = !bias.empty();
-  for (std::int64_t n = 0; n < d.n; ++n) {
-    for (std::int64_t oy = 0; oy < d.ho; ++oy) {
-      for (std::int64_t ox = 0; ox < d.wo; ++ox) {
-        for (std::int64_t co = 0; co < d.cout; ++co) {
-          double acc = has_bias ? bias.at(co) : 0.0;
-          for (std::int64_t ky = 0; ky < d.kh; ++ky) {
-            const std::int64_t iy = oy * spec.stride + ky - spec.pad;
-            if (iy < 0 || iy >= d.h) continue;
-            for (std::int64_t kx = 0; kx < d.kw; ++kx) {
-              const std::int64_t ix = ox * spec.stride + kx - spec.pad;
-              if (ix < 0 || ix >= d.w) continue;
-              for (std::int64_t ci = 0; ci < d.cin; ++ci) {
-                acc += static_cast<double>(x(n, iy, ix, ci)) * w(ky, kx, ci, co);
-              }
-            }
-          }
-          out(n, oy, ox, co) = static_cast<float>(acc);
-        }
+  // Exact-arithmetic GEMM with double accumulators, kept separate from the
+  // float core so quantization/approximation error is measured against a
+  // higher-precision reference.
+  std::vector<double> acc(static_cast<std::size_t>(d.cout));
+  for (std::int64_t r = 0; r < m; ++r) {
+    for (std::int64_t co = 0; co < d.cout; ++co) {
+      acc[static_cast<std::size_t>(co)] = has_bias ? static_cast<double>(bias.at(co)) : 0.0;
+    }
+    const float* crow = &cd[static_cast<std::size_t>(r * k)];
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const double cv = crow[kk];
+      const float* wrow = &wd[static_cast<std::size_t>(kk * d.cout)];
+      for (std::int64_t co = 0; co < d.cout; ++co) {
+        acc[static_cast<std::size_t>(co)] += cv * static_cast<double>(wrow[co]);
       }
+    }
+    float* orow = &od[static_cast<std::size_t>(r * d.cout)];
+    for (std::int64_t co = 0; co < d.cout; ++co) {
+      orow[co] = static_cast<float>(acc[static_cast<std::size_t>(co)]);
     }
   }
   return out;

@@ -1,0 +1,136 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace redcane::gemm {
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  std::fprintf(stderr, "redcane::gemm fatal: %s\n", what);
+  std::abort();
+}
+
+// Block extents sized for a common 32 KiB L1 / 256+ KiB L2: a KxN panel of
+// B (kBlockK * kBlockN floats = 128 KiB) stays L2-resident while each row
+// block of A streams through it.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 256;
+constexpr std::int64_t kBlockK = 128;
+
+/// Core kernel: C += A[m, k] * B[k, n], row-major, C pre-initialized.
+void gemm_nn_accumulate(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+                        const float* b, float* c) {
+#pragma omp parallel for schedule(static) if (m >= 2 * kBlockM)
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t i1 = std::min(i0 + kBlockM, m);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::int64_t k1 = std::min(k0 + kBlockK, k);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::int64_t j1 = std::min(j0 + kBlockN, n);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float* arow = a + i * k;
+          float* crow = c + i * n;
+          for (std::int64_t kk = k0; kk < k1; ++kk) {
+            const float aik = arow[kk];
+            const float* brow = b + kk * n;
+            for (std::int64_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Materializes the row-major transpose of src [rows, cols].
+std::vector<float> transposed(const float* src, std::int64_t rows, std::int64_t cols) {
+  std::vector<float> dst(static_cast<std::size_t>(rows * cols));
+  constexpr std::int64_t kTile = 32;
+  for (std::int64_t r0 = 0; r0 < rows; r0 += kTile) {
+    const std::int64_t r1 = std::min(r0 + kTile, rows);
+    for (std::int64_t c0 = 0; c0 < cols; c0 += kTile) {
+      const std::int64_t c1 = std::min(c0 + kTile, cols);
+      for (std::int64_t r = r0; r < r1; ++r) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          dst[static_cast<std::size_t>(c * rows + r)] = src[r * cols + c];
+        }
+      }
+    }
+  }
+  return dst;
+}
+
+}  // namespace
+
+void gemm_f32(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+              const float* a, const float* b, float beta, float* c) {
+  if (m < 0 || n < 0 || k < 0) fail("negative gemm extent");
+  if (beta != 0.0F && beta != 1.0F) fail("gemm beta must be 0 or 1");
+  if (beta == 0.0F) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  }
+  // Transposed operands are materialized once so the hot kernel stays a
+  // single unit-stride NN loop; the O(m*k + k*n) copy is noise next to the
+  // O(m*n*k) multiply.
+  std::vector<float> at;
+  std::vector<float> bt;
+  if (trans_a) {
+    at = transposed(a, k, m);  // stored [k, m] -> [m, k]
+    a = at.data();
+  }
+  if (trans_b) {
+    bt = transposed(b, n, k);  // stored [n, k] -> [k, n]
+    b = bt.data();
+  }
+  gemm_nn_accumulate(m, n, k, a, b, c);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  if (a.shape().rank() != 2 || b.shape().rank() != 2) fail("matmul expects rank-2 tensors");
+  const std::int64_t m = a.shape().dim(trans_a ? 1 : 0);
+  const std::int64_t ka = a.shape().dim(trans_a ? 0 : 1);
+  const std::int64_t kb = b.shape().dim(trans_b ? 1 : 0);
+  const std::int64_t n = b.shape().dim(trans_b ? 0 : 1);
+  if (ka != kb) fail("matmul inner dimension mismatch");
+  Tensor c(Shape{m, n});
+  gemm_f32(trans_a, trans_b, m, n, ka, a.data().data(), b.data().data(), 0.0F,
+           c.data().data());
+  return c;
+}
+
+void gemm_u8_lut(std::int64_t m, std::int64_t n, std::int64_t k, const std::uint8_t* a,
+                 const std::uint8_t* a_mask, const std::uint8_t* b, const std::uint32_t* lut,
+                 std::uint64_t* acc_qq, std::uint64_t* acc_qw, std::uint64_t* acc_qa,
+                 std::int64_t* taps) {
+  std::memset(acc_qq, 0, static_cast<std::size_t>(m * n) * sizeof(std::uint64_t));
+  std::memset(acc_qw, 0, static_cast<std::size_t>(m * n) * sizeof(std::uint64_t));
+  std::memset(acc_qa, 0, static_cast<std::size_t>(m) * sizeof(std::uint64_t));
+  std::memset(taps, 0, static_cast<std::size_t>(m) * sizeof(std::int64_t));
+#pragma omp parallel for schedule(static) if (m >= 64)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::uint8_t* arow = a + i * k;
+    const std::uint8_t* mrow = a_mask + i * k;
+    std::uint64_t* qq = acc_qq + i * n;
+    std::uint64_t* qw = acc_qw + i * n;
+    std::uint64_t qa = 0;
+    std::int64_t t = 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      if (mrow[kk] == 0) continue;  // Zero-padding tap: contributes true zero.
+      const std::uint32_t* lrow = lut + (static_cast<std::uint32_t>(arow[kk]) << 8);
+      const std::uint8_t* brow = b + kk * n;
+      qa += arow[kk];
+      ++t;
+      for (std::int64_t j = 0; j < n; ++j) {
+        qq[j] += lrow[brow[j]];
+        qw[j] += brow[j];
+      }
+    }
+    acc_qa[i] = qa;
+    taps[i] = t;
+  }
+}
+
+}  // namespace redcane::gemm

@@ -1,0 +1,53 @@
+// Blocked GEMM kernels: the single compute core behind every matmul and
+// (via nn/im2col) every convolution in the codebase.
+//
+// Two kernels live here:
+//  * gemm_f32 — cache-blocked, OpenMP-parallel float GEMM with optional
+//    operand transposes and accumulation (beta). No zero-skip shortcuts:
+//    0 * NaN and 0 * Inf propagate per IEEE semantics, unlike the naive
+//    loops this core replaced.
+//  * gemm_u8_lut — integer GEMM over 8-bit quantization codes whose inner
+//    product is routed through a caller-built 256x256 product table (one
+//    table build per layer call instead of one virtual multiplier call per
+//    code pair). It also emits the per-row/per-column code sums and tap
+//    counts the affine dequantization needs.
+//
+// Future backends (SIMD, threadpool sharding, batched dispatch) plug in
+// here and every consumer inherits them.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace redcane::gemm {
+
+/// C[m, n] = op(A) * op(B) + beta * C, all row-major.
+/// op(A) is A [m, k] when trans_a is false, else A is stored [k, m].
+/// op(B) is B [k, n] when trans_b is false, else B is stored [n, k].
+/// beta must be 0 (overwrite) or 1 (accumulate into C).
+void gemm_f32(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+              const float* a, const float* b, float beta, float* c);
+
+/// Rank-2 tensor convenience wrapper: returns op(A) * op(B).
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
+                            bool trans_b = false);
+
+/// Integer GEMM over u8 codes with a per-tap validity mask.
+///
+/// A is [m, k] codes with mask [m, k] (1 = real tap, 0 = padding); B is
+/// [k, n] codes (always valid). For every output (i, j) and every valid
+/// tap kk it accumulates:
+///   acc_qq[i*n+j] += lut[A[i,kk] * 256 + B[kk,j]]   (approximate product)
+///   acc_qw[i*n+j] += B[kk,j]                        (weight-code sum)
+/// and per row:
+///   acc_qa[i] += A[i,kk], taps[i] += 1.
+/// These are exactly the four accumulators of the affine-quantized
+/// convolution expansion (see quant/approx_conv.hpp). All output buffers
+/// are overwritten.
+void gemm_u8_lut(std::int64_t m, std::int64_t n, std::int64_t k, const std::uint8_t* a,
+                 const std::uint8_t* a_mask, const std::uint8_t* b, const std::uint32_t* lut,
+                 std::uint64_t* acc_qq, std::uint64_t* acc_qw, std::uint64_t* acc_qa,
+                 std::int64_t* taps);
+
+}  // namespace redcane::gemm

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "tensor/gemm.hpp"
+
 namespace redcane::ops {
 namespace {
 
@@ -70,29 +72,10 @@ Tensor map(const Tensor& a, const std::function<float(float)>& f) {
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  if (a.shape().rank() != 2 || b.shape().rank() != 2) fail("matmul expects rank-2 tensors");
-  const std::int64_t m = a.shape().dim(0);
-  const std::int64_t k = a.shape().dim(1);
-  const std::int64_t k2 = b.shape().dim(0);
-  const std::int64_t n = b.shape().dim(1);
-  if (k != k2) fail("matmul inner dimension mismatch");
-  Tensor c(Shape{m, n});
-  const auto ad = a.data();
-  const auto bd = b.data();
-  auto cd = c.data();
-  // ikj loop order: unit-stride inner loop over both b and c.
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = ad[static_cast<std::size_t>(i * k + kk)];
-      if (aik == 0.0F) continue;
-      const std::size_t brow = static_cast<std::size_t>(kk * n);
-      const std::size_t crow = static_cast<std::size_t>(i * n);
-      for (std::int64_t j = 0; j < n; ++j) {
-        cd[crow + static_cast<std::size_t>(j)] += aik * bd[brow + static_cast<std::size_t>(j)];
-      }
-    }
-  }
-  return c;
+  // Delegates to the blocked GEMM core. The previous hand loop skipped
+  // a[i,k] == 0 contributions, silently dropping 0 * NaN / 0 * Inf; the
+  // core has no such shortcut.
+  return gemm::matmul(a, b);
 }
 
 Tensor softmax(const Tensor& a, std::int64_t axis) {

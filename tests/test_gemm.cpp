@@ -1,0 +1,186 @@
+#include "tensor/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "approx/library.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/im2col.hpp"
+#include "quant/approx_conv.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace redcane {
+namespace {
+
+/// Textbook triple loop with double accumulation, the correctness oracle
+/// for the blocked kernel.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.shape().dim(0);
+  const std::int64_t k = a.shape().dim(1);
+  const std::int64_t n = b.shape().dim(1);
+  Tensor c(Shape{m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a(i, kk)) * b(kk, j);
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor transposed2d(const Tensor& t) {
+  const std::int64_t r = t.shape().dim(0);
+  const std::int64_t c = t.shape().dim(1);
+  Tensor out(Shape{c, r});
+  for (std::int64_t i = 0; i < r; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) out(j, i) = t(i, j);
+  }
+  return out;
+}
+
+TEST(Gemm, BlockedMatchesNaiveOnRandomShapes) {
+  Rng rng(7);
+  for (const auto& [m, k, n] : std::vector<std::array<std::int64_t, 3>>{
+           {1, 1, 1}, {3, 5, 2}, {17, 33, 9}, {64, 128, 48}, {130, 70, 300}}) {
+    const Tensor a = ops::uniform(Shape{m, k}, -1.0, 1.0, rng);
+    const Tensor b = ops::uniform(Shape{k, n}, -1.0, 1.0, rng);
+    const Tensor want = naive_matmul(a, b);
+    const Tensor got = gemm::matmul(a, b);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (std::int64_t i = 0; i < got.numel(); ++i) {
+      EXPECT_NEAR(got.at(i), want.at(i), 1e-3F) << "m=" << m << " k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(Gemm, TransposedOperandsMatchUntransposed) {
+  Rng rng(11);
+  const Tensor a = ops::uniform(Shape{19, 23}, -1.0, 1.0, rng);
+  const Tensor b = ops::uniform(Shape{23, 31}, -1.0, 1.0, rng);
+  const Tensor want = gemm::matmul(a, b);
+  const Tensor got_ta = gemm::matmul(transposed2d(a), b, /*trans_a=*/true, /*trans_b=*/false);
+  const Tensor got_tb = gemm::matmul(a, transposed2d(b), /*trans_a=*/false, /*trans_b=*/true);
+  for (std::int64_t i = 0; i < want.numel(); ++i) {
+    EXPECT_FLOAT_EQ(got_ta.at(i), want.at(i));
+    EXPECT_FLOAT_EQ(got_tb.at(i), want.at(i));
+  }
+}
+
+TEST(Gemm, BetaOneAccumulates) {
+  Rng rng(13);
+  const Tensor a = ops::uniform(Shape{8, 12}, -1.0, 1.0, rng);
+  const Tensor b = ops::uniform(Shape{12, 10}, -1.0, 1.0, rng);
+  const Tensor product = gemm::matmul(a, b);
+  Tensor c = ops::uniform(Shape{8, 10}, -1.0, 1.0, rng);
+  const Tensor want = ops::add(c, product);
+  gemm::gemm_f32(false, false, 8, 10, 12, a.data().data(), b.data().data(), 1.0F,
+                 c.data().data());
+  // In-place accumulation rounds (c + t1) + t2 + ...; the oracle rounds
+  // c + (t1 + t2 + ...), so equality holds only to float tolerance.
+  for (std::int64_t i = 0; i < want.numel(); ++i) EXPECT_NEAR(c.at(i), want.at(i), 1e-5F);
+}
+
+// The seed kernels skipped a == 0.0F operands, silently dropping 0 * NaN
+// and 0 * Inf contributions. IEEE semantics must hold in the core.
+TEST(Gemm, ZeroTimesNaNPropagates) {
+  const Tensor a(Shape{1, 2}, {0.0F, 1.0F});
+  const Tensor b(Shape{2, 1}, {std::nanf(""), 2.0F});
+  const Tensor c = ops::matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0)));
+}
+
+TEST(Gemm, ZeroInputTimesNaNWeightPropagatesThroughConv) {
+  const Tensor x(Shape{1, 2, 2, 1}, 0.0F);
+  const Tensor w(Shape{1, 1, 1, 1}, std::nanf(""));
+  const Tensor out = nn::conv2d_forward(x, w, Tensor(), 1, 0);
+  for (std::int64_t i = 0; i < out.numel(); ++i) EXPECT_TRUE(std::isnan(out.at(i)));
+}
+
+TEST(Im2col, RoundTripIdentityOnNonOverlappingStride) {
+  Rng rng(3);
+  // kernel == stride, no padding: every input element appears in exactly
+  // one patch, so col2im(im2col(x)) reproduces x.
+  const Tensor x = ops::uniform(Shape{2, 6, 6, 3}, -1.0, 1.0, rng);
+  const nn::ConvDims d = nn::make_conv_dims(x.shape(), 2, 2, /*cout=*/1, /*stride=*/2,
+                                            /*pad=*/0);
+  const Tensor cols = nn::im2col(x, d);
+  ASSERT_EQ(cols.shape(), (Shape{d.rows(), d.cols()}));
+  Tensor back(x.shape());
+  nn::col2im(cols.data().data(), d, back.data().data());
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(back.at(i), x.at(i));
+}
+
+TEST(Im2col, OverlapAccumulatesMultiplicity) {
+  // 3x3 kernel, stride 1, pad 1: col2im(im2col(1)) counts how many patches
+  // cover each pixel (9 for interior, less on the border).
+  const Tensor x(Shape{1, 5, 5, 1}, 1.0F);
+  const nn::ConvDims d = nn::make_conv_dims(x.shape(), 3, 3, 1, 1, 1);
+  const Tensor cols = nn::im2col(x, d);
+  Tensor back(x.shape());
+  nn::col2im(cols.data().data(), d, back.data().data());
+  EXPECT_FLOAT_EQ(back(0, 2, 2, 0), 9.0F);  // interior
+  EXPECT_FLOAT_EQ(back(0, 0, 0, 0), 4.0F);  // corner
+  EXPECT_FLOAT_EQ(back(0, 0, 2, 0), 6.0F);  // edge
+}
+
+TEST(Im2colCodes, MasksExactlyThePaddingTaps) {
+  std::vector<std::uint8_t> x(2 * 2, 200);  // [1, 2, 2, 1] image, all code 200
+  const nn::ConvDims d = nn::make_conv_dims(Shape{1, 2, 2, 1}, 3, 3, 1, 1, 1);
+  std::vector<std::uint8_t> cols(static_cast<std::size_t>(d.rows() * d.cols()));
+  std::vector<std::uint8_t> mask(cols.size());
+  nn::im2col_codes(x.data(), d, cols.data(), mask.data());
+  // Patch at output (0, 0): only taps (ky, kx) in {1, 2} x {1, 2} are real.
+  for (std::int64_t ky = 0; ky < 3; ++ky) {
+    for (std::int64_t kx = 0; kx < 3; ++kx) {
+      const std::size_t idx = static_cast<std::size_t>(ky * 3 + kx);
+      const bool valid = ky >= 1 && kx >= 1;
+      EXPECT_EQ(mask[idx], valid ? 1 : 0) << "ky=" << ky << " kx=" << kx;
+      EXPECT_EQ(cols[idx], valid ? 200 : 0);
+    }
+  }
+}
+
+TEST(ApproxConvGemm, ExactMultiplierMatchesReferenceWithinQuantError) {
+  Rng rng(5);
+  const Tensor x = ops::uniform(Shape{2, 8, 8, 3}, 0.0, 1.0, rng);
+  const Tensor w = ops::uniform(Shape{3, 3, 3, 4}, -0.5, 0.5, rng);
+  const Tensor bias = ops::uniform(Shape{4}, -0.1, 0.1, rng);
+  quant::ApproxConvSpec spec;
+  spec.stride = 1;
+  spec.pad = 1;
+  spec.bits = 8;
+  const Tensor ref = quant::reference_conv2d(x, w, bias, spec);
+  const Tensor got = quant::approx_conv2d(x, w, bias, spec, approx::exact_multiplier());
+  ASSERT_EQ(ref.shape(), got.shape());
+  // 8-bit affine quantization of both operands over 27 taps: half-step
+  // rounding error per operand bounds each output by ~taps * (sx + sw) / 2.
+  for (std::int64_t i = 0; i < ref.numel(); ++i) {
+    EXPECT_NEAR(got.at(i), ref.at(i), 0.08F) << "at " << i;
+  }
+}
+
+TEST(ApproxConvGemm, StridedUnpaddedMatchesReference) {
+  Rng rng(9);
+  const Tensor x = ops::uniform(Shape{1, 9, 9, 2}, -1.0, 1.0, rng);
+  const Tensor w = ops::uniform(Shape{3, 3, 2, 3}, -0.5, 0.5, rng);
+  quant::ApproxConvSpec spec;
+  spec.stride = 2;
+  spec.pad = 0;
+  spec.bits = 8;
+  const Tensor ref = quant::reference_conv2d(x, w, Tensor(), spec);
+  const Tensor got = quant::approx_conv2d(x, w, Tensor(), spec, approx::exact_multiplier());
+  ASSERT_EQ(ref.shape(), got.shape());
+  for (std::int64_t i = 0; i < ref.numel(); ++i) {
+    EXPECT_NEAR(got.at(i), ref.at(i), 0.15F) << "at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace redcane
