@@ -44,6 +44,11 @@ class CapsNetModel final : public CapsModel {
   CapsNetModel(const CapsNetConfig& cfg, Rng& rng);
 
   Tensor forward(const Tensor& x, bool train, PerturbationHook* hook) override;
+  /// Six stages, one per hook-site boundary: Conv1 conv | Conv1 ReLU |
+  /// PrimaryCaps conv | PrimaryCaps squash | ClassCaps votes | routing.
+  [[nodiscard]] int num_stages() const override { return 6; }
+  Tensor forward_range(int first, int last, StageState& state, PerturbationHook* hook,
+                       bool record) override;
   Tensor backward(const Tensor& grad_v) override;
   std::vector<nn::Param*> params() override;
   [[nodiscard]] std::vector<std::string> layer_names() const override;

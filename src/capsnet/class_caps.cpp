@@ -30,8 +30,9 @@ Tensor ClassCaps::compute_votes(const Tensor& x) const {
         const std::size_t wbase = static_cast<std::size_t>(((i * oc + j) * id) * od);
         const std::size_t vbase = static_cast<std::size_t>(((ni * ic + i) * oc + j) * od);
         for (std::int64_t p = 0; p < id; ++p) {
+          // No zero-skip: 0 * NaN / 0 * Inf must propagate (same IEEE
+          // contract as the GEMM core and the routing rewrite).
           const float xv = xd[xbase + static_cast<std::size_t>(p)];
-          if (xv == 0.0F) continue;
           const std::size_t wrow = wbase + static_cast<std::size_t>(p * od);
           for (std::int64_t q = 0; q < od; ++q) {
             vd[vbase + static_cast<std::size_t>(q)] +=
@@ -44,7 +45,7 @@ Tensor ClassCaps::compute_votes(const Tensor& x) const {
   return votes;
 }
 
-Tensor ClassCaps::forward(const Tensor& x, bool train, PerturbationHook* hook) {
+Tensor ClassCaps::forward_votes(const Tensor& x, bool train, PerturbationHook* hook) {
   if (x.shape().rank() != 3 || x.shape().dim(1) != spec_.in_caps ||
       x.shape().dim(2) != spec_.in_dim) {
     std::fprintf(stderr, "redcane::capsnet fatal: ClassCaps input shape mismatch (%s)\n",
@@ -53,14 +54,21 @@ Tensor ClassCaps::forward(const Tensor& x, bool train, PerturbationHook* hook) {
   }
   Tensor votes = compute_votes(x);
   emit(hook, name_, OpKind::kMacOutput, votes);
-
-  RoutingResult routed = dynamic_routing(votes, spec_.routing_iters, hook, name_);
   if (train) {
     cached_x_ = x;
     cached_votes_ = votes;
-    cached_routing_ = routed;
   }
+  return votes;
+}
+
+Tensor ClassCaps::forward_routing(const Tensor& votes, bool train, PerturbationHook* hook) {
+  RoutingResult routed = dynamic_routing(votes, spec_.routing_iters, hook, name_);
+  if (train) cached_routing_ = routed;
   return routed.v;
+}
+
+Tensor ClassCaps::forward(const Tensor& x, bool train, PerturbationHook* hook) {
+  return forward_routing(forward_votes(x, train, hook), train, hook);
 }
 
 Tensor ClassCaps::backward(const Tensor& grad_out) {

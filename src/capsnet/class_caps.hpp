@@ -29,6 +29,13 @@ class ClassCaps final : public nn::Layer {
   Tensor forward(const Tensor& x, bool train) override { return forward(x, train, nullptr); }
   Tensor forward(const Tensor& x, bool train, PerturbationHook* hook);
   Tensor backward(const Tensor& grad_out) override;
+
+  /// Stage split used by the checkpointed forward: vote computation (emits
+  /// the MacOutput site) ...
+  Tensor forward_votes(const Tensor& x, bool train, PerturbationHook* hook);
+  /// ... then dynamic routing (emits the routing sites). forward() == the
+  /// composition of the two.
+  Tensor forward_routing(const Tensor& votes, bool train, PerturbationHook* hook);
   std::vector<nn::Param*> params() override { return {&w_}; }
 
   [[nodiscard]] const std::string& name() const { return name_; }

@@ -28,7 +28,7 @@ Tensor ConvCaps2D::forward_pre_squash(const Tensor& x, bool train, PerturbationH
                  x.shape().to_string().c_str());
     std::abort();
   }
-  in_shape_ = x.shape();
+  if (train) in_shape_ = x.shape();
   const std::int64_t n = x.shape().dim(0);
   const std::int64_t h = x.shape().dim(1);
   const std::int64_t w = x.shape().dim(2);
@@ -37,7 +37,7 @@ Tensor ConvCaps2D::forward_pre_squash(const Tensor& x, bool train, PerturbationH
   Tensor pre = conv_->forward(flat, train);
   if (bn_) pre = bn_->forward(pre, train);
   emit(hook, name_, OpKind::kMacOutput, pre);
-  conv_out_shape_ = pre.shape();
+  if (train) conv_out_shape_ = pre.shape();
 
   return pre.reshaped(Shape{n, pre.shape().dim(1), pre.shape().dim(2), spec_.out_types,
                             spec_.out_dim});

@@ -45,6 +45,11 @@ class DeepCapsModel final : public CapsModel {
   DeepCapsModel(const DeepCapsConfig& cfg, Rng& rng);
 
   Tensor forward(const Tensor& x, bool train, PerturbationHook* hook) override;
+  /// 15 stages: conv stem (conv+BN | ReLU), then 3 per residual block
+  /// (strided entry | main pair | skip + sum), then ClassCaps.
+  [[nodiscard]] int num_stages() const override { return 15; }
+  Tensor forward_range(int first, int last, StageState& state, PerturbationHook* hook,
+                       bool record) override;
   Tensor backward(const Tensor& grad_v) override;
   std::vector<nn::Param*> params() override;
   [[nodiscard]] std::vector<std::string> layer_names() const override;

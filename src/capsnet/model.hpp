@@ -14,6 +14,16 @@
 
 namespace redcane::capsnet {
 
+/// Stage-boundary activations of a stage-segmented forward pass.
+/// `at[k]` holds the tensors entering stage k (`at[0]` = {input batch});
+/// `at[num_stages()]` holds the final class capsules. A recording run over
+/// a clean batch turns this into a reusable prefix cache: noise injected
+/// at a site of stage k cannot change `at[0..k]`, so a sweep replays only
+/// stages [k, num_stages()) per noisy point.
+struct StageState {
+  std::vector<std::vector<Tensor>> at;
+};
+
 class CapsModel {
  public:
   virtual ~CapsModel() = default;
@@ -22,6 +32,23 @@ class CapsModel {
   /// Returns class capsules [N, num_classes, dim]; their L2 lengths are
   /// the classification scores. `hook` may be null.
   virtual Tensor forward(const Tensor& x, bool train, PerturbationHook* hook) = 0;
+
+  /// Number of stages of the segmented inference forward. Stage boundaries
+  /// sit immediately after hook-site emits, so a perturbation at a site
+  /// affects only the site's own stage and later ones. The base default is
+  /// a single stage (correct for any model, no prefix-cache benefit).
+  [[nodiscard]] virtual int num_stages() const { return 1; }
+
+  /// Runs stages [first, last) of an inference-only forward pass
+  /// (train=false semantics; safe to call concurrently from several
+  /// threads on one model). `state.at` must be sized num_stages() + 1 with
+  /// `at[first]` populated (`at[0]` = {x}); when `record` is true every
+  /// executed stage k also stores its boundary tensors into `at[k + 1]`.
+  /// Returns the class capsules when last == num_stages(), otherwise an
+  /// empty tensor. Running [0, num_stages()) is bit-identical to
+  /// forward(x, false, hook).
+  virtual Tensor forward_range(int first, int last, StageState& state,
+                               PerturbationHook* hook, bool record);
 
   /// Backward from dL/d(class capsules); must follow forward(train=true).
   virtual Tensor backward(const Tensor& grad_v) = 0;
@@ -43,5 +70,14 @@ class CapsModel {
     return ops::l2_norm_last_axis(v);
   }
 };
+
+/// Base fallback: the whole forward is one stage.
+inline Tensor CapsModel::forward_range(int first, int last, StageState& state,
+                                       PerturbationHook* hook, bool record) {
+  if (first != 0 || last != 1) return Tensor();
+  Tensor v = forward(state.at[0][0], /*train=*/false, hook);
+  if (record) state.at[1] = {v};
+  return v;
+}
 
 }  // namespace redcane::capsnet

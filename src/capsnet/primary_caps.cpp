@@ -15,20 +15,27 @@ PrimaryCaps::PrimaryCaps(std::string name, const PrimaryCapsSpec& spec, Rng& rng
   conv_ = std::make_unique<nn::Conv2D>(name_, cs, rng);
 }
 
-Tensor PrimaryCaps::forward(const Tensor& x, bool train, PerturbationHook* hook) {
+Tensor PrimaryCaps::forward_conv(const Tensor& x, bool train, PerturbationHook* hook) {
   Tensor pre = conv_->forward(x, train);
   emit(hook, name_, OpKind::kMacOutput, pre);
-  conv_out_shape_ = pre.shape();
+  if (train) conv_out_shape_ = pre.shape();
 
   const std::int64_t n = pre.shape().dim(0);
   const std::int64_t caps =
       pre.shape().dim(1) * pre.shape().dim(2) * spec_.types;
   Tensor grouped = pre.reshaped(Shape{n, caps, spec_.dim});
   if (train) cached_pre_squash_ = grouped;
+  return grouped;
+}
 
+Tensor PrimaryCaps::forward_squash(const Tensor& grouped, PerturbationHook* hook) const {
   Tensor v = squash(grouped);
   emit(hook, name_, OpKind::kActivation, v);
   return v;
+}
+
+Tensor PrimaryCaps::forward(const Tensor& x, bool train, PerturbationHook* hook) {
+  return forward_squash(forward_conv(x, train, hook), hook);
 }
 
 Tensor PrimaryCaps::backward(const Tensor& grad_out) {

@@ -28,6 +28,13 @@ class PrimaryCaps final : public nn::Layer {
   Tensor forward(const Tensor& x, bool train) override { return forward(x, train, nullptr); }
   Tensor forward(const Tensor& x, bool train, PerturbationHook* hook);
   Tensor backward(const Tensor& grad_out) override;
+
+  /// Stage split used by the checkpointed forward: conv + regroup (emits
+  /// the MacOutput site) ...
+  Tensor forward_conv(const Tensor& x, bool train, PerturbationHook* hook);
+  /// ... then squash (emits the Activation site). forward() == the
+  /// composition of the two.
+  Tensor forward_squash(const Tensor& grouped, PerturbationHook* hook) const;
   std::vector<nn::Param*> params() override { return conv_->params(); }
 
   [[nodiscard]] const std::string& name() const { return name_; }

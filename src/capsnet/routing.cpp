@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "capsnet/squash.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace redcane::capsnet {
@@ -22,6 +23,40 @@ VoteDims dims_of(const Tensor& u_hat) {
           u_hat.shape().dim(3)};
 }
 
+/// Transposes votes [m, I, J, D] -> [m, J, I, D] so both routing
+/// contractions become contiguous (I x D) blocks per (m, j).
+Tensor transpose_votes(const Tensor& u_hat, const VoteDims& dd) {
+  Tensor u_t(Shape{dd.m, dd.j, dd.i, dd.d});
+  const auto ud = u_hat.data();
+  auto td = u_t.data();
+#pragma omp parallel for schedule(static) if (dd.m >= 2)
+  for (std::int64_t m = 0; m < dd.m; ++m) {
+    for (std::int64_t i = 0; i < dd.i; ++i) {
+      for (std::int64_t j = 0; j < dd.j; ++j) {
+        const float* src = &ud[static_cast<std::size_t>(((m * dd.i + i) * dd.j + j) * dd.d)];
+        float* dst = &td[static_cast<std::size_t>(((m * dd.j + j) * dd.i + i) * dd.d)];
+        for (std::int64_t k = 0; k < dd.d; ++k) dst[k] = src[k];
+      }
+    }
+  }
+  return u_t;
+}
+
+/// Transposes coefficients [m, I, J] -> [m, J, I].
+void transpose_coeffs(const Tensor& c, const VoteDims& dd, Tensor& c_t) {
+  const auto cd = c.data();
+  auto td = c_t.data();
+#pragma omp parallel for schedule(static) if (dd.m >= 2)
+  for (std::int64_t m = 0; m < dd.m; ++m) {
+    for (std::int64_t i = 0; i < dd.i; ++i) {
+      const float* src = &cd[static_cast<std::size_t>((m * dd.i + i) * dd.j)];
+      for (std::int64_t j = 0; j < dd.j; ++j) {
+        td[static_cast<std::size_t>((m * dd.j + j) * dd.i + i)] = src[j];
+      }
+    }
+  }
+}
+
 }  // namespace
 
 RoutingResult dynamic_routing(const Tensor& u_hat, int iterations, PerturbationHook* hook,
@@ -29,55 +64,47 @@ RoutingResult dynamic_routing(const Tensor& u_hat, int iterations, PerturbationH
   const VoteDims dd = dims_of(u_hat);
   Tensor b(Shape{dd.m, dd.i, dd.j});
   RoutingResult out;
-  const auto ud = u_hat.data();
+
+  // Votes are constant across iterations: transpose once, then every
+  // weighted sum / agreement update is a batched GEMM over (m, j) blocks.
+  // No per-element zero tests anywhere: a coupling coefficient that
+  // underflows to 0 still multiplies its vote, so 0 * NaN / 0 * Inf
+  // propagate per IEEE semantics (the old loop skipped cij == 0 operands).
+  const Tensor u_t = transpose_votes(u_hat, dd);
+  Tensor c_t(Shape{dd.m, dd.j, dd.i});
+  Tensor delta_t(Shape{dd.m, dd.j, dd.i});
 
   for (int it = 0; it < iterations; ++it) {
     Tensor c = ops::softmax(b, 2);
     emit(hook, layer, OpKind::kSoftmax, c);
 
+    // s[(m,j), 1, D] = c_t[(m,j), 1, I] * u_t[(m,j), I, D].
     Tensor s(Shape{dd.m, dd.j, dd.d});
-    {
-      auto sd = s.data();
-      const auto cd = c.data();
-      for (std::int64_t m = 0; m < dd.m; ++m) {
-        for (std::int64_t i = 0; i < dd.i; ++i) {
-          const std::size_t crow = static_cast<std::size_t>((m * dd.i + i) * dd.j);
-          const std::size_t urow = static_cast<std::size_t>(((m * dd.i + i) * dd.j) * dd.d);
-          for (std::int64_t j = 0; j < dd.j; ++j) {
-            const float cij = cd[crow + static_cast<std::size_t>(j)];
-            if (cij == 0.0F) continue;
-            const std::size_t ubase = urow + static_cast<std::size_t>(j * dd.d);
-            const std::size_t sbase = static_cast<std::size_t>((m * dd.j + j) * dd.d);
-            for (std::int64_t k = 0; k < dd.d; ++k) {
-              sd[sbase + static_cast<std::size_t>(k)] +=
-                  cij * ud[ubase + static_cast<std::size_t>(k)];
-            }
-          }
-        }
-      }
-    }
+    transpose_coeffs(c, dd, c_t);
+    gemm::gemm_batched_f32(dd.m * dd.j, 1, dd.d, dd.i, c_t.data().data(), dd.i,
+                           u_t.data().data(), dd.i * dd.d, 0.0F, s.data().data(), dd.d);
     emit(hook, layer, OpKind::kMacOutput, s);
 
     Tensor v = squash(s);
     emit(hook, layer, OpKind::kActivation, v);
 
     if (it + 1 < iterations) {
-      // b += <u_hat, v> agreement update.
+      // Agreement update b[m,i,j] += <u_hat[m,i,j,:], v[m,j,:]>, computed as
+      // delta_t[(m,j), I, 1] = u_t[(m,j), I, D] * v[(m,j), D, 1].
+      // The dot accumulates in float like every other GEMM in the core (the
+      // pre-GEMM loop used a double accumulator); D is a capsule dimension
+      // (<= 16), so the rounding drift is far below the noise magnitudes
+      // swept.
+      gemm::gemm_batched_f32(dd.m * dd.j, dd.i, 1, dd.d, u_t.data().data(), dd.i * dd.d,
+                             v.data().data(), dd.d, 0.0F, delta_t.data().data(), dd.i);
       auto bd = b.data();
-      const auto vd = v.data();
+      const auto dt = delta_t.data();
+#pragma omp parallel for schedule(static) if (dd.m >= 2)
       for (std::int64_t m = 0; m < dd.m; ++m) {
         for (std::int64_t i = 0; i < dd.i; ++i) {
           for (std::int64_t j = 0; j < dd.j; ++j) {
-            const std::size_t ubase =
-                static_cast<std::size_t>(((m * dd.i + i) * dd.j + j) * dd.d);
-            const std::size_t vbase = static_cast<std::size_t>((m * dd.j + j) * dd.d);
-            double dot = 0.0;
-            for (std::int64_t k = 0; k < dd.d; ++k) {
-              dot += static_cast<double>(ud[ubase + static_cast<std::size_t>(k)]) *
-                     vd[vbase + static_cast<std::size_t>(k)];
-            }
             bd[static_cast<std::size_t>((m * dd.i + i) * dd.j + j)] +=
-                static_cast<float>(dot);
+                dt[static_cast<std::size_t>((m * dd.j + j) * dd.i + i)];
           }
         }
       }
@@ -93,22 +120,26 @@ RoutingResult dynamic_routing(const Tensor& u_hat, int iterations, PerturbationH
 
 Tensor routing_backward(const Tensor& u_hat, const RoutingResult& fwd, const Tensor& grad_v) {
   const VoteDims dd = dims_of(u_hat);
-  // dL/ds through squash, then distribute to votes weighted by the final c.
+  // dL/ds through squash, then distribute to votes weighted by the final c:
+  // grad_u_t[(m,j), I, D] = c_t[(m,j), I, 1] * grad_s[(m,j), 1, D].
   const Tensor grad_s = squash_backward(fwd.s, grad_v);
+  Tensor c_t(Shape{dd.m, dd.j, dd.i});
+  transpose_coeffs(fwd.c, dd, c_t);
+  Tensor grad_u_t(Shape{dd.m, dd.j, dd.i, dd.d});
+  gemm::gemm_batched_f32(dd.m * dd.j, dd.i, dd.d, 1, c_t.data().data(), dd.i,
+                         grad_s.data().data(), dd.d, 0.0F, grad_u_t.data().data(),
+                         dd.i * dd.d);
+
   Tensor grad_u(u_hat.shape());
-  const auto gs = grad_s.data();
-  const auto cd = fwd.c.data();
+  const auto gt = grad_u_t.data();
   auto gu = grad_u.data();
+#pragma omp parallel for schedule(static) if (dd.m >= 2)
   for (std::int64_t m = 0; m < dd.m; ++m) {
-    for (std::int64_t i = 0; i < dd.i; ++i) {
-      for (std::int64_t j = 0; j < dd.j; ++j) {
-        const float cij = cd[static_cast<std::size_t>((m * dd.i + i) * dd.j + j)];
-        const std::size_t ubase = static_cast<std::size_t>(((m * dd.i + i) * dd.j + j) * dd.d);
-        const std::size_t sbase = static_cast<std::size_t>((m * dd.j + j) * dd.d);
-        for (std::int64_t k = 0; k < dd.d; ++k) {
-          gu[ubase + static_cast<std::size_t>(k)] =
-              cij * gs[sbase + static_cast<std::size_t>(k)];
-        }
+    for (std::int64_t j = 0; j < dd.j; ++j) {
+      for (std::int64_t i = 0; i < dd.i; ++i) {
+        const float* src = &gt[static_cast<std::size_t>(((m * dd.j + j) * dd.i + i) * dd.d)];
+        float* dst = &gu[static_cast<std::size_t>(((m * dd.i + i) * dd.j + j) * dd.d)];
+        for (std::int64_t k = 0; k < dd.d; ++k) dst[k] = src[k];
       }
     }
   }

@@ -22,6 +22,9 @@ Tensor squash(const Tensor& s, double eps) {
   const std::int64_t rows = s.numel() / d;
   Tensor v = s;
   auto vd = v.data();
+  // Row-independent: one thread owns each capsule row, so the result does
+  // not depend on the thread count.
+#pragma omp parallel for schedule(static) if (rows >= 64)
   for (std::int64_t r = 0; r < rows; ++r) {
     double norm2 = 0.0;
     for (std::int64_t k = 0; k < d; ++k) {
@@ -51,6 +54,7 @@ Tensor squash_backward(const Tensor& s, const Tensor& grad_v, double eps) {
   const auto sd = s.data();
   const auto gv = grad_v.data();
   auto gs = grad_s.data();
+#pragma omp parallel for schedule(static) if (rows >= 64)
   for (std::int64_t r = 0; r < rows; ++r) {
     const std::size_t base = static_cast<std::size_t>(r * d);
     double norm2 = 0.0;

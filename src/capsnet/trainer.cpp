@@ -110,6 +110,16 @@ TrainStats train(CapsModel& model, const Tensor& images,
   return stats;
 }
 
+std::int64_t count_correct(const Tensor& v, std::span<const std::int64_t> labels) {
+  const Tensor lengths = CapsModel::class_lengths(v);
+  const std::vector<std::int64_t> pred = ops::argmax_last_axis(lengths);
+  std::int64_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++hits;
+  }
+  return hits;
+}
+
 double evaluate(CapsModel& model, const Tensor& images,
                 const std::vector<std::int64_t>& labels, PerturbationHook* hook,
                 std::int64_t batch_size) {
@@ -119,13 +129,9 @@ double evaluate(CapsModel& model, const Tensor& images,
     const std::int64_t end = std::min(n, at + batch_size);
     const Tensor x = slice_rows(images, at, end);
     const Tensor v = model.forward(x, /*train=*/false, hook);
-    const Tensor lengths = CapsModel::class_lengths(v);
-    const std::vector<std::int64_t> pred = ops::argmax_last_axis(lengths);
-    for (std::int64_t i = 0; i < end - at; ++i) {
-      if (pred[static_cast<std::size_t>(i)] == labels[static_cast<std::size_t>(at + i)]) {
-        ++hits;
-      }
-    }
+    hits += count_correct(
+        v, std::span<const std::int64_t>(labels.data() + at,
+                                         static_cast<std::size_t>(end - at)));
   }
   return static_cast<double>(hits) / static_cast<double>(n);
 }

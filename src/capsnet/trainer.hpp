@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "capsnet/model.hpp"
@@ -43,6 +44,11 @@ TrainStats train(CapsModel& model, const Tensor& images,
                               const std::vector<std::int64_t>& labels,
                               PerturbationHook* hook = nullptr,
                               std::int64_t batch_size = 64);
+
+/// Correct predictions of class capsules `v` against `labels` — the one
+/// scoring rule shared by evaluate() and the sweep engine.
+[[nodiscard]] std::int64_t count_correct(const Tensor& v,
+                                         std::span<const std::int64_t> labels);
 
 /// Slices rows [begin, end) of a [N, ...] tensor into a new tensor.
 [[nodiscard]] Tensor slice_rows(const Tensor& t, std::int64_t begin, std::int64_t end);

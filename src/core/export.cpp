@@ -129,6 +129,10 @@ std::string result_to_json(const MethodologyResult& r) {
 
   out += ",\"evaluations_run\":" + std::to_string(r.evaluations_run);
   out += ",\"evaluations_saved\":" + std::to_string(r.evaluations_saved_by_pruning);
+  out += ",\"sweep_threads\":" + std::to_string(r.sweep_stats.threads);
+  out += ",\"sweep_cache_hits\":" + std::to_string(r.sweep_stats.cache_hits);
+  out += ",\"sweep_stages_skipped\":" + std::to_string(r.sweep_stats.stages_skipped);
+  out += ",\"sweep_stages_total\":" + std::to_string(r.sweep_stats.stages_total);
   out += ",\"mean_mac_power_saving\":" + fmt_double(r.mean_mac_power_saving());
   out += "}";
   return out;

@@ -123,6 +123,7 @@ MethodologyResult run_redcane(capsnet::CapsModel& model, const Tensor& test_x,
   }
 
   r.evaluations_run = analyzer.evaluations();
+  r.sweep_stats = analyzer.engine_stats();
   return r;
 }
 

@@ -54,6 +54,11 @@ struct MethodologyResult {
 
   std::int64_t evaluations_run = 0;
   std::int64_t evaluations_saved_by_pruning = 0;  ///< D3: Step-4 restriction.
+  /// Sweep-engine counters over Steps 2+4 (core/sweep_engine.hpp): noisy
+  /// batch forwards resumed from a cached clean prefix, stage executions
+  /// skipped vs. what a full-forward driver would have run, and the worker
+  /// count the sweeps ran on.
+  SweepEngineStats sweep_stats;
 
   /// Mean selected power saving over MAC-output sites (the multiplier
   /// datapath the paper targets).

@@ -72,6 +72,13 @@ std::string render_report(const MethodologyResult& r) {
   out += fmt("\nevaluations run: %lld, saved by Step-4 pruning: %lld\n",
              static_cast<long long>(r.evaluations_run),
              static_cast<long long>(r.evaluations_saved_by_pruning));
+  out += fmt(
+      "sweep engine: %d thread(s), %lld prefix-cache hits, "
+      "%lld/%lld stage executions skipped (%.1f%%)\n",
+      r.sweep_stats.threads, static_cast<long long>(r.sweep_stats.cache_hits),
+      static_cast<long long>(r.sweep_stats.stages_skipped),
+      static_cast<long long>(r.sweep_stats.stages_total),
+      r.sweep_stats.skip_fraction() * 100.0);
 
   out += "\n--- Step 6: selected approximate components ---\n";
   for (const SiteSelection& s : r.selections) {

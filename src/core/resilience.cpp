@@ -2,9 +2,19 @@
 
 #include <cmath>
 
-#include "capsnet/trainer.hpp"
-
 namespace redcane::core {
+namespace {
+
+SweepEngineConfig engine_config(const ResilienceConfig& cfg) {
+  SweepEngineConfig ec;
+  ec.seed = cfg.seed;
+  ec.eval_batch = cfg.eval_batch;
+  ec.threads = cfg.threads;
+  ec.prefix_cache = cfg.prefix_cache;
+  return ec;
+}
+
+}  // namespace
 
 double ResilienceCurve::tolerable_nm(double tolerance_pct) const {
   double best = 0.0;
@@ -18,20 +28,13 @@ double ResilienceCurve::tolerable_nm(double tolerance_pct) const {
 ResilienceAnalyzer::ResilienceAnalyzer(capsnet::CapsModel& model, const Tensor& test_x,
                                        const std::vector<std::int64_t>& test_y,
                                        ResilienceConfig cfg)
-    : model_(model), test_x_(test_x), test_y_(test_y), cfg_(cfg) {}
+    : cfg_(cfg), engine_(model, test_x, test_y, engine_config(cfg)) {}
 
-double ResilienceAnalyzer::baseline() {
-  if (!baseline_.has_value()) {
-    baseline_ = capsnet::evaluate(model_, test_x_, test_y_, nullptr, cfg_.eval_batch);
-  }
-  return *baseline_;
-}
+double ResilienceAnalyzer::baseline() { return engine_.clean_accuracy(); }
 
 double ResilienceAnalyzer::accuracy_with_rules(const std::vector<noise::InjectionRule>& rules,
                                                std::uint64_t salt) {
-  noise::GaussianInjector injector(rules, cfg_.seed ^ (salt * 0x9E3779B97F4A7C15ULL));
-  ++evaluations_;
-  return capsnet::evaluate(model_, test_x_, test_y_, &injector, cfg_.eval_batch);
+  return engine_.point_accuracy(rules, salt);
 }
 
 ResilienceCurve ResilienceAnalyzer::sweep(capsnet::OpKind kind,
@@ -42,19 +45,34 @@ ResilienceCurve ResilienceAnalyzer::sweep(capsnet::OpKind kind,
   curve.label = layer.value_or(std::string(capsnet::op_kind_name(kind)));
   const double base = baseline();
 
+  // Grid points, salted in grid order exactly as the serial driver salted
+  // them; the clean point reads the cached baseline.
+  std::vector<SweepPointSpec> points;
+  std::vector<std::size_t> point_of_nm;  // Index into `points`, or npos for clean.
+  constexpr std::size_t kClean = static_cast<std::size_t>(-1);
   std::uint64_t salt = 1;
   for (double nm : cfg_.sweep.nms) {
-    const noise::NoiseSpec spec{nm, cfg_.sweep.na};
-    std::vector<noise::InjectionRule> rules;
-    if (layer.has_value()) {
-      rules.push_back(noise::layer_rule(kind, *layer, spec));
-    } else {
-      rules.push_back(noise::group_rule(kind, spec));
+    if (nm == 0.0 && cfg_.sweep.na == 0.0) {
+      point_of_nm.push_back(kClean);
+      continue;
     }
-    const double acc =
-        (nm == 0.0 && cfg_.sweep.na == 0.0) ? base : accuracy_with_rules(rules, salt++);
-    curve.nms.push_back(nm);
-    curve.drop_pct.push_back((acc - base) * 100.0);
+    const noise::NoiseSpec spec{nm, cfg_.sweep.na};
+    SweepPointSpec p;
+    if (layer.has_value()) {
+      p.rules.push_back(noise::layer_rule(kind, *layer, spec));
+    } else {
+      p.rules.push_back(noise::group_rule(kind, spec));
+    }
+    p.salt = salt++;
+    point_of_nm.push_back(points.size());
+    points.push_back(std::move(p));
+  }
+
+  const std::vector<double> acc = engine_.run_points(points);
+  for (std::size_t i = 0; i < cfg_.sweep.nms.size(); ++i) {
+    const double a = point_of_nm[i] == kClean ? base : acc[point_of_nm[i]];
+    curve.nms.push_back(cfg_.sweep.nms[i]);
+    curve.drop_pct.push_back((a - base) * 100.0);
   }
   return curve;
 }

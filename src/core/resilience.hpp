@@ -13,6 +13,7 @@
 
 #include "capsnet/model.hpp"
 #include "core/groups.hpp"
+#include "core/sweep_engine.hpp"
 #include "noise/injector.hpp"
 
 namespace redcane::core {
@@ -44,9 +45,20 @@ struct ResilienceConfig {
   NmSweep sweep = NmSweep::paper();
   std::uint64_t seed = 2020;
   std::int64_t eval_batch = 64;
+  /// Sweep worker threads; 0 = REDCANE_SWEEP_THREADS env var, else
+  /// hardware concurrency (see core/sweep_engine.hpp).
+  int threads = 0;
+  /// Prefix-activation caching for noisy points (bit-identical either way).
+  bool prefix_cache = true;
 };
 
-/// Drives noisy evaluations of one trained model on one test set.
+/// Drives noisy evaluations of one trained model on one test set. All
+/// evaluations route through the SweepEngine: sweeps run their grid points
+/// concurrently, and every noisy point replays only the network suffix
+/// after its first injectable site. The model's weights must not change
+/// over the analyzer's lifetime (the engine replays cached clean
+/// prefixes); construct a fresh analyzer after retraining or approximating
+/// the model.
 class ResilienceAnalyzer {
  public:
   ResilienceAnalyzer(capsnet::CapsModel& model, const Tensor& test_x,
@@ -66,7 +78,10 @@ class ResilienceAnalyzer {
   [[nodiscard]] ResilienceCurve sweep_layer(capsnet::OpKind kind, const std::string& layer);
 
   /// Number of noisy evaluations run so far (exploration cost, D3).
-  [[nodiscard]] std::int64_t evaluations() const { return evaluations_; }
+  [[nodiscard]] std::int64_t evaluations() const { return engine_.stats().evaluations; }
+
+  /// Engine counters: cache hits, stages skipped/total, worker count.
+  [[nodiscard]] const SweepEngineStats& engine_stats() const { return engine_.stats(); }
 
   [[nodiscard]] const ResilienceConfig& config() const { return cfg_; }
 
@@ -74,12 +89,8 @@ class ResilienceAnalyzer {
   [[nodiscard]] ResilienceCurve sweep(capsnet::OpKind kind,
                                       const std::optional<std::string>& layer);
 
-  capsnet::CapsModel& model_;
-  const Tensor& test_x_;
-  const std::vector<std::int64_t>& test_y_;
   ResilienceConfig cfg_;
-  std::optional<double> baseline_;
-  std::int64_t evaluations_ = 0;
+  SweepEngine engine_;
 };
 
 }  // namespace redcane::core

@@ -1,0 +1,206 @@
+#include "core/sweep_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "capsnet/trainer.hpp"
+
+namespace redcane::core {
+namespace {
+
+/// Records which stage first emits each (layer, kind) site.
+class StageRecorder final : public capsnet::PerturbationHook {
+ public:
+  explicit StageRecorder(int stage) : stage_(stage) {}
+  void set_stage(int stage) { stage_ = stage; }
+
+  void process(const std::string& layer, capsnet::OpKind kind, Tensor&) override {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i].first == layer && keys[i].second == kind) return;  // First stage wins.
+    }
+    keys.emplace_back(layer, kind);
+    stages.push_back(stage_);
+  }
+
+  std::vector<std::pair<std::string, capsnet::OpKind>> keys;
+  std::vector<int> stages;
+
+ private:
+  int stage_;
+};
+
+}  // namespace
+
+int SweepEngine::resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("REDCANE_SWEEP_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+SweepEngine::SweepEngine(capsnet::CapsModel& model, const Tensor& test_x,
+                         const std::vector<std::int64_t>& test_y, SweepEngineConfig cfg)
+    : model_(model), test_x_(test_x), test_y_(test_y), cfg_(cfg) {}
+
+void SweepEngine::ensure_prepared() {
+  if (prepared_) return;
+  prepared_ = true;
+  stats_.threads = resolve_threads(cfg_.threads);
+
+  const std::int64_t n = test_x_.shape().dim(0);
+  for (std::int64_t at = 0; at < n; at += cfg_.eval_batch) {
+    const std::int64_t end = std::min(n, at + cfg_.eval_batch);
+    batch_x_.push_back(capsnet::slice_rows(test_x_, at, end));
+    batch_y_.emplace_back(test_y_.begin() + at, test_y_.begin() + end);
+  }
+
+  // Map every hook site to the first stage that emits it, by probing one
+  // stage at a time with a single test row. Discovered dynamically, so any
+  // CapsModel (and any future stage split) is handled without tables.
+  const int stages = model_.num_stages();
+  {
+    capsnet::StageState probe;
+    probe.at.resize(static_cast<std::size_t>(stages) + 1);
+    probe.at[0] = {capsnet::slice_rows(test_x_, 0, 1)};
+    StageRecorder rec(0);
+    for (int k = 0; k < stages; ++k) {
+      rec.set_stage(k);
+      (void)model_.forward_range(k, k + 1, probe, &rec, /*record=*/true);
+    }
+    site_stage_keys_ = std::move(rec.keys);
+    site_stage_vals_ = std::move(rec.stages);
+  }
+
+  // One clean pass per batch: yields the clean accuracy and — only when
+  // prefix caching is on — the stage-boundary checkpoints noisy points
+  // replay from (recording them otherwise would hold every intermediate
+  // activation of the test set for nothing).
+  std::int64_t hits = 0;
+  checkpoints_.resize(batch_x_.size());
+  for (std::size_t b = 0; b < batch_x_.size(); ++b) {
+    capsnet::StageState& st = checkpoints_[b];
+    st.at.resize(static_cast<std::size_t>(stages) + 1);
+    st.at[0] = {batch_x_[b]};
+    const Tensor v = model_.forward_range(0, stages, st, nullptr,
+                                          /*record=*/cfg_.prefix_cache);
+    hits += capsnet::count_correct(v, batch_y_[b]);
+  }
+  clean_accuracy_ = static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double SweepEngine::clean_accuracy() {
+  ensure_prepared();
+  return clean_accuracy_;
+}
+
+int SweepEngine::first_affected_stage(
+    const std::vector<noise::InjectionRule>& rules) const {
+  int first = model_.num_stages();
+  for (std::size_t i = 0; i < site_stage_keys_.size(); ++i) {
+    for (const noise::InjectionRule& rule : rules) {
+      if (rule.matches(site_stage_keys_[i].first, site_stage_keys_[i].second)) {
+        first = std::min(first, site_stage_vals_[i]);
+        break;
+      }
+    }
+  }
+  return first;
+}
+
+double SweepEngine::eval_point(const std::vector<noise::InjectionRule>& rules,
+                               std::uint64_t salt, SweepEngineStats& stats) const {
+  // Fresh injector per point, seeded exactly as the serial analyzer seeds
+  // it. Sites before the replay stage never match any rule, so they draw
+  // nothing from the stream; skipping them leaves the draws untouched.
+  noise::GaussianInjector injector(rules, cfg_.seed ^ (salt * kSaltMix));
+  const int stages = model_.num_stages();
+  const int from = cfg_.prefix_cache ? first_affected_stage(rules) : 0;
+
+  std::int64_t hits = 0;
+  for (std::size_t b = 0; b < batch_x_.size(); ++b) {
+    stats.stages_total += stages;
+    stats.stages_skipped += from;
+    if (from > 0) ++stats.cache_hits;
+
+    Tensor v;
+    if (from >= stages) {
+      // No site matches: the noisy forward is the clean forward.
+      v = checkpoints_[b].at[static_cast<std::size_t>(stages)][0];
+    } else {
+      // One deliberate copy of the entry boundary: it isolates the shared
+      // checkpoint from any hook/model that might mutate stage inputs, and
+      // measures as noise next to the replayed suffix compute.
+      capsnet::StageState st;
+      st.at.resize(static_cast<std::size_t>(stages) + 1);
+      st.at[static_cast<std::size_t>(from)] =
+          checkpoints_[b].at[static_cast<std::size_t>(from)];
+      v = model_.forward_range(from, stages, st, &injector, /*record=*/false);
+    }
+    hits += capsnet::count_correct(v, batch_y_[b]);
+  }
+  return static_cast<double>(hits) / static_cast<double>(test_x_.shape().dim(0));
+}
+
+double SweepEngine::point_accuracy(const std::vector<noise::InjectionRule>& rules,
+                                   std::uint64_t salt) {
+  ensure_prepared();
+  ++stats_.evaluations;
+  return eval_point(rules, salt, stats_);
+}
+
+std::vector<double> SweepEngine::run_points(const std::vector<SweepPointSpec>& points) {
+  ensure_prepared();
+  std::vector<double> acc(points.size(), 0.0);
+  const int workers = std::max(
+      1, std::min(resolve_threads(cfg_.threads), static_cast<int>(points.size())));
+  stats_.threads = resolve_threads(cfg_.threads);
+  stats_.evaluations += static_cast<std::int64_t>(points.size());
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      acc[i] = eval_point(points[i].rules, points[i].salt, stats_);
+    }
+    return acc;
+  }
+
+  // Each point owns its slot and its injector; per-worker stats merge after
+  // the join. Result assembly is by index, so curves are independent of
+  // scheduling order.
+  std::atomic<std::size_t> next{0};
+  std::vector<SweepEngineStats> worker_stats(static_cast<std::size_t>(workers));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+#ifdef _OPENMP
+      // Each std::thread is an OpenMP initial thread: without a cap, every
+      // omp-parallel kernel inside a worker would spin up a full-size team
+      // (workers x cores threads total). Point-level parallelism already
+      // covers the machine, so keep per-worker kernels serial.
+      omp_set_num_threads(1);
+#endif
+      for (std::size_t i = next.fetch_add(1); i < points.size(); i = next.fetch_add(1)) {
+        acc[i] = eval_point(points[i].rules, points[i].salt,
+                            worker_stats[static_cast<std::size_t>(w)]);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const SweepEngineStats& ws : worker_stats) {
+    stats_.cache_hits += ws.cache_hits;
+    stats_.stages_skipped += ws.stages_skipped;
+    stats_.stages_total += ws.stages_total;
+  }
+  return acc;
+}
+
+}  // namespace redcane::core

@@ -1,0 +1,127 @@
+// Parallel resilience-sweep engine with prefix-activation caching.
+//
+// A ReD-CaNe sweep evaluates one trained model over one test set at many
+// independent (injection rules, NM) grid points. Two structural facts make
+// the serial driver wasteful:
+//
+//  1. Points are independent: each gets its own seed-salted
+//     GaussianInjector, so the curves do not depend on execution order.
+//     The engine runs points concurrently on a worker pool and still
+//     produces bit-identical curves.
+//  2. Noise injected at a site cannot change activations computed before
+//     it. The engine records the clean stage-boundary activations of every
+//     test batch once (CapsModel::forward_range with record=true) and
+//     replays only the suffix from the first stage whose sites a point's
+//     rules can match.
+//
+// Worker count: SweepEngineConfig::threads, else the REDCANE_SWEEP_THREADS
+// environment variable, else std::thread::hardware_concurrency().
+//
+// Contracts:
+//  * The model and test set must not change for the lifetime of the
+//    engine: prefixes are recorded once and replayed against the weights
+//    they were computed with. Rebuild the engine (or analyzer) after
+//    mutating weights.
+//  * With prefix_cache on, the engine holds every stage-boundary
+//    activation of the test set (O(num_stages x test-set activations)).
+//    That is by design for the tiny sweep profiles this repo runs
+//    (DESIGN.md §4); for full-scale models either sweep a subsample or
+//    set prefix_cache = false, which records nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capsnet/model.hpp"
+#include "noise/injector.hpp"
+
+namespace redcane::core {
+
+/// Salt mixing constant shared by every sweep driver: point seed =
+/// base seed ^ (salt * kSaltMix). Keeping it in one place guarantees the
+/// engine reproduces the serial analyzer's per-point noise streams.
+inline constexpr std::uint64_t kSaltMix = 0x9E3779B97F4A7C15ULL;
+
+struct SweepEngineConfig {
+  std::uint64_t seed = 2020;
+  std::int64_t eval_batch = 64;
+  /// Worker threads; 0 = REDCANE_SWEEP_THREADS env var, else hardware
+  /// concurrency.
+  int threads = 0;
+  /// Replay noisy points from cached clean prefixes instead of running the
+  /// full network. Off = every point is a full forward (the pre-engine
+  /// behavior, still bit-identical).
+  bool prefix_cache = true;
+};
+
+/// Exploration-cost counters of one engine lifetime.
+struct SweepEngineStats {
+  std::int64_t evaluations = 0;     ///< Noisy test-set evaluations run.
+  std::int64_t cache_hits = 0;      ///< Batch forwards resumed from a cached prefix.
+  std::int64_t stages_skipped = 0;  ///< Stage executions avoided by prefix caching.
+  std::int64_t stages_total = 0;    ///< Stage executions a full-forward driver would run.
+  int threads = 1;                  ///< Resolved worker count.
+
+  /// Fraction of stage executions skipped, in [0, 1].
+  [[nodiscard]] double skip_fraction() const {
+    return stages_total == 0 ? 0.0
+                             : static_cast<double>(stages_skipped) /
+                                   static_cast<double>(stages_total);
+  }
+};
+
+/// One grid point: the injection rules and the salt of its noise stream.
+struct SweepPointSpec {
+  std::vector<noise::InjectionRule> rules;
+  std::uint64_t salt = 0;
+};
+
+class SweepEngine {
+ public:
+  SweepEngine(capsnet::CapsModel& model, const Tensor& test_x,
+              const std::vector<std::int64_t>& test_y, SweepEngineConfig cfg);
+
+  /// Clean test accuracy in [0, 1]. The first call runs the recording
+  /// forward that seeds the prefix cache; later calls are free.
+  [[nodiscard]] double clean_accuracy();
+
+  /// Accuracy of one noisy point (prefix-cached replay when possible).
+  [[nodiscard]] double point_accuracy(const std::vector<noise::InjectionRule>& rules,
+                                      std::uint64_t salt);
+
+  /// Runs all points, concurrently when threads > 1, and returns their
+  /// accuracies in point order — bit-identical to calling point_accuracy
+  /// on each point serially.
+  [[nodiscard]] std::vector<double> run_points(const std::vector<SweepPointSpec>& points);
+
+  [[nodiscard]] const SweepEngineStats& stats() const { return stats_; }
+  [[nodiscard]] const SweepEngineConfig& config() const { return cfg_; }
+
+  /// Resolves cfg.threads / REDCANE_SWEEP_THREADS / hardware_concurrency.
+  [[nodiscard]] static int resolve_threads(int requested);
+
+ private:
+  void ensure_prepared();
+  /// First stage whose sites any rule can match (num_stages() for none —
+  /// the point then cannot perturb anything and replays nothing).
+  [[nodiscard]] int first_affected_stage(const std::vector<noise::InjectionRule>& rules) const;
+  [[nodiscard]] double eval_point(const std::vector<noise::InjectionRule>& rules,
+                                  std::uint64_t salt, SweepEngineStats& stats) const;
+
+  capsnet::CapsModel& model_;
+  const Tensor& test_x_;
+  const std::vector<std::int64_t>& test_y_;
+  SweepEngineConfig cfg_;
+
+  bool prepared_ = false;
+  double clean_accuracy_ = 0.0;
+  std::vector<Tensor> batch_x_;                        ///< Test batches.
+  std::vector<std::vector<std::int64_t>> batch_y_;     ///< Labels per batch.
+  std::vector<capsnet::StageState> checkpoints_;       ///< Clean prefixes per batch.
+  std::vector<std::pair<std::string, capsnet::OpKind>> site_stage_keys_;
+  std::vector<int> site_stage_vals_;                   ///< Parallel to keys: first stage.
+  SweepEngineStats stats_;
+};
+
+}  // namespace redcane::core

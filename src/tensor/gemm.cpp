@@ -88,6 +88,33 @@ void gemm_f32(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::i
   gemm_nn_accumulate(m, n, k, a, b, c);
 }
 
+void gemm_batched_f32(std::int64_t batch, std::int64_t m, std::int64_t n, std::int64_t k,
+                      const float* a, std::int64_t stride_a, const float* b,
+                      std::int64_t stride_b, float beta, float* c, std::int64_t stride_c) {
+  if (batch < 0 || m < 0 || n < 0 || k < 0) fail("negative batched gemm extent");
+  if (beta != 0.0F && beta != 1.0F) fail("batched gemm beta must be 0 or 1");
+  if (stride_c == 0 && batch > 1) fail("batched gemm output stride must not broadcast");
+#pragma omp parallel for schedule(static) if (batch >= 2)
+  for (std::int64_t p = 0; p < batch; ++p) {
+    const float* ap = a + p * stride_a;
+    const float* bp = b + p * stride_b;
+    float* cp = c + p * stride_c;
+    if (beta == 0.0F) std::memset(cp, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+    // Plain i-k-j accumulation: batch items are small (routing blocks), so
+    // cache blocking buys nothing and the fixed k order keeps the result
+    // independent of the batch-level parallelism.
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* arow = ap + i * k;
+      float* crow = cp + i * n;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        const float* brow = bp + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   if (a.shape().rank() != 2 || b.shape().rank() != 2) fail("matmul expects rank-2 tensors");
   const std::int64_t m = a.shape().dim(trans_a ? 1 : 0);

@@ -33,6 +33,18 @@ void gemm_f32(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::i
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
                             bool trans_b = false);
 
+/// Batched strided GEMM: for every p in [0, batch)
+///   C_p[m, n] = A_p[m, k] * B_p[k, n] + beta * C_p,  X_p = x + p * stride_x,
+/// all row-major, no transposes, beta 0 (overwrite) or 1 (accumulate).
+/// A stride of 0 broadcasts one operand across the batch. Batch items run
+/// in parallel; within an item the contraction accumulates in ascending k,
+/// so results are bit-identical across thread counts. This is the kernel
+/// behind dynamic routing's weighted sum / agreement update, where the
+/// batch dimension is (batch row x output capsule).
+void gemm_batched_f32(std::int64_t batch, std::int64_t m, std::int64_t n, std::int64_t k,
+                      const float* a, std::int64_t stride_a, const float* b,
+                      std::int64_t stride_b, float beta, float* c, std::int64_t stride_c);
+
 /// Integer GEMM over u8 codes with a per-tap validity mask.
 ///
 /// A is [m, k] codes with mask [m, k] (1 = real tap, 0 = padding); B is

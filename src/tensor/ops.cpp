@@ -86,7 +86,12 @@ Tensor softmax(const Tensor& a, std::int64_t axis) {
   const std::int64_t block = extent * stride;
   Tensor c = a;
   auto cd = c.data();
-  for (std::int64_t base = 0; base < numel; base += block) {
+  const std::int64_t blocks = block == 0 ? 0 : numel / block;
+  // Lanes are independent; each is normalized by one thread, so the result
+  // does not depend on the thread count.
+#pragma omp parallel for schedule(static) if (blocks >= 2 && numel >= 4096)
+  for (std::int64_t blk = 0; blk < blocks; ++blk) {
+    const std::int64_t base = blk * block;
     for (std::int64_t off = 0; off < stride; ++off) {
       // One softmax lane: elements base+off, base+off+stride, ...
       float mx = -std::numeric_limits<float>::infinity();

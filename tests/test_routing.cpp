@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "capsnet/squash.hpp"
 #include "tensor/ops.hpp"
@@ -99,6 +100,39 @@ TEST(Routing, HookSeesAllFourSiteKindsInOrder) {
   // Shapes: softmax/logits over [m, I, J]; mac/activation over [m, J, D].
   EXPECT_EQ(rec.visits[0].shape, (Shape{1, 3, 2}));
   EXPECT_EQ(rec.visits[1].shape, (Shape{1, 2, 2}));
+}
+
+TEST(Routing, ZeroCouplingDoesNotMaskNonFiniteVotes) {
+  // Regression for the `if (cij == 0.0F) continue;` operand skip the GEMM
+  // rewrite removed: a coupling coefficient driven to exactly zero (by a
+  // perturbation hook, quantization, or softmax underflow) must still
+  // multiply its vote, so 0 * Inf = NaN propagates per IEEE semantics
+  // instead of being silently dropped.
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor votes(Shape{1, 2, 2, 2});
+  votes(0, 0, 0, 0) = inf;  // The vote hidden behind c == 0.
+  votes(0, 0, 0, 1) = inf;
+  votes(0, 0, 1, 0) = 0.25F;
+  votes(0, 0, 1, 1) = -0.5F;
+  votes(0, 1, 0, 0) = 1.0F;
+  votes(0, 1, 0, 1) = 0.5F;
+  votes(0, 1, 1, 0) = -0.25F;
+  votes(0, 1, 1, 1) = 0.75F;
+
+  class CouplingZeroer final : public PerturbationHook {
+   public:
+    void process(const std::string&, OpKind kind, Tensor& x) override {
+      if (kind == OpKind::kSoftmax) x(0, 0, 0) = 0.0F;
+    }
+  } zeroer;
+  const RoutingResult r = dynamic_routing(votes, 1, &zeroer, "t");
+
+  // s[0, 0, :] = 0 * inf + c * finite = NaN, and squash keeps it NaN.
+  EXPECT_TRUE(std::isnan(r.s(0, 0, 0)));
+  EXPECT_TRUE(std::isnan(r.v(0, 0, 0)));
+  // The untouched output capsule stays finite.
+  EXPECT_TRUE(std::isfinite(r.s(0, 1, 0)));
+  EXPECT_TRUE(std::isfinite(r.v(0, 1, 1)));
 }
 
 TEST(Routing, PerturbedLogitsChangeCoupling) {

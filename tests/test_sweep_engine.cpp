@@ -1,0 +1,265 @@
+// Sweep-engine contracts:
+//  * parallel + prefix-cached sweeps are bit-identical to the serial
+//    full-forward driver, across thread counts;
+//  * a cached-prefix replay from any injection site matches a from-scratch
+//    noisy forward exactly, for both model architectures;
+//  * the engine's exploration-cost counters account for what was skipped.
+#include "core/sweep_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+#include "capsnet/capsnet_model.hpp"
+#include "capsnet/deepcaps_model.hpp"
+#include "capsnet/trainer.hpp"
+#include "core/groups.hpp"
+#include "core/resilience.hpp"
+#include "data/synthetic.hpp"
+
+namespace redcane::core {
+namespace {
+
+using capsnet::OpKind;
+
+capsnet::CapsNetConfig small_capsnet_config() {
+  capsnet::CapsNetConfig cfg;
+  cfg.input_hw = 14;
+  cfg.conv1_kernel = 5;
+  cfg.conv1_channels = 8;
+  cfg.primary_kernel = 5;
+  cfg.primary_stride = 2;
+  cfg.primary_types = 2;
+  cfg.primary_dim = 4;
+  cfg.class_dim = 4;
+  return cfg;
+}
+
+capsnet::DeepCapsConfig small_deepcaps_config() {
+  capsnet::DeepCapsConfig cfg = capsnet::DeepCapsConfig::tiny();
+  cfg.input_hw = 8;
+  return cfg;
+}
+
+data::Dataset small_dataset(std::int64_t hw, std::int64_t channels, std::int64_t count) {
+  data::SyntheticSpec s;
+  s.kind = channels == 1 ? data::DatasetKind::kMnist : data::DatasetKind::kCifar10;
+  s.hw = hw;
+  s.channels = channels;
+  s.train_count = 4;  // Unused; the engine only reads the test split.
+  s.test_count = count;
+  s.seed = 99;
+  return data::make_synthetic(s);
+}
+
+/// The pre-engine serial driver: one full-network evaluation per point.
+double serial_point(capsnet::CapsModel& model, const data::Dataset& ds,
+                    const std::vector<noise::InjectionRule>& rules, std::uint64_t seed,
+                    std::uint64_t salt, std::int64_t batch) {
+  noise::GaussianInjector injector(rules, seed ^ (salt * kSaltMix));
+  return capsnet::evaluate(model, ds.test_x, ds.test_y, &injector, batch);
+}
+
+ResilienceCurve serial_sweep(capsnet::CapsModel& model, const data::Dataset& ds,
+                             const ResilienceConfig& cfg, OpKind kind,
+                             const std::optional<std::string>& layer) {
+  ResilienceCurve curve;
+  curve.kind = kind;
+  curve.layer = layer;
+  const double base = capsnet::evaluate(model, ds.test_x, ds.test_y, nullptr, cfg.eval_batch);
+  std::uint64_t salt = 1;
+  for (double nm : cfg.sweep.nms) {
+    const noise::NoiseSpec spec{nm, cfg.sweep.na};
+    std::vector<noise::InjectionRule> rules;
+    if (layer.has_value()) {
+      rules.push_back(noise::layer_rule(kind, *layer, spec));
+    } else {
+      rules.push_back(noise::group_rule(kind, spec));
+    }
+    const double acc = (nm == 0.0 && cfg.sweep.na == 0.0)
+                           ? base
+                           : serial_point(model, ds, rules, cfg.seed, salt++, cfg.eval_batch);
+    curve.nms.push_back(nm);
+    curve.drop_pct.push_back((acc - base) * 100.0);
+  }
+  return curve;
+}
+
+void expect_identical(const ResilienceCurve& a, const ResilienceCurve& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.drop_pct.size(), b.drop_pct.size()) << what;
+  for (std::size_t i = 0; i < a.drop_pct.size(); ++i) {
+    EXPECT_EQ(a.drop_pct[i], b.drop_pct[i]) << what << " point " << i;
+  }
+}
+
+ResilienceConfig quick_config(int threads, bool prefix_cache) {
+  ResilienceConfig rc;
+  rc.sweep.nms = {0.2, 0.02, 0.0};
+  rc.seed = 17;
+  rc.eval_batch = 16;
+  rc.threads = threads;
+  rc.prefix_cache = prefix_cache;
+  return rc;
+}
+
+TEST(SweepEngine, ParallelCachedSweepsAreBitIdenticalToSerial) {
+  Rng rng(5);
+  capsnet::CapsNetModel model(small_capsnet_config(), rng);
+  const data::Dataset ds = small_dataset(14, 1, 48);
+
+  const int hw_threads =
+      std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
+  for (const OpKind kind :
+       {OpKind::kMacOutput, OpKind::kActivation, OpKind::kSoftmax, OpKind::kLogitsUpdate}) {
+    const ResilienceCurve ref =
+        serial_sweep(model, ds, quick_config(1, false), kind, std::nullopt);
+    for (const int threads : {1, 2, hw_threads}) {
+      for (const bool cache : {false, true}) {
+        ResilienceAnalyzer analyzer(model, ds.test_x, ds.test_y,
+                                    quick_config(threads, cache));
+        const ResilienceCurve got = analyzer.sweep_group(kind);
+        expect_identical(ref, got,
+                         std::string(capsnet::op_kind_name(kind)) + " threads=" +
+                             std::to_string(threads) + " cache=" + std::to_string(cache));
+      }
+    }
+  }
+}
+
+TEST(SweepEngine, LayerSweepMatchesSerialAcrossThreadCounts) {
+  Rng rng(6);
+  capsnet::CapsNetModel model(small_capsnet_config(), rng);
+  const data::Dataset ds = small_dataset(14, 1, 48);
+
+  for (const std::string& layer : model.layer_names()) {
+    const ResilienceCurve ref =
+        serial_sweep(model, ds, quick_config(1, false), OpKind::kMacOutput, layer);
+    ResilienceAnalyzer analyzer(model, ds.test_x, ds.test_y, quick_config(2, true));
+    expect_identical(ref, analyzer.sweep_layer(OpKind::kMacOutput, layer), layer);
+  }
+}
+
+/// Probes the model like the engine does: first stage emitting each site.
+class SiteStageProbe final : public capsnet::PerturbationHook {
+ public:
+  void process(const std::string& layer, OpKind kind, Tensor&) override {
+    for (const auto& [site, stage] : found) {
+      if (site.first == layer && site.second == kind) return;
+    }
+    found.push_back({{layer, kind}, stage_});
+  }
+  int stage_ = 0;
+  std::vector<std::pair<std::pair<std::string, OpKind>, int>> found;
+};
+
+void check_prefix_replay_exact(capsnet::CapsModel& model, const Tensor& x) {
+  const int stages = model.num_stages();
+
+  capsnet::StageState ckpt;
+  ckpt.at.resize(static_cast<std::size_t>(stages) + 1);
+  ckpt.at[0] = {x};
+  const Tensor clean = model.forward_range(0, stages, ckpt, nullptr, /*record=*/true);
+
+  // The segmented clean forward must match the plain forward bitwise.
+  const Tensor clean_ref = model.forward(x, /*train=*/false, nullptr);
+  ASSERT_EQ(clean.shape(), clean_ref.shape());
+  for (std::int64_t i = 0; i < clean.numel(); ++i) {
+    ASSERT_EQ(clean.at(i), clean_ref.at(i)) << "clean forward diverges at " << i;
+  }
+
+  SiteStageProbe probe;
+  {
+    capsnet::StageState st;
+    st.at.resize(static_cast<std::size_t>(stages) + 1);
+    st.at[0] = {capsnet::slice_rows(x, 0, 1)};
+    for (int k = 0; k < stages; ++k) {
+      probe.stage_ = k;
+      (void)model.forward_range(k, k + 1, st, &probe, /*record=*/true);
+    }
+  }
+  ASSERT_FALSE(probe.found.empty());
+
+  const noise::NoiseSpec spec{0.1, 0.0};
+  for (const auto& [site, stage] : probe.found) {
+    const std::vector<noise::InjectionRule> rules{
+        noise::layer_rule(site.second, site.first, spec)};
+
+    noise::GaussianInjector scratch_injector(rules, 1234);
+    const Tensor ref = model.forward(x, /*train=*/false, &scratch_injector);
+
+    noise::GaussianInjector replay_injector(rules, 1234);
+    capsnet::StageState st;
+    st.at.resize(static_cast<std::size_t>(stages) + 1);
+    st.at[static_cast<std::size_t>(stage)] = ckpt.at[static_cast<std::size_t>(stage)];
+    const Tensor got = model.forward_range(stage, stages, st, &replay_injector, false);
+
+    ASSERT_EQ(got.shape(), ref.shape());
+    for (std::int64_t i = 0; i < got.numel(); ++i) {
+      ASSERT_EQ(got.at(i), ref.at(i))
+          << site.first << "/" << capsnet::op_kind_name(site.second)
+          << " replayed from stage " << stage << " diverges at element " << i;
+    }
+    EXPECT_GT(replay_injector.injections(), 0)
+        << site.first << "/" << capsnet::op_kind_name(site.second);
+  }
+}
+
+TEST(SweepEngine, CapsNetPrefixReplayMatchesFromScratchAtEverySite) {
+  Rng rng(7);
+  capsnet::CapsNetModel model(small_capsnet_config(), rng);
+  const data::Dataset ds = small_dataset(14, 1, 8);
+  check_prefix_replay_exact(model, ds.test_x);
+}
+
+TEST(SweepEngine, DeepCapsPrefixReplayMatchesFromScratchAtEverySite) {
+  Rng rng(8);
+  capsnet::DeepCapsModel model(small_deepcaps_config(), rng);
+  const data::Dataset ds = small_dataset(8, 3, 4);
+  check_prefix_replay_exact(model, ds.test_x);
+}
+
+TEST(SweepEngine, StatsAccountForSkippedStages) {
+  Rng rng(9);
+  capsnet::CapsNetModel model(small_capsnet_config(), rng);
+  const data::Dataset ds = small_dataset(14, 1, 32);
+
+  SweepEngineConfig cfg;
+  cfg.seed = 3;
+  cfg.eval_batch = 16;
+  cfg.threads = 1;
+  SweepEngine engine(model, ds.test_x, ds.test_y, cfg);
+  (void)engine.clean_accuracy();
+
+  // Softmax sites live in the routing stage: nearly the whole network is a
+  // cached prefix for this rule.
+  const std::vector<noise::InjectionRule> rules{
+      noise::group_rule(OpKind::kSoftmax, noise::NoiseSpec{0.1, 0.0})};
+  (void)engine.point_accuracy(rules, 1);
+  EXPECT_EQ(engine.stats().evaluations, 1);
+  EXPECT_EQ(engine.stats().cache_hits, 2);  // Two test batches replayed.
+  EXPECT_GT(engine.stats().stages_skipped, 0);
+  EXPECT_EQ(engine.stats().stages_total, 2LL * model.num_stages());
+  EXPECT_GT(engine.stats().skip_fraction(), 0.5);
+
+  // MAC outputs start at stage 0: nothing can be skipped.
+  SweepEngine engine2(model, ds.test_x, ds.test_y, cfg);
+  const std::vector<noise::InjectionRule> mac_rules{
+      noise::group_rule(OpKind::kMacOutput, noise::NoiseSpec{0.1, 0.0})};
+  (void)engine2.point_accuracy(mac_rules, 1);
+  EXPECT_EQ(engine2.stats().cache_hits, 0);
+  EXPECT_EQ(engine2.stats().stages_skipped, 0);
+}
+
+TEST(SweepEngine, ThreadResolutionHonorsEnvOverride) {
+  ::setenv("REDCANE_SWEEP_THREADS", "3", 1);
+  EXPECT_EQ(SweepEngine::resolve_threads(0), 3);
+  EXPECT_EQ(SweepEngine::resolve_threads(5), 5);  // Explicit config wins.
+  ::unsetenv("REDCANE_SWEEP_THREADS");
+  EXPECT_GE(SweepEngine::resolve_threads(0), 1);
+}
+
+}  // namespace
+}  // namespace redcane::core
