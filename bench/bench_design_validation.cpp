@@ -30,13 +30,10 @@ int main() {
     const core::MethodologyResult r =
         core::run_redcane(*b.model, b.dataset.test_x, b.dataset.test_y, b.dataset.name, mc);
 
-    // Re-profile the selected components to recover their NM/NA, and arm
-    // one injection rule per site with exactly that noise.
-    const auto profiled =
-        core::profile_library(approx::InputDistribution::uniform(),
-                              mc.profile_chain_length, mc.profile_samples, mc.profile_seed);
+    // Arm one injection rule per site with exactly the selected component's
+    // profiled NM/NA (the profile Step 6 selected from).
     auto noise_of = [&](const approx::Multiplier* m) {
-      for (const core::ProfiledComponent& pc : profiled) {
+      for (const core::ProfiledComponent& pc : r.profiled) {
         if (pc.mul == m) return noise::NoiseSpec{pc.nm, pc.na};
       }
       return noise::NoiseSpec{};

@@ -1,0 +1,202 @@
+// Serving-runtime throughput: dynamic micro-batching vs one-by-one serving
+// of the same request stream, same worker count, same model.
+//
+//   single   — max_batch = 1: every request is its own forward (the naive
+//              serving loop a sweep-style evaluate() would give you).
+//   batched  — max_batch = 32 with a short coalescing window: the
+//              InferenceServer as deployed.
+//
+// The request queue is pre-filled before the workers start, so both modes
+// serve an identical stream and the exact variant's predictions must match
+// request-for-request (batching a per-sample-independent forward changes
+// nothing). The batched server must be >= 2x the single-request server —
+// the gate this binary exits on. Results are appended as one JSON object to
+// BENCH_serve.json so serving throughput is machine-readable across
+// commits.
+//
+// Usage: bench_serve [--quick] [--workers N] [--json PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/groups.hpp"
+#include "serve/server.hpp"
+
+namespace redcane::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Registry over an untrained small CapsNet (throughput depends only on
+/// architecture) with a synthetic designed variant: every MAC-output site
+/// carries a small component noise, as a real manifest would.
+std::unique_ptr<serve::ModelRegistry> make_registry(std::int64_t hw, const Tensor& probe) {
+  capsnet::CapsNetConfig cfg = capsnet::CapsNetConfig::tiny();
+  cfg.input_hw = hw;
+  cfg.conv1_channels = 4;
+  cfg.primary_types = 2;
+  cfg.primary_dim = 2;
+  cfg.class_dim = 4;
+  cfg.conv1_kernel = 3;
+  cfg.primary_kernel = 3;
+  Rng rng(2020);
+  auto model = std::make_unique<capsnet::CapsNetModel>(cfg, rng);
+
+  core::DeploymentManifest m;
+  m.model = model->name();
+  m.profile = "tiny";
+  m.input_hw = hw;
+  m.input_channels = 1;
+  m.num_classes = cfg.num_classes;
+  m.noise_seed = 2020;
+  for (const core::Site& site : core::extract_sites(*model, probe)) {
+    core::ManifestSite ms;
+    ms.site = site;
+    ms.component = "synthetic";
+    if (site.kind == capsnet::OpKind::kMacOutput) ms.nm = 0.005;
+    m.sites.push_back(ms);
+  }
+  return std::make_unique<serve::ModelRegistry>(std::move(model), std::move(m));
+}
+
+struct ModeResult {
+  std::string name;
+  double ms = 0.0;
+  double req_per_s = 0.0;
+  double mean_batch = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::vector<std::int64_t> labels;  ///< Prediction per request, stream order.
+};
+
+/// Pre-fills the queue with `requests` samples (cycling the pool) for
+/// `variant`, then starts the workers and times the drain.
+ModeResult run_mode(const std::string& name, serve::ModelRegistry& registry,
+                    const Tensor& pool, std::int64_t requests, const std::string& variant,
+                    serve::ServerConfig sc) {
+  ModeResult r;
+  r.name = name;
+  // Warm caches/allocator so the first timed batch is not a cold outlier.
+  for (int i = 0; i < 8; ++i) {
+    (void)registry.model().infer(capsnet::slice_rows(pool, 0, 1));
+  }
+  (void)registry.model().infer(
+      capsnet::slice_rows(pool, 0, std::min<std::int64_t>(sc.max_batch, pool.shape().dim(0))));
+  serve::InferenceServer server(registry, sc);
+  std::vector<std::future<serve::Prediction>> futs;
+  futs.reserve(static_cast<std::size_t>(requests));
+  const std::int64_t n = pool.shape().dim(0);
+  for (std::int64_t i = 0; i < requests; ++i) {
+    futs.push_back(server.submit(capsnet::slice_rows(pool, i % n, i % n + 1), variant));
+  }
+  const auto t0 = Clock::now();
+  server.start();
+  for (auto& f : futs) r.labels.push_back(f.get().label);
+  r.ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  server.shutdown();
+  const serve::ServerStats stats = server.stats();
+  r.req_per_s = static_cast<double>(requests) / (r.ms / 1e3);
+  r.mean_batch = stats.mean_batch_size();
+  r.p50_us = serve::percentile_us(stats.latencies_us, 50.0);
+  r.p99_us = serve::percentile_us(stats.latencies_us, 99.0);
+  return r;
+}
+
+int run(bool quick, int workers_flag, const std::string& json_path) {
+  print_header("Serving runtime: dynamic micro-batching vs one-by-one");
+
+  const std::int64_t hw = 6;
+  const std::int64_t requests = quick ? 512 : 1024;
+  const int workers = serve::InferenceServer::resolve_workers(workers_flag);
+
+  data::SyntheticSpec spec;
+  spec.kind = data::DatasetKind::kMnist;
+  spec.hw = hw;
+  spec.channels = 1;
+  spec.train_count = 4;  // Unused; traffic only reads the test split.
+  spec.test_count = 64;
+  spec.seed = 43;
+  const data::Dataset ds = data::make_synthetic(spec);
+
+  std::unique_ptr<serve::ModelRegistry> registry =
+      make_registry(hw, capsnet::slice_rows(ds.test_x, 0, 1));
+
+  serve::ServerConfig single;
+  single.workers = workers;
+  single.max_batch = 1;
+  single.max_delay_us = 0;
+  serve::ServerConfig batched;
+  batched.workers = workers;
+  batched.max_batch = 32;
+  batched.max_delay_us = 2000;
+
+  std::printf("CapsNet tiny %lldx%lld, %lld requests, %d worker(s)\n\n",
+              static_cast<long long>(hw), static_cast<long long>(hw),
+              static_cast<long long>(requests), workers);
+
+  const ModeResult r_single = run_mode("single-request", *registry, ds.test_x, requests,
+                                       serve::kVariantExact, single);
+  const ModeResult r_batched = run_mode("batched (max 32)", *registry, ds.test_x, requests,
+                                        serve::kVariantExact, batched);
+  const ModeResult r_designed = run_mode("batched designed", *registry, ds.test_x, requests,
+                                         serve::kVariantDesigned, batched);
+
+  const auto report = [](const ModeResult& r) {
+    std::printf("  %-18s %10.1f ms  %9.1f req/s  mean batch %5.1f  p50 %7.0f us  "
+                "p99 %7.0f us\n",
+                r.name.c_str(), r.ms, r.req_per_s, r.mean_batch, r.p50_us, r.p99_us);
+  };
+  report(r_single);
+  report(r_batched);
+  report(r_designed);
+
+  // Exact-arithmetic predictions are per-sample independent, so batching
+  // must not change them.
+  const bool identical = r_single.labels == r_batched.labels;
+  std::printf("\nexact predictions identical across serving modes: %s\n",
+              identical ? "yes" : "NO");
+
+  const double speedup = r_single.ms / r_batched.ms;
+  if (std::FILE* f = std::fopen(json_path.c_str(), "a")) {
+    std::fprintf(f,
+                 "{\"bench\":\"serve\",\"quick\":%s,\"model\":\"CapsNet-tiny\","
+                 "\"input_hw\":%lld,\"requests\":%lld,\"workers\":%d,\"max_batch\":%lld,"
+                 "\"single_ms\":%.1f,\"batched_ms\":%.1f,\"designed_ms\":%.1f,"
+                 "\"speedup\":%.2f,\"batched_mean_batch\":%.1f,"
+                 "\"batched_p50_us\":%.0f,\"batched_p99_us\":%.0f,\"identical\":%s}\n",
+                 quick ? "true" : "false", static_cast<long long>(hw),
+                 static_cast<long long>(requests), workers,
+                 static_cast<long long>(batched.max_batch), r_single.ms, r_batched.ms,
+                 r_designed.ms, speedup, r_batched.mean_batch, r_batched.p50_us,
+                 r_batched.p99_us, identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("appended results to %s\n", json_path.c_str());
+  }
+
+  const bool pass = identical && speedup >= 2.0;
+  std::printf("\n%s: dynamic batching is %.2fx one-by-one serving "
+              "(target >= 2x, identical exact predictions required)\n",
+              pass ? "PASS" : "FAIL", speedup);
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace redcane::bench
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int workers = 0;
+  std::string json_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) workers = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+  return redcane::bench::run(quick, workers, json_path);
+}

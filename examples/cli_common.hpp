@@ -1,0 +1,56 @@
+// Shared helpers of the example CLIs (redcane_cli, redcane_serve): the
+// minimal --flag value parser and the dataset-name mapping. Header-only so
+// the examples/*.cpp -> one-binary-each build rule stays untouched.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/synthetic.hpp"
+
+namespace redcane::examples {
+
+/// Minimal --flag value parser over argv.
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  /// True when `flag` appears anywhere in argv (value-less switches).
+  [[nodiscard]] bool has(const std::string& flag) const {
+    for (int i = 0; i < argc_; ++i) {
+      if (flag == argv_[i]) return true;
+    }
+    return false;
+  }
+
+  /// Value following `flag`, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& flag, const std::string& fallback) const {
+    for (int i = 0; i + 1 < argc_; ++i) {
+      if (flag == argv_[i]) return argv_[i + 1];
+    }
+    return fallback;
+  }
+
+  /// Numeric value following `flag`, or `fallback` when absent.
+  [[nodiscard]] double get_num(const std::string& flag, double fallback) const {
+    const std::string v = get(flag, "");
+    return v.empty() ? fallback : std::atof(v.c_str());
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+/// Dataset name -> kind; exits with usage message on an unknown name.
+inline data::DatasetKind dataset_kind_of(const std::string& name) {
+  if (name == "mnist") return data::DatasetKind::kMnist;
+  if (name == "fashion") return data::DatasetKind::kFashionMnist;
+  if (name == "cifar10") return data::DatasetKind::kCifar10;
+  if (name == "svhn") return data::DatasetKind::kSvhn;
+  std::fprintf(stderr, "unknown dataset '%s' (mnist|fashion|cifar10|svhn)\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace redcane::examples

@@ -19,6 +19,7 @@
 #include "capsnet/capsnet_model.hpp"
 #include "capsnet/deepcaps_model.hpp"
 #include "capsnet/trainer.hpp"
+#include "cli_common.hpp"
 #include "core/export.hpp"
 #include "core/methodology.hpp"
 #include "core/report.hpp"
@@ -26,38 +27,9 @@
 #include "energy/op_counter.hpp"
 
 using namespace redcane;
+using examples::Args;
 
 namespace {
-
-/// Minimal --flag value parser over argv.
-class Args {
- public:
-  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
-
-  [[nodiscard]] std::string get(const std::string& flag, const std::string& fallback) const {
-    for (int i = 0; i + 1 < argc_; ++i) {
-      if (flag == argv_[i]) return argv_[i + 1];
-    }
-    return fallback;
-  }
-  [[nodiscard]] double get_num(const std::string& flag, double fallback) const {
-    const std::string v = get(flag, "");
-    return v.empty() ? fallback : std::atof(v.c_str());
-  }
-
- private:
-  int argc_;
-  char** argv_;
-};
-
-data::DatasetKind kind_of(const std::string& name) {
-  if (name == "mnist") return data::DatasetKind::kMnist;
-  if (name == "fashion") return data::DatasetKind::kFashionMnist;
-  if (name == "cifar10") return data::DatasetKind::kCifar10;
-  if (name == "svhn") return data::DatasetKind::kSvhn;
-  std::fprintf(stderr, "unknown dataset '%s' (mnist|fashion|cifar10|svhn)\n", name.c_str());
-  std::exit(2);
-}
 
 int cmd_analyze(const Args& args) {
   const std::string model_name = args.get("--model", "capsnet");
@@ -66,7 +38,7 @@ int cmd_analyze(const Args& args) {
   const auto train_n = static_cast<std::int64_t>(args.get_num("--train", 800));
   const auto test_n = static_cast<std::int64_t>(args.get_num("--test", 250));
 
-  const data::DatasetKind kind = kind_of(dataset_name);
+  const data::DatasetKind kind = examples::dataset_kind_of(dataset_name);
   const bool deepcaps = model_name == "deepcaps";
   const std::int64_t hw = deepcaps ? 16 : 28;
   const data::Dataset ds = data::make_benchmark(kind, hw, train_n, test_n);

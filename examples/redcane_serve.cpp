@@ -1,0 +1,257 @@
+// redcane_serve — design an approximate CapsNet with ReD-CaNe, then serve
+// it as a long-lived batched inference service next to the exact baseline.
+//
+//   redcane_serve [--smoke] [--model capsnet|deepcaps] [--dataset mnist|...]
+//                 [--epochs N] [--train N] [--test N] [--workers N]
+//                 [--batch N] [--delay-us N] [--out PREFIX]
+//   redcane_serve --manifest PATH [--workers N] [--batch N] ...
+//
+// Without --manifest: trains the model, runs the 6-step methodology, writes
+// a checkpoint (PREFIX.rdcn) + deployment manifest (PREFIX.manifest), then
+// re-opens both through serve::ModelRegistry — the same loadable path a
+// production deployment would take. With --manifest: skips design and
+// serves an existing manifest.
+//
+// The serving phase drives synthetic traffic through the InferenceServer
+// and reports throughput, p50/p99 latency, micro-batch statistics, the
+// accuracy of both variants, and the exact-vs-designed prediction
+// agreement — the deployed answer to "what does the approximate network
+// cost me, per request".
+//
+// --smoke is the CI profile: a 20x20 tiny CapsNet, a reduced NM grid, two
+// workers, and a pass/fail gate on the serving path staying sane.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capsnet/capsnet_model.hpp"
+#include "capsnet/deepcaps_model.hpp"
+#include "capsnet/serialize.hpp"
+#include "capsnet/trainer.hpp"
+#include "cli_common.hpp"
+#include "core/manifest.hpp"
+#include "core/methodology.hpp"
+#include "data/synthetic.hpp"
+#include "serve/server.hpp"
+
+using namespace redcane;
+using examples::Args;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TrafficReport {
+  double elapsed_s = 0.0;
+  std::vector<std::int64_t> exact_labels;     ///< Per test sample.
+  std::vector<std::int64_t> designed_labels;  ///< Per test sample.
+};
+
+/// Submits every test sample to both variants (exact wave, then designed
+/// wave — same-variant runs are what the micro-batcher coalesces) and waits
+/// for all predictions.
+TrafficReport drive_traffic(serve::InferenceServer& server, const Tensor& test_x) {
+  const std::int64_t n = test_x.shape().dim(0);
+  TrafficReport report;
+  std::vector<std::future<serve::Prediction>> exact_futs;
+  std::vector<std::future<serve::Prediction>> designed_futs;
+  const auto t0 = Clock::now();
+  for (std::int64_t i = 0; i < n; ++i) {
+    exact_futs.push_back(
+        server.submit(capsnet::slice_rows(test_x, i, i + 1), serve::kVariantExact));
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    designed_futs.push_back(
+        server.submit(capsnet::slice_rows(test_x, i, i + 1), serve::kVariantDesigned));
+  }
+  for (auto& f : exact_futs) report.exact_labels.push_back(f.get().label);
+  for (auto& f : designed_futs) report.designed_labels.push_back(f.get().label);
+  report.elapsed_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  return report;
+}
+
+double accuracy_of(const std::vector<std::int64_t>& pred,
+                   const std::vector<std::int64_t>& labels) {
+  std::int64_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++hits;
+  }
+  return pred.empty() ? 0.0 : static_cast<double>(hits) / static_cast<double>(pred.size());
+}
+
+/// Final path component (the manifest references its checkpoint relative
+/// to the manifest's own directory).
+std::string base_name(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+int run(const Args& args) {
+  const bool smoke = args.has("--smoke");
+  std::string manifest_path = args.get("--manifest", "");
+  const std::string model_name = args.get("--model", "capsnet");
+  const bool deepcaps = model_name == "deepcaps";
+  const std::string out_prefix = args.get("--out", smoke ? "serve_smoke" : "serve_design");
+  const auto test_n = static_cast<std::int64_t>(args.get_num("--test", smoke ? 64 : 200));
+
+  data::Dataset ds;
+  std::unique_ptr<serve::ModelRegistry> registry;
+  if (!manifest_path.empty()) {
+    // ---- Serve an existing design: traffic geometry comes from the
+    // manifest's model, not from CLI defaults.
+    registry = serve::ModelRegistry::open(manifest_path);
+    if (registry == nullptr) return 1;
+    const Shape in = registry->model().input_shape();
+    const data::DatasetKind kind = examples::dataset_kind_of(
+        args.get("--dataset", in.dim(2) == 3 ? "cifar10" : "mnist"));
+    ds = data::make_benchmark(kind, in.dim(0), /*train_count=*/0, test_n);
+    if (ds.test_x.shape().dim(3) != in.dim(2)) {
+      std::fprintf(stderr, "dataset '%s' has %lld channels but %s expects %lld\n",
+                   ds.name.c_str(), static_cast<long long>(ds.test_x.shape().dim(3)),
+                   registry->manifest().model.c_str(), static_cast<long long>(in.dim(2)));
+      return 2;
+    }
+  } else {
+    // ---- Design phase: train, run ReD-CaNe, export checkpoint + manifest.
+    const data::DatasetKind kind =
+        examples::dataset_kind_of(args.get("--dataset", deepcaps ? "cifar10" : "mnist"));
+    const std::int64_t hw =
+        static_cast<std::int64_t>(args.get_num("--hw", deepcaps ? 16 : (smoke ? 20 : 28)));
+    const auto train_n =
+        static_cast<std::int64_t>(args.get_num("--train", smoke ? 240 : 600));
+    ds = data::make_benchmark(kind, hw, train_n, test_n);
+    Rng rng(static_cast<std::uint64_t>(args.get_num("--seed", 7)));
+    std::unique_ptr<capsnet::CapsModel> model;
+    std::string profile = "tiny";
+    if (deepcaps) {
+      capsnet::DeepCapsConfig cfg = capsnet::DeepCapsConfig::tiny();
+      cfg.input_hw = hw;
+      cfg.input_channels = ds.train_x.shape().dim(3);
+      model = std::make_unique<capsnet::DeepCapsModel>(cfg, rng);
+    } else {
+      capsnet::CapsNetConfig cfg = capsnet::CapsNetConfig::tiny();
+      cfg.input_hw = hw;
+      cfg.input_channels = ds.train_x.shape().dim(3);
+      model = std::make_unique<capsnet::CapsNetModel>(cfg, rng);
+    }
+
+    const auto epochs = static_cast<int>(args.get_num("--epochs", smoke ? 3 : 6));
+    std::printf("designing: training %s on %s (%d epochs, %lld samples)...\n",
+                model->name().c_str(), ds.name.c_str(), epochs,
+                static_cast<long long>(train_n));
+    capsnet::TrainConfig tc;
+    tc.epochs = epochs;
+    tc.batch_size = 24;
+    tc.lr = 3e-3;
+    capsnet::train(*model, ds.train_x, ds.train_y, tc);
+
+    core::MethodologyConfig mc;
+    // Serving injects every site's component jointly, so per-operation
+    // budgets compound (see bench_design_validation); half the paper's 1 pp
+    // per-op budget keeps the deployed design within ~1 pp of exact.
+    mc.tolerance_pct = args.get_num("--tolerance", 0.5);
+    mc.profile_chain_length = deepcaps ? 9 : 81;
+    if (smoke) {
+      mc.resilience.sweep.nms = {0.5, 0.05, 0.005, 0.0};
+      mc.profile_samples = 4000;
+    }
+    std::printf("running the 6-step methodology...\n");
+    const core::MethodologyResult result =
+        core::run_redcane(*model, ds.test_x, ds.test_y, ds.name, mc);
+    std::printf("  baseline accuracy %.2f%%, %zu sites, mean MAC power saving %.1f%%\n",
+                result.baseline_accuracy * 100.0, result.sites.size(),
+                result.mean_mac_power_saving() * 100.0);
+
+    const std::string ckpt_path = out_prefix + ".rdcn";
+    manifest_path = out_prefix + ".manifest";
+    if (!capsnet::save_params(*model, ckpt_path)) {
+      std::fprintf(stderr, "cannot write checkpoint %s\n", ckpt_path.c_str());
+      return 1;
+    }
+    // The manifest references its checkpoint relative to its own directory
+    // (they sit side by side under out_prefix), so store the basename.
+    const core::DeploymentManifest manifest = core::make_deployment_manifest(
+        result, result.profiled, *model, profile, base_name(ckpt_path),
+        /*noise_seed=*/2020);
+    if (!core::save_manifest(manifest, manifest_path)) {
+      std::fprintf(stderr, "cannot write manifest %s\n", manifest_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s and %s\n\n", ckpt_path.c_str(), manifest_path.c_str());
+
+    // Re-open through the deployment path — the same loadable route a
+    // production rollout would take.
+    registry = serve::ModelRegistry::open(manifest_path);
+    if (registry == nullptr) return 1;
+  }
+
+  // ---- Serving phase.
+  std::printf("serving %s (%lld designed noise sites, baseline %.2f%% at design time)\n",
+              registry->manifest().model.c_str(),
+              static_cast<long long>(registry->designed_noisy_sites()),
+              registry->manifest().baseline_accuracy * 100.0);
+
+  serve::ServerConfig sc;
+  sc.workers = static_cast<int>(args.get_num("--workers", smoke ? 2 : 0));
+  sc.max_batch = static_cast<std::int64_t>(args.get_num("--batch", smoke ? 8 : 16));
+  sc.max_delay_us = static_cast<std::int64_t>(args.get_num("--delay-us", 2000));
+  serve::InferenceServer server(*registry, sc);
+  server.start();
+
+  const TrafficReport traffic = drive_traffic(server, ds.test_x);
+  server.shutdown();
+  const serve::ServerStats stats = server.stats();
+
+  const double exact_acc = accuracy_of(traffic.exact_labels, ds.test_y);
+  const double designed_acc = accuracy_of(traffic.designed_labels, ds.test_y);
+  const double agreement = accuracy_of(traffic.designed_labels, traffic.exact_labels);
+
+  std::printf("\n--- serving report (%d workers, max_batch %lld, max_delay %lld us) ---\n",
+              stats.workers, static_cast<long long>(sc.max_batch),
+              static_cast<long long>(sc.max_delay_us));
+  std::printf("requests: %lld in %.3f s  ->  %.1f req/s over %lld micro-batches "
+              "(mean batch %.1f)\n",
+              static_cast<long long>(stats.requests), traffic.elapsed_s,
+              static_cast<double>(stats.requests) / traffic.elapsed_s,
+              static_cast<long long>(stats.batches), stats.mean_batch_size());
+  std::printf("latency: p50 %.0f us, p99 %.0f us\n",
+              serve::percentile_us(stats.latencies_us, 50.0),
+              serve::percentile_us(stats.latencies_us, 99.0));
+  std::printf("accuracy: exact %.2f%%, designed %.2f%% (drop %+.2f pp)\n",
+              exact_acc * 100.0, designed_acc * 100.0,
+              (designed_acc - exact_acc) * 100.0);
+  std::printf("exact-vs-designed prediction agreement: %.2f%%\n", agreement * 100.0);
+
+  if (smoke) {
+    const bool ok = stats.requests == 2 * test_n && agreement >= 0.5 &&
+                    stats.mean_batch_size() >= 1.0;
+    std::printf("\nsmoke gate (all requests served, agreement >= 50%%): %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+  return 0;
+}
+
+void usage() {
+  std::puts(
+      "usage: redcane_serve [--smoke] [--manifest PATH] [--model capsnet|deepcaps]\n"
+      "                     [--dataset mnist|fashion|cifar10|svhn] [--hw N]\n"
+      "                     [--epochs N] [--train N] [--test N] [--tolerance PP]\n"
+      "                     [--workers N] [--batch N] [--delay-us N] [--out PREFIX]");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.has("--help") || args.has("-h")) {
+    usage();
+    return 2;
+  }
+  return run(args);
+}

@@ -18,10 +18,10 @@ namespace redcane::approx {
 struct AdderInfo {
   std::string name;          ///< e.g. "axa_loa6".
   std::string family;        ///< "exact", "loa", "trunc", "seg".
-  int param = 0;             ///< Family parameter (k).
+  int param = 0;             ///< Family parameter (k); 0 when unused.
   std::string paper_analog;  ///< EvoApprox8B analog ("add8u_5LT" etc.), "" if none.
-  double power_uw = 0.0;
-  double area_um2 = 0.0;
+  double power_uw = 0.0;     ///< Power at 45 nm-style operating point [uW].
+  double area_um2 = 0.0;     ///< Cell area [um^2].
 };
 
 /// Interface of a behavioral accumulator-width adder.
@@ -29,10 +29,12 @@ class Adder {
  public:
   virtual ~Adder() = default;
 
+  /// Approximate sum of a + b over the 20-bit accumulator datapath.
   [[nodiscard]] virtual std::uint32_t add(std::uint32_t a, std::uint32_t b) const = 0;
 
   [[nodiscard]] const AdderInfo& info() const { return info_; }
 
+  /// Signed arithmetic error vs the exact sum (Eq. 2 of the paper).
   [[nodiscard]] std::int32_t error(std::uint32_t a, std::uint32_t b) const {
     return static_cast<std::int32_t>(add(a, b)) - static_cast<std::int32_t>(a + b);
   }

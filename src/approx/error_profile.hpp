@@ -48,14 +48,14 @@ class InputDistribution {
 struct ProfileConfig {
   std::int64_t samples = 100000;  ///< |I| per scenario (paper uses 1e5).
   int chain_length = 1;           ///< 1 for single mult, 9 / 81 for MAC chains.
-  std::uint64_t seed = 42;
+  std::uint64_t seed = 42;        ///< RNG seed of the operand stream.
 };
 
 /// Result of profiling one component under one input distribution.
 struct ErrorProfile {
-  std::string multiplier_name;
-  std::string distribution_label;
-  int chain_length = 1;
+  std::string multiplier_name;     ///< Library name of the profiled component.
+  std::string distribution_label;  ///< Input distribution ("uniform", "empirical").
+  int chain_length = 1;            ///< MACs per sample (1 / 9 / 81).
 
   stats::Moments error_moments;   ///< Moments of Δ.
   stats::Moments exact_moments;   ///< Moments of the exact outputs (gives R(X)).

@@ -33,6 +33,15 @@ class CapsModel {
   /// the classification scores. `hook` may be null.
   virtual Tensor forward(const Tensor& x, bool train, PerturbationHook* hook) = 0;
 
+  /// Shared-weight inference entry: forward(x, train=false, hook). Safe to
+  /// call concurrently from several threads on one model instance — the
+  /// sweep engine and the serving worker pool both rely on eval forwards
+  /// writing no model state (pinned by capsnet::audit_const_forward) — as
+  /// long as no thread trains or mutates params meanwhile.
+  [[nodiscard]] Tensor infer(const Tensor& x, PerturbationHook* hook = nullptr) {
+    return forward(x, /*train=*/false, hook);
+  }
+
   /// Number of stages of the segmented inference forward. Stage boundaries
   /// sit immediately after hook-site emits, so a perturbation at a site
   /// affects only the site's own stage and later ones. The base default is

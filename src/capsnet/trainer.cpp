@@ -136,4 +136,28 @@ double evaluate(CapsModel& model, const Tensor& images,
   return static_cast<double>(hits) / static_cast<double>(n);
 }
 
+bool audit_const_forward(CapsModel& model, const Tensor& probe) {
+  std::vector<std::vector<float>> before;
+  for (nn::Param* p : model.params()) {
+    before.emplace_back(p->value.data().begin(), p->value.data().end());
+  }
+  const Tensor first = model.infer(probe);
+  const Tensor second = model.infer(probe);
+  if (first.shape() != second.shape()) return false;
+  if (std::memcmp(first.data().data(), second.data().data(),
+                  static_cast<std::size_t>(first.numel()) * sizeof(float)) != 0) {
+    return false;
+  }
+  const std::vector<nn::Param*> params = model.params();
+  if (params.size() != before.size()) return false;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const std::span<const float> now = params[p]->value.data();
+    if (now.size() != before[p].size()) return false;
+    if (std::memcmp(now.data(), before[p].data(), now.size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace redcane::capsnet

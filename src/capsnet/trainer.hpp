@@ -50,6 +50,12 @@ TrainStats train(CapsModel& model, const Tensor& images,
 [[nodiscard]] std::int64_t count_correct(const Tensor& v,
                                          std::span<const std::int64_t> labels);
 
+/// Const-forward audit: runs two eval forwards of `probe` and verifies that
+/// no parameter changed bitwise and both outputs are bit-identical — the
+/// contract that makes shared-weight concurrent serving (CapsModel::infer)
+/// and prefix-cache replay sound. Returns false on any violation.
+[[nodiscard]] bool audit_const_forward(CapsModel& model, const Tensor& probe);
+
 /// Slices rows [begin, end) of a [N, ...] tensor into a new tensor.
 [[nodiscard]] Tensor slice_rows(const Tensor& t, std::int64_t begin, std::int64_t end);
 

@@ -17,8 +17,8 @@ namespace redcane::core {
 
 /// One injectable operation site: a (layer, operation-kind) pair.
 struct Site {
-  std::string layer;
-  capsnet::OpKind kind;
+  std::string layer;     ///< Layer name, e.g. "Conv1", "Caps2D7".
+  capsnet::OpKind kind;  ///< Operation group of Table III.
 
   [[nodiscard]] std::string to_string() const {
     return layer + "/" + capsnet::op_kind_name(kind);

@@ -1,0 +1,146 @@
+#include "core/manifest.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/export.hpp"
+
+namespace redcane::core {
+namespace {
+
+constexpr const char* kVersionLine = "redcane-manifest v1";
+
+std::string fmt_full(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* op_kind_token(capsnet::OpKind kind) {
+  switch (kind) {
+    case capsnet::OpKind::kMacOutput: return "mac";
+    case capsnet::OpKind::kActivation: return "activation";
+    case capsnet::OpKind::kSoftmax: return "softmax";
+    case capsnet::OpKind::kLogitsUpdate: return "logits";
+  }
+  return "?";
+}
+
+bool op_kind_from_token(const std::string& token, capsnet::OpKind& out) {
+  if (token == "mac") out = capsnet::OpKind::kMacOutput;
+  else if (token == "activation") out = capsnet::OpKind::kActivation;
+  else if (token == "softmax") out = capsnet::OpKind::kSoftmax;
+  else if (token == "logits") out = capsnet::OpKind::kLogitsUpdate;
+  else return false;
+  return true;
+}
+
+DeploymentManifest make_deployment_manifest(const MethodologyResult& r,
+                                            const std::vector<ProfiledComponent>& profiled,
+                                            const capsnet::CapsModel& model,
+                                            const std::string& profile,
+                                            const std::string& checkpoint_path,
+                                            std::uint64_t noise_seed) {
+  DeploymentManifest m;
+  m.model = r.model_name;
+  m.profile = profile;
+  const Shape in = model.input_shape();
+  m.input_hw = in.dim(0);
+  m.input_channels = in.dim(2);
+  m.num_classes = model.num_classes();
+  m.checkpoint = checkpoint_path;
+  m.noise_seed = noise_seed;
+  m.baseline_accuracy = r.baseline_accuracy;
+  for (const SiteSelection& s : r.selections) {
+    ManifestSite site;
+    site.site = s.site;
+    site.tolerable_nm = s.tolerable_nm;
+    if (s.component != nullptr) {
+      site.component = s.component->info().name;
+      for (const ProfiledComponent& pc : profiled) {
+        if (pc.mul == s.component) {
+          site.nm = pc.nm;
+          site.na = pc.na;
+          break;
+        }
+      }
+    }
+    m.sites.push_back(site);
+  }
+  return m;
+}
+
+std::string manifest_to_text(const DeploymentManifest& m) {
+  std::string out = std::string(kVersionLine) + "\n";
+  out += "model " + m.model + "\n";
+  out += "profile " + m.profile + "\n";
+  out += "input_hw " + std::to_string(m.input_hw) + "\n";
+  out += "input_channels " + std::to_string(m.input_channels) + "\n";
+  out += "num_classes " + std::to_string(m.num_classes) + "\n";
+  if (!m.checkpoint.empty()) out += "checkpoint " + m.checkpoint + "\n";
+  out += "noise_seed " + std::to_string(m.noise_seed) + "\n";
+  out += "baseline_accuracy " + fmt_full(m.baseline_accuracy) + "\n";
+  for (const ManifestSite& s : m.sites) {
+    out += "site " + s.site.layer + " " + op_kind_token(s.site.kind) + " " +
+           (s.component.empty() ? "-" : s.component) + " " + fmt_full(s.nm) + " " +
+           fmt_full(s.na) + " " + fmt_full(s.tolerable_nm) + "\n";
+  }
+  return out;
+}
+
+bool manifest_from_text(const std::string& text, DeploymentManifest& out) {
+  out = DeploymentManifest{};
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kVersionLine) return false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "model") fields >> out.model;
+    else if (key == "profile") fields >> out.profile;
+    else if (key == "input_hw") fields >> out.input_hw;
+    else if (key == "input_channels") fields >> out.input_channels;
+    else if (key == "num_classes") fields >> out.num_classes;
+    else if (key == "checkpoint") {
+      // Rest of the line: checkpoint paths may contain spaces.
+      std::getline(fields >> std::ws, out.checkpoint);
+    }
+    else if (key == "noise_seed") fields >> out.noise_seed;
+    else if (key == "baseline_accuracy") fields >> out.baseline_accuracy;
+    else if (key == "site") {
+      ManifestSite s;
+      std::string kind_token;
+      fields >> s.site.layer >> kind_token >> s.component >> s.nm >> s.na >>
+          s.tolerable_nm;
+      if (!op_kind_from_token(kind_token, s.site.kind)) return false;
+      if (s.component == "-") s.component.clear();
+      if (fields.fail()) return false;
+      out.sites.push_back(std::move(s));
+    } else {
+      return false;  // Unknown key: refuse rather than silently drop config.
+    }
+    if (fields.fail()) return false;
+  }
+  return !out.model.empty();
+}
+
+bool save_manifest(const DeploymentManifest& m, const std::string& path) {
+  return write_text_file(path, manifest_to_text(m));
+}
+
+bool load_manifest(const std::string& path, DeploymentManifest& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return manifest_from_text(text, out);
+}
+
+}  // namespace redcane::core

@@ -95,7 +95,7 @@ MethodologyResult run_redcane(capsnet::CapsModel& model, const Tensor& test_x,
   }
 
   // Step 6: Select Approximate Components per operation.
-  const std::vector<ProfiledComponent> profiled =
+  std::vector<ProfiledComponent> profiled =
       profile_library(approx::InputDistribution::uniform(), cfg.profile_chain_length,
                       cfg.profile_samples, cfg.profile_seed);
   for (const Site& site : r.sites) {
@@ -121,6 +121,7 @@ MethodologyResult run_redcane(capsnet::CapsModel& model, const Tensor& test_x,
     sel.component = select_component(profiled, sel.tolerable_nm);
     r.selections.push_back(sel);
   }
+  r.profiled = std::move(profiled);
 
   r.evaluations_run = analyzer.evaluations();
   r.sweep_stats = analyzer.engine_stats();

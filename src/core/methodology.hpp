@@ -28,21 +28,21 @@ struct MethodologyConfig {
   /// `mark_threshold_pct` percentage points (Step 3). The paper marks
   /// softmax and logits update, whose curves are flat at NM = 0.05 where
   /// MAC outputs / activations already lose tens of percent.
-  double mark_nm = 0.05;
-  double mark_threshold_pct = 2.0;
+  double mark_nm = 0.05;            ///< Marking grid point (NM, dimensionless).
+  double mark_threshold_pct = 2.0;  ///< Marking threshold [percentage points].
   /// Accuracy-drop budget per operation when picking its tolerable NM
-  /// (Steps 3/5 -> 6).
+  /// (Steps 3/5 -> 6) [percentage points].
   double tolerance_pct = 1.0;
-  /// Error-profiling setup for the component library (Step 6).
+  /// MACs per profiling sample (9 for 3x3 kernels, 81 for 9x9; Step 6).
   int profile_chain_length = 9;
-  std::int64_t profile_samples = 20000;
-  std::uint64_t profile_seed = 7;
+  std::int64_t profile_samples = 20000;  ///< Profiling samples per component.
+  std::uint64_t profile_seed = 7;        ///< Profiling RNG seed.
 };
 
 struct MethodologyResult {
-  std::string model_name;
-  std::string dataset_name;
-  double baseline_accuracy = 0.0;
+  std::string model_name;          ///< e.g. "CapsNet", "DeepCaps".
+  std::string dataset_name;        ///< e.g. "MNIST(synthetic)".
+  double baseline_accuracy = 0.0;  ///< Clean test accuracy, fraction in [0, 1].
 
   std::vector<Site> sites;                     // Step 1.
   std::vector<ResilienceCurve> group_curves;   // Step 2.
@@ -51,6 +51,10 @@ struct MethodologyResult {
   std::vector<ResilienceCurve> layer_curves;   // Step 4 (non-resilient groups only).
   std::vector<std::string> resilient_layers;   // Step 5 ("layer/kind" keys).
   std::vector<SiteSelection> selections;       // Step 6, one per site.
+  /// The library profile Step 6 selected from (one entry per component,
+  /// library order) — reuse this wherever a selection's NM/NA is needed
+  /// (deployment manifests, design validation) instead of re-profiling.
+  std::vector<ProfiledComponent> profiled;
 
   std::int64_t evaluations_run = 0;
   std::int64_t evaluations_saved_by_pruning = 0;  ///< D3: Step-4 restriction.
@@ -61,7 +65,7 @@ struct MethodologyResult {
   SweepEngineStats sweep_stats;
 
   /// Mean selected power saving over MAC-output sites (the multiplier
-  /// datapath the paper targets).
+  /// datapath the paper targets), as a fraction in [0, 1).
   [[nodiscard]] double mean_mac_power_saving() const;
 };
 

@@ -20,8 +20,9 @@ namespace redcane::core {
 
 /// The NM grid of a resilience sweep.
 struct NmSweep {
+  /// Noise magnitudes swept (std/R(X), dimensionless); 0 = clean point.
   std::vector<double> nms{0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0};
-  double na = 0.0;
+  double na = 0.0;  ///< Noise average of every point (mean/R(X), dimensionless).
 
   /// The grid of the paper's Figs. 9, 10, 12.
   static NmSweep paper() { return NmSweep{}; }
@@ -31,10 +32,10 @@ struct NmSweep {
 /// negative = degradation) per NM grid point.
 struct ResilienceCurve {
   std::string label;                 ///< e.g. "#1: MAC outputs" or "Caps2D7".
-  capsnet::OpKind kind;
+  capsnet::OpKind kind;              ///< Operation group swept (Table III).
   std::optional<std::string> layer;  ///< Set for layer-wise curves.
-  std::vector<double> nms;
-  std::vector<double> drop_pct;
+  std::vector<double> nms;           ///< NM grid points (dimensionless).
+  std::vector<double> drop_pct;      ///< Accuracy drop per point [percentage points].
 
   /// Largest NM on the grid whose |drop| <= tolerance (0 when even the
   /// smallest NM violates it).

@@ -17,10 +17,10 @@ namespace redcane::core {
 
 /// A library component with its profiled noise parameters.
 struct ProfiledComponent {
-  const approx::Multiplier* mul = nullptr;
-  double nm = 0.0;
-  double na = 0.0;
-  bool gaussian_like = true;
+  const approx::Multiplier* mul = nullptr;  ///< Profiled component (library-owned).
+  double nm = 0.0;            ///< Noise magnitude, std(Δ)/R(X) (dimensionless).
+  double na = 0.0;            ///< Noise average, mean(Δ)/R(X) (dimensionless).
+  bool gaussian_like = true;  ///< Error histogram close to its Gaussian fit.
 };
 
 /// Profiles every library multiplier once under `dist` with `chain_length`
@@ -36,10 +36,12 @@ struct ProfiledComponent {
 
 /// One operation's final choice.
 struct SiteSelection {
-  Site site;
-  double tolerable_nm = 0.0;
-  const approx::Multiplier* component = nullptr;
+  Site site;                  ///< The (layer, kind) operation being approximated.
+  double tolerable_nm = 0.0;  ///< NM budget from Steps 3/5 (dimensionless).
+  const approx::Multiplier* component = nullptr;  ///< Selected library component.
 
+  /// Selected component's power saving vs the exact multiplier, as a
+  /// fraction in [0, 1) (0 when no component is selected).
   [[nodiscard]] double power_saving() const;
 };
 

@@ -1,0 +1,73 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+namespace redcane::serve {
+
+MicroBatcher::MicroBatcher(BatcherConfig cfg) : cfg_(cfg) {
+  // A non-positive ceiling would make pop_batch hand out empty batches.
+  cfg_.max_batch = std::max<std::int64_t>(1, cfg_.max_batch);
+  cfg_.max_delay_us = std::max<std::int64_t>(0, cfg_.max_delay_us);
+}
+
+bool MicroBatcher::push(QueuedRequest& r) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    queue_.push_back(std::move(r));
+  }
+  cv_.notify_all();
+  return true;
+}
+
+std::size_t MicroBatcher::head_run_locked() const {
+  const std::size_t cap =
+      std::min(queue_.size(), static_cast<std::size_t>(cfg_.max_batch));
+  std::size_t run = 0;
+  while (run < cap && queue_[run].variant == queue_.front().variant) ++run;
+  return run;
+}
+
+bool MicroBatcher::pop_batch(std::vector<QueuedRequest>& out) {
+  out.clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;  // Closed and drained.
+
+    // Wait for co-batchable followers — but only while waiting could help:
+    // not when the run already hit max_batch, not when a different-variant
+    // request caps the run, and at most max_delay_us past the head arrival.
+    const std::size_t run = head_run_locked();
+    const auto deadline =
+        queue_.front().enqueued + std::chrono::microseconds(cfg_.max_delay_us);
+    const bool full = run >= static_cast<std::size_t>(cfg_.max_batch);
+    const bool capped = queue_.size() > run;
+    if (closed_ || full || capped || ServeClock::now() >= deadline) {
+      out.reserve(run);
+      for (std::size_t i = 0; i < run; ++i) {
+        out.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      // Another worker may be mid-wait on the (now consumed) old head.
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait_until(lock, deadline);
+  }
+}
+
+void MicroBatcher::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t MicroBatcher::pending() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace redcane::serve

@@ -1,0 +1,94 @@
+// Dynamic micro-batching request queue of the serving runtime.
+//
+// Requests arrive one sample at a time; GEMM-backed CapsNet inference is
+// far more efficient per sample on a batch, so the batcher coalesces the
+// queue head into micro-batches: consecutive same-variant requests, up to
+// `max_batch` of them, waiting at most `max_delay_us` past the head
+// request's arrival for co-batchable followers (and not at all when a
+// different-variant request is already queued right behind the run —
+// waiting could not grow the batch).
+//
+// Workers pop under one lock and always take the queue-head run, so batch
+// composition is a pure function of the queue's content at pop time —
+// never of which worker pops. For a pinned arrival order (queue filled
+// before the workers start), batches and therefore served outputs are
+// bit-identical across worker counts (tests/test_serve.cpp). Under live
+// traffic, pop timing relative to arrivals still shapes the batches;
+// exact-variant outputs are per-sample independent and stay bit-identical
+// regardless, while designed-variant noise depends on the batch layout.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace redcane::serve {
+
+using ServeClock = std::chrono::steady_clock;
+
+/// Completed inference of one request.
+struct Prediction {
+  std::uint64_t request_id = 0;
+  std::string variant;        ///< Variant that served it ("exact", "designed").
+  std::int64_t label = -1;    ///< Predicted class (argmax of scores).
+  std::vector<float> scores;  ///< Class-capsule lengths, one per class.
+  std::int64_t batch_size = 0;  ///< Size of the micro-batch it rode in.
+  double latency_us = 0.0;      ///< Enqueue -> fulfillment [us].
+};
+
+/// One queued request: a single sample bound for a named model variant.
+struct QueuedRequest {
+  std::uint64_t id = 0;
+  std::string variant;
+  Tensor x;  ///< One sample, [1, H, W, C].
+  ServeClock::time_point enqueued;
+  std::promise<Prediction> done;
+};
+
+struct BatcherConfig {
+  std::int64_t max_batch = 16;       ///< Coalescing ceiling [requests].
+  std::int64_t max_delay_us = 2000;  ///< Head-of-line wait for co-batchable arrivals [us].
+};
+
+class MicroBatcher {
+ public:
+  /// Clamps max_batch to >= 1 and max_delay_us to >= 0.
+  explicit MicroBatcher(BatcherConfig cfg);
+
+  /// Enqueues a request (FIFO). Returns false — leaving `r` untouched so
+  /// the caller can resolve its promise — when the batcher is closed:
+  /// nothing would ever pop the request.
+  [[nodiscard]] bool push(QueuedRequest& r);
+
+  /// Blocks for the next micro-batch (the queue-head run of same-variant
+  /// requests, bounded by max_batch/max_delay_us). Returns false once the
+  /// batcher is closed and drained — the worker-pool exit signal.
+  bool pop_batch(std::vector<QueuedRequest>& out);
+
+  /// Ends intake; blocked pop_batch calls drain the queue, then return false.
+  void close();
+
+  /// Requests currently queued (diagnostic).
+  [[nodiscard]] std::size_t pending() const;
+
+  [[nodiscard]] const BatcherConfig& config() const { return cfg_; }
+
+ private:
+  /// Length of the same-variant run at the queue head, capped at max_batch.
+  [[nodiscard]] std::size_t head_run_locked() const;
+
+  BatcherConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueuedRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace redcane::serve

@@ -1,0 +1,130 @@
+#include "serve/registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "capsnet/capsnet_model.hpp"
+#include "capsnet/deepcaps_model.hpp"
+#include "capsnet/serialize.hpp"
+#include "capsnet/trainer.hpp"
+#include "core/sweep_engine.hpp"
+
+namespace redcane::serve {
+namespace {
+
+/// Rebuilds the manifest's architecture: profile base config with the
+/// manifest's input/class overrides. Weights are placeholder (the caller
+/// loads the checkpoint); the Rng seed is therefore irrelevant.
+std::unique_ptr<capsnet::CapsModel> build_model(const core::DeploymentManifest& m) {
+  Rng rng(1);
+  if (m.model == "CapsNet") {
+    capsnet::CapsNetConfig cfg = m.profile == "paper" ? capsnet::CapsNetConfig::paper()
+                                                      : capsnet::CapsNetConfig::tiny();
+    if (m.input_hw > 0) cfg.input_hw = m.input_hw;
+    if (m.input_channels > 0) cfg.input_channels = m.input_channels;
+    if (m.num_classes > 0) cfg.num_classes = m.num_classes;
+    return std::make_unique<capsnet::CapsNetModel>(cfg, rng);
+  }
+  if (m.model == "DeepCaps") {
+    capsnet::DeepCapsConfig cfg = m.profile == "paper" ? capsnet::DeepCapsConfig::paper()
+                                                       : capsnet::DeepCapsConfig::tiny();
+    if (m.input_hw > 0) cfg.input_hw = m.input_hw;
+    if (m.input_channels > 0) cfg.input_channels = m.input_channels;
+    if (m.num_classes > 0) cfg.num_classes = m.num_classes;
+    return std::make_unique<capsnet::DeepCapsModel>(cfg, rng);
+  }
+  return nullptr;
+}
+
+/// Directory part of a path ("" when the path has none).
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(std::unique_ptr<capsnet::CapsModel> model,
+                             core::DeploymentManifest manifest)
+    : model_(std::move(model)), manifest_(std::move(manifest)) {
+  build_variants();
+}
+
+std::unique_ptr<ModelRegistry> ModelRegistry::open(const std::string& manifest_path) {
+  core::DeploymentManifest m;
+  if (!core::load_manifest(manifest_path, m)) {
+    std::fprintf(stderr, "serve: cannot load manifest %s\n", manifest_path.c_str());
+    return nullptr;
+  }
+  std::unique_ptr<capsnet::CapsModel> model = build_model(m);
+  if (model == nullptr) {
+    std::fprintf(stderr, "serve: unknown model '%s' in %s\n", m.model.c_str(),
+                 manifest_path.c_str());
+    return nullptr;
+  }
+  if (m.checkpoint.empty()) {
+    std::fprintf(stderr, "serve: manifest %s names no checkpoint\n",
+                 manifest_path.c_str());
+    return nullptr;
+  }
+  const std::string ckpt = m.checkpoint.front() == '/'
+                               ? m.checkpoint
+                               : dir_of(manifest_path) + m.checkpoint;
+  if (!capsnet::load_params(*model, ckpt)) {
+    std::fprintf(stderr, "serve: cannot load checkpoint %s\n", ckpt.c_str());
+    return nullptr;
+  }
+  const Shape in = model->input_shape();
+  const Tensor probe(Shape{1, in.dim(0), in.dim(1), in.dim(2)});
+  if (!capsnet::audit_const_forward(*model, probe)) {
+    std::fprintf(stderr, "serve: const-forward audit failed for %s\n", m.model.c_str());
+    return nullptr;
+  }
+  return std::make_unique<ModelRegistry>(std::move(model), std::move(m));
+}
+
+void ModelRegistry::build_variants() {
+  variants_.push_back({kVariantExact, {}});
+  Variant designed{kVariantDesigned, {}};
+  for (const core::ManifestSite& s : manifest_.sites) {
+    const noise::NoiseSpec spec{s.nm, s.na};
+    if (spec.is_zero()) continue;  // Exact component: no rule needed.
+    designed.rules.push_back(noise::layer_rule(s.site.kind, s.site.layer, spec));
+  }
+  variants_.push_back(std::move(designed));
+}
+
+std::vector<std::string> ModelRegistry::variant_names() const {
+  std::vector<std::string> names;
+  for (const Variant& v : variants_) names.push_back(v.name);
+  return names;
+}
+
+bool ModelRegistry::has_variant(const std::string& name) const {
+  for (const Variant& v : variants_) {
+    if (v.name == name) return true;
+  }
+  return false;
+}
+
+std::int64_t ModelRegistry::designed_noisy_sites() const {
+  return static_cast<std::int64_t>(find_variant(kVariantDesigned).rules.size());
+}
+
+const Variant& ModelRegistry::find_variant(const std::string& name) const {
+  for (const Variant& v : variants_) {
+    if (v.name == name) return v;
+  }
+  std::fprintf(stderr, "serve fatal: unknown variant '%s'\n", name.c_str());
+  std::abort();
+}
+
+std::unique_ptr<capsnet::PerturbationHook> ModelRegistry::make_hook(
+    const std::string& variant, std::uint64_t salt) const {
+  const Variant& v = find_variant(variant);
+  if (v.rules.empty()) return nullptr;
+  return std::make_unique<noise::GaussianInjector>(
+      v.rules, manifest_.noise_seed ^ (salt * core::kSaltMix));
+}
+
+}  // namespace redcane::serve

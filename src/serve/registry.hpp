@@ -1,0 +1,78 @@
+// ModelRegistry: turns a deployment manifest into servable model variants.
+//
+// The registry owns one trained CapsModel (rebuilt from the manifest's
+// architecture fields, weights loaded via capsnet::load_params) and exposes
+// named *variants* — ways to execute it:
+//
+//   "exact"    — the plain network, no perturbation hook;
+//   "designed" — the Step-6 design: every manifest site gets its selected
+//                component's profiled NM/NA injected through the standard
+//                GaussianInjector hook, i.e. the same mechanism the
+//                resilience analysis used, now running as the deployed
+//                approximate network.
+//
+// Hooks are created fresh per micro-batch (make_hook) so concurrent workers
+// never share a noise stream; the stream seed derives deterministically
+// from the manifest seed and the caller's salt (first request id of the
+// batch), keeping served outputs reproducible.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capsnet/model.hpp"
+#include "core/manifest.hpp"
+#include "noise/injector.hpp"
+
+namespace redcane::serve {
+
+inline constexpr const char* kVariantExact = "exact";
+inline constexpr const char* kVariantDesigned = "designed";
+
+/// A named way to execute the deployed model.
+struct Variant {
+  std::string name;
+  std::vector<noise::InjectionRule> rules;  ///< Empty = exact arithmetic.
+};
+
+class ModelRegistry {
+ public:
+  /// Wraps an externally built (already trained/loaded) model. Used by
+  /// tests and benches whose model configs have no manifest profile.
+  ModelRegistry(std::unique_ptr<capsnet::CapsModel> model,
+                core::DeploymentManifest manifest);
+
+  /// Loads a manifest file, rebuilds its model (profile config + input
+  /// overrides), loads the checkpoint (resolved relative to the manifest's
+  /// directory), and audits the const-forward contract with a zero probe.
+  /// Returns nullptr (with a stderr note) on any failure.
+  static std::unique_ptr<ModelRegistry> open(const std::string& manifest_path);
+
+  [[nodiscard]] capsnet::CapsModel& model() { return *model_; }
+  [[nodiscard]] const core::DeploymentManifest& manifest() const { return manifest_; }
+
+  /// Variant names in registration order: {"exact", "designed"}.
+  [[nodiscard]] std::vector<std::string> variant_names() const;
+  [[nodiscard]] bool has_variant(const std::string& name) const;
+
+  /// Sites of the designed variant that carry non-zero noise.
+  [[nodiscard]] std::int64_t designed_noisy_sites() const;
+
+  /// Fresh perturbation hook for one micro-batch of `variant`: nullptr for
+  /// "exact", a GaussianInjector seeded manifest.noise_seed ^ (salt *
+  /// core::kSaltMix) for "designed". Aborts on an unknown variant (requests
+  /// are validated at submit time).
+  [[nodiscard]] std::unique_ptr<capsnet::PerturbationHook> make_hook(
+      const std::string& variant, std::uint64_t salt) const;
+
+ private:
+  [[nodiscard]] const Variant& find_variant(const std::string& name) const;
+  void build_variants();
+
+  std::unique_ptr<capsnet::CapsModel> model_;
+  core::DeploymentManifest manifest_;
+  std::vector<Variant> variants_;
+};
+
+}  // namespace redcane::serve

@@ -1,0 +1,173 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "tensor/ops.hpp"
+
+namespace redcane::serve {
+
+double percentile_us(std::vector<double> values_us, double p) {
+  if (values_us.empty()) return 0.0;
+  std::sort(values_us.begin(), values_us.end());
+  const double rank = p / 100.0 * static_cast<double>(values_us.size() - 1);
+  const auto idx = static_cast<std::size_t>(std::llround(rank));
+  return values_us[std::min(idx, values_us.size() - 1)];
+}
+
+int InferenceServer::resolve_workers(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("REDCANE_SERVE_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+InferenceServer::InferenceServer(ModelRegistry& registry, ServerConfig cfg)
+    : registry_(registry),
+      cfg_(cfg),
+      batcher_(BatcherConfig{cfg.max_batch, cfg.max_delay_us}) {
+  stats_.workers = resolve_workers(cfg_.workers);
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<Prediction> InferenceServer::submit(const Tensor& sample,
+                                                const std::string& variant) {
+  if (!registry_.has_variant(variant)) {
+    std::fprintf(stderr, "serve fatal: submit to unknown variant '%s'\n",
+                 variant.c_str());
+    std::abort();
+  }
+  const Shape in = registry_.model().input_shape();
+  const Shape row{1, in.dim(0), in.dim(1), in.dim(2)};
+  Tensor x;
+  if (sample.shape() == row) {
+    x = sample;
+  } else if (sample.shape().rank() == 3 && sample.numel() == row.numel()) {
+    x = sample.reshaped(row);
+  } else {
+    std::fprintf(stderr, "serve fatal: sample shape %s does not fit input %s\n",
+                 sample.shape().to_string().c_str(), in.to_string().c_str());
+    std::abort();
+  }
+
+  QueuedRequest r;
+  r.variant = variant;
+  r.x = std::move(x);
+  r.enqueued = ServeClock::now();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    r.id = next_id_++;
+  }
+  std::future<Prediction> fut = r.done.get_future();
+  if (!batcher_.push(r)) {
+    // Submitting to a shut-down server is a caller bug; failing loudly here
+    // beats handing back a future that never resolves.
+    std::fprintf(stderr, "serve fatal: submit after shutdown\n");
+    std::abort();
+  }
+  return fut;
+}
+
+void InferenceServer::start() {
+  if (started_ || stopped_) return;
+  started_ = true;
+  const int workers = stats_.workers;
+  pool_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool_.emplace_back([this, workers] {
+#ifdef _OPENMP
+      // Same discipline as core/sweep_engine: with several workers, batch-
+      // level parallelism already covers the machine — a full OpenMP team
+      // per worker would oversubscribe it. A single worker keeps the full
+      // team so batched GEMMs still use every core.
+      if (workers > 1) omp_set_num_threads(1);
+#endif
+      worker_loop();
+    });
+  }
+}
+
+void InferenceServer::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  batcher_.close();
+  if (!started_) {
+    // Never started: drain inline so queued futures still resolve.
+    worker_loop();
+  }
+  for (std::thread& t : pool_) t.join();
+  pool_.clear();
+}
+
+void InferenceServer::worker_loop() {
+  std::vector<QueuedRequest> batch;
+  while (batcher_.pop_batch(batch)) process_batch(batch);
+}
+
+void InferenceServer::process_batch(std::vector<QueuedRequest>& batch) {
+  const Shape in = registry_.model().input_shape();
+  const auto n = static_cast<std::int64_t>(batch.size());
+  Tensor x(Shape{n, in.dim(0), in.dim(1), in.dim(2)});
+  const std::int64_t row = x.numel() / n;
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::memcpy(x.data().data() + i * row, batch[static_cast<std::size_t>(i)].x.data().data(),
+                static_cast<std::size_t>(row) * sizeof(float));
+  }
+
+  // The batch's noise stream is keyed by its first request id: independent
+  // of worker identity, so outputs only depend on batch composition.
+  const std::unique_ptr<capsnet::PerturbationHook> hook =
+      registry_.make_hook(batch.front().variant, batch.front().id);
+  const Tensor v = registry_.model().infer(x, hook.get());
+  const Tensor lengths = capsnet::CapsModel::class_lengths(v);
+  const std::vector<std::int64_t> labels = ops::argmax_last_axis(lengths);
+
+  const auto done = ServeClock::now();
+  const std::int64_t classes = lengths.shape().dim(-1);
+  std::vector<double> latencies;
+  latencies.reserve(batch.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    QueuedRequest& r = batch[static_cast<std::size_t>(i)];
+    Prediction p;
+    p.request_id = r.id;
+    p.variant = r.variant;
+    p.label = labels[static_cast<std::size_t>(i)];
+    p.scores.assign(lengths.data().begin() + i * classes,
+                    lengths.data().begin() + (i + 1) * classes);
+    p.batch_size = n;
+    p.latency_us =
+        std::chrono::duration<double, std::micro>(done - r.enqueued).count();
+    latencies.push_back(p.latency_us);
+    r.done.set_value(std::move(p));
+  }
+
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.requests += n;
+  ++stats_.batches;
+  for (const double l : latencies) {
+    if (stats_.latencies_us.size() < kLatencyWindow) {
+      stats_.latencies_us.push_back(l);
+    } else {
+      stats_.latencies_us[latency_pos_] = l;
+      latency_pos_ = (latency_pos_ + 1) % kLatencyWindow;
+    }
+  }
+}
+
+ServerStats InferenceServer::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace redcane::serve

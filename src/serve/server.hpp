@@ -1,0 +1,116 @@
+// InferenceServer: the batched serving runtime for designed approximate
+// CapsNets.
+//
+// Requests (one sample + a variant name) are submitted from any thread and
+// resolved through std::future<Prediction>. A worker pool — the threading
+// discipline of core/sweep_engine: plain std::threads, OpenMP capped to one
+// thread per worker when several workers run so kernels do not oversubscribe
+// the machine — drains the MicroBatcher, runs one shared-weight eval
+// forward per micro-batch (CapsModel::infer is thread-safe for concurrent
+// eval), and fulfills each request with its predicted label, class scores
+// and measured latency.
+//
+// Determinism: batch composition never depends on which worker pops (see
+// batcher.hpp) and each designed-variant batch's noise stream is seeded
+// from the batch's first request id — scheduling cannot perturb the math.
+// For a pinned arrival order (submit before start()), served outputs are
+// bit-identical across worker counts (tests/test_serve.cpp); under live
+// traffic, exact-variant outputs remain bit-identical per sample while
+// designed-variant noise follows the realized batch layout.
+//
+// Lifecycle: construct -> (optionally submit) -> start() -> submit/await ->
+// shutdown(). Requests submitted before start() queue up and are served
+// once workers exist — the identity tests use this to pin batch layout.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/registry.hpp"
+
+namespace redcane::serve {
+
+struct ServerConfig {
+  /// Worker threads; 0 = REDCANE_SERVE_THREADS env var, else hardware
+  /// concurrency.
+  int workers = 0;
+  std::int64_t max_batch = 16;       ///< Micro-batch coalescing ceiling [requests].
+  std::int64_t max_delay_us = 2000;  ///< Head-of-line batching wait [us].
+};
+
+/// Latency samples retained for percentile reporting: a sliding window of
+/// the most recent requests, so a long-lived server's stats stay O(1) in
+/// memory instead of growing 8 bytes per request forever.
+inline constexpr std::size_t kLatencyWindow = 16384;
+
+/// Aggregate counters of one server lifetime.
+struct ServerStats {
+  std::int64_t requests = 0;  ///< Requests fulfilled.
+  std::int64_t batches = 0;   ///< Micro-batches executed.
+  int workers = 0;            ///< Resolved worker count.
+  /// Enqueue->done latency [us] of the most recent <= kLatencyWindow
+  /// requests (unordered; feed to percentile_us).
+  std::vector<double> latencies_us;
+
+  /// Mean fulfilled micro-batch size [requests/batch].
+  [[nodiscard]] double mean_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(requests) / static_cast<double>(batches);
+  }
+};
+
+/// The p-th percentile (p in [0, 100]) of `values_us`, by nearest-rank on a
+/// sorted copy; 0 when empty. Shared by the example/bench latency reports.
+[[nodiscard]] double percentile_us(std::vector<double> values_us, double p);
+
+class InferenceServer {
+ public:
+  InferenceServer(ModelRegistry& registry, ServerConfig cfg);
+  /// Joins workers (runs shutdown() if the caller did not).
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues one sample ([H, W, C] or [1, H, W, C]) for `variant` and
+  /// returns the future of its prediction. Aborts on an unknown variant, a
+  /// shape mismatch, or a submit after shutdown() — all caller programming
+  /// errors (the alternative is a future that never resolves).
+  std::future<Prediction> submit(const Tensor& sample, const std::string& variant);
+
+  /// Spawns the worker pool. Idempotent.
+  void start();
+
+  /// Closes intake, drains the queue, joins the workers. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+
+  /// Resolves cfg.workers / REDCANE_SERVE_THREADS / hardware_concurrency.
+  [[nodiscard]] static int resolve_workers(int requested);
+
+ private:
+  void worker_loop();
+  void process_batch(std::vector<QueuedRequest>& batch);
+
+  ModelRegistry& registry_;
+  ServerConfig cfg_;
+  MicroBatcher batcher_;
+  std::vector<std::thread> pool_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+  std::size_t latency_pos_ = 0;  ///< Ring cursor once the window is full.
+  std::uint64_t next_id_ = 0;    ///< Guarded by stats_mu_.
+};
+
+}  // namespace redcane::serve

@@ -1,0 +1,360 @@
+// Serving-runtime contracts (src/serve/):
+//  * served predictions are bit-identical across worker counts, for both
+//    the exact and the designed variant (same discipline as
+//    test_sweep_engine: batch composition is arrival-order-determined and
+//    noise streams are keyed by batch content, not by scheduling);
+//  * the micro-batcher coalesces only same-variant runs, bounded by
+//    max_batch, in FIFO order;
+//  * the deployment manifest round-trips through its text format and
+//    rejects malformed input;
+//  * the registry arms the designed variant with exactly the manifest's
+//    non-exact sites and ModelRegistry::open serves a saved design;
+//  * eval forwards mutate no model state (const-forward audit).
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capsnet/capsnet_model.hpp"
+#include "capsnet/deepcaps_model.hpp"
+#include "capsnet/serialize.hpp"
+#include "capsnet/trainer.hpp"
+#include "core/groups.hpp"
+#include "core/manifest.hpp"
+#include "data/synthetic.hpp"
+
+namespace redcane::serve {
+namespace {
+
+capsnet::CapsNetConfig small_config() {
+  capsnet::CapsNetConfig cfg;
+  cfg.input_hw = 14;
+  cfg.conv1_kernel = 5;
+  cfg.conv1_channels = 8;
+  cfg.primary_kernel = 5;
+  cfg.primary_stride = 2;
+  cfg.primary_types = 2;
+  cfg.primary_dim = 4;
+  cfg.class_dim = 4;
+  return cfg;
+}
+
+data::Dataset small_dataset(std::int64_t count) {
+  data::SyntheticSpec s;
+  s.kind = data::DatasetKind::kMnist;
+  s.hw = 14;
+  s.channels = 1;
+  s.train_count = 4;
+  s.test_count = count;
+  s.seed = 77;
+  return data::make_synthetic(s);
+}
+
+/// Manifest over an in-memory model: every MAC site gets a small noise.
+core::DeploymentManifest noisy_manifest(capsnet::CapsModel& model, const Tensor& probe) {
+  core::DeploymentManifest m;
+  m.model = model.name();
+  m.profile = "tiny";
+  m.input_hw = model.input_shape().dim(0);
+  m.input_channels = model.input_shape().dim(2);
+  m.num_classes = model.num_classes();
+  m.noise_seed = 909;
+  m.baseline_accuracy = 0.5;
+  for (const core::Site& site : core::extract_sites(model, probe)) {
+    core::ManifestSite ms;
+    ms.site = site;
+    if (site.kind == capsnet::OpKind::kMacOutput) {
+      ms.component = "synthetic";
+      ms.nm = 0.05;
+      ms.na = 0.001;
+    }
+    ms.tolerable_nm = 0.05;
+    m.sites.push_back(ms);
+  }
+  return m;
+}
+
+std::unique_ptr<ModelRegistry> make_registry(const data::Dataset& ds) {
+  Rng rng(21);
+  auto model = std::make_unique<capsnet::CapsNetModel>(small_config(), rng);
+  core::DeploymentManifest m =
+      noisy_manifest(*model, capsnet::slice_rows(ds.test_x, 0, 1));
+  return std::make_unique<ModelRegistry>(std::move(model), std::move(m));
+}
+
+/// Serves one fixed request stream (exact wave + designed wave, submitted
+/// before start so batch layout is pinned) and returns the predictions in
+/// stream order.
+std::vector<Prediction> serve_stream(ModelRegistry& registry, const data::Dataset& ds,
+                                     int workers, std::int64_t max_batch) {
+  ServerConfig sc;
+  sc.workers = workers;
+  sc.max_batch = max_batch;
+  sc.max_delay_us = 1000;
+  InferenceServer server(registry, sc);
+  const std::int64_t n = ds.test_x.shape().dim(0);
+  std::vector<std::future<Prediction>> futs;
+  for (const char* variant : {kVariantExact, kVariantDesigned}) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      futs.push_back(server.submit(capsnet::slice_rows(ds.test_x, i, i + 1), variant));
+    }
+  }
+  server.start();
+  std::vector<Prediction> out;
+  out.reserve(futs.size());
+  for (auto& f : futs) out.push_back(f.get());
+  server.shutdown();
+  return out;
+}
+
+TEST(Serve, PredictionsBitIdenticalAcrossWorkerCounts) {
+  const data::Dataset ds = small_dataset(24);
+  std::unique_ptr<ModelRegistry> registry = make_registry(ds);
+
+  const std::vector<Prediction> ref = serve_stream(*registry, ds, 1, 8);
+  for (const int workers : {2, 4}) {
+    const std::vector<Prediction> got = serve_stream(*registry, ds, workers, 8);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(ref[i].label, got[i].label) << "workers=" << workers << " req " << i;
+      EXPECT_EQ(ref[i].variant, got[i].variant);
+      ASSERT_EQ(ref[i].scores.size(), got[i].scores.size());
+      for (std::size_t c = 0; c < ref[i].scores.size(); ++c) {
+        // Bitwise: batching and scheduling must not perturb the math.
+        EXPECT_EQ(ref[i].scores[c], got[i].scores[c])
+            << "workers=" << workers << " req " << i << " class " << c;
+      }
+    }
+  }
+}
+
+TEST(Serve, DesignedVariantActuallyPerturbs) {
+  const data::Dataset ds = small_dataset(8);
+  std::unique_ptr<ModelRegistry> registry = make_registry(ds);
+  EXPECT_GT(registry->designed_noisy_sites(), 0);
+
+  const std::vector<Prediction> all = serve_stream(*registry, ds, 1, 4);
+  const std::size_t n = all.size() / 2;
+  bool any_score_differs = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < all[i].scores.size(); ++c) {
+      if (all[i].scores[c] != all[n + i].scores[c]) any_score_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_score_differs) << "designed variant served exact activations";
+}
+
+TEST(Serve, BatcherCoalescesSameVariantRunsFifo) {
+  MicroBatcher batcher(BatcherConfig{3, 0});
+  auto push = [&](std::uint64_t id, const std::string& variant) {
+    QueuedRequest r;
+    r.id = id;
+    r.variant = variant;
+    r.enqueued = ServeClock::now();
+    ASSERT_TRUE(batcher.push(r));
+  };
+  // exact x4, designed x2, exact x1.
+  for (std::uint64_t id : {0, 1, 2, 3}) push(id, kVariantExact);
+  push(4, kVariantDesigned);
+  push(5, kVariantDesigned);
+  push(6, kVariantExact);
+  batcher.close();
+
+  std::vector<std::vector<std::uint64_t>> batches;
+  std::vector<QueuedRequest> batch;
+  while (batcher.pop_batch(batch)) {
+    std::vector<std::uint64_t> ids;
+    for (QueuedRequest& r : batch) {
+      ids.push_back(r.id);
+      EXPECT_EQ(r.variant, batch.front().variant);
+    }
+    batches.push_back(ids);
+  }
+  const std::vector<std::vector<std::uint64_t>> expected = {
+      {0, 1, 2}, {3}, {4, 5}, {6}};
+  EXPECT_EQ(batches, expected);
+  EXPECT_EQ(batcher.pending(), 0U);
+
+  // Closed batchers refuse new requests instead of queueing them forever.
+  QueuedRequest late;
+  late.id = 7;
+  late.variant = kVariantExact;
+  EXPECT_FALSE(batcher.push(late));
+}
+
+TEST(Serve, ManifestRoundTripsThroughText) {
+  const data::Dataset ds = small_dataset(2);
+  Rng rng(22);
+  capsnet::CapsNetModel model(small_config(), rng);
+  core::DeploymentManifest m =
+      noisy_manifest(model, capsnet::slice_rows(ds.test_x, 0, 1));
+  m.checkpoint = "my designs/model v2.rdcn";  // Paths may contain spaces.
+
+  core::DeploymentManifest parsed;
+  ASSERT_TRUE(core::manifest_from_text(core::manifest_to_text(m), parsed));
+  EXPECT_EQ(parsed.checkpoint, m.checkpoint);
+  EXPECT_EQ(parsed.model, m.model);
+  EXPECT_EQ(parsed.profile, m.profile);
+  EXPECT_EQ(parsed.input_hw, m.input_hw);
+  EXPECT_EQ(parsed.input_channels, m.input_channels);
+  EXPECT_EQ(parsed.num_classes, m.num_classes);
+  EXPECT_EQ(parsed.noise_seed, m.noise_seed);
+  EXPECT_EQ(parsed.baseline_accuracy, m.baseline_accuracy);  // %.17g round-trip.
+  ASSERT_EQ(parsed.sites.size(), m.sites.size());
+  for (std::size_t i = 0; i < m.sites.size(); ++i) {
+    EXPECT_EQ(parsed.sites[i].site.layer, m.sites[i].site.layer);
+    EXPECT_EQ(parsed.sites[i].site.kind, m.sites[i].site.kind);
+    EXPECT_EQ(parsed.sites[i].component, m.sites[i].component);
+    EXPECT_EQ(parsed.sites[i].nm, m.sites[i].nm);  // Bit-exact doubles.
+    EXPECT_EQ(parsed.sites[i].na, m.sites[i].na);
+    EXPECT_EQ(parsed.sites[i].tolerable_nm, m.sites[i].tolerable_nm);
+  }
+}
+
+TEST(Serve, ManifestRejectsMalformedText) {
+  core::DeploymentManifest out;
+  EXPECT_FALSE(core::manifest_from_text("", out));
+  EXPECT_FALSE(core::manifest_from_text("not-a-manifest v9\nmodel CapsNet\n", out));
+  EXPECT_FALSE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\nsite L mac\n", out));  // Short site line.
+  EXPECT_FALSE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\nsite L warp c 0 0 0\n", out));  // Bad kind.
+  EXPECT_FALSE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\nfrobnicate 3\n", out));  // Unknown key.
+  EXPECT_FALSE(core::manifest_from_text("redcane-manifest v1\n", out));  // No model.
+}
+
+TEST(Serve, OpKindTokensRoundTrip) {
+  for (const capsnet::OpKind kind : core::all_groups()) {
+    capsnet::OpKind back{};
+    ASSERT_TRUE(core::op_kind_from_token(core::op_kind_token(kind), back));
+    EXPECT_EQ(back, kind);
+  }
+  capsnet::OpKind out{};
+  EXPECT_FALSE(core::op_kind_from_token("warp", out));
+}
+
+TEST(Serve, RegistryOpenServesASavedDesign) {
+  // Save a checkpoint + manifest to disk, re-open through the deployment
+  // path, and check the loaded model predicts exactly like the original.
+  // The loadable path rebuilds from the "tiny" profile, so the original
+  // must be exactly tiny + manifest overrides. 20x20 keeps tiny's 9x9
+  // kernels valid while staying fast.
+  data::SyntheticSpec spec;
+  spec.kind = data::DatasetKind::kMnist;
+  spec.hw = 20;
+  spec.channels = 1;
+  spec.train_count = 4;
+  spec.test_count = 8;
+  spec.seed = 79;
+  const data::Dataset ds = data::make_synthetic(spec);
+  capsnet::CapsNetConfig cfg = capsnet::CapsNetConfig::tiny();
+  cfg.input_hw = 20;  // Overrides the profile default, as a manifest can.
+  Rng rng(23);
+  capsnet::CapsNetModel original(cfg, rng);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string ckpt = dir + "/design.rdcn";
+  ASSERT_TRUE(capsnet::save_params(original, ckpt));
+  core::DeploymentManifest m =
+      noisy_manifest(original, capsnet::slice_rows(ds.test_x, 0, 1));
+  m.checkpoint = "design.rdcn";  // Relative: resolved against the manifest dir.
+  const std::string manifest_path = dir + "/design.manifest";
+  ASSERT_TRUE(core::save_manifest(m, manifest_path));
+
+  std::unique_ptr<ModelRegistry> registry = ModelRegistry::open(manifest_path);
+  ASSERT_NE(registry, nullptr);
+  EXPECT_EQ(registry->variant_names(),
+            (std::vector<std::string>{kVariantExact, kVariantDesigned}));
+
+  const Tensor probe = capsnet::slice_rows(ds.test_x, 0, 4);
+  const Tensor expect = original.infer(probe);
+  const Tensor got = registry->model().infer(probe);
+  ASSERT_EQ(expect.shape(), got.shape());
+  for (std::int64_t i = 0; i < expect.numel(); ++i) {
+    ASSERT_EQ(expect.at(i), got.at(i)) << "loaded model diverges at " << i;
+  }
+}
+
+TEST(Serve, RegistryOpenRejectsBadInputs) {
+  EXPECT_EQ(ModelRegistry::open("/nonexistent/path.manifest"), nullptr);
+
+  // Valid manifest text, missing checkpoint file.
+  const std::string dir = ::testing::TempDir();
+  core::DeploymentManifest m;
+  m.model = "CapsNet";
+  m.profile = "tiny";
+  m.input_hw = 14;
+  m.input_channels = 1;
+  m.num_classes = 10;
+  m.checkpoint = "missing.rdcn";
+  const std::string path = dir + "/broken.manifest";
+  ASSERT_TRUE(core::save_manifest(m, path));
+  EXPECT_EQ(ModelRegistry::open(path), nullptr);
+}
+
+TEST(Serve, ServerStatsAccountForRequestsAndBatches) {
+  const data::Dataset ds = small_dataset(16);
+  std::unique_ptr<ModelRegistry> registry = make_registry(ds);
+  ServerConfig sc;
+  sc.workers = 2;
+  sc.max_batch = 8;
+  sc.max_delay_us = 500;
+  InferenceServer server(*registry, sc);
+  std::vector<std::future<Prediction>> futs;
+  for (std::int64_t i = 0; i < 16; ++i) {
+    futs.push_back(server.submit(capsnet::slice_rows(ds.test_x, i, i + 1), kVariantExact));
+  }
+  server.start();
+  for (auto& f : futs) {
+    const Prediction p = f.get();
+    EXPECT_GE(p.label, 0);
+    EXPECT_LT(p.label, 10);
+    EXPECT_EQ(p.scores.size(), 10U);
+    EXPECT_GE(p.latency_us, 0.0);
+    EXPECT_GE(p.batch_size, 1);
+    EXPECT_LE(p.batch_size, 8);
+  }
+  server.shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 16);
+  EXPECT_EQ(stats.batches, 2);  // Queue pre-filled: two full batches of 8.
+  EXPECT_EQ(stats.workers, 2);
+  EXPECT_EQ(stats.latencies_us.size(), 16U);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_size(), 8.0);
+}
+
+TEST(Serve, PercentileIsNearestRankOnSortedLatencies) {
+  EXPECT_DOUBLE_EQ(percentile_us({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_us({5.0}, 99.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_us({4.0, 1.0, 3.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_us({4.0, 1.0, 3.0, 2.0}, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_us({4.0, 1.0, 3.0, 2.0}, 50.0), 3.0);
+}
+
+TEST(Serve, ConstForwardAuditPassesForBothModels) {
+  const data::Dataset ds = small_dataset(4);
+  Rng rng(31);
+  capsnet::CapsNetModel capsnet_model(small_config(), rng);
+  EXPECT_TRUE(capsnet::audit_const_forward(capsnet_model, ds.test_x));
+
+  capsnet::DeepCapsConfig dc = capsnet::DeepCapsConfig::tiny();
+  dc.input_hw = 8;
+  data::SyntheticSpec s;
+  s.kind = data::DatasetKind::kCifar10;
+  s.hw = 8;
+  s.channels = 3;
+  s.train_count = 4;
+  s.test_count = 4;
+  s.seed = 78;
+  Rng rng2(32);
+  capsnet::DeepCapsModel deepcaps_model(dc, rng2);
+  EXPECT_TRUE(capsnet::audit_const_forward(deepcaps_model, data::make_synthetic(s).test_x));
+}
+
+}  // namespace
+}  // namespace redcane::serve
