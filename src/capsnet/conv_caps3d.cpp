@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
 
 #include "nn/im2col.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/workspace.hpp"
 
 namespace redcane::capsnet {
 namespace {
@@ -58,16 +58,20 @@ Tensor ConvCaps3D::compute_votes(const Tensor& x, std::int64_t& ho, std::int64_t
   const auto wd = w_.value.data();
   auto vd = votes.data();
 
-  std::vector<float> plane(static_cast<std::size_t>(n * h * w * di));
-  std::vector<float> cols(static_cast<std::size_t>(m * k));
-  std::vector<float> votes_i(static_cast<std::size_t>(m * jd));
+  // All per-type staging (gathered plane, patch matrix, vote slab) lives
+  // in the per-thread arena and is reused across the ti group iterations.
+  ws::Workspace& wksp = ws::Workspace::tls();
+  const ws::Workspace::Scope scope(wksp);
+  float* plane = wksp.alloc<float>(static_cast<std::size_t>(n * h * w * di));
+  float* cols = wksp.alloc<float>(static_cast<std::size_t>(m * k));
+  float* votes_i = wksp.alloc<float>(static_cast<std::size_t>(m * jd));
   for (std::int64_t i = 0; i < ti; ++i) {
-    gather_type_plane(xd.data(), n * h * w, ti, di, i, plane.data());
-    nn::im2col(plane.data(), d, cols.data());
+    gather_type_plane(xd.data(), n * h * w, ti, di, i, plane);
+    nn::im2col(plane, d, cols);
     // votes_i [M, jd] = cols [M, K] * w_i [K, jd]; the weight slice for
     // type i is contiguous in [ti, K, K, di, jd] layout.
-    gemm::gemm_f32(false, false, m, jd, k, cols.data(), &wd[static_cast<std::size_t>(i * k * jd)],
-                   0.0F, votes_i.data());
+    gemm::gemm_f32(false, false, m, jd, k, cols, &wd[static_cast<std::size_t>(i * k * jd)],
+                   0.0F, votes_i);
     for (std::int64_t r = 0; r < m; ++r) {
       float* dst = &vd[static_cast<std::size_t>((r * ti + i) * jd)];
       const float* src = &votes_i[static_cast<std::size_t>(r * jd)];
@@ -127,11 +131,14 @@ Tensor ConvCaps3D::backward(const Tensor& grad_out) {
   auto gw = w_.grad.data();
   auto gx = grad_x.data();
 
-  std::vector<float> plane(static_cast<std::size_t>(n * h * w * di));
-  std::vector<float> cols(static_cast<std::size_t>(m * k));
-  std::vector<float> gv_i(static_cast<std::size_t>(m * jd));
-  std::vector<float> grad_cols(static_cast<std::size_t>(m * k));
-  std::vector<float> grad_plane(static_cast<std::size_t>(n * h * w * di));
+  ws::Workspace& wksp = ws::Workspace::tls();
+  const ws::Workspace::Scope scope(wksp);
+  const std::size_t plane_elems = static_cast<std::size_t>(n * h * w * di);
+  float* plane = wksp.alloc<float>(plane_elems);
+  float* cols = wksp.alloc<float>(static_cast<std::size_t>(m * k));
+  float* gv_i = wksp.alloc<float>(static_cast<std::size_t>(m * jd));
+  float* grad_cols = wksp.alloc<float>(static_cast<std::size_t>(m * k));
+  float* grad_plane = wksp.alloc<float>(plane_elems);
   for (std::int64_t i = 0; i < ti; ++i) {
     for (std::int64_t r = 0; r < m; ++r) {
       const float* src = &gv[static_cast<std::size_t>((r * ti + i) * jd)];
@@ -139,15 +146,15 @@ Tensor ConvCaps3D::backward(const Tensor& grad_out) {
       for (std::int64_t q = 0; q < jd; ++q) dst[q] = src[q];
     }
     // grad_w_i [K, jd] += cols_i^T [K, M] * grad_votes_i [M, jd].
-    gather_type_plane(xd.data(), n * h * w, ti, di, i, plane.data());
-    nn::im2col(plane.data(), d, cols.data());
-    gemm::gemm_f32(true, false, k, jd, m, cols.data(), gv_i.data(), 1.0F,
+    gather_type_plane(xd.data(), n * h * w, ti, di, i, plane);
+    nn::im2col(plane, d, cols);
+    gemm::gemm_f32(true, false, k, jd, m, cols, gv_i, 1.0F,
                    &gw[static_cast<std::size_t>(i * k * jd)]);
     // grad_cols_i [M, K] = grad_votes_i [M, jd] * w_i^T [jd, K].
-    gemm::gemm_f32(false, true, m, k, jd, gv_i.data(),
-                   &wd[static_cast<std::size_t>(i * k * jd)], 0.0F, grad_cols.data());
-    std::fill(grad_plane.begin(), grad_plane.end(), 0.0F);
-    nn::col2im(grad_cols.data(), d, grad_plane.data());
+    gemm::gemm_f32(false, true, m, k, jd, gv_i,
+                   &wd[static_cast<std::size_t>(i * k * jd)], 0.0F, grad_cols);
+    std::fill(grad_plane, grad_plane + plane_elems, 0.0F);
+    nn::col2im(grad_cols, d, grad_plane);
     const std::int64_t xstride = ti * di;
     float* gdst = gx.data() + i * di;
     for (std::int64_t s = 0; s < n * h * w; ++s) {

@@ -6,6 +6,7 @@
 #include "capsnet/squash.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 
 namespace redcane::capsnet {
 namespace {
@@ -25,33 +26,27 @@ VoteDims dims_of(const Tensor& u_hat) {
 
 /// Transposes votes [m, I, J, D] -> [m, J, I, D] so both routing
 /// contractions become contiguous (I x D) blocks per (m, j).
-Tensor transpose_votes(const Tensor& u_hat, const VoteDims& dd) {
-  Tensor u_t(Shape{dd.m, dd.j, dd.i, dd.d});
-  const auto ud = u_hat.data();
-  auto td = u_t.data();
+void transpose_votes(const float* ud, const VoteDims& dd, float* td) {
 #pragma omp parallel for schedule(static) if (dd.m >= 2)
   for (std::int64_t m = 0; m < dd.m; ++m) {
     for (std::int64_t i = 0; i < dd.i; ++i) {
       for (std::int64_t j = 0; j < dd.j; ++j) {
-        const float* src = &ud[static_cast<std::size_t>(((m * dd.i + i) * dd.j + j) * dd.d)];
-        float* dst = &td[static_cast<std::size_t>(((m * dd.j + j) * dd.i + i) * dd.d)];
+        const float* src = &ud[((m * dd.i + i) * dd.j + j) * dd.d];
+        float* dst = &td[((m * dd.j + j) * dd.i + i) * dd.d];
         for (std::int64_t k = 0; k < dd.d; ++k) dst[k] = src[k];
       }
     }
   }
-  return u_t;
 }
 
 /// Transposes coefficients [m, I, J] -> [m, J, I].
-void transpose_coeffs(const Tensor& c, const VoteDims& dd, Tensor& c_t) {
-  const auto cd = c.data();
-  auto td = c_t.data();
+void transpose_coeffs(const float* cd, const VoteDims& dd, float* td) {
 #pragma omp parallel for schedule(static) if (dd.m >= 2)
   for (std::int64_t m = 0; m < dd.m; ++m) {
     for (std::int64_t i = 0; i < dd.i; ++i) {
-      const float* src = &cd[static_cast<std::size_t>((m * dd.i + i) * dd.j)];
+      const float* src = &cd[(m * dd.i + i) * dd.j];
       for (std::int64_t j = 0; j < dd.j; ++j) {
-        td[static_cast<std::size_t>((m * dd.j + j) * dd.i + i)] = src[j];
+        td[(m * dd.j + j) * dd.i + i] = src[j];
       }
     }
   }
@@ -62,17 +57,26 @@ void transpose_coeffs(const Tensor& c, const VoteDims& dd, Tensor& c_t) {
 RoutingResult dynamic_routing(const Tensor& u_hat, int iterations, PerturbationHook* hook,
                               const std::string& layer) {
   const VoteDims dd = dims_of(u_hat);
+  // Logits b are a hook site (kLogitsUpdate may perturb them in place), so
+  // they stay a Tensor; the transposed votes/coefficients are pure scratch
+  // carved from the per-thread arena — no per-call vector churn.
   Tensor b(Shape{dd.m, dd.i, dd.j});
   RoutingResult out;
+
+  ws::Workspace& wksp = ws::Workspace::tls();
+  const ws::Workspace::Scope scope(wksp);
+  const std::size_t votes_elems = static_cast<std::size_t>(dd.m * dd.j * dd.i * dd.d);
+  const std::size_t coeff_elems = static_cast<std::size_t>(dd.m * dd.j * dd.i);
+  float* u_t = wksp.alloc<float>(votes_elems);
+  float* c_t = wksp.alloc<float>(coeff_elems);
+  float* delta_t = wksp.alloc<float>(coeff_elems);
 
   // Votes are constant across iterations: transpose once, then every
   // weighted sum / agreement update is a batched GEMM over (m, j) blocks.
   // No per-element zero tests anywhere: a coupling coefficient that
   // underflows to 0 still multiplies its vote, so 0 * NaN / 0 * Inf
   // propagate per IEEE semantics (the old loop skipped cij == 0 operands).
-  const Tensor u_t = transpose_votes(u_hat, dd);
-  Tensor c_t(Shape{dd.m, dd.j, dd.i});
-  Tensor delta_t(Shape{dd.m, dd.j, dd.i});
+  transpose_votes(u_hat.data().data(), dd, u_t);
 
   for (int it = 0; it < iterations; ++it) {
     Tensor c = ops::softmax(b, 2);
@@ -80,9 +84,9 @@ RoutingResult dynamic_routing(const Tensor& u_hat, int iterations, PerturbationH
 
     // s[(m,j), 1, D] = c_t[(m,j), 1, I] * u_t[(m,j), I, D].
     Tensor s(Shape{dd.m, dd.j, dd.d});
-    transpose_coeffs(c, dd, c_t);
-    gemm::gemm_batched_f32(dd.m * dd.j, 1, dd.d, dd.i, c_t.data().data(), dd.i,
-                           u_t.data().data(), dd.i * dd.d, 0.0F, s.data().data(), dd.d);
+    transpose_coeffs(c.data().data(), dd, c_t);
+    gemm::gemm_batched_f32(dd.m * dd.j, 1, dd.d, dd.i, c_t, dd.i, u_t, dd.i * dd.d, 0.0F,
+                           s.data().data(), dd.d);
     emit(hook, layer, OpKind::kMacOutput, s);
 
     Tensor v = squash(s);
@@ -95,16 +99,15 @@ RoutingResult dynamic_routing(const Tensor& u_hat, int iterations, PerturbationH
       // pre-GEMM loop used a double accumulator); D is a capsule dimension
       // (<= 16), so the rounding drift is far below the noise magnitudes
       // swept.
-      gemm::gemm_batched_f32(dd.m * dd.j, dd.i, 1, dd.d, u_t.data().data(), dd.i * dd.d,
-                             v.data().data(), dd.d, 0.0F, delta_t.data().data(), dd.i);
+      gemm::gemm_batched_f32(dd.m * dd.j, dd.i, 1, dd.d, u_t, dd.i * dd.d,
+                             v.data().data(), dd.d, 0.0F, delta_t, dd.i);
       auto bd = b.data();
-      const auto dt = delta_t.data();
 #pragma omp parallel for schedule(static) if (dd.m >= 2)
       for (std::int64_t m = 0; m < dd.m; ++m) {
         for (std::int64_t i = 0; i < dd.i; ++i) {
           for (std::int64_t j = 0; j < dd.j; ++j) {
             bd[static_cast<std::size_t>((m * dd.i + i) * dd.j + j)] +=
-                dt[static_cast<std::size_t>((m * dd.j + j) * dd.i + i)];
+                delta_t[(m * dd.j + j) * dd.i + i];
           }
         }
       }
@@ -123,21 +126,21 @@ Tensor routing_backward(const Tensor& u_hat, const RoutingResult& fwd, const Ten
   // dL/ds through squash, then distribute to votes weighted by the final c:
   // grad_u_t[(m,j), I, D] = c_t[(m,j), I, 1] * grad_s[(m,j), 1, D].
   const Tensor grad_s = squash_backward(fwd.s, grad_v);
-  Tensor c_t(Shape{dd.m, dd.j, dd.i});
-  transpose_coeffs(fwd.c, dd, c_t);
-  Tensor grad_u_t(Shape{dd.m, dd.j, dd.i, dd.d});
-  gemm::gemm_batched_f32(dd.m * dd.j, dd.i, dd.d, 1, c_t.data().data(), dd.i,
-                         grad_s.data().data(), dd.d, 0.0F, grad_u_t.data().data(),
-                         dd.i * dd.d);
+  ws::Workspace& wksp = ws::Workspace::tls();
+  const ws::Workspace::Scope scope(wksp);
+  float* c_t = wksp.alloc<float>(static_cast<std::size_t>(dd.m * dd.j * dd.i));
+  float* grad_u_t = wksp.alloc<float>(static_cast<std::size_t>(dd.m * dd.j * dd.i * dd.d));
+  transpose_coeffs(fwd.c.data().data(), dd, c_t);
+  gemm::gemm_batched_f32(dd.m * dd.j, dd.i, dd.d, 1, c_t, dd.i, grad_s.data().data(), dd.d,
+                         0.0F, grad_u_t, dd.i * dd.d);
 
   Tensor grad_u(u_hat.shape());
-  const auto gt = grad_u_t.data();
   auto gu = grad_u.data();
 #pragma omp parallel for schedule(static) if (dd.m >= 2)
   for (std::int64_t m = 0; m < dd.m; ++m) {
     for (std::int64_t j = 0; j < dd.j; ++j) {
       for (std::int64_t i = 0; i < dd.i; ++i) {
-        const float* src = &gt[static_cast<std::size_t>(((m * dd.j + j) * dd.i + i) * dd.d)];
+        const float* src = &grad_u_t[((m * dd.j + j) * dd.i + i) * dd.d];
         float* dst = &gu[static_cast<std::size_t>(((m * dd.i + i) * dd.j + j) * dd.d)];
         for (std::int64_t k = 0; k < dd.d; ++k) dst[k] = src[k];
       }

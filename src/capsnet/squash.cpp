@@ -22,21 +22,24 @@ Tensor squash(const Tensor& s, double eps) {
   const std::int64_t rows = s.numel() / d;
   Tensor v = s;
   auto vd = v.data();
-  // Row-independent: one thread owns each capsule row, so the result does
-  // not depend on the thread count.
+  // Row-parallel outer loop, SIMD lanes across the capsule dimension. The
+  // norm reduction order is fixed at compile time, so results stay
+  // independent of the thread count.
 #pragma omp parallel for schedule(static) if (rows >= 64)
   for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = &vd[static_cast<std::size_t>(r * d)];
     double norm2 = 0.0;
+#pragma omp simd reduction(+ : norm2)
     for (std::int64_t k = 0; k < d; ++k) {
-      const double x = vd[static_cast<std::size_t>(r * d + k)];
+      const double x = row[k];
       norm2 += x * x;
     }
     const double norm = std::sqrt(norm2) + eps;
     // v = s * |s| / (1 + |s|^2), written as a single scale factor.
     const double scale = norm / (1.0 + norm2);
+#pragma omp simd
     for (std::int64_t k = 0; k < d; ++k) {
-      vd[static_cast<std::size_t>(r * d + k)] = static_cast<float>(
-          vd[static_cast<std::size_t>(r * d + k)] * scale);
+      row[k] = static_cast<float>(row[k] * scale);
     }
   }
   return v;
@@ -57,12 +60,15 @@ Tensor squash_backward(const Tensor& s, const Tensor& grad_v, double eps) {
 #pragma omp parallel for schedule(static) if (rows >= 64)
   for (std::int64_t r = 0; r < rows; ++r) {
     const std::size_t base = static_cast<std::size_t>(r * d);
+    const float* srow = &sd[base];
+    const float* grow = &gv[base];
     double norm2 = 0.0;
     double dot = 0.0;  // s . grad_v
+#pragma omp simd reduction(+ : norm2, dot)
     for (std::int64_t k = 0; k < d; ++k) {
-      const double sv = sd[base + static_cast<std::size_t>(k)];
+      const double sv = srow[k];
       norm2 += sv * sv;
-      dot += sv * gv[base + static_cast<std::size_t>(k)];
+      dot += sv * grow[k];
     }
     const double rn = std::sqrt(norm2) + eps;
     const double denom = 1.0 + norm2;
@@ -71,10 +77,10 @@ Tensor squash_backward(const Tensor& s, const Tensor& grad_v, double eps) {
     const double c = rn / denom;
     const double cprime = (1.0 - norm2) / (denom * denom);
     const double radial = cprime / rn * dot;
+    float* out = &gs[base];
+#pragma omp simd
     for (std::int64_t k = 0; k < d; ++k) {
-      gs[base + static_cast<std::size_t>(k)] = static_cast<float>(
-          c * gv[base + static_cast<std::size_t>(k)] +
-          radial * sd[base + static_cast<std::size_t>(k)]);
+      out[k] = static_cast<float>(c * grow[k] + radial * srow[k]);
     }
   }
   return grad_s;

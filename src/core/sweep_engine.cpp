@@ -10,6 +10,7 @@
 #endif
 
 #include "capsnet/trainer.hpp"
+#include "tensor/workspace.hpp"
 
 namespace redcane::core {
 namespace {
@@ -188,6 +189,9 @@ std::vector<double> SweepEngine::run_points(const std::vector<SweepPointSpec>& p
       // covers the machine, so keep per-worker kernels serial.
       omp_set_num_threads(1);
 #endif
+      // Warm this worker's thread-keyed scratch arena once; every forward
+      // of every grid point then runs on recycled buffers.
+      ws::Workspace::tls().reserve(std::size_t{1} << 20);
       for (std::size_t i = next.fetch_add(1); i < points.size(); i = next.fetch_add(1)) {
         acc[i] = eval_point(points[i].rules, points[i].salt,
                             worker_stats[static_cast<std::size_t>(w)]);

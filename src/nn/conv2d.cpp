@@ -5,6 +5,7 @@
 
 #include "nn/im2col.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/workspace.hpp"
 
 namespace redcane::nn {
 namespace {
@@ -20,17 +21,23 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
                       std::int64_t stride, std::int64_t pad) {
   const ConvDims d = make_conv_dims(x.shape(), w.shape(), stride, pad);
   // Lower to cols [M, K] * w [K, Cout]: KKIO weights are already the
-  // right matrix row-major.
-  const Tensor cols = im2col(x, d);
+  // right matrix row-major. The patch matrix is hot-path scratch — carved
+  // from the per-thread arena, not a fresh Tensor per call.
+  ws::Workspace& wksp = ws::Workspace::tls();
+  const ws::Workspace::Scope scope(wksp);
+  float* cols = wksp.alloc<float>(static_cast<std::size_t>(d.rows() * d.cols()));
+  im2col(x.data().data(), d, cols);
   Tensor out(Shape{d.n, d.ho, d.wo, d.cout});
-  gemm::gemm_f32(false, false, d.rows(), d.cout, d.cols(), cols.data().data(),
-                 w.data().data(), 0.0F, out.data().data());
+  gemm::gemm_f32(false, false, d.rows(), d.cout, d.cols(), cols, w.data().data(), 0.0F,
+                 out.data().data());
   if (!bias.empty()) {
     auto od = out.data();
     const auto bd = bias.data();
     for (std::int64_t r = 0; r < d.rows(); ++r) {
       float* orow = &od[static_cast<std::size_t>(r * d.cout)];
-      for (std::int64_t co = 0; co < d.cout; ++co) orow[co] += bd[static_cast<std::size_t>(co)];
+      const float* brow = bd.data();
+#pragma omp simd
+      for (std::int64_t co = 0; co < d.cout; ++co) orow[co] += brow[co];
     }
   }
   return out;
@@ -69,17 +76,19 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
   }
 
   // grad_w [K, Cout] += cols^T [K, M] * grad_out [M, Cout].
-  const Tensor cols = im2col(x, d);
-  gemm::gemm_f32(true, false, k, d.cout, m, cols.data().data(), gd.data(), 1.0F,
-                 w_.grad.data().data());
+  ws::Workspace& wksp = ws::Workspace::tls();
+  const ws::Workspace::Scope scope(wksp);
+  float* cols = wksp.alloc<float>(static_cast<std::size_t>(m * k));
+  im2col(x.data().data(), d, cols);
+  gemm::gemm_f32(true, false, k, d.cout, m, cols, gd.data(), 1.0F, w_.grad.data().data());
 
   // grad_cols [M, K] = grad_out [M, Cout] * w^T [Cout, K]; col2im folds the
   // patch gradients back onto the input image.
-  Tensor grad_cols(Shape{m, k});
+  float* grad_cols = wksp.alloc<float>(static_cast<std::size_t>(m * k));
   gemm::gemm_f32(false, true, m, k, d.cout, gd.data(), w_.value.data().data(), 0.0F,
-                 grad_cols.data().data());
+                 grad_cols);
   Tensor grad_in(x.shape());
-  col2im(grad_cols.data().data(), d, grad_in.data().data());
+  col2im(grad_cols, d, grad_in.data().data());
   return grad_in;
 }
 

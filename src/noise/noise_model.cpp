@@ -1,6 +1,9 @@
 #include "noise/noise_model.hpp"
 
+#include <cstdint>
+
 #include "tensor/stats.hpp"
+#include "tensor/workspace.hpp"
 
 namespace redcane::noise {
 
@@ -11,7 +14,20 @@ void inject_noise(Tensor& x, const NoiseSpec& spec, Rng& rng) {
   if (range <= 0.0) return;
   const double stddev = spec.nm * range;
   const double mean = spec.na * range;
-  for (float& v : x.data()) v += static_cast<float>(rng.normal(mean, stddev));
+  // The RNG stream is inherently sequential (and its draw order is the
+  // reproducibility contract of every sweep), so draws are staged into an
+  // arena buffer first and the application sweep vectorizes separately.
+  // Same draws, same adds, same results as the fused loop.
+  const std::size_t count = static_cast<std::size_t>(x.numel());
+  ws::Workspace& wksp = ws::Workspace::tls();
+  const ws::Workspace::Scope scope(wksp);
+  float* delta = wksp.alloc<float>(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    delta[i] = static_cast<float>(rng.normal(mean, stddev));
+  }
+  float* xd = x.data().data();
+#pragma omp simd
+  for (std::size_t i = 0; i < count; ++i) xd[i] += delta[i];
 }
 
 }  // namespace redcane::noise

@@ -6,6 +6,7 @@
 
 #include "nn/im2col.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/workspace.hpp"
 
 namespace redcane::quant {
 namespace {
@@ -21,35 +22,43 @@ Tensor approx_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
   const nn::ConvDims d = dims_of(x, w, spec);
   const QuantParams px = fit_params(x, spec.bits);
   const QuantParams pw = fit_params(w, spec.bits);
-  const std::vector<std::uint8_t> qx = quantize_u8(x, px);
-  const std::vector<std::uint8_t> qw = quantize_u8(w, pw);
+
+  // All staging — operand code pools, the 256x256 product table, the code
+  // patch matrix and its validity mask, and the four affine accumulators —
+  // comes from the per-thread arena; a layer sweep re-running this path
+  // thousands of times stops exercising the allocator entirely.
+  ws::Workspace& wksp = ws::Workspace::tls();
+  const ws::Workspace::Scope scope(wksp);
+  std::uint8_t* qx = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(x.numel()));
+  std::uint8_t* qw = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(w.numel()));
+  quantize_u8(x, px, qx);
+  quantize_u8(w, pw, qw);
 
   // One table build per layer call replaces one Multiplier virtual call
   // per code pair: 65536 products up front, then pure loads in the GEMM.
-  std::vector<std::uint32_t> lut(256 * 256);
+  std::uint32_t* lut = wksp.alloc<std::uint32_t>(256 * 256);
   for (int a = 0; a < 256; ++a) {
     for (int b = 0; b < 256; ++b) {
-      lut[static_cast<std::size_t>((a << 8) | b)] =
+      lut[(a << 8) | b] =
           mul.multiply(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
     }
   }
 
   const std::int64_t m = d.rows();
   const std::int64_t k = d.cols();
-  std::vector<std::uint8_t> cols(static_cast<std::size_t>(m * k));
-  std::vector<std::uint8_t> mask(static_cast<std::size_t>(m * k));
-  nn::im2col_codes(qx.data(), d, cols.data(), mask.data());
+  std::uint8_t* cols = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(m * k));
+  std::uint8_t* mask = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(m * k));
+  nn::im2col_codes(qx, d, cols, mask);
 
   // Affine expansion: x = mx + qx*sx, w = mw + qw*sw.
   //   sum x*w = mx*mw*taps + mw*sx*Σqx + mx*sw*Σqw + sx*sw*Σ qx*qw
   // Only the code-by-code product term uses the approximate unit; padding
   // taps are masked out so they contribute true zero to all accumulators.
-  std::vector<std::uint64_t> acc_qq(static_cast<std::size_t>(m * d.cout));
-  std::vector<std::uint64_t> acc_qw(static_cast<std::size_t>(m * d.cout));
-  std::vector<std::uint64_t> acc_qx(static_cast<std::size_t>(m));
-  std::vector<std::int64_t> taps(static_cast<std::size_t>(m));
-  gemm::gemm_u8_lut(m, d.cout, k, cols.data(), mask.data(), qw.data(), lut.data(),
-                    acc_qq.data(), acc_qw.data(), acc_qx.data(), taps.data());
+  std::uint64_t* acc_qq = wksp.alloc<std::uint64_t>(static_cast<std::size_t>(m * d.cout));
+  std::uint64_t* acc_qw = wksp.alloc<std::uint64_t>(static_cast<std::size_t>(m * d.cout));
+  std::uint64_t* acc_qx = wksp.alloc<std::uint64_t>(static_cast<std::size_t>(m));
+  std::int64_t* taps = wksp.alloc<std::int64_t>(static_cast<std::size_t>(m));
+  gemm::gemm_u8_lut(m, d.cout, k, cols, mask, qw, lut, acc_qq, acc_qw, acc_qx, taps);
 
   Tensor out(Shape{d.n, d.ho, d.wo, d.cout});
   auto od = out.data();

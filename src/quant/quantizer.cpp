@@ -30,11 +30,19 @@ std::vector<std::uint32_t> quantize(const Tensor& t, const QuantParams& p) {
 }
 
 std::vector<std::uint8_t> quantize_u8(const Tensor& t, const QuantParams& p) {
-  std::vector<std::uint8_t> out;
-  const std::vector<std::uint32_t> codes = quantize(t, p);
-  out.reserve(codes.size());
-  for (std::uint32_t c : codes) out.push_back(static_cast<std::uint8_t>(std::min(c, 255U)));
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(t.numel()));
+  quantize_u8(t, p, out.data());
   return out;
+}
+
+void quantize_u8(const Tensor& t, const QuantParams& p, std::uint8_t* out) {
+  const double inv_step = 1.0 / p.step();
+  const double top = static_cast<double>(std::min(p.max_code(), 255U));
+  const auto td = t.data();
+  for (std::size_t i = 0; i < td.size(); ++i) {
+    const double q = std::round((static_cast<double>(td[i]) - p.min) * inv_step);
+    out[i] = static_cast<std::uint8_t>(std::clamp(q, 0.0, top));
+  }
 }
 
 Tensor dequantize(const std::vector<std::uint32_t>& codes, const Shape& shape,

@@ -41,6 +41,10 @@ struct QuantParams {
 /// Convenience for 8-bit pools consumed by the error profiler.
 [[nodiscard]] std::vector<std::uint8_t> quantize_u8(const Tensor& t, const QuantParams& p);
 
+/// Allocation-free variant: writes t.numel() codes into `out` (hot paths
+/// pass workspace-arena buffers; see quant/approx_conv.cpp).
+void quantize_u8(const Tensor& t, const QuantParams& p, std::uint8_t* out);
+
 /// Reconstructs a float tensor from codes.
 [[nodiscard]] Tensor dequantize(const std::vector<std::uint32_t>& codes, const Shape& shape,
                                 const QuantParams& p);

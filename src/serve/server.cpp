@@ -11,6 +11,7 @@
 #endif
 
 #include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 
 namespace redcane::serve {
 
@@ -93,6 +94,10 @@ void InferenceServer::start() {
       // team so batched GEMMs still use every core.
       if (workers > 1) omp_set_num_threads(1);
 #endif
+      // One scratch arena per worker (ws::Workspace is thread-keyed):
+      // pre-grow it here so the first served batch pays no allocator
+      // cold-start; after that, forwards run zero-allocation scratch.
+      ws::Workspace::tls().reserve(std::size_t{1} << 20);
       worker_loop();
     });
   }

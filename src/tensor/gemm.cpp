@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <vector>
+
+#include "tensor/microkernel.hpp"
+#include "tensor/workspace.hpp"
 
 namespace redcane::gemm {
 namespace {
@@ -14,53 +16,80 @@ namespace {
   std::abort();
 }
 
-// Block extents sized for a common 32 KiB L1 / 256+ KiB L2: a KxN panel of
-// B (kBlockK * kBlockN floats = 128 KiB) stays L2-resident while each row
-// block of A streams through it.
-constexpr std::int64_t kBlockM = 64;
-constexpr std::int64_t kBlockN = 256;
-constexpr std::int64_t kBlockK = 128;
+// Cache-block extents around the mk::kMR x mk::kNR register tile: an A
+// panel (kBlockM x kBlockK = 72 KiB) stays L2-resident per thread while
+// each packed B strip (kBlockK x kNR = 12 KiB) streams through L1. All
+// three are multiples of the tile so interior blocks never hit the staged
+// edge path, and they are dispatch-independent — the blocking (hence the
+// result) is identical for every microkernel target.
+constexpr std::int64_t kBlockM = 96;   // 16 kMR strips.
+constexpr std::int64_t kBlockN = 256;  // 16 kNR strips.
+constexpr std::int64_t kBlockK = 192;
 
-/// Core kernel: C += A[m, k] * B[k, n], row-major, C pre-initialized.
-void gemm_nn_accumulate(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
-                        const float* b, float* c) {
-#pragma omp parallel for schedule(static) if (m >= 2 * kBlockM)
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const std::int64_t i1 = std::min(i0 + kBlockM, m);
-    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::int64_t k1 = std::min(k0 + kBlockK, k);
-      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::int64_t j1 = std::min(j0 + kBlockN, n);
-        for (std::int64_t i = i0; i < i1; ++i) {
-          const float* arow = a + i * k;
-          float* crow = c + i * n;
-          for (std::int64_t kk = k0; kk < k1; ++kk) {
-            const float aik = arow[kk];
-            const float* brow = b + kk * n;
-            for (std::int64_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
-          }
+/// Packs op(A)[i0:i0+mb, k0:k0+kc] into kMR-row strips: strip s holds
+/// apack[(s*kc + kk)*kMR + r] = op(A)[i0 + s*kMR + r, k0 + kk], rows past
+/// mb zero-filled so edge tiles run the same full-tile kernel.
+void pack_a(float* apack, const float* a, bool trans_a, std::int64_t m, std::int64_t k,
+            std::int64_t i0, std::int64_t mb, std::int64_t k0, std::int64_t kc) {
+  const std::int64_t strips = (mb + mk::kMR - 1) / mk::kMR;
+  for (std::int64_t s = 0; s < strips; ++s) {
+    float* dst = apack + s * kc * mk::kMR;
+    if (!trans_a) {
+      // A is [m, k]: each tile row is a contiguous run of A.
+      for (std::int64_t r = 0; r < mk::kMR; ++r) {
+        const std::int64_t i = i0 + s * mk::kMR + r;
+        if (i < i0 + mb) {
+          const float* src = a + i * k + k0;
+          for (std::int64_t kk = 0; kk < kc; ++kk) dst[kk * mk::kMR + r] = src[kk];
+        } else {
+          for (std::int64_t kk = 0; kk < kc; ++kk) dst[kk * mk::kMR + r] = 0.0F;
         }
+      }
+    } else {
+      // A stored [k, m]: each kk is a contiguous run of kMR rows.
+      const std::int64_t i = i0 + s * mk::kMR;
+      const std::int64_t valid = std::min<std::int64_t>(mk::kMR, i0 + mb - i);
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float* src = a + (k0 + kk) * m + i;
+        float* row = dst + kk * mk::kMR;
+        for (std::int64_t r = 0; r < valid; ++r) row[r] = src[r];
+        for (std::int64_t r = valid; r < mk::kMR; ++r) row[r] = 0.0F;
       }
     }
   }
+  (void)m;
 }
 
-/// Materializes the row-major transpose of src [rows, cols].
-std::vector<float> transposed(const float* src, std::int64_t rows, std::int64_t cols) {
-  std::vector<float> dst(static_cast<std::size_t>(rows * cols));
-  constexpr std::int64_t kTile = 32;
-  for (std::int64_t r0 = 0; r0 < rows; r0 += kTile) {
-    const std::int64_t r1 = std::min(r0 + kTile, rows);
-    for (std::int64_t c0 = 0; c0 < cols; c0 += kTile) {
-      const std::int64_t c1 = std::min(c0 + kTile, cols);
-      for (std::int64_t r = r0; r < r1; ++r) {
-        for (std::int64_t c = c0; c < c1; ++c) {
-          dst[static_cast<std::size_t>(c * rows + r)] = src[r * cols + c];
+/// Packs op(B)[k0:k0+kc, j0:j0+nb] into kNR-column strips: strip t holds
+/// bpack[(t*kc + kk)*kNR + j] = op(B)[k0 + kk, j0 + t*kNR + j], columns
+/// past nb zero-filled.
+void pack_b(float* bpack, const float* b, bool trans_b, std::int64_t k, std::int64_t n,
+            std::int64_t k0, std::int64_t kc, std::int64_t j0, std::int64_t nb) {
+  const std::int64_t strips = (nb + mk::kNR - 1) / mk::kNR;
+  for (std::int64_t t = 0; t < strips; ++t) {
+    float* dst = bpack + t * kc * mk::kNR;
+    const std::int64_t j = j0 + t * mk::kNR;
+    const std::int64_t valid = std::min<std::int64_t>(mk::kNR, j0 + nb - j);
+    if (!trans_b) {
+      // B is [k, n]: each kk is a contiguous run of columns.
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float* src = b + (k0 + kk) * n + j;
+        float* row = dst + kk * mk::kNR;
+        std::memcpy(row, src, static_cast<std::size_t>(valid) * sizeof(float));
+        for (std::int64_t jj = valid; jj < mk::kNR; ++jj) row[jj] = 0.0F;
+      }
+    } else {
+      // B stored [n, k]: each column is a contiguous run of B.
+      for (std::int64_t jj = 0; jj < mk::kNR; ++jj) {
+        if (jj < valid) {
+          const float* src = b + (j + jj) * k + k0;
+          for (std::int64_t kk = 0; kk < kc; ++kk) dst[kk * mk::kNR + jj] = src[kk];
+        } else {
+          for (std::int64_t kk = 0; kk < kc; ++kk) dst[kk * mk::kNR + jj] = 0.0F;
         }
       }
     }
   }
-  return dst;
 }
 
 }  // namespace
@@ -72,20 +101,60 @@ void gemm_f32(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::i
   if (beta == 0.0F) {
     std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
   }
-  // Transposed operands are materialized once so the hot kernel stays a
-  // single unit-stride NN loop; the O(m*k + k*n) copy is noise next to the
-  // O(m*n*k) multiply.
-  std::vector<float> at;
-  std::vector<float> bt;
-  if (trans_a) {
-    at = transposed(a, k, m);  // stored [k, m] -> [m, k]
-    a = at.data();
+  if (m == 0 || n == 0 || k == 0) return;
+  const mk::KernelOps& ops = mk::active();
+  // Row blocks are independent: each C element is owned by one thread and
+  // accumulated in a fixed ascending-k fma chain, so results do not depend
+  // on the thread count (or, per the microkernel contract, the dispatch
+  // target). Packing buffers come from the per-thread workspace arena —
+  // steady-state GEMM calls never touch the allocator.
+#pragma omp parallel for schedule(static) if (m >= 2 * kBlockM)
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    ws::Workspace& wksp = ws::Workspace::tls();
+    const ws::Workspace::Scope scope(wksp);
+    const std::int64_t mb = std::min(kBlockM, m - i0);
+    const std::int64_t mstrips = (mb + mk::kMR - 1) / mk::kMR;
+    float* apack = wksp.alloc<float>(static_cast<std::size_t>(mstrips * mk::kMR * kBlockK));
+    float* bpack = wksp.alloc<float>(
+        static_cast<std::size_t>((kBlockN / mk::kNR) * mk::kNR * kBlockK));
+    alignas(64) float ctile[mk::kMR * mk::kNR];
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::int64_t kc = std::min(kBlockK, k - k0);
+      pack_a(apack, a, trans_a, m, k, i0, mb, k0, kc);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::int64_t nb = std::min(kBlockN, n - j0);
+        const std::int64_t nstrips = (nb + mk::kNR - 1) / mk::kNR;
+        pack_b(bpack, b, trans_b, k, n, k0, kc, j0, nb);
+        for (std::int64_t t = 0; t < nstrips; ++t) {
+          const std::int64_t jt = j0 + t * mk::kNR;
+          const std::int64_t jw = std::min(mk::kNR, n - jt);
+          const float* bp = bpack + t * kc * mk::kNR;
+          for (std::int64_t s = 0; s < mstrips; ++s) {
+            const std::int64_t it = i0 + s * mk::kMR;
+            const std::int64_t iw = std::min(mk::kMR, i0 + mb - it);
+            const float* ap = apack + s * kc * mk::kMR;
+            if (iw == mk::kMR && jw == mk::kNR) {
+              ops.tile(kc, ap, bp, c + it * n + jt, n);
+            } else {
+              // Edge tile: stage through a zero-padded full tile so the
+              // kernel never reads or writes out of bounds; padded lanes
+              // accumulate fma(0, 0, 0) and are discarded.
+              std::memset(ctile, 0, sizeof(ctile));
+              for (std::int64_t r = 0; r < iw; ++r) {
+                std::memcpy(ctile + r * mk::kNR, c + (it + r) * n + jt,
+                            static_cast<std::size_t>(jw) * sizeof(float));
+              }
+              ops.tile(kc, ap, bp, ctile, mk::kNR);
+              for (std::int64_t r = 0; r < iw; ++r) {
+                std::memcpy(c + (it + r) * n + jt, ctile + r * mk::kNR,
+                            static_cast<std::size_t>(jw) * sizeof(float));
+              }
+            }
+          }
+        }
+      }
+    }
   }
-  if (trans_b) {
-    bt = transposed(b, n, k);  // stored [n, k] -> [k, n]
-    b = bt.data();
-  }
-  gemm_nn_accumulate(m, n, k, a, b, c);
 }
 
 void gemm_batched_f32(std::int64_t batch, std::int64_t m, std::int64_t n, std::int64_t k,
@@ -94,24 +163,18 @@ void gemm_batched_f32(std::int64_t batch, std::int64_t m, std::int64_t n, std::i
   if (batch < 0 || m < 0 || n < 0 || k < 0) fail("negative batched gemm extent");
   if (beta != 0.0F && beta != 1.0F) fail("batched gemm beta must be 0 or 1");
   if (stride_c == 0 && batch > 1) fail("batched gemm output stride must not broadcast");
+  const mk::KernelOps& ops = mk::active();
 #pragma omp parallel for schedule(static) if (batch >= 2)
   for (std::int64_t p = 0; p < batch; ++p) {
     const float* ap = a + p * stride_a;
     const float* bp = b + p * stride_b;
     float* cp = c + p * stride_c;
     if (beta == 0.0F) std::memset(cp, 0, static_cast<std::size_t>(m * n) * sizeof(float));
-    // Plain i-k-j accumulation: batch items are small (routing blocks), so
-    // cache blocking buys nothing and the fixed k order keeps the result
-    // independent of the batch-level parallelism.
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float* arow = ap + i * k;
-      float* crow = cp + i * n;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float aik = arow[kk];
-        const float* brow = bp + kk * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
+    // Batch items are small (routing blocks): no cache blocking, just the
+    // dispatched unblocked kernel. Each element's contraction is one fma
+    // chain in ascending k, so results are bit-identical across thread
+    // counts and dispatch targets.
+    ops.small(m, n, k, ap, bp, cp);
   }
 }
 

@@ -3,17 +3,23 @@
 //
 // Two kernels live here:
 //  * gemm_f32 — cache-blocked, OpenMP-parallel float GEMM with optional
-//    operand transposes and accumulation (beta). No zero-skip shortcuts:
-//    0 * NaN and 0 * Inf propagate per IEEE semantics, unlike the naive
-//    loops this core replaced.
+//    operand transposes and accumulation (beta). The inner loops are the
+//    runtime-dispatched SIMD microkernels of tensor/microkernel.hpp
+//    (AVX2+FMA 6x16 register tile, with SSE-FMA and scalar-fmaf
+//    fallbacks); operands are packed into tile-strip panels from the
+//    per-thread workspace arena, so steady-state calls never allocate.
+//    No zero-skip shortcuts: 0 * NaN and 0 * Inf propagate per IEEE
+//    semantics, unlike the naive loops this core replaced.
 //  * gemm_u8_lut — integer GEMM over 8-bit quantization codes whose inner
 //    product is routed through a caller-built 256x256 product table (one
 //    table build per layer call instead of one virtual multiplier call per
 //    code pair). It also emits the per-row/per-column code sums and tap
 //    counts the affine dequantization needs.
 //
-// Future backends (SIMD, threadpool sharding, batched dispatch) plug in
-// here and every consumer inherits them.
+// Determinism: every float C element is one fused-multiply-add chain in
+// ascending k, owned by one thread — results are bit-identical across
+// thread counts AND across dispatch targets (microkernel.hpp has the full
+// contract). Swapping in another backend preserves every consumer.
 #pragma once
 
 #include <cstdint>

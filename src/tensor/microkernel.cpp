@@ -1,0 +1,275 @@
+#include "tensor/microkernel.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define REDCANE_MK_X86 1
+#include <immintrin.h>
+#else
+#define REDCANE_MK_X86 0
+#endif
+
+namespace redcane::gemm::mk {
+namespace {
+
+// ------------------------------------------------------------- scalar body
+// The semantic reference for every target: per C element, one fmaf chain
+// in ascending k. The SIMD targets are this exact computation with lanes
+// laid across j (tile/small) — never across k, which would reassociate.
+// always_inline lets the avx2/sse wrappers below recompile this body under
+// their target attributes, where GCC expands fmaf to hardware FMA and
+// auto-vectorizes the j loops.
+
+__attribute__((always_inline)) inline void tile_body(std::int64_t kc, const float* apack,
+                                                     const float* bpack, float* c,
+                                                     std::int64_t ldc) {
+  float acc[kMR][kNR];
+  for (std::int64_t r = 0; r < kMR; ++r) {
+    for (std::int64_t j = 0; j < kNR; ++j) acc[r][j] = c[r * ldc + j];
+  }
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* arow = apack + kk * kMR;
+    const float* brow = bpack + kk * kNR;
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      const float a = arow[r];
+      for (std::int64_t j = 0; j < kNR; ++j) {
+        acc[r][j] = std::fmaf(a, brow[j], acc[r][j]);
+      }
+    }
+  }
+  for (std::int64_t r = 0; r < kMR; ++r) {
+    for (std::int64_t j = 0; j < kNR; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+__attribute__((always_inline)) inline void small_body(std::int64_t m, std::int64_t n,
+                                                      std::int64_t k, const float* a,
+                                                      const float* b, float* c) {
+  if (n == 1) {
+    // Dot products: a k-lane vector split would reassociate the chain, so
+    // every target runs the same scalar chain (k is a capsule dimension
+    // <= 16 on this path — routing's agreement update).
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      float acc = c[i];
+      for (std::int64_t kk = 0; kk < k; ++kk) acc = std::fmaf(arow[kk], b[kk], acc);
+      c[i] = acc;
+    }
+    return;
+  }
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      const float* brow = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] = std::fmaf(aik, brow[j], crow[j]);
+    }
+  }
+}
+
+void tile_scalar(std::int64_t kc, const float* apack, const float* bpack, float* c,
+                 std::int64_t ldc) {
+  tile_body(kc, apack, bpack, c, ldc);
+}
+
+void small_scalar(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+                  const float* b, float* c) {
+  small_body(m, n, k, a, b, c);
+}
+
+#if REDCANE_MK_X86
+
+// ------------------------------------------------------------- AVX2 + FMA
+// 6x16 register tile: 12 ymm accumulators + 2 B vectors + 1 A broadcast
+// stays inside the 16-register file. One pass over kc does 192 flops per
+// 2 B loads + 6 broadcasts.
+
+__attribute__((target("avx2,fma"))) void tile_avx2(std::int64_t kc, const float* apack,
+                                                   const float* bpack, float* c,
+                                                   std::int64_t ldc) {
+  __m256 acc00 = _mm256_loadu_ps(c + 0 * ldc), acc01 = _mm256_loadu_ps(c + 0 * ldc + 8);
+  __m256 acc10 = _mm256_loadu_ps(c + 1 * ldc), acc11 = _mm256_loadu_ps(c + 1 * ldc + 8);
+  __m256 acc20 = _mm256_loadu_ps(c + 2 * ldc), acc21 = _mm256_loadu_ps(c + 2 * ldc + 8);
+  __m256 acc30 = _mm256_loadu_ps(c + 3 * ldc), acc31 = _mm256_loadu_ps(c + 3 * ldc + 8);
+  __m256 acc40 = _mm256_loadu_ps(c + 4 * ldc), acc41 = _mm256_loadu_ps(c + 4 * ldc + 8);
+  __m256 acc50 = _mm256_loadu_ps(c + 5 * ldc), acc51 = _mm256_loadu_ps(c + 5 * ldc + 8);
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const __m256 b0 = _mm256_loadu_ps(bpack + kk * kNR);
+    const __m256 b1 = _mm256_loadu_ps(bpack + kk * kNR + 8);
+    const float* arow = apack + kk * kMR;
+    __m256 a;
+    a = _mm256_broadcast_ss(arow + 0);
+    acc00 = _mm256_fmadd_ps(a, b0, acc00);
+    acc01 = _mm256_fmadd_ps(a, b1, acc01);
+    a = _mm256_broadcast_ss(arow + 1);
+    acc10 = _mm256_fmadd_ps(a, b0, acc10);
+    acc11 = _mm256_fmadd_ps(a, b1, acc11);
+    a = _mm256_broadcast_ss(arow + 2);
+    acc20 = _mm256_fmadd_ps(a, b0, acc20);
+    acc21 = _mm256_fmadd_ps(a, b1, acc21);
+    a = _mm256_broadcast_ss(arow + 3);
+    acc30 = _mm256_fmadd_ps(a, b0, acc30);
+    acc31 = _mm256_fmadd_ps(a, b1, acc31);
+    a = _mm256_broadcast_ss(arow + 4);
+    acc40 = _mm256_fmadd_ps(a, b0, acc40);
+    acc41 = _mm256_fmadd_ps(a, b1, acc41);
+    a = _mm256_broadcast_ss(arow + 5);
+    acc50 = _mm256_fmadd_ps(a, b0, acc50);
+    acc51 = _mm256_fmadd_ps(a, b1, acc51);
+  }
+  _mm256_storeu_ps(c + 0 * ldc, acc00);
+  _mm256_storeu_ps(c + 0 * ldc + 8, acc01);
+  _mm256_storeu_ps(c + 1 * ldc, acc10);
+  _mm256_storeu_ps(c + 1 * ldc + 8, acc11);
+  _mm256_storeu_ps(c + 2 * ldc, acc20);
+  _mm256_storeu_ps(c + 2 * ldc + 8, acc21);
+  _mm256_storeu_ps(c + 3 * ldc, acc30);
+  _mm256_storeu_ps(c + 3 * ldc + 8, acc31);
+  _mm256_storeu_ps(c + 4 * ldc, acc40);
+  _mm256_storeu_ps(c + 4 * ldc + 8, acc41);
+  _mm256_storeu_ps(c + 5 * ldc, acc50);
+  _mm256_storeu_ps(c + 5 * ldc + 8, acc51);
+}
+
+__attribute__((target("avx2,fma"))) void small_avx2(std::int64_t m, std::int64_t n,
+                                                    std::int64_t k, const float* a,
+                                                    const float* b, float* c) {
+  small_body(m, n, k, a, b, c);  // fmaf j-loops auto-vectorize to vfmaddps.
+}
+
+// --------------------------------------------------- 128-bit FMA (SSE tier)
+// For FMA-capable hardware without AVX2: the same 6x16 tile walked in four
+// 4-column groups, 6 xmm accumulators + B + A broadcast per group.
+
+__attribute__((target("avx,fma"))) void tile_sse(std::int64_t kc, const float* apack,
+                                                 const float* bpack, float* c,
+                                                 std::int64_t ldc) {
+  for (std::int64_t g = 0; g < kNR; g += 4) {
+    __m128 acc0 = _mm_loadu_ps(c + 0 * ldc + g);
+    __m128 acc1 = _mm_loadu_ps(c + 1 * ldc + g);
+    __m128 acc2 = _mm_loadu_ps(c + 2 * ldc + g);
+    __m128 acc3 = _mm_loadu_ps(c + 3 * ldc + g);
+    __m128 acc4 = _mm_loadu_ps(c + 4 * ldc + g);
+    __m128 acc5 = _mm_loadu_ps(c + 5 * ldc + g);
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+      const __m128 bv = _mm_loadu_ps(bpack + kk * kNR + g);
+      const float* arow = apack + kk * kMR;
+      acc0 = _mm_fmadd_ps(_mm_broadcast_ss(arow + 0), bv, acc0);
+      acc1 = _mm_fmadd_ps(_mm_broadcast_ss(arow + 1), bv, acc1);
+      acc2 = _mm_fmadd_ps(_mm_broadcast_ss(arow + 2), bv, acc2);
+      acc3 = _mm_fmadd_ps(_mm_broadcast_ss(arow + 3), bv, acc3);
+      acc4 = _mm_fmadd_ps(_mm_broadcast_ss(arow + 4), bv, acc4);
+      acc5 = _mm_fmadd_ps(_mm_broadcast_ss(arow + 5), bv, acc5);
+    }
+    _mm_storeu_ps(c + 0 * ldc + g, acc0);
+    _mm_storeu_ps(c + 1 * ldc + g, acc1);
+    _mm_storeu_ps(c + 2 * ldc + g, acc2);
+    _mm_storeu_ps(c + 3 * ldc + g, acc3);
+    _mm_storeu_ps(c + 4 * ldc + g, acc4);
+    _mm_storeu_ps(c + 5 * ldc + g, acc5);
+  }
+}
+
+__attribute__((target("avx,fma"))) void small_sse(std::int64_t m, std::int64_t n,
+                                                  std::int64_t k, const float* a,
+                                                  const float* b, float* c) {
+  small_body(m, n, k, a, b, c);
+}
+
+#endif  // REDCANE_MK_X86
+
+constexpr KernelOps kScalarOps{Target::kScalar, "scalar", tile_scalar, small_scalar};
+#if REDCANE_MK_X86
+constexpr KernelOps kSseOps{Target::kSse, "sse", tile_sse, small_sse};
+constexpr KernelOps kAvx2Ops{Target::kAvx2, "avx2", tile_avx2, small_avx2};
+#endif
+
+const KernelOps* table_for(Target t) {
+  switch (t) {
+    case Target::kScalar:
+      return &kScalarOps;
+#if REDCANE_MK_X86
+    case Target::kSse:
+      return &kSseOps;
+    case Target::kAvx2:
+      return &kAvx2Ops;
+#else
+    case Target::kSse:
+    case Target::kAvx2:
+      break;
+#endif
+  }
+  return nullptr;
+}
+
+std::atomic<const KernelOps*> g_active{nullptr};
+
+const KernelOps* resolve() {
+  if (const char* env = std::getenv("REDCANE_GEMM_KERNEL")) {
+    Target want = Target::kScalar;
+    bool known = true;
+    if (std::strcmp(env, "scalar") == 0) {
+      want = Target::kScalar;
+    } else if (std::strcmp(env, "sse") == 0) {
+      want = Target::kSse;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      want = Target::kAvx2;
+    } else {
+      known = false;
+      std::fprintf(stderr, "redcane::gemm: unknown REDCANE_GEMM_KERNEL '%s', using cpuid\n",
+                   env);
+    }
+    if (known) {
+      if (supported(want)) return table_for(want);
+      std::fprintf(stderr,
+                   "redcane::gemm: REDCANE_GEMM_KERNEL '%s' unsupported on this cpu, "
+                   "using cpuid\n",
+                   env);
+    }
+  }
+  if (supported(Target::kAvx2)) return table_for(Target::kAvx2);
+  if (supported(Target::kSse)) return table_for(Target::kSse);
+  return table_for(Target::kScalar);
+}
+
+}  // namespace
+
+bool supported(Target t) {
+  switch (t) {
+    case Target::kScalar:
+      return true;
+#if REDCANE_MK_X86
+    case Target::kSse:
+      return __builtin_cpu_supports("avx") && __builtin_cpu_supports("fma");
+    case Target::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    case Target::kSse:
+    case Target::kAvx2:
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelOps& active() {
+  const KernelOps* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    ops = resolve();
+    g_active.store(ops, std::memory_order_release);
+  }
+  return *ops;
+}
+
+bool force(Target t) {
+  if (!supported(t)) return false;
+  g_active.store(table_for(t), std::memory_order_release);
+  return true;
+}
+
+}  // namespace redcane::gemm::mk

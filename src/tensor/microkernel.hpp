@@ -1,0 +1,74 @@
+// Runtime-dispatched SIMD microkernels: the register-blocked inner loops
+// of the GEMM core (tensor/gemm.cpp).
+//
+// Three targets, selected once per process from cpuid:
+//  * kAvx2   — AVX2 + FMA, 6x16 register tile (12 ymm accumulators).
+//  * kSse    — 128-bit FMA (AVX-encoded), 6x16 tile walked in 4-column
+//              groups; the mid tier for FMA-but-not-AVX2 hardware.
+//  * kScalar — portable fallback built on std::fmaf (correctly-rounded
+//              fused multiply-add everywhere, a single instruction on FMA
+//              hardware, soft-float libm on pre-FMA machines).
+//
+// Bit-identity contract: every target computes every C element as ONE
+// fused-multiply-add chain in ascending k —
+//     c = fma(a[i,k-1], b[k-1,j], ... fma(a[i,1], b[1,j],
+//             fma(a[i,0], b[0,j], c)))
+// Vector width never reassociates the chain (lanes are distinct C
+// elements), k-blocking continues it exactly (float load/store round
+// trips are value-preserving), and zero-padded pack tails append
+// fma(0, 0, acc) only to lanes that are never stored. The outcome: for a
+// fixed blocking, gemm results are bit-identical across kScalar, kSse and
+// kAvx2, which is what lets the sweep engine's prefix-cache replay and
+// the serving runtime's worker-count identity guarantees survive dispatch
+// (tests/test_microkernel.cpp asserts the agreement).
+//
+// Overriding dispatch: set REDCANE_GEMM_KERNEL=scalar|sse|avx2 before the
+// first GEMM, or call force() (tests). Forcing an unsupported target
+// fails rather than faulting on an illegal instruction.
+#pragma once
+
+#include <cstdint>
+
+namespace redcane::gemm::mk {
+
+/// Register-tile extents shared by every target (pack layouts depend on
+/// them, and keeping them target-independent is what makes the blocking —
+/// and therefore the results — identical across dispatch).
+inline constexpr std::int64_t kMR = 6;
+inline constexpr std::int64_t kNR = 16;
+
+enum class Target : int { kScalar = 0, kSse = 1, kAvx2 = 2 };
+
+/// One dispatch table entry.
+struct KernelOps {
+  Target target;
+  const char* name;  ///< "scalar" | "sse" | "avx2".
+
+  /// C[kMR, kNR] (leading dimension ldc) += Apack * Bpack, where
+  /// Apack is [kc, kMR] (a[kk*kMR + r]) and Bpack is [kc, kNR]
+  /// (b[kk*kNR + j]). Loads C, runs the fma chains, stores C. The caller
+  /// stages partial tiles through a zero-padded kMR x kNR buffer.
+  void (*tile)(std::int64_t kc, const float* apack, const float* bpack, float* c,
+               std::int64_t ldc);
+
+  /// C[m, n] += A[m, k] * B[k, n], all row-major and unblocked — the
+  /// kernel behind gemm_batched_f32's small per-item products (routing
+  /// blocks). Same per-element fma-chain contract; n == 1 runs a scalar
+  /// fmaf dot chain on every target.
+  void (*small)(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+                const float* b, float* c);
+};
+
+/// The selected table (resolved on first use: REDCANE_GEMM_KERNEL env
+/// override if set and supported, else the best cpuid-supported target).
+const KernelOps& active();
+
+/// True if this machine can run `t`.
+bool supported(Target t);
+
+/// Repoints dispatch at `t` for the rest of the process (tests and the
+/// scalar-vs-SIMD bench). Returns false (and leaves dispatch unchanged)
+/// if `t` is unsupported here. Not thread-safe against in-flight GEMMs.
+bool force(Target t);
+
+}  // namespace redcane::gemm::mk

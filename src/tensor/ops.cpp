@@ -19,6 +19,28 @@ void check_same_shape(const Tensor& a, const Tensor& b) {
   if (a.shape() != b.shape()) fail("shape mismatch");
 }
 
+/// Normalizes one softmax lane in place (max-shifted exp over `extent`
+/// elements spaced `stride` apart). kStride == 0 means runtime stride;
+/// the kStride == 1 instantiation is the contiguous fast path (softmax
+/// over the last axis — dynamic routing's coupling coefficients take it
+/// every iteration), where the compile-time unit stride lets the simd
+/// pragmas vectorize the scans.
+template <std::int64_t kStride>
+void softmax_lane(float* lane, std::int64_t extent, std::int64_t stride_arg) {
+  const std::int64_t stride = kStride == 0 ? stride_arg : kStride;
+  float mx = -std::numeric_limits<float>::infinity();
+#pragma omp simd reduction(max : mx)
+  for (std::int64_t e = 0; e < extent; ++e) mx = std::max(mx, lane[e * stride]);
+  float denom = 0.0F;
+  for (std::int64_t e = 0; e < extent; ++e) {
+    float& v = lane[e * stride];
+    v = std::exp(v - mx);
+    denom += v;
+  }
+#pragma omp simd
+  for (std::int64_t e = 0; e < extent; ++e) lane[e * stride] /= denom;
+}
+
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
@@ -89,24 +111,19 @@ Tensor softmax(const Tensor& a, std::int64_t axis) {
   const std::int64_t blocks = block == 0 ? 0 : numel / block;
   // Lanes are independent; each is normalized by one thread, so the result
   // does not depend on the thread count.
+  if (stride == 1) {
+#pragma omp parallel for schedule(static) if (blocks >= 2 && numel >= 4096)
+    for (std::int64_t blk = 0; blk < blocks; ++blk) {
+      softmax_lane<1>(&cd[static_cast<std::size_t>(blk * extent)], extent, 1);
+    }
+    return c;
+  }
 #pragma omp parallel for schedule(static) if (blocks >= 2 && numel >= 4096)
   for (std::int64_t blk = 0; blk < blocks; ++blk) {
     const std::int64_t base = blk * block;
     for (std::int64_t off = 0; off < stride; ++off) {
       // One softmax lane: elements base+off, base+off+stride, ...
-      float mx = -std::numeric_limits<float>::infinity();
-      for (std::int64_t e = 0; e < extent; ++e) {
-        mx = std::max(mx, cd[static_cast<std::size_t>(base + off + e * stride)]);
-      }
-      float denom = 0.0F;
-      for (std::int64_t e = 0; e < extent; ++e) {
-        auto& v = cd[static_cast<std::size_t>(base + off + e * stride)];
-        v = std::exp(v - mx);
-        denom += v;
-      }
-      for (std::int64_t e = 0; e < extent; ++e) {
-        cd[static_cast<std::size_t>(base + off + e * stride)] /= denom;
-      }
+      softmax_lane<0>(&cd[static_cast<std::size_t>(base + off)], extent, stride);
     }
   }
   return c;

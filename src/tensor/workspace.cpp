@@ -1,0 +1,69 @@
+#include "tensor/workspace.hpp"
+
+#include <algorithm>
+
+namespace redcane::ws {
+namespace {
+
+constexpr std::size_t kAlign = 64;  // Cache line / widest vector load.
+constexpr std::size_t kMinBlock = std::size_t{1} << 20;
+
+}  // namespace
+
+Workspace& Workspace::tls() {
+  thread_local Workspace w;
+  return w;
+}
+
+void* Workspace::raw_alloc(std::size_t bytes) {
+  bytes = std::max<std::size_t>(bytes, 1);
+  while (true) {
+    if (cursor_block_ < blocks_.size()) {
+      Block& blk = blocks_[cursor_block_];
+      const auto base = reinterpret_cast<std::uintptr_t>(blk.data.get());
+      const std::uintptr_t p = (base + cursor_used_ + kAlign - 1) & ~std::uintptr_t{kAlign - 1};
+      const std::size_t end = static_cast<std::size_t>(p - base) + bytes;
+      if (end <= blk.size) {
+        cursor_used_ = end;
+        return reinterpret_cast<void*>(p);
+      }
+      // Doesn't fit: try the next block (existing blocks keep their memory
+      // across rewinds; abandoned tail space is bounded by geometric growth).
+      if (cursor_block_ + 1 < blocks_.size()) {
+        ++cursor_block_;
+        cursor_used_ = 0;
+        continue;
+      }
+    }
+    // Grow: a fresh block at least double the current capacity, appended
+    // past the cursor so existing Scope marks (always at or before the
+    // cursor) keep their indices.
+    std::size_t capacity = 0;
+    for (const Block& b : blocks_) capacity += b.size;
+    const std::size_t size = std::max({bytes + kAlign, 2 * capacity, kMinBlock});
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    cursor_block_ = blocks_.size() - 1;
+    cursor_used_ = 0;
+  }
+}
+
+void Workspace::rewind(std::size_t block, std::size_t used) {
+  cursor_block_ = block;
+  cursor_used_ = used;
+}
+
+void Workspace::reserve(std::size_t bytes) {
+  std::size_t capacity = 0;
+  for (const Block& b : blocks_) capacity += b.size;
+  if (capacity >= bytes) return;
+  const std::size_t size = std::max(bytes - capacity + kAlign, kMinBlock);
+  blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+}
+
+std::size_t Workspace::reserved_bytes() const {
+  std::size_t capacity = 0;
+  for (const Block& b : blocks_) capacity += b.size;
+  return capacity;
+}
+
+}  // namespace redcane::ws

@@ -1,0 +1,99 @@
+// Per-thread workspace arena (tensor/workspace.hpp): alignment, scope
+// rewind/reuse, growth without pointer invalidation, and thread keying —
+// the properties the zero-allocation hot paths rely on.
+#include "tensor/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+
+namespace redcane {
+namespace {
+
+TEST(Workspace, AllocationsAre64ByteAlignedAndDisjoint) {
+  ws::Workspace w;
+  const ws::Workspace::Scope scope(w);
+  float* a = w.alloc<float>(100);
+  float* b = w.alloc<float>(1);
+  std::uint8_t* c = w.alloc<std::uint8_t>(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0U);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0U);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0U);
+  // Writing one buffer end to end must not touch the others.
+  for (int i = 0; i < 100; ++i) a[i] = 1.0F;
+  *b = 2.0F;
+  std::memset(c, 7, 3);
+  EXPECT_EQ(a[99], 1.0F);
+  EXPECT_EQ(*b, 2.0F);
+  EXPECT_EQ(c[2], 7);
+}
+
+TEST(Workspace, ScopeRewindReusesMemoryWithoutGrowth) {
+  ws::Workspace w;
+  float* first = nullptr;
+  {
+    const ws::Workspace::Scope scope(w);
+    first = w.alloc<float>(1000);
+  }
+  const std::size_t reserved = w.reserved_bytes();
+  for (int round = 0; round < 100; ++round) {
+    const ws::Workspace::Scope scope(w);
+    float* p = w.alloc<float>(1000);
+    EXPECT_EQ(p, first) << "rewound allocation must reuse the same memory";
+  }
+  EXPECT_EQ(w.reserved_bytes(), reserved) << "steady state must not grow";
+}
+
+TEST(Workspace, GrowthKeepsEarlierPointersValid) {
+  ws::Workspace w;
+  const ws::Workspace::Scope scope(w);
+  float* small = w.alloc<float>(64);
+  small[0] = 42.0F;
+  // Far larger than the first block: forces a new block, which must not
+  // move the existing allocation.
+  float* big = w.alloc<float>(8u << 20);
+  big[0] = 1.0F;
+  big[(8u << 20) - 1] = 2.0F;
+  EXPECT_EQ(small[0], 42.0F);
+}
+
+TEST(Workspace, NestedScopesStack) {
+  ws::Workspace w;
+  const ws::Workspace::Scope outer(w);
+  float* a = w.alloc<float>(10);
+  a[0] = 1.0F;
+  float* inner_ptr = nullptr;
+  {
+    const ws::Workspace::Scope inner(w);
+    inner_ptr = w.alloc<float>(10);
+    EXPECT_NE(inner_ptr, a);
+  }
+  // After the inner scope rewinds, its slot is handed out again; the outer
+  // allocation is untouched.
+  float* again = w.alloc<float>(10);
+  EXPECT_EQ(again, inner_ptr);
+  EXPECT_EQ(a[0], 1.0F);
+}
+
+TEST(Workspace, TlsIsPerThread) {
+  ws::Workspace* main_ws = &ws::Workspace::tls();
+  ws::Workspace* other_ws = nullptr;
+  std::thread t([&] { other_ws = &ws::Workspace::tls(); });
+  t.join();
+  EXPECT_NE(main_ws, other_ws);
+  EXPECT_EQ(main_ws, &ws::Workspace::tls());
+}
+
+TEST(Workspace, ReserveIsIdempotentOnceCapacityCovers) {
+  ws::Workspace w;
+  w.reserve(1u << 16);
+  const std::size_t after_first = w.reserved_bytes();
+  EXPECT_GE(after_first, std::size_t{1} << 16);
+  w.reserve(1u << 10);
+  EXPECT_EQ(w.reserved_bytes(), after_first);
+}
+
+}  // namespace
+}  // namespace redcane
