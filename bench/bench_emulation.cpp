@@ -1,0 +1,182 @@
+// Behavioral-emulation throughput: batched LUT-datapath execution vs the
+// per-image approx_conv reference path.
+//
+//   per-image — quant::approx_conv2d called once per sample, the usage
+//               pattern of the pre-backend validation flows (and of any
+//               per-request serving loop): every call re-fits quantization
+//               params, rebuilds the 256x256 product table (65536 virtual
+//               multiplier calls), and runs a small integer GEMM.
+//   batched   — the same conv executed once over the whole batch through
+//               the shared LUT-accumulate core (quant/lut_gemm.hpp): one
+//               table build amortized over N images, one big masked
+//               integer GEMM with OpenMP row parallelism, all staging in
+//               the per-thread workspace arena.
+//
+// The batched path must be >= 2x the per-image path — the gate this binary
+// exits on. A second (ungated, reported) section measures the full-network
+// EmulatedBackend the serving runtime's "emulated" variant runs: batched
+// micro-batch inference vs per-image inference. Results are appended as
+// one JSON object to BENCH_emulation.json.
+//
+// Usage: bench_emulation [--quick] [--json PATH]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "approx/library.hpp"
+#include "backend/backend.hpp"
+#include "bench_common.hpp"
+#include "capsnet/capsnet_model.hpp"
+#include "capsnet/trainer.hpp"
+#include "quant/approx_conv.hpp"
+#include "tensor/ops.hpp"
+
+namespace redcane::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(const Clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+int run(bool quick, const std::string& json_path) {
+  print_header("Behavioral emulation: batched LUT datapath vs per-image approx_conv");
+
+  // 16x16 keeps the per-image GEMM below the per-call table build — the
+  // cost batching amortizes — matching the tiny-profile serving geometry;
+  // at much larger extents the (irreducible) GEMM dominates both modes.
+  const std::int64_t hw = quick ? 14 : 16;
+  const std::int64_t batch = quick ? 16 : 32;
+  const int reps = quick ? 3 : 5;
+  const approx::Multiplier& mul = approx::multiplier_by_name("axm_drum4_dm1");
+
+  Rng rng(2020);
+  const Tensor x = ops::uniform(Shape{batch, hw, hw, 1}, 0.0, 1.0, rng);
+  const Tensor w = ops::uniform(Shape{9, 9, 1, 8}, -0.5, 0.5, rng);
+  const Tensor bias = ops::uniform(Shape{8}, -0.1, 0.1, rng);
+  quant::ApproxConvSpec spec;
+
+  // Correctness guard before timing: the batched emulated conv with the
+  // accurate multiplier must track the exact reference within quantization
+  // error, or the speedup below is measuring broken math.
+  {
+    const Tensor ref = quant::reference_conv2d(x, w, bias, spec);
+    const Tensor emu = quant::approx_conv2d(x, w, bias, spec, approx::exact_multiplier());
+    double max_err = 0.0;
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      max_err = std::max(max_err, std::abs(static_cast<double>(ref.at(i) - emu.at(i))));
+    }
+    if (max_err > 0.25) {
+      std::printf("FAIL: exact-multiplier emulation off by %.3f vs reference\n", max_err);
+      return 1;
+    }
+  }
+
+  // Warm the workspace arenas and the page cache.
+  (void)quant::approx_conv2d(x, w, bias, spec, mul);
+
+  double per_image_ms = 0.0;
+  {
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+      for (std::int64_t i = 0; i < batch; ++i) {
+        (void)quant::approx_conv2d(capsnet::slice_rows(x, i, i + 1), w, bias, spec, mul);
+      }
+    }
+    per_image_ms = ms_since(t0) / reps;
+  }
+  double batched_ms = 0.0;
+  {
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+      (void)quant::approx_conv2d(x, w, bias, spec, mul);
+    }
+    batched_ms = ms_since(t0) / reps;
+  }
+  const double conv_speedup = per_image_ms / batched_ms;
+  std::printf("conv 9x9, %lldx%lld, %lld images, drum4 LUT datapath:\n",
+              static_cast<long long>(hw), static_cast<long long>(hw),
+              static_cast<long long>(batch));
+  std::printf("  per-image  %10.2f ms  (%6.1f img/s)\n", per_image_ms,
+              1e3 * static_cast<double>(batch) / per_image_ms);
+  std::printf("  batched    %10.2f ms  (%6.1f img/s)  -> %.2fx\n", batched_ms,
+              1e3 * static_cast<double>(batch) / batched_ms, conv_speedup);
+
+  // Full-network behavioral emulation (the serving "emulated" variant):
+  // whole micro-batch through EmulatedBackend vs one image at a time. The
+  // tiny profile's stacked 9x9 kernels need at least 20x20 inputs.
+  const std::int64_t model_hw = 20;
+  const std::int64_t model_batch = quick ? 8 : batch;
+  const Tensor mx = ops::uniform(Shape{model_batch, model_hw, model_hw, 1}, 0.0, 1.0, rng);
+  capsnet::CapsNetConfig cfg = capsnet::CapsNetConfig::tiny();
+  cfg.input_hw = model_hw;
+  Rng mrng(7);
+  capsnet::CapsNetModel model(cfg, mrng);
+  backend::EmulationPlan plan;
+  for (const std::string& layer : model.layer_names()) {
+    (void)plan.set_by_name(layer, mul.info().name);
+  }
+  const backend::EmulatedBackend emulated(std::move(plan));
+  (void)emulated.run(model, capsnet::slice_rows(mx, 0, 1), 0);  // Warm-up.
+
+  double model_single_ms = 0.0;
+  {
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+      for (std::int64_t i = 0; i < model_batch; ++i) {
+        (void)emulated.run(model, capsnet::slice_rows(mx, i, i + 1), 0);
+      }
+    }
+    model_single_ms = ms_since(t0) / reps;
+  }
+  double model_batched_ms = 0.0;
+  {
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) (void)emulated.run(model, mx, 0);
+    model_batched_ms = ms_since(t0) / reps;
+  }
+  const double model_speedup = model_single_ms / model_batched_ms;
+  std::printf("full CapsNet-tiny emulated forward (%zu planned MAC layers, %lld images):\n",
+              emulated.plan().size(), static_cast<long long>(model_batch));
+  std::printf("  per-image  %10.2f ms  (%6.1f img/s)\n", model_single_ms,
+              1e3 * static_cast<double>(model_batch) / model_single_ms);
+  std::printf("  batched    %10.2f ms  (%6.1f img/s)  -> %.2fx\n", model_batched_ms,
+              1e3 * static_cast<double>(model_batch) / model_batched_ms, model_speedup);
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "a")) {
+    std::fprintf(f,
+                 "{\"bench\":\"emulation\",\"quick\":%s,\"input_hw\":%lld,"
+                 "\"batch\":%lld,\"component\":\"%s\",\"per_image_conv_ms\":%.2f,"
+                 "\"batched_conv_ms\":%.2f,\"conv_speedup\":%.2f,"
+                 "\"model_per_image_ms\":%.2f,\"model_batched_ms\":%.2f,"
+                 "\"model_speedup\":%.2f}\n",
+                 quick ? "true" : "false", static_cast<long long>(hw),
+                 static_cast<long long>(batch), mul.info().name.c_str(), per_image_ms,
+                 batched_ms, conv_speedup, model_single_ms, model_batched_ms,
+                 model_speedup);
+    std::fclose(f);
+    std::printf("appended results to %s\n", json_path.c_str());
+  }
+
+  const bool pass = conv_speedup >= 2.0;
+  std::printf("\n%s: batched emulation is %.2fx the per-image approx_conv reference "
+              "(target >= 2x)\n",
+              pass ? "PASS" : "FAIL", conv_speedup);
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace redcane::bench
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_emulation.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+  return redcane::bench::run(quick, json_path);
+}

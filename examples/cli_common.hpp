@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "data/idx.hpp"
 #include "data/synthetic.hpp"
 
 namespace redcane::examples {
@@ -51,6 +52,26 @@ inline data::DatasetKind dataset_kind_of(const std::string& name) {
   if (name == "svhn") return data::DatasetKind::kSvhn;
   std::fprintf(stderr, "unknown dataset '%s' (mnist|fashion|cifar10|svhn)\n", name.c_str());
   std::exit(2);
+}
+
+/// Benchmark dataset honoring --data-dir: with the flag set and the
+/// dataset MNIST, real IDX files are loaded from that directory
+/// (data::load_mnist falls back to synthetic with a warning when they are
+/// absent). Other datasets have no offline archive format wired up yet and
+/// always use the synthetic stand-ins.
+inline data::Dataset load_cli_dataset(const Args& args, data::DatasetKind kind,
+                                      std::int64_t hw, std::int64_t train_n,
+                                      std::int64_t test_n) {
+  const std::string dir = args.get("--data-dir", "");
+  if (!dir.empty()) {
+    if (kind == data::DatasetKind::kMnist) {
+      return data::load_mnist(dir, hw, train_n, test_n);
+    }
+    std::fprintf(stderr,
+                 "--data-dir only loads mnist IDX files; using the synthetic %s\n",
+                 data::dataset_kind_name(kind));
+  }
+  return data::make_benchmark(kind, hw, train_n, test_n);
 }
 
 }  // namespace redcane::examples

@@ -41,7 +41,7 @@ int cmd_analyze(const Args& args) {
   const data::DatasetKind kind = examples::dataset_kind_of(dataset_name);
   const bool deepcaps = model_name == "deepcaps";
   const std::int64_t hw = deepcaps ? 16 : 28;
-  const data::Dataset ds = data::make_benchmark(kind, hw, train_n, test_n);
+  const data::Dataset ds = examples::load_cli_dataset(args, kind, hw, train_n, test_n);
 
   Rng rng(static_cast<std::uint64_t>(args.get_num("--seed", 7)));
   std::unique_ptr<capsnet::CapsModel> model;
@@ -142,7 +142,7 @@ void usage() {
       "usage: redcane_cli <analyze|profile|energy> [flags]\n"
       "  analyze --model capsnet|deepcaps --dataset mnist|fashion|cifar10|svhn\n"
       "          [--epochs N] [--train N] [--test N] [--tolerance PP]\n"
-      "          [--json FILE] [--csv PREFIX] [--seed N]\n"
+      "          [--json FILE] [--csv PREFIX] [--seed N] [--data-dir DIR]\n"
       "  profile [--chain N] [--samples N]          (CSV to stdout)\n"
       "  energy  --model deepcaps|capsnet [--profile paper|tiny]");
 }

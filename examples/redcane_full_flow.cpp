@@ -1,22 +1,27 @@
-// The complete 6-step ReD-CaNe methodology on a CapsNet/MNIST benchmark:
-// group extraction, group-wise analysis, marking, layer-wise drill-down,
-// and approximate-component selection — ending with the printed design of
-// the approximate CapsNet (the paper's Fig. 7 output).
+// The complete ReD-CaNe methodology on a CapsNet/MNIST benchmark: group
+// extraction, group-wise analysis, marking, layer-wise drill-down,
+// approximate-component selection (the paper's Fig. 7 output), and the
+// repo's Step 7 — noise-model cross-validation, where every selection is
+// re-executed through full behavioral emulation and compared against the
+// noise model that designed it.
 //
-//   ./redcane_full_flow
+//   ./redcane_full_flow [--data-dir DIR]
 #include <cstdio>
 
 #include "capsnet/capsnet_model.hpp"
 #include "capsnet/trainer.hpp"
+#include "cli_common.hpp"
+#include "core/export.hpp"
 #include "core/methodology.hpp"
 #include "core/report.hpp"
 #include "data/synthetic.hpp"
 
 using namespace redcane;
 
-int main() {
-  const data::Dataset ds =
-      data::make_benchmark(data::DatasetKind::kMnist, 28, /*train=*/1000, /*test=*/250);
+int main(int argc, char** argv) {
+  const examples::Args args(argc, argv);
+  const data::Dataset ds = examples::load_cli_dataset(
+      args, data::DatasetKind::kMnist, 28, /*train=*/1000, /*test=*/250);
 
   Rng rng(11);
   capsnet::CapsNetModel model(capsnet::CapsNetConfig::tiny(), rng);
@@ -32,9 +37,21 @@ int main() {
   core::MethodologyConfig mc;
   mc.resilience.seed = 2020;
   mc.profile_chain_length = 81;  // CapsNet uses 9x9 kernels.
-  const core::MethodologyResult result =
+  core::MethodologyResult result =
       core::run_redcane(model, ds.test_x, ds.test_y, ds.name, mc);
 
+  // Step 7: cross-validate the design's noise model against ground-truth
+  // behavioral emulation of every selected component.
+  std::printf("cross-validating the design (noise model vs emulation)...\n");
+  core::CrossValidateConfig cv;
+  cv.seed = mc.resilience.seed;
+  result.cross_validation =
+      core::cross_validate_design(model, ds.test_x, ds.test_y, result, cv);
+  result.has_cross_validation = true;
+
   std::printf("%s", core::render_report(result).c_str());
+  if (core::write_text_file("redcane_full_flow.json", core::result_to_json(result))) {
+    std::printf("wrote redcane_full_flow.json\n");
+  }
   return 0;
 }

@@ -50,16 +50,18 @@ struct TrafficReport {
   double elapsed_s = 0.0;
   std::vector<std::int64_t> exact_labels;     ///< Per test sample.
   std::vector<std::int64_t> designed_labels;  ///< Per test sample.
+  std::vector<std::int64_t> emulated_labels;  ///< Per test sample.
 };
 
-/// Submits every test sample to both variants (exact wave, then designed
-/// wave — same-variant runs are what the micro-batcher coalesces) and waits
-/// for all predictions.
+/// Submits every test sample to all three variants (exact wave, designed
+/// wave, emulated wave — same-variant runs are what the micro-batcher
+/// coalesces) and waits for all predictions.
 TrafficReport drive_traffic(serve::InferenceServer& server, const Tensor& test_x) {
   const std::int64_t n = test_x.shape().dim(0);
   TrafficReport report;
   std::vector<std::future<serve::Prediction>> exact_futs;
   std::vector<std::future<serve::Prediction>> designed_futs;
+  std::vector<std::future<serve::Prediction>> emulated_futs;
   const auto t0 = Clock::now();
   for (std::int64_t i = 0; i < n; ++i) {
     exact_futs.push_back(
@@ -69,8 +71,13 @@ TrafficReport drive_traffic(serve::InferenceServer& server, const Tensor& test_x
     designed_futs.push_back(
         server.submit(capsnet::slice_rows(test_x, i, i + 1), serve::kVariantDesigned));
   }
+  for (std::int64_t i = 0; i < n; ++i) {
+    emulated_futs.push_back(
+        server.submit(capsnet::slice_rows(test_x, i, i + 1), serve::kVariantEmulated));
+  }
   for (auto& f : exact_futs) report.exact_labels.push_back(f.get().label);
   for (auto& f : designed_futs) report.designed_labels.push_back(f.get().label);
+  for (auto& f : emulated_futs) report.emulated_labels.push_back(f.get().label);
   report.elapsed_s = std::chrono::duration<double>(Clock::now() - t0).count();
   return report;
 }
@@ -109,7 +116,7 @@ int run(const Args& args) {
     const Shape in = registry->model().input_shape();
     const data::DatasetKind kind = examples::dataset_kind_of(
         args.get("--dataset", in.dim(2) == 3 ? "cifar10" : "mnist"));
-    ds = data::make_benchmark(kind, in.dim(0), /*train_count=*/0, test_n);
+    ds = examples::load_cli_dataset(args, kind, in.dim(0), /*train_n=*/0, test_n);
     if (ds.test_x.shape().dim(3) != in.dim(2)) {
       std::fprintf(stderr, "dataset '%s' has %lld channels but %s expects %lld\n",
                    ds.name.c_str(), static_cast<long long>(ds.test_x.shape().dim(3)),
@@ -124,7 +131,7 @@ int run(const Args& args) {
         static_cast<std::int64_t>(args.get_num("--hw", deepcaps ? 16 : (smoke ? 20 : 28)));
     const auto train_n =
         static_cast<std::int64_t>(args.get_num("--train", smoke ? 240 : 600));
-    ds = data::make_benchmark(kind, hw, train_n, test_n);
+    ds = examples::load_cli_dataset(args, kind, hw, train_n, test_n);
     Rng rng(static_cast<std::uint64_t>(args.get_num("--seed", 7)));
     std::unique_ptr<capsnet::CapsModel> model;
     std::string profile = "tiny";
@@ -191,9 +198,11 @@ int run(const Args& args) {
   }
 
   // ---- Serving phase.
-  std::printf("serving %s (%lld designed noise sites, baseline %.2f%% at design time)\n",
+  std::printf("serving %s (%lld designed noise sites, %lld emulated MAC layers, "
+              "baseline %.2f%% at design time)\n",
               registry->manifest().model.c_str(),
               static_cast<long long>(registry->designed_noisy_sites()),
+              static_cast<long long>(registry->emulated_sites()),
               registry->manifest().baseline_accuracy * 100.0);
 
   serve::ServerConfig sc;
@@ -209,7 +218,9 @@ int run(const Args& args) {
 
   const double exact_acc = accuracy_of(traffic.exact_labels, ds.test_y);
   const double designed_acc = accuracy_of(traffic.designed_labels, ds.test_y);
+  const double emulated_acc = accuracy_of(traffic.emulated_labels, ds.test_y);
   const double agreement = accuracy_of(traffic.designed_labels, traffic.exact_labels);
+  const double emu_agreement = accuracy_of(traffic.emulated_labels, traffic.exact_labels);
 
   std::printf("\n--- serving report (%d workers, max_batch %lld, max_delay %lld us) ---\n",
               stats.workers, static_cast<long long>(sc.max_batch),
@@ -222,15 +233,27 @@ int run(const Args& args) {
   std::printf("latency: p50 %.0f us, p99 %.0f us\n",
               serve::percentile_us(stats.latencies_us, 50.0),
               serve::percentile_us(stats.latencies_us, 99.0));
-  std::printf("accuracy: exact %.2f%%, designed %.2f%% (drop %+.2f pp)\n",
+  std::printf("accuracy: exact %.2f%%, designed %.2f%% (drop %+.2f pp), "
+              "emulated %.2f%% (drop %+.2f pp)\n",
               exact_acc * 100.0, designed_acc * 100.0,
-              (designed_acc - exact_acc) * 100.0);
+              (designed_acc - exact_acc) * 100.0, emulated_acc * 100.0,
+              (emulated_acc - exact_acc) * 100.0);
   std::printf("exact-vs-designed prediction agreement: %.2f%%\n", agreement * 100.0);
+  std::printf("exact-vs-emulated prediction agreement: %.2f%% "
+              "(noise model vs behavioral ground truth: %+.2f pp)\n",
+              emu_agreement * 100.0, (emulated_acc - designed_acc) * 100.0);
 
   if (smoke) {
-    const bool ok = stats.requests == 2 * test_n && agreement >= 0.5 &&
+    // The emulated variant's *accuracy* is not gated here: behavioral
+    // execution of aggressive Step-6 components can legitimately diverge
+    // from the noise model that selected them — quantifying that gap is
+    // Step 7's job (core::cross_validate_design), and the emulated path's
+    // correctness is pinned bitwise by tests/test_backend.cpp. The gate
+    // checks the serving machinery: every wave served, designed variant
+    // agreeing with exact.
+    const bool ok = stats.requests == 3 * test_n && agreement >= 0.5 &&
                     stats.mean_batch_size() >= 1.0;
-    std::printf("\nsmoke gate (all requests served, agreement >= 50%%): %s\n",
+    std::printf("\nsmoke gate (all three waves served, designed agreement >= 50%%): %s\n",
                 ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
   }
@@ -242,7 +265,8 @@ void usage() {
       "usage: redcane_serve [--smoke] [--manifest PATH] [--model capsnet|deepcaps]\n"
       "                     [--dataset mnist|fashion|cifar10|svhn] [--hw N]\n"
       "                     [--epochs N] [--train N] [--test N] [--tolerance PP]\n"
-      "                     [--workers N] [--batch N] [--delay-us N] [--out PREFIX]");
+      "                     [--workers N] [--batch N] [--delay-us N] [--out PREFIX]\n"
+      "                     [--data-dir DIR]");
 }
 
 }  // namespace

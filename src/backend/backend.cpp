@@ -1,0 +1,38 @@
+#include "backend/backend.hpp"
+
+namespace redcane::backend {
+
+std::unique_ptr<capsnet::PerturbationHook> ExecBackend::make_hook(std::uint64_t) const {
+  return nullptr;
+}
+
+const std::vector<noise::InjectionRule>* ExecBackend::rules() const { return nullptr; }
+
+Tensor ExecBackend::run(capsnet::CapsModel& model, const Tensor& x,
+                        std::uint64_t salt) const {
+  const std::unique_ptr<capsnet::PerturbationHook> hook = make_hook(salt);
+  return model.infer(x, hook.get());
+}
+
+NoiseBackend::NoiseBackend(std::vector<noise::InjectionRule> rules, std::uint64_t base_seed)
+    : rules_(std::move(rules)), base_seed_(base_seed) {}
+
+std::unique_ptr<capsnet::PerturbationHook> NoiseBackend::make_hook(std::uint64_t salt) const {
+  if (rules_.empty()) return nullptr;
+  return std::make_unique<noise::GaussianInjector>(rules_, base_seed_ ^ (salt * kSaltMix));
+}
+
+const std::vector<noise::InjectionRule>* NoiseBackend::rules() const { return &rules_; }
+
+EmulatedBackend::EmulatedBackend(EmulationPlan plan) : plan_(std::move(plan)) {}
+
+Tensor EmulatedBackend::run(capsnet::CapsModel& model, const Tensor& x,
+                            std::uint64_t /*salt*/) const {
+  // Arm the plan for this thread only: the layer forwards below us consult
+  // it by name, and concurrent workers running other backends on the same
+  // model instance are unaffected.
+  const EmulationScope scope(plan_);
+  return model.infer(x, nullptr);
+}
+
+}  // namespace redcane::backend

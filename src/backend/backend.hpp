@@ -1,0 +1,100 @@
+// Execution backends: the pluggable "how do we run this network" seam.
+//
+// Every consumer that evaluates a CapsModel — the sweep engine, the
+// serving worker pool, the cross-validation Step 7, benches — drives it
+// through an ExecBackend instead of calling CapsModel::infer directly.
+// Three implementations cover the repo's execution modes:
+//
+//   ExactBackend    — the plain float path (no perturbation hook).
+//   NoiseBackend    — the paper's noise model: a GaussianInjector hook
+//                     realizes per-site NM/NA rules; the per-batch stream
+//                     seed derives from base_seed ^ (salt * kSaltMix), the
+//                     exact seeding discipline of the sweep engine and the
+//                     serving "designed" variant.
+//   EmulatedBackend — ground-truth behavioral execution: every planned MAC
+//                     layer runs quantized u8 codes through per-layer-call
+//                     256x256 multiplier LUTs and (optionally) approximate-
+//                     adder accumulation chains (backend/emulation.hpp +
+//                     quant/lut_gemm.hpp). No RNG anywhere on this path:
+//                     outputs are a pure function of the batch tensor, so
+//                     the salt is ignored and served results are trivially
+//                     bit-identical across worker/thread counts for a
+//                     pinned batch composition.
+//
+// Determinism contract (all three): run() on the same model and batch
+// tensor, with the same salt, returns bit-identical outputs regardless of
+// which thread calls it, how many workers run concurrently, and which
+// SIMD dispatch target the GEMM core selected.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "backend/emulation.hpp"
+#include "capsnet/model.hpp"
+#include "noise/injector.hpp"
+
+namespace redcane::backend {
+
+/// Salt mixing constant of every salted noise stream in the codebase:
+/// stream seed = base seed ^ (salt * kSaltMix). Defined here (the lowest
+/// layer that needs it) and aliased by core::kSaltMix so sweep points,
+/// served batches and cross-validation entries all reproduce each other's
+/// streams.
+inline constexpr std::uint64_t kSaltMix = 0x9E3779B97F4A7C15ULL;
+
+class ExecBackend {
+ public:
+  virtual ~ExecBackend() = default;
+
+  /// Fresh perturbation hook for one batch (null when the backend needs
+  /// none). Callers that replay partial forwards (the sweep engine's
+  /// prefix cache) drive the hook themselves instead of calling run().
+  [[nodiscard]] virtual std::unique_ptr<capsnet::PerturbationHook> make_hook(
+      std::uint64_t salt) const;
+
+  /// The injection rules realizing this backend, when it is expressible as
+  /// site-rule noise injection (null otherwise). The sweep engine uses
+  /// them to find the first network stage a run can perturb.
+  [[nodiscard]] virtual const std::vector<noise::InjectionRule>* rules() const;
+
+  /// Runs one inference batch x [N, H, W, C] and returns the class
+  /// capsules. Thread-safe for concurrent eval on one model (the
+  /// CapsModel::infer contract).
+  [[nodiscard]] virtual Tensor run(capsnet::CapsModel& model, const Tensor& x,
+                                   std::uint64_t salt) const;
+};
+
+/// The plain float path.
+class ExactBackend final : public ExecBackend {};
+
+/// The NM/NA noise model injected at rule-matched sites.
+class NoiseBackend final : public ExecBackend {
+ public:
+  NoiseBackend(std::vector<noise::InjectionRule> rules, std::uint64_t base_seed);
+
+  [[nodiscard]] std::unique_ptr<capsnet::PerturbationHook> make_hook(
+      std::uint64_t salt) const override;
+  [[nodiscard]] const std::vector<noise::InjectionRule>* rules() const override;
+
+ private:
+  std::vector<noise::InjectionRule> rules_;
+  std::uint64_t base_seed_;
+};
+
+/// Behavioral emulation of the planned MAC datapaths.
+class EmulatedBackend final : public ExecBackend {
+ public:
+  explicit EmulatedBackend(EmulationPlan plan);
+
+  [[nodiscard]] Tensor run(capsnet::CapsModel& model, const Tensor& x,
+                           std::uint64_t salt) const override;
+
+  [[nodiscard]] const EmulationPlan& plan() const { return plan_; }
+
+ private:
+  EmulationPlan plan_;
+};
+
+}  // namespace redcane::backend

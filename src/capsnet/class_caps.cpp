@@ -2,6 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#include "backend/emulation.hpp"
+#include "tensor/workspace.hpp"
 
 namespace redcane::capsnet {
 
@@ -45,6 +49,60 @@ Tensor ClassCaps::compute_votes(const Tensor& x) const {
   return votes;
 }
 
+Tensor ClassCaps::compute_votes_emulated(const Tensor& x,
+                                         const backend::SiteUnit& unit) const {
+  const std::int64_t n = x.shape().dim(0);
+  const std::int64_t ic = spec_.in_caps;
+  const std::int64_t id = spec_.in_dim;
+  const std::int64_t oc = spec_.out_caps;
+  const std::int64_t od = spec_.out_dim;
+  const std::int64_t jd = oc * od;
+  const quant::QuantParams px = quant::fit_params(x, unit.bits);
+  const quant::QuantParams pw = quant::fit_params(w_.value, unit.bits);
+
+  ws::Workspace& wksp = ws::Workspace::tls();
+  const ws::Workspace::Scope scope(wksp);
+  std::uint8_t* qx = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(x.numel()));
+  std::uint8_t* qw = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(w_.value.numel()));
+  quant::quantize_u8(x, px, qx);
+  quant::quantize_u8(w_.value, pw, qw);
+  std::uint32_t* lut = wksp.alloc<std::uint32_t>(256 * 256);
+  quant::build_product_lut(unit.unit.mul, lut);
+
+  // One LUT-accumulate GEMM per input capsule i: votes[:, i, j, :] =
+  // x[:, i, :] (codes, [n, id]) * W[i] (codes packed [id, oc*od]). The
+  // product table is shared across all ic groups of the layer call.
+  std::uint8_t* a_pack = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(n * id));
+  std::uint8_t* b_pack = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(id * jd));
+  float* out_i = wksp.alloc<float>(static_cast<std::size_t>(n * jd));
+  Tensor votes(Shape{n, ic, oc, od});
+  auto vd = votes.data();
+  for (std::int64_t i = 0; i < ic; ++i) {
+    for (std::int64_t ni = 0; ni < n; ++ni) {
+      std::memcpy(&a_pack[static_cast<std::size_t>(ni * id)],
+                  &qx[static_cast<std::size_t>((ni * ic + i) * id)],
+                  static_cast<std::size_t>(id));
+    }
+    // W is [I, J, in_dim, out_dim]: transpose the (J, in_dim) block of
+    // capsule i into the row-major [in_dim, J*out_dim] GEMM operand.
+    for (std::int64_t j = 0; j < oc; ++j) {
+      for (std::int64_t p = 0; p < id; ++p) {
+        std::memcpy(&b_pack[static_cast<std::size_t>(p * jd + j * od)],
+                    &qw[static_cast<std::size_t>(((i * oc + j) * id + p) * od)],
+                    static_cast<std::size_t>(od));
+      }
+    }
+    quant::lut_gemm_dequant(n, jd, id, a_pack, nullptr, px, b_pack, pw, lut,
+                            unit.unit.adder, nullptr, out_i);
+    for (std::int64_t ni = 0; ni < n; ++ni) {
+      std::memcpy(&vd[static_cast<std::size_t>((ni * ic + i) * jd)],
+                  &out_i[static_cast<std::size_t>(ni * jd)],
+                  static_cast<std::size_t>(jd) * sizeof(float));
+    }
+  }
+  return votes;
+}
+
 Tensor ClassCaps::forward_votes(const Tensor& x, bool train, PerturbationHook* hook) {
   if (x.shape().rank() != 3 || x.shape().dim(1) != spec_.in_caps ||
       x.shape().dim(2) != spec_.in_dim) {
@@ -52,7 +110,8 @@ Tensor ClassCaps::forward_votes(const Tensor& x, bool train, PerturbationHook* h
                  x.shape().to_string().c_str());
     std::abort();
   }
-  Tensor votes = compute_votes(x);
+  const backend::SiteUnit* emu = train ? nullptr : backend::active_mac_unit(name_);
+  Tensor votes = emu != nullptr ? compute_votes_emulated(x, *emu) : compute_votes(x);
   emit(hook, name_, OpKind::kMacOutput, votes);
   if (train) {
     cached_x_ = x;

@@ -11,6 +11,10 @@
 #include "capsnet/routing.hpp"
 #include "nn/layer.hpp"
 
+namespace redcane::backend {
+struct SiteUnit;
+}
+
 namespace redcane::capsnet {
 
 struct ClassCapsSpec {
@@ -46,6 +50,11 @@ class ClassCaps final : public nn::Layer {
 
  private:
   [[nodiscard]] Tensor compute_votes(const Tensor& x) const;
+  /// Emulated vote GEMMs (backend/emulation.hpp plans this layer): one
+  /// grouped LUT-accumulate GEMM per input capsule, sharing one product
+  /// table per layer call. Eval path only.
+  [[nodiscard]] Tensor compute_votes_emulated(const Tensor& x,
+                                              const backend::SiteUnit& unit) const;
 
   std::string name_;
   ClassCapsSpec spec_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "backend/emulation.hpp"
 #include "nn/im2col.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/workspace.hpp"
@@ -25,6 +27,16 @@ void gather_type_plane(const float* x, std::int64_t spatial, std::int64_t ti, st
   const std::int64_t xstride = ti * di;
   for (std::int64_t s = 0; s < spatial; ++s) {
     for (std::int64_t p = 0; p < di; ++p) plane[s * di + p] = src[s * xstride + p];
+  }
+}
+
+/// gather_type_plane over u8 quantization codes (emulated path).
+void gather_type_plane_codes(const std::uint8_t* x, std::int64_t spatial, std::int64_t ti,
+                             std::int64_t di, std::int64_t i, std::uint8_t* plane) {
+  const std::uint8_t* src = x + i * di;
+  const std::int64_t xstride = ti * di;
+  for (std::int64_t s = 0; s < spatial; ++s) {
+    std::memcpy(&plane[s * di], &src[s * xstride], static_cast<std::size_t>(di));
   }
 }
 
@@ -81,6 +93,59 @@ Tensor ConvCaps3D::compute_votes(const Tensor& x, std::int64_t& ho, std::int64_t
   return votes;
 }
 
+Tensor ConvCaps3D::compute_votes_emulated(const Tensor& x, std::int64_t& ho,
+                                          std::int64_t& wo,
+                                          const backend::SiteUnit& unit) const {
+  const std::int64_t n = x.shape().dim(0);
+  const std::int64_t h = x.shape().dim(1);
+  const std::int64_t w = x.shape().dim(2);
+  const std::int64_t ti = spec_.in_types;
+  const std::int64_t di = spec_.in_dim;
+  const std::int64_t jd = spec_.out_types * spec_.out_dim;
+
+  const nn::ConvDims d = nn::make_conv_dims(Shape{n, h, w, di}, spec_.kernel, spec_.kernel,
+                                            jd, spec_.stride, spec_.pad);
+  ho = d.ho;
+  wo = d.wo;
+  const std::int64_t m = d.rows();
+  const std::int64_t k = d.cols();
+
+  // R(X) is the whole input tensor's range (the paper's per-tensor
+  // definition), so all ti groups quantize against one parameter pair and
+  // share one product table per layer call.
+  const quant::QuantParams px = quant::fit_params(x, unit.bits);
+  const quant::QuantParams pw = quant::fit_params(w_.value, unit.bits);
+
+  ws::Workspace& wksp = ws::Workspace::tls();
+  const ws::Workspace::Scope scope(wksp);
+  std::uint8_t* qx = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(x.numel()));
+  std::uint8_t* qw = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(w_.value.numel()));
+  quant::quantize_u8(x, px, qx);
+  quant::quantize_u8(w_.value, pw, qw);
+  std::uint32_t* lut = wksp.alloc<std::uint32_t>(256 * 256);
+  quant::build_product_lut(unit.unit.mul, lut);
+
+  std::uint8_t* plane = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(n * h * w * di));
+  std::uint8_t* cols = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(m * k));
+  std::uint8_t* mask = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(m * k));
+  float* votes_i = wksp.alloc<float>(static_cast<std::size_t>(m * jd));
+  Tensor votes(Shape{m, ti, spec_.out_types, spec_.out_dim});
+  auto vd = votes.data();
+  for (std::int64_t i = 0; i < ti; ++i) {
+    gather_type_plane_codes(qx, n * h * w, ti, di, i, plane);
+    nn::im2col_codes(plane, d, cols, mask);
+    quant::lut_gemm_dequant(m, jd, k, cols, mask, px,
+                            &qw[static_cast<std::size_t>(i * k * jd)], pw, lut,
+                            unit.unit.adder, nullptr, votes_i);
+    for (std::int64_t r = 0; r < m; ++r) {
+      std::memcpy(&vd[static_cast<std::size_t>((r * ti + i) * jd)],
+                  &votes_i[static_cast<std::size_t>(r * jd)],
+                  static_cast<std::size_t>(jd) * sizeof(float));
+    }
+  }
+  return votes;
+}
+
 Tensor ConvCaps3D::forward(const Tensor& x, bool train, PerturbationHook* hook) {
   if (x.shape().rank() != 5 || x.shape().dim(3) != spec_.in_types ||
       x.shape().dim(4) != spec_.in_dim) {
@@ -90,7 +155,9 @@ Tensor ConvCaps3D::forward(const Tensor& x, bool train, PerturbationHook* hook) 
   }
   std::int64_t ho = 0;
   std::int64_t wo = 0;
-  Tensor votes = compute_votes(x, ho, wo);
+  const backend::SiteUnit* emu = train ? nullptr : backend::active_mac_unit(name_);
+  Tensor votes = emu != nullptr ? compute_votes_emulated(x, ho, wo, *emu)
+                                : compute_votes(x, ho, wo);
   emit(hook, name_, OpKind::kMacOutput, votes);
 
   RoutingResult routed = dynamic_routing(votes, spec_.routing_iters, hook, name_);

@@ -11,6 +11,10 @@
 #include "capsnet/routing.hpp"
 #include "nn/layer.hpp"
 
+namespace redcane::backend {
+struct SiteUnit;
+}
+
 namespace redcane::capsnet {
 
 struct ConvCaps3DSpec {
@@ -41,6 +45,12 @@ class ConvCaps3D final : public nn::Layer {
  private:
   /// votes[n, ho, wo, i, j, d] flattened to [N*Ho*Wo, I, J, D].
   [[nodiscard]] Tensor compute_votes(const Tensor& x, std::int64_t& ho, std::int64_t& wo) const;
+  /// Emulated grouped convolution (backend/emulation.hpp plans this
+  /// layer): per input type, im2col codes + one LUT-accumulate GEMM, all
+  /// groups sharing one product table per layer call. Eval path only.
+  [[nodiscard]] Tensor compute_votes_emulated(const Tensor& x, std::int64_t& ho,
+                                              std::int64_t& wo,
+                                              const backend::SiteUnit& unit) const;
 
   std::string name_;
   ConvCaps3DSpec spec_;

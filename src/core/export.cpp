@@ -127,6 +127,28 @@ std::string result_to_json(const MethodologyResult& r) {
   }
   out += "]";
 
+  if (r.has_cross_validation) {
+    const CrossValidationResult& cv = r.cross_validation;
+    out += ",\"cross_validation\":{";
+    out += "\"baseline_accuracy\":" + fmt_double(cv.baseline_accuracy);
+    out += ",\"predicted_joint\":" + fmt_double(cv.predicted_joint);
+    out += ",\"emulated_joint\":" + fmt_double(cv.emulated_joint);
+    out += ",\"joint_delta_pp\":" + fmt_double(cv.joint_delta_pp());
+    out += ",\"max_abs_delta_pp\":" + fmt_double(cv.max_abs_delta_pp());
+    out += ",\"entries\":[";
+    for (std::size_t i = 0; i < cv.entries.size(); ++i) {
+      const CrossValidationEntry& e = cv.entries[i];
+      if (i != 0) out += ',';
+      out += "{\"layer\":" + json_str(e.site.layer) +
+             ",\"component\":" + json_str(e.component) +
+             ",\"nm\":" + fmt_double(e.nm) + ",\"na\":" + fmt_double(e.na) +
+             ",\"predicted_accuracy\":" + fmt_double(e.predicted_accuracy) +
+             ",\"emulated_accuracy\":" + fmt_double(e.emulated_accuracy) +
+             ",\"delta_pp\":" + fmt_double(e.delta_pp()) + "}";
+    }
+    out += "]}";
+  }
+
   out += ",\"evaluations_run\":" + std::to_string(r.evaluations_run);
   out += ",\"evaluations_saved\":" + std::to_string(r.evaluations_saved_by_pruning);
   out += ",\"sweep_threads\":" + std::to_string(r.sweep_stats.threads);

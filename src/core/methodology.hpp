@@ -10,6 +10,14 @@
 // Output: the design of an approximate CapsNet — a per-operation choice of
 // approximate multiplier plus the projected energy of the approximated
 // inference.
+//
+// This repository adds a Step 7 the paper only gestures at: noise-model
+// cross-validation. Every Step-6 MAC selection is executed twice over the
+// test set — once as the Gaussian noise model that drove the analysis
+// (NoiseBackend) and once as ground-truth behavioral emulation through the
+// quantized LUT datapath (EmulatedBackend) — and the per-selection
+// predicted-vs-emulated accuracy deltas certify (or flag) the additive-
+// noise assumption underlying Steps 2-6. See cross_validate_design below.
 #pragma once
 
 #include <map>
@@ -39,6 +47,51 @@ struct MethodologyConfig {
   std::uint64_t profile_seed = 7;        ///< Profiling RNG seed.
 };
 
+/// One Step-7 row: a Step-6 MAC selection executed as the noise model and
+/// as behavioral emulation.
+struct CrossValidationEntry {
+  Site site;              ///< The MAC-output operation cross-validated.
+  std::string component;  ///< Selected multiplier, e.g. "axm_drum4".
+  double nm = 0.0;        ///< Profiled noise magnitude the prediction used.
+  double na = 0.0;        ///< Profiled noise average the prediction used.
+  /// Test accuracy with the component's NM/NA injected at this site only
+  /// (the model the methodology optimized against), in [0, 1].
+  double predicted_accuracy = 0.0;
+  /// Test accuracy with this site executed behaviorally (quantized u8
+  /// codes through the component's LUT), everything else exact, in [0, 1].
+  double emulated_accuracy = 0.0;
+
+  /// Emulated minus predicted [percentage points].
+  [[nodiscard]] double delta_pp() const {
+    return (emulated_accuracy - predicted_accuracy) * 100.0;
+  }
+};
+
+/// Step-7 output: per-selection deltas plus the joint design executed both
+/// ways.
+struct CrossValidationResult {
+  double baseline_accuracy = 0.0;  ///< Clean accuracy of the same test set.
+  double predicted_joint = 0.0;    ///< All selections' noise injected together.
+  double emulated_joint = 0.0;     ///< All MAC sites emulated together.
+  std::vector<CrossValidationEntry> entries;  ///< One per MAC-output selection.
+
+  [[nodiscard]] double joint_delta_pp() const {
+    return (emulated_joint - predicted_joint) * 100.0;
+  }
+  /// Largest per-selection |delta| [percentage points] (0 when empty).
+  [[nodiscard]] double max_abs_delta_pp() const;
+};
+
+struct CrossValidateConfig {
+  std::uint64_t seed = 2020;     ///< Noise-model stream base seed.
+  std::int64_t eval_batch = 64;  ///< Evaluation batch size (both sides).
+  int threads = 0;               ///< Sweep-engine worker override (0 = env/hw).
+  int bits = 8;                  ///< Emulated operand wordlength.
+  /// Behavioral accumulator adder by library name ("" = exact
+  /// accumulation — the paper's setting, where adders stay exact).
+  std::string adder;
+};
+
 struct MethodologyResult {
   std::string model_name;          ///< e.g. "CapsNet", "DeepCaps".
   std::string dataset_name;        ///< e.g. "MNIST(synthetic)".
@@ -55,6 +108,11 @@ struct MethodologyResult {
   /// library order) — reuse this wherever a selection's NM/NA is needed
   /// (deployment manifests, design validation) instead of re-profiling.
   std::vector<ProfiledComponent> profiled;
+
+  /// Step 7 (filled by cross_validate_design when run; see
+  /// has_cross_validation).
+  CrossValidationResult cross_validation;
+  bool has_cross_validation = false;
 
   std::int64_t evaluations_run = 0;
   std::int64_t evaluations_saved_by_pruning = 0;  ///< D3: Step-4 restriction.
@@ -74,5 +132,20 @@ struct MethodologyResult {
                                             const std::vector<std::int64_t>& test_y,
                                             const std::string& dataset_name,
                                             const MethodologyConfig& cfg);
+
+/// Step 7: cross-validates a finished design's noise model against full-
+/// network behavioral emulation (src/core/cross_validate.cpp). For every
+/// Step-6 MAC-output selection it measures the test accuracy predicted by
+/// the component's profiled NM/NA noise (the quantity Steps 2-6 optimized)
+/// and the accuracy of actually executing that site through the
+/// component's quantized LUT datapath, plus both joint deployments.
+/// `design` must carry selections and the library profile (a run_redcane
+/// output); the model and test set must be the ones the design was made
+/// on. Attach the result to MethodologyResult::cross_validation to have
+/// reports and JSON exports include it.
+[[nodiscard]] CrossValidationResult cross_validate_design(
+    capsnet::CapsModel& model, const Tensor& test_x,
+    const std::vector<std::int64_t>& test_y, const MethodologyResult& design,
+    const CrossValidateConfig& cfg);
 
 }  // namespace redcane::core

@@ -88,6 +88,20 @@ std::string render_report(const MethodologyResult& r) {
   }
   out += fmt("mean MAC-datapath power saving: %.1f%%\n",
              r.mean_mac_power_saving() * 100.0);
+
+  if (r.has_cross_validation) {
+    const CrossValidationResult& cv = r.cross_validation;
+    out += "\n--- Step 7: noise-model cross-validation (predicted vs emulated) ---\n";
+    for (const CrossValidationEntry& e : cv.entries) {
+      out += fmt("  %-28s %-18s predicted %6.2f%%  emulated %6.2f%%  delta %+6.2f pp\n",
+                 e.site.to_string().c_str(), e.component.c_str(),
+                 e.predicted_accuracy * 100.0, e.emulated_accuracy * 100.0, e.delta_pp());
+    }
+    out += fmt("joint design: predicted %.2f%%, emulated %.2f%% (delta %+.2f pp); "
+               "max per-selection |delta| %.2f pp\n",
+               cv.predicted_joint * 100.0, cv.emulated_joint * 100.0, cv.joint_delta_pp(),
+               cv.max_abs_delta_pp());
+  }
   return out;
 }
 

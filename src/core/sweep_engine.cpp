@@ -117,12 +117,15 @@ int SweepEngine::first_affected_stage(
   return first;
 }
 
-double SweepEngine::eval_point(const std::vector<noise::InjectionRule>& rules,
-                               std::uint64_t salt, SweepEngineStats& stats) const {
-  // Fresh injector per point, seeded exactly as the serial analyzer seeds
-  // it. Sites before the replay stage never match any rule, so they draw
-  // nothing from the stream; skipping them leaves the draws untouched.
-  noise::GaussianInjector injector(rules, cfg_.seed ^ (salt * kSaltMix));
+double SweepEngine::eval_point(const backend::ExecBackend& b, std::uint64_t salt,
+                               SweepEngineStats& stats) const {
+  // One hook per point, from the backend's own stream seeding (for a
+  // NoiseBackend: base seed ^ salt * kSaltMix, exactly the serial
+  // analyzer's and the serving "designed" variant's discipline). Sites
+  // before the replay stage never match any rule, so they draw nothing
+  // from the stream; skipping them leaves the draws untouched.
+  const std::vector<noise::InjectionRule>& rules = *b.rules();
+  const std::unique_ptr<capsnet::PerturbationHook> hook = b.make_hook(salt);
   const int stages = model_.num_stages();
   const int from = cfg_.prefix_cache ? first_affected_stage(rules) : 0;
 
@@ -144,7 +147,7 @@ double SweepEngine::eval_point(const std::vector<noise::InjectionRule>& rules,
       st.at.resize(static_cast<std::size_t>(stages) + 1);
       st.at[static_cast<std::size_t>(from)] =
           checkpoints_[b].at[static_cast<std::size_t>(from)];
-      v = model_.forward_range(from, stages, st, &injector, /*record=*/false);
+      v = model_.forward_range(from, stages, st, hook.get(), /*record=*/false);
     }
     hits += capsnet::count_correct(v, batch_y_[b]);
   }
@@ -155,7 +158,24 @@ double SweepEngine::point_accuracy(const std::vector<noise::InjectionRule>& rule
                                    std::uint64_t salt) {
   ensure_prepared();
   ++stats_.evaluations;
-  return eval_point(rules, salt, stats_);
+  return eval_point(backend::NoiseBackend(rules, cfg_.seed), salt, stats_);
+}
+
+double SweepEngine::backend_accuracy(const backend::ExecBackend& b, std::uint64_t salt) {
+  ensure_prepared();
+  ++stats_.evaluations;
+  if (b.rules() != nullptr) return eval_point(b, salt, stats_);
+
+  // Opaque backend: no site rules to bound the perturbation, so no prefix
+  // is provably clean — run full batched forwards.
+  const int stages = model_.num_stages();
+  std::int64_t hits = 0;
+  for (std::size_t batch = 0; batch < batch_x_.size(); ++batch) {
+    stats_.stages_total += stages;
+    const Tensor v = b.run(model_, batch_x_[batch], salt);
+    hits += capsnet::count_correct(v, batch_y_[batch]);
+  }
+  return static_cast<double>(hits) / static_cast<double>(test_x_.shape().dim(0));
 }
 
 std::vector<double> SweepEngine::run_points(const std::vector<SweepPointSpec>& points) {
@@ -168,7 +188,8 @@ std::vector<double> SweepEngine::run_points(const std::vector<SweepPointSpec>& p
 
   if (workers <= 1) {
     for (std::size_t i = 0; i < points.size(); ++i) {
-      acc[i] = eval_point(points[i].rules, points[i].salt, stats_);
+      acc[i] = eval_point(backend::NoiseBackend(points[i].rules, cfg_.seed),
+                          points[i].salt, stats_);
     }
     return acc;
   }
@@ -193,7 +214,8 @@ std::vector<double> SweepEngine::run_points(const std::vector<SweepPointSpec>& p
       // of every grid point then runs on recycled buffers.
       ws::Workspace::tls().reserve(std::size_t{1} << 20);
       for (std::size_t i = next.fetch_add(1); i < points.size(); i = next.fetch_add(1)) {
-        acc[i] = eval_point(points[i].rules, points[i].salt,
+        acc[i] = eval_point(backend::NoiseBackend(points[i].rules, cfg_.seed),
+                            points[i].salt,
                             worker_stats[static_cast<std::size_t>(w)]);
       }
     });

@@ -33,15 +33,19 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "capsnet/model.hpp"
 #include "noise/injector.hpp"
 
 namespace redcane::core {
 
 /// Salt mixing constant shared by every sweep driver: point seed =
-/// base seed ^ (salt * kSaltMix). Keeping it in one place guarantees the
-/// engine reproduces the serial analyzer's per-point noise streams.
-inline constexpr std::uint64_t kSaltMix = 0x9E3779B97F4A7C15ULL;
+/// base seed ^ (salt * kSaltMix). Home is backend/backend.hpp (the lowest
+/// layer that salts streams); this alias keeps every core-level seeding
+/// site reading the same constant the backends use, so the engine
+/// reproduces the serial analyzer's — and the serving runtime's —
+/// per-point noise streams.
+inline constexpr std::uint64_t kSaltMix = backend::kSaltMix;
 
 struct SweepEngineConfig {
   std::uint64_t seed = 2020;
@@ -95,6 +99,14 @@ class SweepEngine {
   /// on each point serially.
   [[nodiscard]] std::vector<double> run_points(const std::vector<SweepPointSpec>& points);
 
+  /// Accuracy of one execution backend over the engine's test batches.
+  /// Hook-expressible backends (ExecBackend::rules() non-null) replay from
+  /// the clean prefix cache exactly like point_accuracy; opaque backends
+  /// (e.g. EmulatedBackend, whose planned layers re-execute from the input
+  /// on) run full batched forwards through ExecBackend::run. This is the
+  /// evaluation entry Step 7's noise-model cross-validation drives.
+  [[nodiscard]] double backend_accuracy(const backend::ExecBackend& b, std::uint64_t salt);
+
   [[nodiscard]] const SweepEngineStats& stats() const { return stats_; }
   [[nodiscard]] const SweepEngineConfig& config() const { return cfg_; }
 
@@ -106,8 +118,11 @@ class SweepEngine {
   /// First stage whose sites any rule can match (num_stages() for none —
   /// the point then cannot perturb anything and replays nothing).
   [[nodiscard]] int first_affected_stage(const std::vector<noise::InjectionRule>& rules) const;
-  [[nodiscard]] double eval_point(const std::vector<noise::InjectionRule>& rules,
-                                  std::uint64_t salt, SweepEngineStats& stats) const;
+  /// One rule-expressible backend execution over all batches, prefix-
+  /// replayed (b.rules() must be non-null; the hook comes from
+  /// b.make_hook(salt), so the backend's own stream seeding is honored).
+  [[nodiscard]] double eval_point(const backend::ExecBackend& b, std::uint64_t salt,
+                                  SweepEngineStats& stats) const;
 
   capsnet::CapsModel& model_;
   const Tensor& test_x_;

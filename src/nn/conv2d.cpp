@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "backend/emulation.hpp"
 #include "nn/im2col.hpp"
+#include "quant/approx_conv.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/workspace.hpp"
 
@@ -44,15 +46,26 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
 }
 
 Conv2D::Conv2D(std::string name, const Conv2DSpec& spec, Rng& rng)
-    : spec_(spec),
-      w_(name + ".w",
+    : name_(std::move(name)),
+      spec_(spec),
+      w_(name_ + ".w",
          Tensor(Shape{spec.kernel, spec.kernel, spec.in_channels, spec.out_channels})),
-      b_(name + ".b", Tensor(Shape{spec.out_channels})) {
+      b_(name_ + ".b", Tensor(Shape{spec.out_channels})) {
   he_init(w_.value, spec.kernel * spec.kernel * spec.in_channels, rng);
 }
 
 Tensor Conv2D::forward(const Tensor& x, bool train) {
   if (train) cached_x_ = x;
+  if (!train) {
+    if (const backend::SiteUnit* u = backend::active_mac_unit(name_)) {
+      quant::ApproxConvSpec as;
+      as.stride = static_cast<int>(spec_.stride);
+      as.pad = static_cast<int>(spec_.pad);
+      as.bits = u->bits;
+      return quant::approx_conv2d(x, w_.value, spec_.bias ? b_.value : Tensor(), as,
+                                  u->unit);
+    }
+  }
   return conv2d_forward(x, w_.value, spec_.bias ? b_.value : Tensor(), spec_.stride, spec_.pad);
 }
 

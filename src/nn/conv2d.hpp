@@ -15,6 +15,12 @@ struct Conv2DSpec {
 };
 
 /// Convolution over [N, H, W, Cin] with weights [KH, KW, Cin, Cout].
+///
+/// Eval forwards consult the emulation context (backend/emulation.hpp)
+/// under this layer's name: when an EmulationScope plans the name, the
+/// convolution executes on the behavioral quantized LUT datapath
+/// (quant::approx_conv2d) instead of the float GEMM core. Training
+/// forwards always run float.
 class Conv2D final : public Layer {
  public:
   Conv2D(std::string name, const Conv2DSpec& spec, Rng& rng);
@@ -23,6 +29,7 @@ class Conv2D final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
 
+  [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const Conv2DSpec& spec() const { return spec_; }
   [[nodiscard]] Param& weight() { return w_; }
   [[nodiscard]] const Param& weight() const { return w_; }
@@ -33,6 +40,7 @@ class Conv2D final : public Layer {
   }
 
  private:
+  std::string name_;
   Conv2DSpec spec_;
   Param w_;
   Param b_;

@@ -3,15 +3,17 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "backend/emulation.hpp"
 #include "tensor/ops.hpp"
 
 namespace redcane::nn {
 
 Dense::Dense(std::string name, std::int64_t in_features, std::int64_t out_features, Rng& rng)
-    : in_(in_features),
+    : name_(std::move(name)),
+      in_(in_features),
       out_(out_features),
-      w_(name + ".w", Tensor(Shape{in_features, out_features})),
-      b_(name + ".b", Tensor(Shape{out_features})) {
+      w_(name_ + ".w", Tensor(Shape{in_features, out_features})),
+      b_(name_ + ".b", Tensor(Shape{out_features})) {
   he_init(w_.value, in_features, rng);
 }
 
@@ -21,6 +23,12 @@ Tensor Dense::forward(const Tensor& x, bool train) {
     std::abort();
   }
   if (train) cached_x_ = x;
+  if (!train) {
+    if (const backend::SiteUnit* u = backend::active_mac_unit(name_)) {
+      // Emulated path carries the bias inside the dequantization.
+      return quant::approx_matmul(x, w_.value, b_.value, u->unit, u->bits);
+    }
+  }
   Tensor out = ops::matmul(x, w_.value);
   const std::int64_t n = out.shape().dim(0);
   for (std::int64_t i = 0; i < n; ++i) {

@@ -1,4 +1,8 @@
 // Fully-connected layer over the last axis: [N, in] -> [N, out].
+//
+// Eval forwards consult the emulation context (backend/emulation.hpp)
+// under this layer's name and, on a hit, run the quantized LUT datapath
+// (quant::approx_matmul) instead of the float GEMM.
 #pragma once
 
 #include "nn/layer.hpp"
@@ -13,7 +17,10 @@ class Dense final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&w_, &b_}; }
 
+  [[nodiscard]] const std::string& name() const { return name_; }
+
  private:
+  std::string name_;
   std::int64_t in_;
   std::int64_t out_;
   Param w_;  ///< [in, out]

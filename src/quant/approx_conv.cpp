@@ -5,7 +5,6 @@
 #include <vector>
 
 #include "nn/im2col.hpp"
-#include "tensor/gemm.hpp"
 #include "tensor/workspace.hpp"
 
 namespace redcane::quant {
@@ -18,31 +17,25 @@ nn::ConvDims dims_of(const Tensor& x, const Tensor& w, const ApproxConvSpec& spe
 }  // namespace
 
 Tensor approx_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
-                     const ApproxConvSpec& spec, const approx::Multiplier& mul) {
+                     const ApproxConvSpec& spec, const MacUnit& unit) {
   const nn::ConvDims d = dims_of(x, w, spec);
   const QuantParams px = fit_params(x, spec.bits);
   const QuantParams pw = fit_params(w, spec.bits);
 
-  // All staging — operand code pools, the 256x256 product table, the code
-  // patch matrix and its validity mask, and the four affine accumulators —
-  // comes from the per-thread arena; a layer sweep re-running this path
-  // thousands of times stops exercising the allocator entirely.
+  // All staging — operand code pools, the 256x256 product table, and the
+  // code patch matrix with its validity mask — comes from the per-thread
+  // arena; a layer sweep re-running this path thousands of times stops
+  // exercising the allocator entirely. Padding taps are masked out so they
+  // contribute true zero to every accumulator of the affine expansion the
+  // shared LUT-GEMM core evaluates (quant/lut_gemm.hpp).
   ws::Workspace& wksp = ws::Workspace::tls();
   const ws::Workspace::Scope scope(wksp);
   std::uint8_t* qx = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(x.numel()));
   std::uint8_t* qw = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(w.numel()));
   quantize_u8(x, px, qx);
   quantize_u8(w, pw, qw);
-
-  // One table build per layer call replaces one Multiplier virtual call
-  // per code pair: 65536 products up front, then pure loads in the GEMM.
   std::uint32_t* lut = wksp.alloc<std::uint32_t>(256 * 256);
-  for (int a = 0; a < 256; ++a) {
-    for (int b = 0; b < 256; ++b) {
-      lut[(a << 8) | b] =
-          mul.multiply(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
-    }
-  }
+  build_product_lut(unit.mul, lut);
 
   const std::int64_t m = d.rows();
   const std::int64_t k = d.cols();
@@ -50,34 +43,15 @@ Tensor approx_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
   std::uint8_t* mask = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(m * k));
   nn::im2col_codes(qx, d, cols, mask);
 
-  // Affine expansion: x = mx + qx*sx, w = mw + qw*sw.
-  //   sum x*w = mx*mw*taps + mw*sx*Σqx + mx*sw*Σqw + sx*sw*Σ qx*qw
-  // Only the code-by-code product term uses the approximate unit; padding
-  // taps are masked out so they contribute true zero to all accumulators.
-  std::uint64_t* acc_qq = wksp.alloc<std::uint64_t>(static_cast<std::size_t>(m * d.cout));
-  std::uint64_t* acc_qw = wksp.alloc<std::uint64_t>(static_cast<std::size_t>(m * d.cout));
-  std::uint64_t* acc_qx = wksp.alloc<std::uint64_t>(static_cast<std::size_t>(m));
-  std::int64_t* taps = wksp.alloc<std::int64_t>(static_cast<std::size_t>(m));
-  gemm::gemm_u8_lut(m, d.cout, k, cols, mask, qw, lut, acc_qq, acc_qw, acc_qx, taps);
-
   Tensor out(Shape{d.n, d.ho, d.wo, d.cout});
-  auto od = out.data();
-  const bool has_bias = !bias.empty();
-  const double sx = px.step();
-  const double sw = pw.step();
-  for (std::int64_t r = 0; r < m; ++r) {
-    const double row_base = px.min * pw.min * static_cast<double>(taps[static_cast<std::size_t>(r)]) +
-                            pw.min * sx * static_cast<double>(acc_qx[static_cast<std::size_t>(r)]);
-    for (std::int64_t co = 0; co < d.cout; ++co) {
-      const std::size_t idx = static_cast<std::size_t>(r * d.cout + co);
-      double v = row_base;
-      v += px.min * sw * static_cast<double>(acc_qw[idx]);
-      v += sx * sw * static_cast<double>(acc_qq[idx]);
-      if (has_bias) v += bias.at(co);
-      od[idx] = static_cast<float>(v);
-    }
-  }
+  lut_gemm_dequant(m, d.cout, k, cols, mask, px, qw, pw, lut, unit.adder,
+                   bias.empty() ? nullptr : bias.data().data(), out.data().data());
   return out;
+}
+
+Tensor approx_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     const ApproxConvSpec& spec, const approx::Multiplier& mul) {
+  return approx_conv2d(x, w, bias, spec, MacUnit{&mul, nullptr});
 }
 
 Tensor reference_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "approx/multiplier.hpp"
+#include "quant/lut_gemm.hpp"
 #include "quant/quantizer.hpp"
 #include "tensor/tensor.hpp"
 
@@ -22,7 +23,13 @@ struct ApproxConvSpec {
 };
 
 /// x: [N, H, W, Cin] NHWC, w: [KH, KW, Cin, Cout], bias: [Cout] (may be
-/// empty). Returns [N, Ho, Wo, Cout] in float.
+/// empty). Returns [N, Ho, Wo, Cout] in float. The whole batch runs as one
+/// im2col + LUT-accumulate GEMM (quant/lut_gemm.hpp): one product-table
+/// build per call, accumulation through `unit.adder` when set.
+[[nodiscard]] Tensor approx_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
+                                   const ApproxConvSpec& spec, const MacUnit& unit);
+
+/// Multiplier-only convenience (exact accumulation), the historical entry.
 [[nodiscard]] Tensor approx_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
                                    const ApproxConvSpec& spec,
                                    const approx::Multiplier& mul);

@@ -7,7 +7,6 @@
 #include "capsnet/deepcaps_model.hpp"
 #include "capsnet/serialize.hpp"
 #include "capsnet/trainer.hpp"
-#include "core/sweep_engine.hpp"
 
 namespace redcane::serve {
 namespace {
@@ -84,14 +83,35 @@ std::unique_ptr<ModelRegistry> ModelRegistry::open(const std::string& manifest_p
 }
 
 void ModelRegistry::build_variants() {
-  variants_.push_back({kVariantExact, {}});
-  Variant designed{kVariantDesigned, {}};
+  variants_.push_back({kVariantExact, std::make_unique<backend::ExactBackend>()});
+
+  std::vector<noise::InjectionRule> rules;
   for (const core::ManifestSite& s : manifest_.sites) {
     const noise::NoiseSpec spec{s.nm, s.na};
     if (spec.is_zero()) continue;  // Exact component: no rule needed.
-    designed.rules.push_back(noise::layer_rule(s.site.kind, s.site.layer, spec));
+    rules.push_back(noise::layer_rule(s.site.kind, s.site.layer, spec));
   }
-  variants_.push_back(std::move(designed));
+  variants_.push_back({kVariantDesigned, std::make_unique<backend::NoiseBackend>(
+                                             std::move(rules), manifest_.noise_seed)});
+
+  // Emulated: every MAC-output site runs the quantized behavioral datapath
+  // with its selected component. An empty or library-unknown component
+  // name (exact selection, or a manifest from another library build) falls
+  // back to the exact multiplier — the site still executes the quantized
+  // u8 datapath, just with error-free products.
+  backend::EmulationPlan plan;
+  for (const core::ManifestSite& s : manifest_.sites) {
+    if (s.site.kind != capsnet::OpKind::kMacOutput) continue;
+    if (!plan.set_by_name(s.site.layer, s.component)) {
+      std::fprintf(stderr,
+                   "serve: component '%s' (site %s) not in this build's library; "
+                   "emulating with the exact multiplier\n",
+                   s.component.c_str(), s.site.layer.c_str());
+      plan.set(s.site.layer, backend::SiteUnit{});
+    }
+  }
+  variants_.push_back(
+      {kVariantEmulated, std::make_unique<backend::EmulatedBackend>(std::move(plan))});
 }
 
 std::vector<std::string> ModelRegistry::variant_names() const {
@@ -108,7 +128,15 @@ bool ModelRegistry::has_variant(const std::string& name) const {
 }
 
 std::int64_t ModelRegistry::designed_noisy_sites() const {
-  return static_cast<std::int64_t>(find_variant(kVariantDesigned).rules.size());
+  const std::vector<noise::InjectionRule>* rules =
+      find_variant(kVariantDesigned).exec->rules();
+  return rules == nullptr ? 0 : static_cast<std::int64_t>(rules->size());
+}
+
+std::int64_t ModelRegistry::emulated_sites() const {
+  const auto& emu =
+      static_cast<const backend::EmulatedBackend&>(*find_variant(kVariantEmulated).exec);
+  return static_cast<std::int64_t>(emu.plan().size());
 }
 
 const Variant& ModelRegistry::find_variant(const std::string& name) const {
@@ -119,12 +147,9 @@ const Variant& ModelRegistry::find_variant(const std::string& name) const {
   std::abort();
 }
 
-std::unique_ptr<capsnet::PerturbationHook> ModelRegistry::make_hook(
-    const std::string& variant, std::uint64_t salt) const {
-  const Variant& v = find_variant(variant);
-  if (v.rules.empty()) return nullptr;
-  return std::make_unique<noise::GaussianInjector>(
-      v.rules, manifest_.noise_seed ^ (salt * core::kSaltMix));
+Tensor ModelRegistry::run(const std::string& variant, const Tensor& x,
+                          std::uint64_t salt) const {
+  return find_variant(variant).exec->run(*model_, x, salt);
 }
 
 }  // namespace redcane::serve

@@ -2,25 +2,33 @@
 //
 // The registry owns one trained CapsModel (rebuilt from the manifest's
 // architecture fields, weights loaded via capsnet::load_params) and exposes
-// named *variants* — ways to execute it:
+// named *variants* — execution backends (backend/backend.hpp) over it:
 //
-//   "exact"    — the plain network, no perturbation hook;
-//   "designed" — the Step-6 design: every manifest site gets its selected
-//                component's profiled NM/NA injected through the standard
+//   "exact"    — ExactBackend: the plain network, no perturbation hook;
+//   "designed" — NoiseBackend: the Step-6 design as the paper models it —
+//                every manifest site gets its selected component's
+//                profiled NM/NA injected through the standard
 //                GaussianInjector hook, i.e. the same mechanism the
 //                resilience analysis used, now running as the deployed
-//                approximate network.
+//                approximate network;
+//   "emulated" — EmulatedBackend: ground-truth behavioral execution of the
+//                same design — every MAC-output site's selected component
+//                runs as a quantized u8 LUT datapath inside the layer
+//                forwards. Deterministic (no RNG): for a pinned batch
+//                composition, served outputs are bit-identical across
+//                worker counts by construction.
 //
-// Hooks are created fresh per micro-batch (make_hook) so concurrent workers
-// never share a noise stream; the stream seed derives deterministically
-// from the manifest seed and the caller's salt (first request id of the
-// batch), keeping served outputs reproducible.
+// Noise hooks are created fresh per micro-batch (ExecBackend::make_hook)
+// so concurrent workers never share a stream; the stream seed derives
+// deterministically from the manifest seed and the caller's salt (first
+// request id of the batch), keeping served outputs reproducible.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "capsnet/model.hpp"
 #include "core/manifest.hpp"
 #include "noise/injector.hpp"
@@ -29,11 +37,12 @@ namespace redcane::serve {
 
 inline constexpr const char* kVariantExact = "exact";
 inline constexpr const char* kVariantDesigned = "designed";
+inline constexpr const char* kVariantEmulated = "emulated";
 
 /// A named way to execute the deployed model.
 struct Variant {
   std::string name;
-  std::vector<noise::InjectionRule> rules;  ///< Empty = exact arithmetic.
+  std::unique_ptr<backend::ExecBackend> exec;
 };
 
 class ModelRegistry {
@@ -52,19 +61,24 @@ class ModelRegistry {
   [[nodiscard]] capsnet::CapsModel& model() { return *model_; }
   [[nodiscard]] const core::DeploymentManifest& manifest() const { return manifest_; }
 
-  /// Variant names in registration order: {"exact", "designed"}.
+  /// Variant names in registration order: {"exact", "designed",
+  /// "emulated"}.
   [[nodiscard]] std::vector<std::string> variant_names() const;
   [[nodiscard]] bool has_variant(const std::string& name) const;
 
   /// Sites of the designed variant that carry non-zero noise.
   [[nodiscard]] std::int64_t designed_noisy_sites() const;
 
-  /// Fresh perturbation hook for one micro-batch of `variant`: nullptr for
-  /// "exact", a GaussianInjector seeded manifest.noise_seed ^ (salt *
-  /// core::kSaltMix) for "designed". Aborts on an unknown variant (requests
-  /// are validated at submit time).
-  [[nodiscard]] std::unique_ptr<capsnet::PerturbationHook> make_hook(
-      const std::string& variant, std::uint64_t salt) const;
+  /// MAC-output layers the emulated variant executes behaviorally.
+  [[nodiscard]] std::int64_t emulated_sites() const;
+
+  /// Runs one micro-batch through `variant`'s backend (fresh noise hook
+  /// per call for the designed variant). `salt` keys the designed
+  /// variant's noise stream (callers pass the batch's first request id);
+  /// exact/emulated ignore it. Aborts on an unknown variant (requests are
+  /// validated at submit time).
+  [[nodiscard]] Tensor run(const std::string& variant, const Tensor& x,
+                           std::uint64_t salt) const;
 
  private:
   [[nodiscard]] const Variant& find_variant(const std::string& name) const;

@@ -130,11 +130,11 @@ void InferenceServer::process_batch(std::vector<QueuedRequest>& batch) {
                 static_cast<std::size_t>(row) * sizeof(float));
   }
 
-  // The batch's noise stream is keyed by its first request id: independent
-  // of worker identity, so outputs only depend on batch composition.
-  const std::unique_ptr<capsnet::PerturbationHook> hook =
-      registry_.make_hook(batch.front().variant, batch.front().id);
-  const Tensor v = registry_.model().infer(x, hook.get());
+  // One backend execution per micro-batch. The designed variant's noise
+  // stream is keyed by the batch's first request id: independent of worker
+  // identity, so outputs only depend on batch composition. The emulated
+  // variant is RNG-free — its outputs depend on the batch tensor alone.
+  const Tensor v = registry_.run(batch.front().variant, x, batch.front().id);
   const Tensor lengths = capsnet::CapsModel::class_lengths(v);
   const std::vector<std::int64_t> labels = ops::argmax_last_axis(lengths);
 

@@ -202,19 +202,54 @@ void gemm_u8_lut(std::int64_t m, std::int64_t n, std::int64_t k, const std::uint
 #pragma omp parallel for schedule(static) if (m >= 64)
   for (std::int64_t i = 0; i < m; ++i) {
     const std::uint8_t* arow = a + i * k;
-    const std::uint8_t* mrow = a_mask + i * k;
+    const std::uint8_t* mrow = a_mask == nullptr ? nullptr : a_mask + i * k;
     std::uint64_t* qq = acc_qq + i * n;
     std::uint64_t* qw = acc_qw + i * n;
     std::uint64_t qa = 0;
     std::int64_t t = 0;
     for (std::int64_t kk = 0; kk < k; ++kk) {
-      if (mrow[kk] == 0) continue;  // Zero-padding tap: contributes true zero.
+      if (mrow != nullptr && mrow[kk] == 0) continue;  // Padding tap: true zero.
       const std::uint32_t* lrow = lut + (static_cast<std::uint32_t>(arow[kk]) << 8);
       const std::uint8_t* brow = b + kk * n;
       qa += arow[kk];
       ++t;
       for (std::int64_t j = 0; j < n; ++j) {
         qq[j] += lrow[brow[j]];
+        qw[j] += brow[j];
+      }
+    }
+    acc_qa[i] = qa;
+    taps[i] = t;
+  }
+}
+
+void gemm_u8_lut_chain(std::int64_t m, std::int64_t n, std::int64_t k, const std::uint8_t* a,
+                       const std::uint8_t* a_mask, const std::uint8_t* b,
+                       const std::uint32_t* lut, const U32Accum& accum, std::uint32_t* acc_qq,
+                       std::uint64_t* acc_qw, std::uint64_t* acc_qa, std::int64_t* taps) {
+  std::memset(acc_qq, 0, static_cast<std::size_t>(m * n) * sizeof(std::uint32_t));
+  std::memset(acc_qw, 0, static_cast<std::size_t>(m * n) * sizeof(std::uint64_t));
+  std::memset(acc_qa, 0, static_cast<std::size_t>(m) * sizeof(std::uint64_t));
+  std::memset(taps, 0, static_cast<std::size_t>(m) * sizeof(std::int64_t));
+#pragma omp parallel for schedule(static) if (m >= 64)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::uint8_t* arow = a + i * k;
+    const std::uint8_t* mrow = a_mask == nullptr ? nullptr : a_mask + i * k;
+    std::uint32_t* qq = acc_qq + i * n;
+    std::uint64_t* qw = acc_qw + i * n;
+    std::uint64_t qa = 0;
+    std::int64_t t = 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      if (mrow != nullptr && mrow[kk] == 0) continue;  // Padding tap: true zero.
+      const std::uint32_t* lrow = lut + (static_cast<std::uint32_t>(arow[kk]) << 8);
+      const std::uint8_t* brow = b + kk * n;
+      qa += arow[kk];
+      ++t;
+      // The chain runs in ascending k: acc <- accum(acc, product). With an
+      // approximate accum, error accrues exactly as in the hardware
+      // accumulator it models (carry cuts see the realized partial sums).
+      for (std::int64_t j = 0; j < n; ++j) {
+        qq[j] = accum.add(qq[j], lrow[brow[j]]);
         qw[j] += brow[j];
       }
     }

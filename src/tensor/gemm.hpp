@@ -53,19 +53,43 @@ void gemm_batched_f32(std::int64_t batch, std::int64_t m, std::int64_t n, std::i
 
 /// Integer GEMM over u8 codes with a per-tap validity mask.
 ///
-/// A is [m, k] codes with mask [m, k] (1 = real tap, 0 = padding); B is
-/// [k, n] codes (always valid). For every output (i, j) and every valid
-/// tap kk it accumulates:
+/// A is [m, k] codes with mask [m, k] (1 = real tap, 0 = padding; a null
+/// mask means every tap is valid); B is [k, n] codes (always valid). For
+/// every output (i, j) and every valid tap kk it accumulates:
 ///   acc_qq[i*n+j] += lut[A[i,kk] * 256 + B[kk,j]]   (approximate product)
 ///   acc_qw[i*n+j] += B[kk,j]                        (weight-code sum)
 /// and per row:
 ///   acc_qa[i] += A[i,kk], taps[i] += 1.
 /// These are exactly the four accumulators of the affine-quantized
-/// convolution expansion (see quant/approx_conv.hpp). All output buffers
+/// convolution expansion (see quant/lut_gemm.hpp). All output buffers
 /// are overwritten.
 void gemm_u8_lut(std::int64_t m, std::int64_t n, std::int64_t k, const std::uint8_t* a,
                  const std::uint8_t* a_mask, const std::uint8_t* b, const std::uint32_t* lut,
                  std::uint64_t* acc_qq, std::uint64_t* acc_qw, std::uint64_t* acc_qa,
                  std::int64_t* taps);
+
+/// Abstract 32-bit accumulate operation: the seam through which the
+/// LUT-accumulate kernel below runs its product sums on a behavioral
+/// approximate adder without tensor/ depending on approx/ (the adapter
+/// over approx::Adder lives in quant/lut_gemm.cpp).
+class U32Accum {
+ public:
+  virtual ~U32Accum() = default;
+  [[nodiscard]] virtual std::uint32_t add(std::uint32_t a, std::uint32_t b) const = 0;
+};
+
+/// gemm_u8_lut with the product accumulation routed through `accum` as one
+/// left-to-right chain in ascending k per output element — the emulated
+/// accumulator datapath of a MAC array (approx/mac_chain.hpp semantics at
+/// GEMM scale). Cross-term code sums (acc_qw/acc_qa/taps) stay exact: they
+/// belong to the affine dequantization bookkeeping, not to the hardware
+/// accumulator being modeled. Each output element is owned by one thread
+/// and its chain order is fixed, so results are bit-identical across
+/// thread counts. With an exact `accum`, acc_qq equals the gemm_u8_lut
+/// sums whenever they fit 32 bits (8-bit codes: k up to ~65k taps).
+void gemm_u8_lut_chain(std::int64_t m, std::int64_t n, std::int64_t k, const std::uint8_t* a,
+                       const std::uint8_t* a_mask, const std::uint8_t* b,
+                       const std::uint32_t* lut, const U32Accum& accum, std::uint32_t* acc_qq,
+                       std::uint64_t* acc_qw, std::uint64_t* acc_qa, std::int64_t* taps);
 
 }  // namespace redcane::gemm

@@ -1,8 +1,9 @@
 // Serving-runtime contracts (src/serve/):
-//  * served predictions are bit-identical across worker counts, for both
-//    the exact and the designed variant (same discipline as
-//    test_sweep_engine: batch composition is arrival-order-determined and
-//    noise streams are keyed by batch content, not by scheduling);
+//  * served predictions are bit-identical across worker counts, for the
+//    exact, the designed AND the emulated variant (same discipline as
+//    test_sweep_engine: batch composition is arrival-order-determined,
+//    noise streams are keyed by batch content, and the emulated backend is
+//    RNG-free — never by scheduling);
 //  * the micro-batcher coalesces only same-variant runs, bounded by
 //    max_batch, in FIFO order;
 //  * the deployment manifest round-trips through its text format and
@@ -68,8 +69,8 @@ core::DeploymentManifest noisy_manifest(capsnet::CapsModel& model, const Tensor&
     core::ManifestSite ms;
     ms.site = site;
     if (site.kind == capsnet::OpKind::kMacOutput) {
-      ms.component = "synthetic";
-      ms.nm = 0.05;
+      ms.component = "axm_drum3_jv3";  // Real library name: the emulated
+      ms.nm = 0.05;                    // variant resolves and executes it.
       ms.na = 0.001;
     }
     ms.tolerable_nm = 0.05;
@@ -86,9 +87,9 @@ std::unique_ptr<ModelRegistry> make_registry(const data::Dataset& ds) {
   return std::make_unique<ModelRegistry>(std::move(model), std::move(m));
 }
 
-/// Serves one fixed request stream (exact wave + designed wave, submitted
-/// before start so batch layout is pinned) and returns the predictions in
-/// stream order.
+/// Serves one fixed request stream (an exact, a designed and an emulated
+/// wave, submitted before start so batch layout is pinned) and returns the
+/// predictions in stream order.
 std::vector<Prediction> serve_stream(ModelRegistry& registry, const data::Dataset& ds,
                                      int workers, std::int64_t max_batch) {
   ServerConfig sc;
@@ -98,7 +99,7 @@ std::vector<Prediction> serve_stream(ModelRegistry& registry, const data::Datase
   InferenceServer server(registry, sc);
   const std::int64_t n = ds.test_x.shape().dim(0);
   std::vector<std::future<Prediction>> futs;
-  for (const char* variant : {kVariantExact, kVariantDesigned}) {
+  for (const char* variant : {kVariantExact, kVariantDesigned, kVariantEmulated}) {
     for (std::int64_t i = 0; i < n; ++i) {
       futs.push_back(server.submit(capsnet::slice_rows(ds.test_x, i, i + 1), variant));
     }
@@ -132,20 +133,24 @@ TEST(Serve, PredictionsBitIdenticalAcrossWorkerCounts) {
   }
 }
 
-TEST(Serve, DesignedVariantActuallyPerturbs) {
+TEST(Serve, DesignedAndEmulatedVariantsActuallyPerturb) {
   const data::Dataset ds = small_dataset(8);
   std::unique_ptr<ModelRegistry> registry = make_registry(ds);
   EXPECT_GT(registry->designed_noisy_sites(), 0);
+  EXPECT_GT(registry->emulated_sites(), 0);
 
   const std::vector<Prediction> all = serve_stream(*registry, ds, 1, 4);
-  const std::size_t n = all.size() / 2;
-  bool any_score_differs = false;
+  const std::size_t n = all.size() / 3;
+  bool designed_differs = false;
+  bool emulated_differs = false;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t c = 0; c < all[i].scores.size(); ++c) {
-      if (all[i].scores[c] != all[n + i].scores[c]) any_score_differs = true;
+      if (all[i].scores[c] != all[n + i].scores[c]) designed_differs = true;
+      if (all[i].scores[c] != all[2 * n + i].scores[c]) emulated_differs = true;
     }
   }
-  EXPECT_TRUE(any_score_differs) << "designed variant served exact activations";
+  EXPECT_TRUE(designed_differs) << "designed variant served exact activations";
+  EXPECT_TRUE(emulated_differs) << "emulated variant served exact activations";
 }
 
 TEST(Serve, BatcherCoalescesSameVariantRunsFifo) {
@@ -269,7 +274,7 @@ TEST(Serve, RegistryOpenServesASavedDesign) {
   std::unique_ptr<ModelRegistry> registry = ModelRegistry::open(manifest_path);
   ASSERT_NE(registry, nullptr);
   EXPECT_EQ(registry->variant_names(),
-            (std::vector<std::string>{kVariantExact, kVariantDesigned}));
+            (std::vector<std::string>{kVariantExact, kVariantDesigned, kVariantEmulated}));
 
   const Tensor probe = capsnet::slice_rows(ds.test_x, 0, 4);
   const Tensor expect = original.infer(probe);
