@@ -1,6 +1,9 @@
 #include "backend/emulation.hpp"
 
+#include <algorithm>
+
 #include "approx/library.hpp"
+#include "quant/lut_cache.hpp"
 
 namespace redcane::backend {
 namespace {
@@ -24,6 +27,21 @@ const approx::Adder* find_adder(const std::string& name) {
 }
 
 }  // namespace
+
+EmulationPlan::~EmulationPlan() {
+  // Plan-scoped invalidation: drop cached product tables of multipliers
+  // this plan referenced that the component library does not own — their
+  // storage may be reused once the caller tears them down, and a stale
+  // cache hit on the recycled address would serve the wrong table.
+  const std::vector<const approx::Multiplier*>& lib = approx::multiplier_library();
+  for (const auto& entry : entries_) {
+    const approx::Multiplier* mul = entry.second.unit.mul;
+    if (mul == nullptr) continue;
+    if (std::find(lib.begin(), lib.end(), mul) == lib.end()) {
+      quant::lut_cache_invalidate(mul);
+    }
+  }
+}
 
 void EmulationPlan::set(const std::string& layer, const SiteUnit& unit) {
   for (auto& entry : entries_) {

@@ -33,8 +33,22 @@ struct SiteUnit {
 };
 
 /// Layer-name -> SiteUnit map of one emulated network execution.
+///
+/// Lifetime note: emulated layer calls memoize product tables in the
+/// process-wide LUT cache (quant/lut_cache.hpp), keyed by multiplier
+/// address. Library components live forever, but a plan may also reference
+/// a caller-owned multiplier whose address can be reused after it dies —
+/// so the destructor drops the cache entries of every planned multiplier
+/// that is not in approx::multiplier_library() (plan-scoped invalidation).
 class EmulationPlan {
  public:
+  EmulationPlan() = default;
+  ~EmulationPlan();
+  EmulationPlan(const EmulationPlan&) = default;
+  EmulationPlan& operator=(const EmulationPlan&) = default;
+  EmulationPlan(EmulationPlan&&) = default;
+  EmulationPlan& operator=(EmulationPlan&&) = default;
+
   /// Sets (or replaces) the datapath of `layer`'s MAC site.
   void set(const std::string& layer, const SiteUnit& unit);
 

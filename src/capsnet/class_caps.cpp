@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "backend/emulation.hpp"
+#include "quant/lut_cache.hpp"
 #include "tensor/workspace.hpp"
 
 namespace redcane::capsnet {
@@ -66,8 +67,7 @@ Tensor ClassCaps::compute_votes_emulated(const Tensor& x,
   std::uint8_t* qw = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(w_.value.numel()));
   quant::quantize_u8(x, px, qx);
   quant::quantize_u8(w_.value, pw, qw);
-  std::uint32_t* lut = wksp.alloc<std::uint32_t>(256 * 256);
-  quant::build_product_lut(unit.unit.mul, lut);
+  const gemm::lk::LutTables& tables = quant::lut_cache_get(unit.unit.mul, unit.bits);
 
   // One LUT-accumulate GEMM per input capsule i: votes[:, i, j, :] =
   // x[:, i, :] (codes, [n, id]) * W[i] (codes packed [id, oc*od]). The
@@ -92,7 +92,7 @@ Tensor ClassCaps::compute_votes_emulated(const Tensor& x,
                     static_cast<std::size_t>(od));
       }
     }
-    quant::lut_gemm_dequant(n, jd, id, a_pack, nullptr, px, b_pack, pw, lut,
+    quant::lut_gemm_dequant(n, jd, id, a_pack, nullptr, px, b_pack, pw, tables,
                             unit.unit.adder, nullptr, out_i);
     for (std::int64_t ni = 0; ni < n; ++ni) {
       std::memcpy(&vd[static_cast<std::size_t>((ni * ic + i) * jd)],

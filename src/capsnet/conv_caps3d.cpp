@@ -7,6 +7,7 @@
 
 #include "backend/emulation.hpp"
 #include "nn/im2col.hpp"
+#include "quant/lut_cache.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/workspace.hpp"
 
@@ -122,8 +123,7 @@ Tensor ConvCaps3D::compute_votes_emulated(const Tensor& x, std::int64_t& ho,
   std::uint8_t* qw = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(w_.value.numel()));
   quant::quantize_u8(x, px, qx);
   quant::quantize_u8(w_.value, pw, qw);
-  std::uint32_t* lut = wksp.alloc<std::uint32_t>(256 * 256);
-  quant::build_product_lut(unit.unit.mul, lut);
+  const gemm::lk::LutTables& tables = quant::lut_cache_get(unit.unit.mul, unit.bits);
 
   std::uint8_t* plane = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(n * h * w * di));
   std::uint8_t* cols = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(m * k));
@@ -135,7 +135,7 @@ Tensor ConvCaps3D::compute_votes_emulated(const Tensor& x, std::int64_t& ho,
     gather_type_plane_codes(qx, n * h * w, ti, di, i, plane);
     nn::im2col_codes(plane, d, cols, mask);
     quant::lut_gemm_dequant(m, jd, k, cols, mask, px,
-                            &qw[static_cast<std::size_t>(i * k * jd)], pw, lut,
+                            &qw[static_cast<std::size_t>(i * k * jd)], pw, tables,
                             unit.unit.adder, nullptr, votes_i);
     for (std::int64_t r = 0; r < m; ++r) {
       std::memcpy(&vd[static_cast<std::size_t>((r * ti + i) * jd)],

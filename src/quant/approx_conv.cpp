@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/im2col.hpp"
+#include "quant/lut_cache.hpp"
 #include "tensor/workspace.hpp"
 
 namespace redcane::quant {
@@ -22,20 +23,19 @@ Tensor approx_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
   const QuantParams px = fit_params(x, spec.bits);
   const QuantParams pw = fit_params(w, spec.bits);
 
-  // All staging — operand code pools, the 256x256 product table, and the
-  // code patch matrix with its validity mask — comes from the per-thread
-  // arena; a layer sweep re-running this path thousands of times stops
-  // exercising the allocator entirely. Padding taps are masked out so they
-  // contribute true zero to every accumulator of the affine expansion the
-  // shared LUT-GEMM core evaluates (quant/lut_gemm.hpp).
+  // All staging — operand code pools and the code patch matrix with its
+  // validity mask — comes from the per-thread arena; the product table is
+  // served by the process-wide cache (one build per (multiplier, bits) for
+  // the whole process). Padding taps are masked out so they contribute
+  // true zero to every accumulator of the affine expansion the shared
+  // LUT-GEMM core evaluates (quant/lut_gemm.hpp).
   ws::Workspace& wksp = ws::Workspace::tls();
   const ws::Workspace::Scope scope(wksp);
   std::uint8_t* qx = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(x.numel()));
   std::uint8_t* qw = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(w.numel()));
   quantize_u8(x, px, qx);
   quantize_u8(w, pw, qw);
-  std::uint32_t* lut = wksp.alloc<std::uint32_t>(256 * 256);
-  build_product_lut(unit.mul, lut);
+  const gemm::lk::LutTables& tables = lut_cache_get(unit.mul, spec.bits);
 
   const std::int64_t m = d.rows();
   const std::int64_t k = d.cols();
@@ -44,7 +44,7 @@ Tensor approx_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
   nn::im2col_codes(qx, d, cols, mask);
 
   Tensor out(Shape{d.n, d.ho, d.wo, d.cout});
-  lut_gemm_dequant(m, d.cout, k, cols, mask, px, qw, pw, lut, unit.adder,
+  lut_gemm_dequant(m, d.cout, k, cols, mask, px, qw, pw, tables, unit.adder,
                    bias.empty() ? nullptr : bias.data().data(), out.data().data());
   return out;
 }

@@ -1,7 +1,8 @@
 #include "quant/lut_gemm.hpp"
 
 #include "approx/library.hpp"
-#include "tensor/gemm.hpp"
+#include "quant/lut_cache.hpp"
+#include "tensor/lut_kernel.hpp"
 #include "tensor/workspace.hpp"
 
 namespace redcane::quant {
@@ -34,7 +35,7 @@ void build_product_lut(const approx::Multiplier* mul, std::uint32_t* lut) {
 void lut_gemm_dequant(std::int64_t m, std::int64_t n, std::int64_t k,
                       const std::uint8_t* a_codes, const std::uint8_t* a_mask,
                       const QuantParams& pa, const std::uint8_t* b_codes,
-                      const QuantParams& pb, const std::uint32_t* lut,
+                      const QuantParams& pb, const gemm::lk::LutTables& tables,
                       const approx::Adder* adder, const float* bias, float* out) {
   ws::Workspace& wksp = ws::Workspace::tls();
   const ws::Workspace::Scope scope(wksp);
@@ -50,12 +51,13 @@ void lut_gemm_dequant(std::int64_t m, std::int64_t n, std::int64_t k,
   std::uint32_t* qq32 = nullptr;
   if (adder == nullptr) {
     qq64 = wksp.alloc<std::uint64_t>(static_cast<std::size_t>(m * n));
-    gemm::gemm_u8_lut(m, n, k, a_codes, a_mask, b_codes, lut, qq64, acc_qw, acc_qa, taps);
+    gemm::lk::lut_gemm_u8(m, n, k, a_codes, a_mask, b_codes, tables, qq64, acc_qw, acc_qa,
+                          taps);
   } else {
     qq32 = wksp.alloc<std::uint32_t>(static_cast<std::size_t>(m * n));
     const AdderAccum accum(*adder);
-    gemm::gemm_u8_lut_chain(m, n, k, a_codes, a_mask, b_codes, lut, accum, qq32, acc_qw,
-                            acc_qa, taps);
+    gemm::lk::lut_gemm_u8_chain(m, n, k, a_codes, a_mask, b_codes, tables, accum, qq32,
+                                acc_qw, acc_qa, taps);
   }
 
   const double sa = pa.step();
@@ -91,11 +93,10 @@ Tensor approx_matmul(const Tensor& a, const Tensor& b, const Tensor& bias,
   std::uint8_t* qb = wksp.alloc<std::uint8_t>(static_cast<std::size_t>(b.numel()));
   quantize_u8(a, pa, qa);
   quantize_u8(b, pb, qb);
-  std::uint32_t* lut = wksp.alloc<std::uint32_t>(256 * 256);
-  build_product_lut(unit.mul, lut);
+  const gemm::lk::LutTables& tables = lut_cache_get(unit.mul, bits);
 
   Tensor out(Shape{m, n});
-  lut_gemm_dequant(m, n, k, qa, nullptr, pa, qb, pb, lut, unit.adder,
+  lut_gemm_dequant(m, n, k, qa, nullptr, pa, qb, pb, tables, unit.adder,
                    bias.empty() ? nullptr : bias.data().data(), out.data().data());
   return out;
 }

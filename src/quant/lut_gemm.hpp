@@ -21,6 +21,7 @@
 #include "approx/adder.hpp"
 #include "approx/multiplier.hpp"
 #include "quant/quantizer.hpp"
+#include "tensor/lut_kernel.hpp"
 #include "tensor/tensor.hpp"
 
 namespace redcane::quant {
@@ -35,21 +36,25 @@ struct MacUnit {
 
 /// Materializes the 256x256 product table of `mul` (the exact multiplier
 /// when null) into `lut`: one table build per layer call replaces one
-/// virtual multiplier call per code pair.
+/// virtual multiplier call per code pair. Hot paths should go through
+/// quant::lut_cache_get (quant/lut_cache.hpp) instead, which memoizes the
+/// build and prepares the SIMD dispatch metadata.
 void build_product_lut(const approx::Multiplier* mul, std::uint32_t* lut);
 
 /// The core: A codes [m, k] (optional validity mask, null = all taps
-/// valid), B codes [k, n], a caller-built product table, and the affine
-/// params both operands were quantized with. Accumulates through `adder`
-/// when non-null (one chain in ascending k per output element), exactly
-/// otherwise, then dequantizes into `out` [m, n] (adding `bias` [n] when
-/// non-null). Accumulator scratch comes from the per-thread workspace
-/// arena; rows are processed independently, so results are bit-identical
-/// across thread counts.
+/// valid), B codes [k, n], a prepared product table (usually from the
+/// process-wide cache), and the affine params both operands were quantized
+/// with. Accumulates through `adder` when non-null (one chain in ascending
+/// k per output element), exactly otherwise, then dequantizes into `out`
+/// [m, n] (adding `bias` [n] when non-null). The integer core runs through
+/// the dispatched LUT microkernels (tensor/lut_kernel.hpp); accumulator
+/// scratch comes from the per-thread workspace arena; rows are processed
+/// independently, so results are bit-identical across thread counts and
+/// dispatch tiers.
 void lut_gemm_dequant(std::int64_t m, std::int64_t n, std::int64_t k,
                       const std::uint8_t* a_codes, const std::uint8_t* a_mask,
                       const QuantParams& pa, const std::uint8_t* b_codes,
-                      const QuantParams& pb, const std::uint32_t* lut,
+                      const QuantParams& pb, const gemm::lk::LutTables& tables,
                       const approx::Adder* adder, const float* bias, float* out);
 
 /// Emulated matrix product: a [m, k] * b [k, n] (+ bias [n], may be empty)

@@ -1,0 +1,573 @@
+#include "tensor/lut_kernel.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/workspace.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define REDCANE_LK_X86 1
+#include <immintrin.h>
+#else
+#define REDCANE_LK_X86 0
+#endif
+
+namespace redcane::gemm::lk {
+namespace {
+
+// The exact-code side sums accumulate bytes (<= 255), so a u32 partial is
+// safe for floor((2^32 - 1) / 255) taps; flush_every is clamped to this so
+// one cadence covers every partial accumulator in a row.
+constexpr std::int64_t kCodeFlushEvery = 16843009;
+
+/// Scalar lookup through a 64-byte nibble row — the tail path of the SIMD
+/// primitives and the scalar tier's nibble entry. Equals the raw table
+/// value by the build-time proof.
+inline std::uint32_t nib_lookup(const std::uint8_t* nibrow, std::uint8_t code) {
+  const std::uint32_t lo = code & 0x0F;
+  const std::uint32_t hi = code >> 4;
+  const std::uint32_t l =
+      static_cast<std::uint32_t>(nibrow[lo]) | (static_cast<std::uint32_t>(nibrow[16 + lo]) << 8);
+  const std::uint32_t h = static_cast<std::uint32_t>(nibrow[32 + hi]) |
+                          (static_cast<std::uint32_t>(nibrow[48 + hi]) << 8);
+  return l + h;
+}
+
+// ------------------------------------------------------------ scalar tier
+// Reference semantics for every primitive; the drivers never reach these
+// under scalar dispatch (they delegate to the retained seed loops in
+// tensor/gemm.cpp), but the table stays total for tests and future tiers.
+
+void accum_gen_scalar(std::int64_t n, const std::uint32_t* lrow, const std::uint8_t* brow,
+                      std::uint32_t* qq) {
+  for (std::int64_t j = 0; j < n; ++j) qq[j] += lrow[brow[j]];
+}
+
+void accum_nib_scalar(std::int64_t n, const std::uint8_t* nibrow, const std::uint8_t* brow,
+                      std::uint32_t* qq) {
+  for (std::int64_t j = 0; j < n; ++j) qq[j] += nib_lookup(nibrow, brow[j]);
+}
+
+void stage_gen_scalar(std::int64_t n, const std::uint32_t* lrow, const std::uint8_t* brow,
+                      std::uint32_t* prod) {
+  for (std::int64_t j = 0; j < n; ++j) prod[j] = lrow[brow[j]];
+}
+
+void stage_nib_scalar(std::int64_t n, const std::uint8_t* nibrow, const std::uint8_t* brow,
+                      std::uint32_t* prod) {
+  for (std::int64_t j = 0; j < n; ++j) prod[j] = nib_lookup(nibrow, brow[j]);
+}
+
+void accum_codes_scalar(std::int64_t n, const std::uint8_t* brow, std::uint32_t* qw) {
+  for (std::int64_t j = 0; j < n; ++j) qw[j] += brow[j];
+}
+
+#if REDCANE_LK_X86
+
+// ------------------------------------------------------------- ssse3 tier
+// 16-lane nibble lookup: two pshufb per 16-entry u16 table (low-byte and
+// high-byte planes), byte interleave into u16 lanes, one u16 add — the
+// nckernel binary8 region-multiply idiom with + in place of ^.
+
+__attribute__((target("ssse3"))) inline void nib_sum16_ssse3(const std::uint8_t* nibrow,
+                                                             __m128i codes, __m128i& s0,
+                                                             __m128i& s1) {
+  const __m128i low4 = _mm_set1_epi8(0x0F);
+  const __m128i tll = _mm_loadu_si128(reinterpret_cast<const __m128i*>(nibrow));
+  const __m128i tlh = _mm_loadu_si128(reinterpret_cast<const __m128i*>(nibrow + 16));
+  const __m128i thl = _mm_loadu_si128(reinterpret_cast<const __m128i*>(nibrow + 32));
+  const __m128i thh = _mm_loadu_si128(reinterpret_cast<const __m128i*>(nibrow + 48));
+  const __m128i lo = _mm_and_si128(codes, low4);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi16(codes, 4), low4);
+  const __m128i ll = _mm_shuffle_epi8(tll, lo);
+  const __m128i lh = _mm_shuffle_epi8(tlh, lo);
+  const __m128i hl = _mm_shuffle_epi8(thl, hi);
+  const __m128i hh = _mm_shuffle_epi8(thh, hi);
+  // Interleave byte planes into u16 lanes: s0 = codes j..j+7, s1 = j+8..15.
+  s0 = _mm_add_epi16(_mm_unpacklo_epi8(ll, lh), _mm_unpacklo_epi8(hl, hh));
+  s1 = _mm_add_epi16(_mm_unpackhi_epi8(ll, lh), _mm_unpackhi_epi8(hl, hh));
+}
+
+__attribute__((target("ssse3"))) void accum_nib_ssse3(std::int64_t n, const std::uint8_t* nibrow,
+                                                      const std::uint8_t* brow,
+                                                      std::uint32_t* qq) {
+  const __m128i zero = _mm_setzero_si128();
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m128i codes = _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow + j));
+    __m128i s0;
+    __m128i s1;
+    nib_sum16_ssse3(nibrow, codes, s0, s1);
+    __m128i* q = reinterpret_cast<__m128i*>(qq + j);
+    _mm_storeu_si128(q + 0, _mm_add_epi32(_mm_loadu_si128(q + 0), _mm_unpacklo_epi16(s0, zero)));
+    _mm_storeu_si128(q + 1, _mm_add_epi32(_mm_loadu_si128(q + 1), _mm_unpackhi_epi16(s0, zero)));
+    _mm_storeu_si128(q + 2, _mm_add_epi32(_mm_loadu_si128(q + 2), _mm_unpacklo_epi16(s1, zero)));
+    _mm_storeu_si128(q + 3, _mm_add_epi32(_mm_loadu_si128(q + 3), _mm_unpackhi_epi16(s1, zero)));
+  }
+  for (; j < n; ++j) qq[j] += nib_lookup(nibrow, brow[j]);
+}
+
+__attribute__((target("ssse3"))) void stage_nib_ssse3(std::int64_t n, const std::uint8_t* nibrow,
+                                                      const std::uint8_t* brow,
+                                                      std::uint32_t* prod) {
+  const __m128i zero = _mm_setzero_si128();
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m128i codes = _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow + j));
+    __m128i s0;
+    __m128i s1;
+    nib_sum16_ssse3(nibrow, codes, s0, s1);
+    __m128i* p = reinterpret_cast<__m128i*>(prod + j);
+    _mm_storeu_si128(p + 0, _mm_unpacklo_epi16(s0, zero));
+    _mm_storeu_si128(p + 1, _mm_unpackhi_epi16(s0, zero));
+    _mm_storeu_si128(p + 2, _mm_unpacklo_epi16(s1, zero));
+    _mm_storeu_si128(p + 3, _mm_unpackhi_epi16(s1, zero));
+  }
+  for (; j < n; ++j) prod[j] = nib_lookup(nibrow, brow[j]);
+}
+
+__attribute__((target("ssse3"))) void accum_codes_ssse3(std::int64_t n, const std::uint8_t* brow,
+                                                        std::uint32_t* qw) {
+  const __m128i zero = _mm_setzero_si128();
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m128i codes = _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow + j));
+    const __m128i w0 = _mm_unpacklo_epi8(codes, zero);
+    const __m128i w1 = _mm_unpackhi_epi8(codes, zero);
+    __m128i* q = reinterpret_cast<__m128i*>(qw + j);
+    _mm_storeu_si128(q + 0, _mm_add_epi32(_mm_loadu_si128(q + 0), _mm_unpacklo_epi16(w0, zero)));
+    _mm_storeu_si128(q + 1, _mm_add_epi32(_mm_loadu_si128(q + 1), _mm_unpackhi_epi16(w0, zero)));
+    _mm_storeu_si128(q + 2, _mm_add_epi32(_mm_loadu_si128(q + 2), _mm_unpacklo_epi16(w1, zero)));
+    _mm_storeu_si128(q + 3, _mm_add_epi32(_mm_loadu_si128(q + 3), _mm_unpackhi_epi16(w1, zero)));
+  }
+  for (; j < n; ++j) qw[j] += brow[j];
+}
+
+// -------------------------------------------------------------- avx2 tier
+// Nibble rows: the ssse3 shuffle sequence on 32 lanes (tables broadcast to
+// both 128-bit halves; pshufb and byte interleaves are lane-local, so the
+// u16 halves extract back to contiguous j runs). General rows: 8-lane u32
+// gathers, unrolled x2 so independent gathers overlap.
+
+__attribute__((target("avx2"))) void accum_nib_avx2(std::int64_t n, const std::uint8_t* nibrow,
+                                                    const std::uint8_t* brow, std::uint32_t* qq) {
+  const __m256i low4 = _mm256_set1_epi8(0x0F);
+  const __m256i tll =
+      _mm256_broadcastsi128_si256(_mm_loadu_si128(reinterpret_cast<const __m128i*>(nibrow)));
+  const __m256i tlh =
+      _mm256_broadcastsi128_si256(_mm_loadu_si128(reinterpret_cast<const __m128i*>(nibrow + 16)));
+  const __m256i thl =
+      _mm256_broadcastsi128_si256(_mm_loadu_si128(reinterpret_cast<const __m128i*>(nibrow + 32)));
+  const __m256i thh =
+      _mm256_broadcastsi128_si256(_mm_loadu_si128(reinterpret_cast<const __m128i*>(nibrow + 48)));
+  std::int64_t j = 0;
+  for (; j + 32 <= n; j += 32) {
+    const __m256i codes = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(brow + j));
+    const __m256i lo = _mm256_and_si256(codes, low4);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(codes, 4), low4);
+    const __m256i ll = _mm256_shuffle_epi8(tll, lo);
+    const __m256i lh = _mm256_shuffle_epi8(tlh, lo);
+    const __m256i hl = _mm256_shuffle_epi8(thl, hi);
+    const __m256i hh = _mm256_shuffle_epi8(thh, hi);
+    // Lane-local interleave: s0 holds u16 sums for codes {j..j+7, j+16..23},
+    // s1 for {j+8..15, j+24..31}; extracting 128-bit halves restores order.
+    const __m256i s0 =
+        _mm256_add_epi16(_mm256_unpacklo_epi8(ll, lh), _mm256_unpacklo_epi8(hl, hh));
+    const __m256i s1 =
+        _mm256_add_epi16(_mm256_unpackhi_epi8(ll, lh), _mm256_unpackhi_epi8(hl, hh));
+    __m256i* q = reinterpret_cast<__m256i*>(qq + j);
+    _mm256_storeu_si256(
+        q + 0, _mm256_add_epi32(_mm256_loadu_si256(q + 0),
+                                _mm256_cvtepu16_epi32(_mm256_castsi256_si128(s0))));
+    _mm256_storeu_si256(
+        q + 1, _mm256_add_epi32(_mm256_loadu_si256(q + 1),
+                                _mm256_cvtepu16_epi32(_mm256_castsi256_si128(s1))));
+    _mm256_storeu_si256(
+        q + 2, _mm256_add_epi32(_mm256_loadu_si256(q + 2),
+                                _mm256_cvtepu16_epi32(_mm256_extracti128_si256(s0, 1))));
+    _mm256_storeu_si256(
+        q + 3, _mm256_add_epi32(_mm256_loadu_si256(q + 3),
+                                _mm256_cvtepu16_epi32(_mm256_extracti128_si256(s1, 1))));
+  }
+  for (; j < n; ++j) qq[j] += nib_lookup(nibrow, brow[j]);
+}
+
+__attribute__((target("avx2"))) void stage_nib_avx2(std::int64_t n, const std::uint8_t* nibrow,
+                                                    const std::uint8_t* brow,
+                                                    std::uint32_t* prod) {
+  const __m256i low4 = _mm256_set1_epi8(0x0F);
+  const __m256i tll =
+      _mm256_broadcastsi128_si256(_mm_loadu_si128(reinterpret_cast<const __m128i*>(nibrow)));
+  const __m256i tlh =
+      _mm256_broadcastsi128_si256(_mm_loadu_si128(reinterpret_cast<const __m128i*>(nibrow + 16)));
+  const __m256i thl =
+      _mm256_broadcastsi128_si256(_mm_loadu_si128(reinterpret_cast<const __m128i*>(nibrow + 32)));
+  const __m256i thh =
+      _mm256_broadcastsi128_si256(_mm_loadu_si128(reinterpret_cast<const __m128i*>(nibrow + 48)));
+  std::int64_t j = 0;
+  for (; j + 32 <= n; j += 32) {
+    const __m256i codes = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(brow + j));
+    const __m256i lo = _mm256_and_si256(codes, low4);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(codes, 4), low4);
+    const __m256i ll = _mm256_shuffle_epi8(tll, lo);
+    const __m256i lh = _mm256_shuffle_epi8(tlh, lo);
+    const __m256i hl = _mm256_shuffle_epi8(thl, hi);
+    const __m256i hh = _mm256_shuffle_epi8(thh, hi);
+    const __m256i s0 =
+        _mm256_add_epi16(_mm256_unpacklo_epi8(ll, lh), _mm256_unpacklo_epi8(hl, hh));
+    const __m256i s1 =
+        _mm256_add_epi16(_mm256_unpackhi_epi8(ll, lh), _mm256_unpackhi_epi8(hl, hh));
+    __m256i* p = reinterpret_cast<__m256i*>(prod + j);
+    _mm256_storeu_si256(p + 0, _mm256_cvtepu16_epi32(_mm256_castsi256_si128(s0)));
+    _mm256_storeu_si256(p + 1, _mm256_cvtepu16_epi32(_mm256_castsi256_si128(s1)));
+    _mm256_storeu_si256(p + 2, _mm256_cvtepu16_epi32(_mm256_extracti128_si256(s0, 1)));
+    _mm256_storeu_si256(p + 3, _mm256_cvtepu16_epi32(_mm256_extracti128_si256(s1, 1)));
+  }
+  for (; j < n; ++j) prod[j] = nib_lookup(nibrow, brow[j]);
+}
+
+__attribute__((target("avx2"))) void accum_gen_avx2(std::int64_t n, const std::uint32_t* lrow,
+                                                    const std::uint8_t* brow, std::uint32_t* qq) {
+  const int* base = reinterpret_cast<const int*>(lrow);
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m256i i0 =
+        _mm256_cvtepu8_epi32(_mm_loadl_epi64(reinterpret_cast<const __m128i*>(brow + j)));
+    const __m256i i1 =
+        _mm256_cvtepu8_epi32(_mm_loadl_epi64(reinterpret_cast<const __m128i*>(brow + j + 8)));
+    const __m256i g0 = _mm256_i32gather_epi32(base, i0, 4);
+    const __m256i g1 = _mm256_i32gather_epi32(base, i1, 4);
+    __m256i* q = reinterpret_cast<__m256i*>(qq + j);
+    _mm256_storeu_si256(q + 0, _mm256_add_epi32(_mm256_loadu_si256(q + 0), g0));
+    _mm256_storeu_si256(q + 1, _mm256_add_epi32(_mm256_loadu_si256(q + 1), g1));
+  }
+  for (; j < n; ++j) qq[j] += lrow[brow[j]];
+}
+
+__attribute__((target("avx2"))) void stage_gen_avx2(std::int64_t n, const std::uint32_t* lrow,
+                                                    const std::uint8_t* brow,
+                                                    std::uint32_t* prod) {
+  const int* base = reinterpret_cast<const int*>(lrow);
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m256i i0 =
+        _mm256_cvtepu8_epi32(_mm_loadl_epi64(reinterpret_cast<const __m128i*>(brow + j)));
+    const __m256i i1 =
+        _mm256_cvtepu8_epi32(_mm_loadl_epi64(reinterpret_cast<const __m128i*>(brow + j + 8)));
+    __m256i* p = reinterpret_cast<__m256i*>(prod + j);
+    _mm256_storeu_si256(p + 0, _mm256_i32gather_epi32(base, i0, 4));
+    _mm256_storeu_si256(p + 1, _mm256_i32gather_epi32(base, i1, 4));
+  }
+  for (; j < n; ++j) prod[j] = lrow[brow[j]];
+}
+
+__attribute__((target("avx2"))) void accum_codes_avx2(std::int64_t n, const std::uint8_t* brow,
+                                                      std::uint32_t* qw) {
+  std::int64_t j = 0;
+  for (; j + 32 <= n; j += 32) {
+    __m256i* q = reinterpret_cast<__m256i*>(qw + j);
+    for (int g = 0; g < 4; ++g) {
+      const __m256i w = _mm256_cvtepu8_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(brow + j + 8 * g)));
+      _mm256_storeu_si256(q + g, _mm256_add_epi32(_mm256_loadu_si256(q + g), w));
+    }
+  }
+  for (; j < n; ++j) qw[j] += brow[j];
+}
+
+#endif  // REDCANE_LK_X86
+
+constexpr LutOps kScalarLutOps{mk::Target::kScalar, "scalar",        accum_gen_scalar,
+                               accum_nib_scalar,    stage_gen_scalar, stage_nib_scalar,
+                               accum_codes_scalar};
+#if REDCANE_LK_X86
+// General rows have no ssse3 lookup idiom (no gather pre-AVX2): the tier
+// keeps the scalar stream for them and wins on nibble rows + side sums.
+constexpr LutOps kSsse3LutOps{mk::Target::kSse, "ssse3",          accum_gen_scalar,
+                              accum_nib_ssse3,  stage_gen_scalar, stage_nib_ssse3,
+                              accum_codes_ssse3};
+constexpr LutOps kAvx2LutOps{mk::Target::kAvx2, "avx2",         accum_gen_avx2,
+                             accum_nib_avx2,    stage_gen_avx2, stage_nib_avx2,
+                             accum_codes_avx2};
+#endif
+
+/// Column sums of the B code matrix — the weight-code side of the affine
+/// expansion, shared by every fully-valid output row.
+void col_code_sums(const LutOps& ops, const std::uint8_t* b, std::int64_t k, std::int64_t n,
+                   std::uint64_t* out) {
+  ws::Workspace& wksp = ws::Workspace::tls();
+  const ws::Workspace::Scope scope(wksp);
+  std::uint32_t* part = wksp.alloc<std::uint32_t>(static_cast<std::size_t>(n));
+  std::memset(part, 0, static_cast<std::size_t>(n) * sizeof(std::uint32_t));
+  std::memset(out, 0, static_cast<std::size_t>(n) * sizeof(std::uint64_t));
+  std::int64_t since = 0;
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    ops.accum_codes(n, b + kk * n, part);
+    if (++since == kCodeFlushEvery) {
+      for (std::int64_t j = 0; j < n; ++j) out[j] += part[j];
+      std::memset(part, 0, static_cast<std::size_t>(n) * sizeof(std::uint32_t));
+      since = 0;
+    }
+  }
+  for (std::int64_t j = 0; j < n; ++j) out[j] += part[j];
+}
+
+/// Marks rows whose mask has no padding tap (they share the hoisted column
+/// sums). Null mask = every row full.
+void mark_full_rows(const std::uint8_t* a_mask, std::int64_t m, std::int64_t k,
+                    std::uint8_t* row_full, bool& any_full, bool& any_partial) {
+  any_full = false;
+  any_partial = false;
+  if (a_mask == nullptr) {
+    std::memset(row_full, 1, static_cast<std::size_t>(m));
+    any_full = m > 0;
+    return;
+  }
+  for (std::int64_t i = 0; i < m; ++i) {
+    const bool full =
+        std::memchr(a_mask + i * k, 0, static_cast<std::size_t>(k)) == nullptr;
+    row_full[i] = full ? 1 : 0;
+    any_full = any_full || full;
+    any_partial = any_partial || !full;
+  }
+}
+
+}  // namespace
+
+LutTables LutTables::build(const std::uint32_t* raw, int max_code) {
+  LutTables t;
+  t.lut.assign(raw, raw + 256 * 256);
+  t.nib.assign(256 * 64, 0);
+  t.nibble_ok.assign(256, 0);
+
+  const int hi_max = max_code >> 4;
+  const int lo_max = std::min(max_code, 15);
+  for (int a = 0; a <= max_code; ++a) {
+    const std::uint32_t* row = raw + (static_cast<std::size_t>(a) << 8);
+    for (int bcode = 0; bcode <= max_code; ++bcode) {
+      t.max_value = std::max(t.max_value, row[bcode]);
+    }
+
+    // Candidate decomposition: L from the h = 0 edge, H from the l = 0
+    // edge relative to row[0] (forcing H[0] = 0). Valid iff every
+    // reachable code reassembles exactly and all sums stay u16.
+    std::uint32_t l_tab[16] = {0};
+    std::uint32_t h_tab[16] = {0};
+    bool ok = true;
+    for (int l = 0; l <= lo_max && ok; ++l) {
+      l_tab[l] = row[l];
+      ok = l_tab[l] <= 0xFFFF;
+    }
+    for (int h = 0; h <= hi_max && ok; ++h) {
+      const std::uint32_t edge = row[h << 4];
+      ok = edge >= row[0] && (edge - row[0]) <= 0xFFFF;
+      if (ok) h_tab[h] = edge - row[0];
+    }
+    for (int bcode = 0; bcode <= max_code && ok; ++bcode) {
+      const std::uint32_t sum = h_tab[bcode >> 4] + l_tab[bcode & 15];
+      ok = sum <= 0xFFFF && sum == row[bcode];
+    }
+    if (!ok) continue;
+    t.nibble_ok[static_cast<std::size_t>(a)] = 1;
+    t.any_nibble = true;
+    std::uint8_t* nibrow = t.nib.data() + static_cast<std::size_t>(a) * 64;
+    for (int e = 0; e < 16; ++e) {
+      nibrow[e] = static_cast<std::uint8_t>(l_tab[e] & 0xFF);
+      nibrow[16 + e] = static_cast<std::uint8_t>(l_tab[e] >> 8);
+      nibrow[32 + e] = static_cast<std::uint8_t>(h_tab[e] & 0xFF);
+      nibrow[48 + e] = static_cast<std::uint8_t>(h_tab[e] >> 8);
+    }
+  }
+
+  const std::uint64_t by_value =
+      t.max_value == 0 ? kCodeFlushEvery : 0xFFFFFFFFULL / t.max_value;
+  t.flush_every = static_cast<std::int64_t>(
+      std::max<std::uint64_t>(1, std::min<std::uint64_t>(by_value, kCodeFlushEvery)));
+  return t;
+}
+
+const LutOps& ops_for(mk::Target t) {
+#if REDCANE_LK_X86
+  switch (t) {
+    case mk::Target::kSse:
+      return kSsse3LutOps;
+    case mk::Target::kAvx2:
+      return kAvx2LutOps;
+    case mk::Target::kScalar:
+      break;
+  }
+#else
+  (void)t;
+#endif
+  return kScalarLutOps;
+}
+
+const LutOps& active() { return ops_for(mk::active().target); }
+
+void lut_gemm_u8(std::int64_t m, std::int64_t n, std::int64_t k, const std::uint8_t* a,
+                 const std::uint8_t* a_mask, const std::uint8_t* b, const LutTables& tables,
+                 std::uint64_t* acc_qq, std::uint64_t* acc_qw, std::uint64_t* acc_qa,
+                 std::int64_t* taps) {
+  const LutOps& ops = active();
+  if (ops.target == mk::Target::kScalar) {
+    gemm::gemm_u8_lut(m, n, k, a, a_mask, b, tables.lut.data(), acc_qq, acc_qw, acc_qa, taps);
+    return;
+  }
+
+  ws::Workspace& outer = ws::Workspace::tls();
+  const ws::Workspace::Scope outer_scope(outer);
+  std::uint8_t* row_full = outer.alloc<std::uint8_t>(static_cast<std::size_t>(m));
+  bool any_full = false;
+  bool any_partial = false;
+  mark_full_rows(a_mask, m, k, row_full, any_full, any_partial);
+  std::uint64_t* colsum = nullptr;
+  if (any_full) {
+    colsum = outer.alloc<std::uint64_t>(static_cast<std::size_t>(n));
+    col_code_sums(ops, b, k, n, colsum);
+  }
+
+  const std::int64_t flush_every = tables.flush_every;
+  const std::uint32_t* lut = tables.lut.data();
+  const std::uint8_t* nib = tables.nib.data();
+  const std::uint8_t* nibble_ok = tables.nibble_ok.data();
+  const bool any_nibble = tables.any_nibble;
+
+#pragma omp parallel for schedule(static) if (m >= 64)
+  for (std::int64_t i = 0; i < m; ++i) {
+    ws::Workspace& wksp = ws::Workspace::tls();
+    const ws::Workspace::Scope scope(wksp);
+    std::uint32_t* qq32 = wksp.alloc<std::uint32_t>(static_cast<std::size_t>(n));
+    std::memset(qq32, 0, static_cast<std::size_t>(n) * sizeof(std::uint32_t));
+    const bool full = row_full[i] != 0;
+    std::uint32_t* qw32 = nullptr;
+    std::uint64_t* qqrow = acc_qq + i * n;
+    std::uint64_t* qwrow = acc_qw + i * n;
+    std::memset(qqrow, 0, static_cast<std::size_t>(n) * sizeof(std::uint64_t));
+    if (!full) {
+      qw32 = wksp.alloc<std::uint32_t>(static_cast<std::size_t>(n));
+      std::memset(qw32, 0, static_cast<std::size_t>(n) * sizeof(std::uint32_t));
+      std::memset(qwrow, 0, static_cast<std::size_t>(n) * sizeof(std::uint64_t));
+    }
+
+    const std::uint8_t* arow = a + i * k;
+    const std::uint8_t* mrow = a_mask == nullptr ? nullptr : a_mask + i * k;
+    std::uint64_t qa = 0;
+    std::int64_t t = 0;
+    std::int64_t since = 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      if (!full && mrow[kk] == 0) continue;  // Padding tap: true zero.
+      const std::uint8_t code = arow[kk];
+      const std::uint8_t* brow = b + kk * n;
+      if (any_nibble && nibble_ok[code] != 0) {
+        ops.accum_nib(n, nib + static_cast<std::size_t>(code) * 64, brow, qq32);
+      } else {
+        ops.accum_gen(n, lut + (static_cast<std::size_t>(code) << 8), brow, qq32);
+      }
+      if (!full) ops.accum_codes(n, brow, qw32);
+      qa += code;
+      ++t;
+      if (++since == flush_every) {
+        for (std::int64_t j = 0; j < n; ++j) qqrow[j] += qq32[j];
+        std::memset(qq32, 0, static_cast<std::size_t>(n) * sizeof(std::uint32_t));
+        if (!full) {
+          for (std::int64_t j = 0; j < n; ++j) qwrow[j] += qw32[j];
+          std::memset(qw32, 0, static_cast<std::size_t>(n) * sizeof(std::uint32_t));
+        }
+        since = 0;
+      }
+    }
+    for (std::int64_t j = 0; j < n; ++j) qqrow[j] += qq32[j];
+    if (full) {
+      std::memcpy(qwrow, colsum, static_cast<std::size_t>(n) * sizeof(std::uint64_t));
+    } else {
+      for (std::int64_t j = 0; j < n; ++j) qwrow[j] += qw32[j];
+    }
+    acc_qa[i] = qa;
+    taps[i] = t;
+  }
+}
+
+void lut_gemm_u8_chain(std::int64_t m, std::int64_t n, std::int64_t k, const std::uint8_t* a,
+                       const std::uint8_t* a_mask, const std::uint8_t* b,
+                       const LutTables& tables, const U32Accum& accum, std::uint32_t* acc_qq,
+                       std::uint64_t* acc_qw, std::uint64_t* acc_qa, std::int64_t* taps) {
+  const LutOps& ops = active();
+  if (ops.target == mk::Target::kScalar) {
+    gemm::gemm_u8_lut_chain(m, n, k, a, a_mask, b, tables.lut.data(), accum, acc_qq, acc_qw,
+                            acc_qa, taps);
+    return;
+  }
+
+  ws::Workspace& outer = ws::Workspace::tls();
+  const ws::Workspace::Scope outer_scope(outer);
+  std::uint8_t* row_full = outer.alloc<std::uint8_t>(static_cast<std::size_t>(m));
+  bool any_full = false;
+  bool any_partial = false;
+  mark_full_rows(a_mask, m, k, row_full, any_full, any_partial);
+  std::uint64_t* colsum = nullptr;
+  if (any_full) {
+    colsum = outer.alloc<std::uint64_t>(static_cast<std::size_t>(n));
+    col_code_sums(ops, b, k, n, colsum);
+  }
+
+  const std::uint32_t* lut = tables.lut.data();
+  const std::uint8_t* nib = tables.nib.data();
+  const std::uint8_t* nibble_ok = tables.nibble_ok.data();
+  const bool any_nibble = tables.any_nibble;
+
+#pragma omp parallel for schedule(static) if (m >= 64)
+  for (std::int64_t i = 0; i < m; ++i) {
+    ws::Workspace& wksp = ws::Workspace::tls();
+    const ws::Workspace::Scope scope(wksp);
+    std::uint32_t* prod = wksp.alloc<std::uint32_t>(static_cast<std::size_t>(n));
+    const bool full = row_full[i] != 0;
+    std::uint32_t* qw32 = nullptr;
+    std::uint32_t* qqrow = acc_qq + i * n;
+    std::uint64_t* qwrow = acc_qw + i * n;
+    std::memset(qqrow, 0, static_cast<std::size_t>(n) * sizeof(std::uint32_t));
+    if (!full) {
+      qw32 = wksp.alloc<std::uint32_t>(static_cast<std::size_t>(n));
+      std::memset(qw32, 0, static_cast<std::size_t>(n) * sizeof(std::uint32_t));
+      std::memset(qwrow, 0, static_cast<std::size_t>(n) * sizeof(std::uint64_t));
+    }
+
+    const std::uint8_t* arow = a + i * k;
+    const std::uint8_t* mrow = a_mask == nullptr ? nullptr : a_mask + i * k;
+    std::uint64_t qa = 0;
+    std::int64_t t = 0;
+    std::int64_t since = 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      if (!full && mrow[kk] == 0) continue;  // Padding tap: true zero.
+      const std::uint8_t code = arow[kk];
+      const std::uint8_t* brow = b + kk * n;
+      if (any_nibble && nibble_ok[code] != 0) {
+        ops.stage_nib(n, nib + static_cast<std::size_t>(code) * 64, brow, prod);
+      } else {
+        ops.stage_gen(n, lut + (static_cast<std::size_t>(code) << 8), brow, prod);
+      }
+      // The behavioral chain stays scalar and in ascending k: with an
+      // approximate accum, error accrues exactly as in the hardware
+      // accumulator it models (carry cuts see the realized partial sums).
+      for (std::int64_t j = 0; j < n; ++j) qqrow[j] = accum.add(qqrow[j], prod[j]);
+      if (!full) {
+        ops.accum_codes(n, brow, qw32);
+        if (++since == kCodeFlushEvery) {
+          for (std::int64_t j = 0; j < n; ++j) qwrow[j] += qw32[j];
+          std::memset(qw32, 0, static_cast<std::size_t>(n) * sizeof(std::uint32_t));
+          since = 0;
+        }
+      }
+      qa += code;
+      ++t;
+    }
+    if (full) {
+      std::memcpy(qwrow, colsum, static_cast<std::size_t>(n) * sizeof(std::uint64_t));
+    } else {
+      for (std::int64_t j = 0; j < n; ++j) qwrow[j] += qw32[j];
+    }
+    acc_qa[i] = qa;
+    taps[i] = t;
+  }
+}
+
+}  // namespace redcane::gemm::lk

@@ -1,0 +1,138 @@
+// Runtime-dispatched u8 LUT-GEMM microkernels: the SIMD inner loops of the
+// behavioral-emulation datapath (quant/lut_gemm.hpp sits on top).
+//
+// The emulated MAC core is a table-lookup GEMM: every (a, b) code pair of
+// an 8-bit-quantized matrix product is routed through a 256x256 product
+// table materialized from a behavioral multiplier, and the dominant cost
+// is the per-tap stream  qq[j] += lut_row[b_row[j]]  over the output row.
+// This header gives that stream three tiers, selected by the SAME dispatch
+// as the float microkernels (tensor/microkernel.hpp — REDCANE_GEMM_KERNEL
+// env / mk::force cover both kernel families):
+//
+//  * avx2   — 32-lane `_mm256_shuffle_epi8` nibble lookup for rows whose
+//             table decomposes as lut[(h<<4)|l] = H[h] + L[l] (every row of
+//             the exact multiplier, and of any operand-truncating family
+//             that stays affine in the low nibble), with an
+//             `_mm256_i32gather_epi32` 8-lane gather for general rows.
+//  * ssse3  — the same nibble decomposition on 16 `_mm_shuffle_epi8`
+//             lanes; general rows fall back to scalar lookups. Mapped from
+//             the float core's `sse` tier (FMA hardware implies SSSE3).
+//  * scalar — delegates to the retained seed loops in tensor/gemm.cpp
+//             (gemm_u8_lut / gemm_u8_lut_chain), the oracle every SIMD
+//             tier is tested against bit-for-bit.
+//
+// Nibble decomposition (the nckernel binary8 idiom, carried from GF(256)
+// to integer product tables): a 256-entry u32 row is split — when valid —
+// into two 16-entry u16 tables indexed by the operand nibbles, stored as
+// four 16-byte pshufb planes (L-lo, L-hi, H-lo, H-hi). One 32-lane lookup
+// is then two shuffles per table + byte interleaves + one u16 add, instead
+// of 32 serialized L1 loads. Validity (exact equality against the row and
+// all sums fitting u16) is PROVEN per row at table-build time, so taking
+// the nibble path never changes a single bit.
+//
+// Determinism contract: all accumulation is exact integer arithmetic.
+// The exact tier keeps u64 row sums via u32 partials flushed before they
+// can wrap (flush cadence comes from the table's max entry, not from the
+// lane width, so every tier flushes identically); the approximate-adder
+// tier stages SIMD lookups into a row panel and runs the behavioral
+// U32Accum chain SCALAR in ascending k — one u32 add chain per output
+// element, exactly the seed kernel's order. Results are therefore bitwise
+// identical across scalar/ssse3/avx2 dispatch and across thread counts
+// (tests/test_lut_kernel.cpp asserts both).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+#include "tensor/microkernel.hpp"
+
+namespace redcane::gemm::lk {
+
+/// A 256x256 product table prepared for dispatched execution: the raw u32
+/// table plus the per-row nibble decomposition (where provable) and the
+/// overflow-safe u32 flush cadence. Built once per (multiplier, bits) by
+/// the process-wide cache in quant/lut_cache.hpp; immutable afterwards and
+/// safe to share across threads.
+struct LutTables {
+  /// Raw product table: lut[(a << 8) | b], row-major in the a code.
+  std::vector<std::uint32_t> lut;
+
+  /// Nibble planes, 64 bytes per row r: bytes [0,16) = low bytes of the
+  /// 16-entry L table (indexed by b & 15), [16,32) = high bytes of L,
+  /// [32,48) / [48,64) = the H table (indexed by b >> 4). Row r is only
+  /// meaningful when nibble_ok[r] != 0, and then for every code b in the
+  /// quantization range: L[b & 15] + H[b >> 4] == lut[(r << 8) | b], with
+  /// the sum fitting u16.
+  std::vector<std::uint8_t> nib;
+
+  /// Per-row flag: the row admits the nibble decomposition above.
+  std::vector<std::uint8_t> nibble_ok;
+
+  /// Largest table entry over the [0, max_code]^2 range codes can reach.
+  std::uint32_t max_value = 0;
+
+  /// Taps a u32 partial accumulator can absorb before it must be flushed
+  /// into the u64 row sum (floor(2^32-1 / max_value), clamped so the
+  /// exact b-code side sums stay safe too). Identical for every tier.
+  std::int64_t flush_every = 0;
+
+  /// Any row decomposed (cheap skip of the nibble branch when none did).
+  bool any_nibble = false;
+
+  /// Prepares dispatch metadata from a raw 256x256 table. `max_code` is
+  /// the largest operand code quantization can emit ((1 << bits) - 1);
+  /// rows/columns beyond it are never looked up and do not constrain the
+  /// decomposition or the flush cadence.
+  [[nodiscard]] static LutTables build(const std::uint32_t* raw, int max_code = 255);
+};
+
+/// One dispatch tier. The function pointers are the row primitives the
+/// drivers below compose; all lanes lie across the output column j, never
+/// across k, and every primitive handles arbitrary n with a scalar tail.
+struct LutOps {
+  mk::Target target;  ///< The float-core tier this maps from.
+  const char* name;   ///< "scalar" | "ssse3" | "avx2".
+
+  /// qq[j] += lut_row[b_row[j]] for j in [0, n) — general row.
+  void (*accum_gen)(std::int64_t n, const std::uint32_t* lrow, const std::uint8_t* brow,
+                    std::uint32_t* qq);
+  /// qq[j] += L[b & 15] + H[b >> 4] from a 64-byte nibble row.
+  void (*accum_nib)(std::int64_t n, const std::uint8_t* nibrow, const std::uint8_t* brow,
+                    std::uint32_t* qq);
+  /// prod[j] = lut_row[b_row[j]] — lookup staging for the adder chain.
+  void (*stage_gen)(std::int64_t n, const std::uint32_t* lrow, const std::uint8_t* brow,
+                    std::uint32_t* prod);
+  /// prod[j] = L[b & 15] + H[b >> 4] — nibble staging for the adder chain.
+  void (*stage_nib)(std::int64_t n, const std::uint8_t* nibrow, const std::uint8_t* brow,
+                    std::uint32_t* prod);
+  /// qw[j] += b_row[j] — the weight-code side sum of the affine expansion.
+  void (*accum_codes)(std::int64_t n, const std::uint8_t* brow, std::uint32_t* qw);
+};
+
+/// Tier table for a float-core target (kSse maps to the ssse3 tier).
+const LutOps& ops_for(mk::Target t);
+
+/// The tier matching the float core's current dispatch (mk::active()).
+const LutOps& active();
+
+/// Dispatched drop-in for gemm::gemm_u8_lut (exact accumulation): same
+/// accumulator outputs, bitwise, for any tier. The scalar tier delegates
+/// to the retained seed loop. When `a_mask` is null the weight-code sums
+/// are hoisted to one set of column sums shared by every row; with a mask,
+/// fully-valid rows still share them and only partial (padding) rows pay
+/// the per-row side accumulation.
+void lut_gemm_u8(std::int64_t m, std::int64_t n, std::int64_t k, const std::uint8_t* a,
+                 const std::uint8_t* a_mask, const std::uint8_t* b, const LutTables& tables,
+                 std::uint64_t* acc_qq, std::uint64_t* acc_qw, std::uint64_t* acc_qa,
+                 std::int64_t* taps);
+
+/// Dispatched drop-in for gemm::gemm_u8_lut_chain: SIMD lookup staging
+/// feeding the behavioral accumulator, which runs scalar — one u32 add
+/// chain per output element in ascending k, bit-for-bit the seed order.
+void lut_gemm_u8_chain(std::int64_t m, std::int64_t n, std::int64_t k, const std::uint8_t* a,
+                       const std::uint8_t* a_mask, const std::uint8_t* b,
+                       const LutTables& tables, const U32Accum& accum, std::uint32_t* acc_qq,
+                       std::uint64_t* acc_qw, std::uint64_t* acc_qa, std::int64_t* taps);
+
+}  // namespace redcane::gemm::lk
