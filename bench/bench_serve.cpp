@@ -10,9 +10,13 @@
 // serve an identical stream and the exact variant's predictions must match
 // request-for-request (batching a per-sample-independent forward changes
 // nothing). The batched server must be >= 2x the single-request server —
-// the gate this binary exits on. Results are appended as one JSON object to
-// BENCH_serve.json so serving throughput is machine-readable across
-// commits.
+// the gate this binary exits on.
+//
+// A third segment drives 2x-saturation open-loop overload at the hardened
+// admission path (bounded queue, per-request deadlines, degradation to the
+// exact variant) and reports shed-rate, deadline-miss-rate, degraded share
+// and overload p99. Results are appended as one JSON object to
+// BENCH_serve.json so serving behavior is machine-readable across commits.
 //
 // Usage: bench_serve [--quick] [--workers N] [--json PATH]
 #include <algorithm>
@@ -22,6 +26,7 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -89,7 +94,7 @@ ModeResult run_mode(const std::string& name, serve::ModelRegistry& registry,
   (void)registry.model().infer(
       capsnet::slice_rows(pool, 0, std::min<std::int64_t>(sc.max_batch, pool.shape().dim(0))));
   serve::InferenceServer server(registry, sc);
-  std::vector<std::future<serve::Prediction>> futs;
+  std::vector<std::future<serve::ServeResult>> futs;
   futs.reserve(static_cast<std::size_t>(requests));
   const std::int64_t n = pool.shape().dim(0);
   for (std::int64_t i = 0; i < requests; ++i) {
@@ -97,13 +102,75 @@ ModeResult run_mode(const std::string& name, serve::ModelRegistry& registry,
   }
   const auto t0 = Clock::now();
   server.start();
-  for (auto& f : futs) r.labels.push_back(f.get().label);
+  for (auto& f : futs) r.labels.push_back(f.get().prediction.label);
   r.ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
   server.shutdown();
-  const serve::ServerStats stats = server.stats();
+  serve::ServerStats stats = server.stats();  // One snapshot, queried in place.
   r.req_per_s = static_cast<double>(requests) / (r.ms / 1e3);
   r.mean_batch = stats.mean_batch_size();
   r.p50_us = serve::percentile_us(stats.latencies_us, 50.0);
+  r.p99_us = serve::percentile_us(stats.latencies_us, 99.0);
+  return r;
+}
+
+struct OverloadResult {
+  double arrival_per_s = 0.0;  ///< Open-loop offered load [req/s].
+  double fulfilled_per_s = 0.0;
+  double shed_rate = 0.0;           ///< queue_full rejects / submitted.
+  double deadline_miss_rate = 0.0;  ///< deadline sheds / submitted.
+  double degraded_share = 0.0;      ///< degraded / fulfilled.
+  double p99_us = 0.0;              ///< Over fulfilled requests.
+};
+
+/// Open-loop overload: offers `requests` at 2x the measured saturation
+/// rate against a bounded queue with deadlines and degradation armed. A
+/// robust server sheds/degrades and keeps p99 bounded; the seed runtime
+/// would have grown the queue without bound.
+OverloadResult run_overload(serve::ModelRegistry& registry, const Tensor& pool,
+                            std::int64_t requests, double saturation_per_s,
+                            int workers) {
+  serve::ServerConfig sc;
+  sc.workers = workers;
+  sc.max_batch = 32;
+  sc.max_delay_us = 500;
+  sc.max_queue = 128;
+  sc.deadline_us = 100'000;
+  sc.degrade_under_pressure = true;
+  serve::InferenceServer server(registry, sc);
+  server.start();
+
+  OverloadResult r;
+  r.arrival_per_s = 2.0 * saturation_per_s;
+  const double gap_s = 1.0 / r.arrival_per_s;
+  std::vector<std::future<serve::ServeResult>> futs;
+  futs.reserve(static_cast<std::size_t>(requests));
+  const std::int64_t n = pool.shape().dim(0);
+  const auto t0 = Clock::now();
+  for (std::int64_t i = 0; i < requests; ++i) {
+    // Expensive-variant traffic: exactly what degradation is for.
+    const char* variant =
+        i % 2 == 0 ? serve::kVariantDesigned : serve::kVariantEmulated;
+    futs.push_back(server.submit(capsnet::slice_rows(pool, i % n, i % n + 1), variant));
+    const auto next = t0 + std::chrono::duration<double>(gap_s * static_cast<double>(i + 1));
+    while (Clock::now() < next) std::this_thread::yield();
+  }
+  std::int64_t fulfilled = 0;
+  for (auto& f : futs) {
+    if (f.get().ok()) ++fulfilled;
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  server.shutdown();
+
+  serve::ServerStats stats = server.stats();
+  const auto total = static_cast<double>(stats.submitted);
+  r.fulfilled_per_s = static_cast<double>(fulfilled) / elapsed_s;
+  r.shed_rate = static_cast<double>(stats.rejected_queue_full) / total;
+  r.deadline_miss_rate = static_cast<double>(stats.shed_deadline) / total;
+  r.degraded_share = stats.requests == 0
+                         ? 0.0
+                         : static_cast<double>(stats.degraded) /
+                               static_cast<double>(stats.requests);
   r.p99_us = serve::percentile_us(stats.latencies_us, 99.0);
   return r;
 }
@@ -162,6 +229,19 @@ int run(bool quick, int workers_flag, const std::string& json_path) {
   std::printf("\nexact predictions identical across serving modes: %s\n",
               identical ? "yes" : "NO");
 
+  // ---- Overload segment: 2x saturation against the hardened admission
+  // path (bounded queue + deadlines + degradation).
+  const std::int64_t over_requests = quick ? 512 : 2048;
+  const OverloadResult over = run_overload(*registry, ds.test_x, over_requests,
+                                           r_batched.req_per_s, workers);
+  std::printf("\noverload (2x saturation, %lld expensive-variant requests):\n"
+              "  offered %.0f req/s -> fulfilled %.1f req/s, shed %.1f%%, "
+              "deadline-missed %.1f%%, degraded %.1f%% of served, p99 %.0f us\n",
+              static_cast<long long>(over_requests), over.arrival_per_s,
+              over.fulfilled_per_s, over.shed_rate * 100.0,
+              over.deadline_miss_rate * 100.0, over.degraded_share * 100.0,
+              over.p99_us);
+
   const double speedup = r_single.ms / r_batched.ms;
   if (std::FILE* f = std::fopen(json_path.c_str(), "a")) {
     std::fprintf(f,
@@ -169,12 +249,17 @@ int run(bool quick, int workers_flag, const std::string& json_path) {
                  "\"input_hw\":%lld,\"requests\":%lld,\"workers\":%d,\"max_batch\":%lld,"
                  "\"single_ms\":%.1f,\"batched_ms\":%.1f,\"designed_ms\":%.1f,"
                  "\"speedup\":%.2f,\"batched_mean_batch\":%.1f,"
-                 "\"batched_p50_us\":%.0f,\"batched_p99_us\":%.0f,\"identical\":%s}\n",
+                 "\"batched_p50_us\":%.0f,\"batched_p99_us\":%.0f,\"identical\":%s,"
+                 "\"overload_offered_per_s\":%.0f,\"overload_fulfilled_per_s\":%.1f,"
+                 "\"overload_shed_rate\":%.4f,\"overload_deadline_miss_rate\":%.4f,"
+                 "\"overload_degraded_share\":%.4f,\"overload_p99_us\":%.0f}\n",
                  quick ? "true" : "false", static_cast<long long>(hw),
                  static_cast<long long>(requests), workers,
                  static_cast<long long>(batched.max_batch), r_single.ms, r_batched.ms,
                  r_designed.ms, speedup, r_batched.mean_batch, r_batched.p50_us,
-                 r_batched.p99_us, identical ? "true" : "false");
+                 r_batched.p99_us, identical ? "true" : "false",
+                 over.arrival_per_s, over.fulfilled_per_s, over.shed_rate,
+                 over.deadline_miss_rate, over.degraded_share, over.p99_us);
     std::fclose(f);
     std::printf("appended results to %s\n", json_path.c_str());
   }

@@ -20,12 +20,17 @@
 //
 // --smoke is the CI profile: a 20x20 tiny CapsNet, a reduced NM grid, two
 // workers, and a pass/fail gate on the serving path staying sane.
+//
+// --faults SPEC (or env REDCANE_FAULTS) arms the deterministic fault
+// injector for the whole run — useful for eyeballing the typed-error and
+// degradation paths outside the chaos test suite.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +42,7 @@
 #include "core/manifest.hpp"
 #include "core/methodology.hpp"
 #include "data/synthetic.hpp"
+#include "serve/fault.hpp"
 #include "serve/server.hpp"
 
 using namespace redcane;
@@ -48,20 +54,23 @@ using Clock = std::chrono::steady_clock;
 
 struct TrafficReport {
   double elapsed_s = 0.0;
-  std::vector<std::int64_t> exact_labels;     ///< Per test sample.
+  std::vector<std::int64_t> exact_labels;     ///< Per test sample (-1 = errored).
   std::vector<std::int64_t> designed_labels;  ///< Per test sample.
   std::vector<std::int64_t> emulated_labels;  ///< Per test sample.
+  std::int64_t errors = 0;        ///< Futures resolved with a failure code.
+  std::int64_t degraded = 0;      ///< Served by exact under queue pressure.
 };
 
 /// Submits every test sample to all three variants (exact wave, designed
 /// wave, emulated wave — same-variant runs are what the micro-batcher
-/// coalesces) and waits for all predictions.
+/// coalesces) and waits for all results. A typed error (possible under
+/// --faults) records label -1 and is tallied, never crashes the driver.
 TrafficReport drive_traffic(serve::InferenceServer& server, const Tensor& test_x) {
   const std::int64_t n = test_x.shape().dim(0);
   TrafficReport report;
-  std::vector<std::future<serve::Prediction>> exact_futs;
-  std::vector<std::future<serve::Prediction>> designed_futs;
-  std::vector<std::future<serve::Prediction>> emulated_futs;
+  std::vector<std::future<serve::ServeResult>> exact_futs;
+  std::vector<std::future<serve::ServeResult>> designed_futs;
+  std::vector<std::future<serve::ServeResult>> emulated_futs;
   const auto t0 = Clock::now();
   for (std::int64_t i = 0; i < n; ++i) {
     exact_futs.push_back(
@@ -75,9 +84,18 @@ TrafficReport drive_traffic(serve::InferenceServer& server, const Tensor& test_x
     emulated_futs.push_back(
         server.submit(capsnet::slice_rows(test_x, i, i + 1), serve::kVariantEmulated));
   }
-  for (auto& f : exact_futs) report.exact_labels.push_back(f.get().label);
-  for (auto& f : designed_futs) report.designed_labels.push_back(f.get().label);
-  for (auto& f : emulated_futs) report.emulated_labels.push_back(f.get().label);
+  const auto drain = [&report](std::vector<std::future<serve::ServeResult>>& futs,
+                               std::vector<std::int64_t>& labels) {
+    for (auto& f : futs) {
+      const serve::ServeResult res = f.get();
+      labels.push_back(res.ok() ? res.prediction.label : -1);
+      if (!res.ok()) ++report.errors;
+      if (res.ok() && res.prediction.degraded) ++report.degraded;
+    }
+  };
+  drain(exact_futs, report.exact_labels);
+  drain(designed_futs, report.designed_labels);
+  drain(emulated_futs, report.emulated_labels);
   report.elapsed_s = std::chrono::duration<double>(Clock::now() - t0).count();
   return report;
 }
@@ -100,6 +118,23 @@ std::string base_name(const std::string& path) {
 
 int run(const Args& args) {
   const bool smoke = args.has("--smoke");
+  // Deterministic fault injection: --faults SPEC (or REDCANE_FAULTS in the
+  // environment) arms a seed-driven plan for the whole run. The spec
+  // grammar is fault::parse_spec's ("seed=N,stall=P,backend=P,...").
+  std::string fault_spec = args.get("--faults", "");
+  if (fault_spec.empty()) {
+    if (const char* env = std::getenv("REDCANE_FAULTS")) fault_spec = env;
+  }
+  serve::fault::FaultConfig fault_cfg;
+  if (!fault_spec.empty() && !serve::fault::parse_spec(fault_spec, fault_cfg)) {
+    std::fprintf(stderr, "bad --faults spec '%s'\n", fault_spec.c_str());
+    return 2;
+  }
+  std::optional<serve::fault::ScopedFaultPlan> fault_plan;
+  if (fault_cfg.any()) {
+    fault_plan.emplace(fault_cfg);
+    std::printf("fault injection armed: %s\n", fault_spec.c_str());
+  }
   std::string manifest_path = args.get("--manifest", "");
   const std::string model_name = args.get("--model", "capsnet");
   const bool deepcaps = model_name == "deepcaps";
@@ -214,7 +249,7 @@ int run(const Args& args) {
 
   const TrafficReport traffic = drive_traffic(server, ds.test_x);
   server.shutdown();
-  const serve::ServerStats stats = server.stats();
+  serve::ServerStats stats = server.stats();
 
   const double exact_acc = accuracy_of(traffic.exact_labels, ds.test_y);
   const double designed_acc = accuracy_of(traffic.designed_labels, ds.test_y);
@@ -233,6 +268,17 @@ int run(const Args& args) {
   std::printf("latency: p50 %.0f us, p99 %.0f us\n",
               serve::percentile_us(stats.latencies_us, 50.0),
               serve::percentile_us(stats.latencies_us, 99.0));
+  if (traffic.errors > 0 || traffic.degraded > 0 || !stats.reconciles()) {
+    std::printf("robustness: %lld typed errors, %lld degraded-served, "
+                "%lld queue-full, %lld deadline-shed, %lld backend-failed "
+                "(counters %s)\n",
+                static_cast<long long>(traffic.errors),
+                static_cast<long long>(stats.degraded),
+                static_cast<long long>(stats.rejected_queue_full),
+                static_cast<long long>(stats.shed_deadline),
+                static_cast<long long>(stats.backend_failed),
+                stats.reconciles() ? "reconcile" : "DO NOT RECONCILE");
+  }
   std::printf("accuracy: exact %.2f%%, designed %.2f%% (drop %+.2f pp), "
               "emulated %.2f%% (drop %+.2f pp)\n",
               exact_acc * 100.0, designed_acc * 100.0,
@@ -266,7 +312,9 @@ void usage() {
       "                     [--dataset mnist|fashion|cifar10|svhn] [--hw N]\n"
       "                     [--epochs N] [--train N] [--test N] [--tolerance PP]\n"
       "                     [--workers N] [--batch N] [--delay-us N] [--out PREFIX]\n"
-      "                     [--data-dir DIR]");
+      "                     [--data-dir DIR] [--faults SPEC]\n"
+      "  --faults (or env REDCANE_FAULTS) arms deterministic fault injection;\n"
+      "  SPEC is e.g. \"seed=7,stall=0.1,backend=0.05\" (see serve/fault.hpp)");
 }
 
 }  // namespace

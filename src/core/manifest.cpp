@@ -1,5 +1,6 @@
 #include "core/manifest.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -9,6 +10,36 @@ namespace redcane::core {
 namespace {
 
 constexpr const char* kVersionLine = "redcane-manifest v1";
+
+/// Geometry fields must be sane before a model is built from them: a
+/// negative or absurd count would otherwise construct a broken registry
+/// (or a multi-terabyte tensor) from one bad manifest line.
+constexpr std::int64_t kMaxExtent = 1 << 16;
+
+bool valid_manifest(const DeploymentManifest& m) {
+  if (m.model.empty()) return false;
+  if (m.input_hw < 0 || m.input_hw > kMaxExtent) return false;
+  if (m.input_channels < 0 || m.input_channels > kMaxExtent) return false;
+  if (m.num_classes < 0 || m.num_classes > kMaxExtent) return false;
+  if (!std::isfinite(m.baseline_accuracy)) return false;
+  for (std::size_t i = 0; i < m.sites.size(); ++i) {
+    const ManifestSite& s = m.sites[i];
+    // NaN/Inf noise would propagate straight into every served batch of
+    // the designed variant.
+    if (!std::isfinite(s.nm) || !std::isfinite(s.na) ||
+        !std::isfinite(s.tolerable_nm)) {
+      return false;
+    }
+    // One selection per operation site: a duplicate (layer, kind) entry
+    // means the manifest is inconsistent about what runs there.
+    for (std::size_t j = 0; j < i; ++j) {
+      if (m.sites[j].site.layer == s.site.layer && m.sites[j].site.kind == s.site.kind) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
 
 std::string fmt_full(double v) {
   char buf[64];
@@ -125,7 +156,7 @@ bool manifest_from_text(const std::string& text, DeploymentManifest& out) {
     }
     if (fields.fail()) return false;
   }
-  return !out.model.empty();
+  return valid_manifest(out);
 }
 
 bool save_manifest(const DeploymentManifest& m, const std::string& path) {

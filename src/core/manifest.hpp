@@ -64,8 +64,10 @@ struct DeploymentManifest {
 [[nodiscard]] std::string manifest_to_text(const DeploymentManifest& m);
 
 /// Parses manifest text into `out`. Returns false (leaving `out`
-/// unspecified) on a bad version line, unknown kind token, or malformed
-/// site/header line.
+/// unspecified) on a bad version line, unknown kind token, malformed
+/// site/header line, non-finite noise/accuracy field, duplicate
+/// (layer, kind) site entry, or an out-of-range geometry count — a bad
+/// manifest must never construct a broken registry.
 [[nodiscard]] bool manifest_from_text(const std::string& text, DeploymentManifest& out);
 
 /// File wrappers over manifest_to_text / manifest_from_text.

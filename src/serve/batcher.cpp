@@ -8,16 +8,42 @@ MicroBatcher::MicroBatcher(BatcherConfig cfg) : cfg_(cfg) {
   // A non-positive ceiling would make pop_batch hand out empty batches.
   cfg_.max_batch = std::max<std::int64_t>(1, cfg_.max_batch);
   cfg_.max_delay_us = std::max<std::int64_t>(0, cfg_.max_delay_us);
+  cfg_.max_queue = std::max<std::int64_t>(0, cfg_.max_queue);
+  if (cfg_.max_queue > 0) {
+    if (cfg_.high_watermark <= 0) cfg_.high_watermark = cfg_.max_queue * 3 / 4;
+    if (cfg_.low_watermark <= 0) cfg_.low_watermark = cfg_.max_queue / 2;
+    cfg_.high_watermark = std::clamp<std::int64_t>(cfg_.high_watermark, 1, cfg_.max_queue);
+    cfg_.low_watermark = std::clamp<std::int64_t>(cfg_.low_watermark, 0,
+                                                  cfg_.high_watermark - 1);
+  } else {
+    cfg_.high_watermark = 0;
+    cfg_.low_watermark = 0;
+  }
 }
 
-bool MicroBatcher::push(QueuedRequest& r) {
+void MicroBatcher::update_pressure_locked() {
+  if (cfg_.max_queue == 0) return;
+  const auto depth = static_cast<std::int64_t>(queue_.size());
+  if (depth >= cfg_.high_watermark) {
+    pressured_.store(true, std::memory_order_relaxed);
+  } else if (depth <= cfg_.low_watermark) {
+    pressured_.store(false, std::memory_order_relaxed);
+  }
+}
+
+PushStatus MicroBatcher::push(QueuedRequest& r) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (closed_) return false;
+    if (closed_) return PushStatus::kClosed;
+    if (cfg_.max_queue > 0 &&
+        queue_.size() >= static_cast<std::size_t>(cfg_.max_queue)) {
+      return PushStatus::kFull;
+    }
     queue_.push_back(std::move(r));
+    update_pressure_locked();
   }
   cv_.notify_all();
-  return true;
+  return PushStatus::kAccepted;
 }
 
 std::size_t MicroBatcher::head_run_locked() const {
@@ -28,8 +54,10 @@ std::size_t MicroBatcher::head_run_locked() const {
   return run;
 }
 
-bool MicroBatcher::pop_batch(std::vector<QueuedRequest>& out) {
+bool MicroBatcher::pop_batch(std::vector<QueuedRequest>& out,
+                             std::vector<QueuedRequest>& expired) {
   out.clear();
+  expired.clear();
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
@@ -43,12 +71,21 @@ bool MicroBatcher::pop_batch(std::vector<QueuedRequest>& out) {
         queue_.front().enqueued + std::chrono::microseconds(cfg_.max_delay_us);
     const bool full = run >= static_cast<std::size_t>(cfg_.max_batch);
     const bool capped = queue_.size() > run;
-    if (closed_ || full || capped || ServeClock::now() >= deadline) {
+    const auto now = ServeClock::now();
+    if (closed_ || full || capped || now >= deadline) {
       out.reserve(run);
       for (std::size_t i = 0; i < run; ++i) {
-        out.push_back(std::move(queue_.front()));
+        // Expired requests are shed here, at pop time, instead of wasting
+        // a batch slot: the caller resolves them with kDeadlineExceeded.
+        QueuedRequest& head = queue_.front();
+        if (head.has_deadline && now >= head.deadline) {
+          expired.push_back(std::move(head));
+        } else {
+          out.push_back(std::move(head));
+        }
         queue_.pop_front();
       }
+      update_pressure_locked();
       // Another worker may be mid-wait on the (now consumed) old head.
       cv_.notify_all();
       return true;

@@ -1,0 +1,132 @@
+#include "serve/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace redcane::serve::fault {
+namespace {
+
+std::atomic<FaultPlan*> g_plan{nullptr};
+
+/// splitmix64: the repo's standard seed-scrambling finalizer.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash of (seed, site, seq) mapped into [0, 1).
+double unit_hash(std::uint64_t seed, std::uint64_t site, std::uint64_t seq) {
+  const std::uint64_t h = mix(mix(seed ^ site) ^ seq);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kSiteStall = 0x57414C4Cu;    // "WALL"
+constexpr std::uint64_t kSiteBackend = 0x4241434Bu;  // "BACK"
+constexpr std::uint64_t kSiteCkpt = 0x434B5054u;     // "CKPT"
+
+}  // namespace
+
+bool FaultPlan::decide(std::uint64_t site, std::atomic<std::uint64_t>& seq,
+                       double prob) {
+  if (prob <= 0.0) return false;
+  const std::uint64_t n = seq.fetch_add(1, std::memory_order_relaxed);
+  return unit_hash(cfg_.seed, site, n) < prob;
+}
+
+bool FaultPlan::stall_worker(std::int64_t& us) {
+  if (!decide(kSiteStall, stall_seq_, cfg_.worker_stall_prob)) return false;
+  us = cfg_.worker_stall_us;
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultPlan::fail_backend() {
+  if (!decide(kSiteBackend, backend_seq_, cfg_.backend_fail_prob)) return false;
+  backend_failures_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultPlan::corrupt_checkpoint() {
+  if (!decide(kSiteCkpt, ckpt_seq_, cfg_.checkpoint_corrupt_prob)) return false;
+  ckpt_corruptions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+FaultCounters FaultPlan::counters() const {
+  FaultCounters c;
+  c.worker_stalls = stalls_.load(std::memory_order_relaxed);
+  c.backend_failures = backend_failures_.load(std::memory_order_relaxed);
+  c.checkpoint_corruptions = ckpt_corruptions_.load(std::memory_order_relaxed);
+  return c;
+}
+
+bool armed() { return g_plan.load(std::memory_order_acquire) != nullptr; }
+
+FaultPlan* plan() { return g_plan.load(std::memory_order_acquire); }
+
+ScopedFaultPlan::ScopedFaultPlan(FaultConfig cfg) : plan_(cfg) {
+  FaultPlan* expected = nullptr;
+  installed_ =
+      g_plan.compare_exchange_strong(expected, &plan_, std::memory_order_release);
+  if (!installed_) {
+    std::fprintf(stderr, "fault: a plan is already armed; nested scope stays inert\n");
+  }
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  if (installed_) g_plan.store(nullptr, std::memory_order_release);
+}
+
+bool parse_spec(const std::string& spec, FaultConfig& out) {
+  out = FaultConfig{};
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    char* end = nullptr;
+    const double num = std::strtod(val.c_str(), &end);
+    if (end == val.c_str() || *end != '\0') return false;
+    if (key == "seed") out.seed = static_cast<std::uint64_t>(num);
+    else if (key == "stall") out.worker_stall_prob = num;
+    else if (key == "stall_us") out.worker_stall_us = static_cast<std::int64_t>(num);
+    else if (key == "backend") out.backend_fail_prob = num;
+    else if (key == "ckpt") out.checkpoint_corrupt_prob = num;
+    else if (key == "full") out.force_queue_full = num != 0.0;
+    else if (key == "pressure") out.force_pressure = num != 0.0;
+    else return false;
+  }
+  return true;
+}
+
+bool write_truncated_copy(const std::string& src, const std::string& dst,
+                          std::uint64_t seed) {
+  std::FILE* in = std::fopen(src.c_str(), "rb");
+  if (in == nullptr) return false;
+  std::vector<char> bytes;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(in);
+  if (bytes.empty()) return false;
+  // Strictly inside the file: at least one byte is always missing, so a
+  // length-validating parser (capsnet::load_params) is guaranteed to
+  // reject the copy.
+  const std::size_t cut = static_cast<std::size_t>(mix(seed) % bytes.size());
+  std::FILE* outf = std::fopen(dst.c_str(), "wb");
+  if (outf == nullptr) return false;
+  const bool ok = cut == 0 || std::fwrite(bytes.data(), 1, cut, outf) == cut;
+  std::fclose(outf);
+  return ok;
+}
+
+}  // namespace redcane::serve::fault

@@ -1,0 +1,131 @@
+// Deterministic fault injection for the serving stack.
+//
+// ReD-CaNe injects noise into the *model* to measure its resilience; this
+// module injects faults into the *runtime* to prove the serving stack's
+// resilience: worker stalls, backend execution failures, corrupted
+// checkpoint reads, and artificial queue pressure. The chaos soak test
+// (tests/test_chaos.cpp) arms every mix of these and asserts the
+// fault-tolerance contract — every future resolves, counters reconcile,
+// shutdown completes.
+//
+// Determinism: every decision is a pure function of (plan seed, fault
+// site, per-site sequence number) through a splitmix64 hash — the k-th
+// query at a site always answers the same for a given seed, regardless of
+// which thread asks. Probabilities are compared against the hash mapped
+// into [0, 1).
+//
+// Zero cost when off: the process-wide plan is a single atomic pointer,
+// null by default. Production hooks read one relaxed-load branch
+// (`fault::armed()`) and touch nothing else; arming happens only in tests,
+// the chaos bench segment, and via the REDCANE_FAULTS env spec.
+//
+// Spec grammar (comma-separated key=value, e.g. for REDCANE_FAULTS or
+// redcane_serve --faults):
+//   seed=N        decision-stream seed                     (default 1)
+//   stall=P       worker stall probability per batch       (default 0)
+//   stall_us=N    stall duration [us]                      (default 2000)
+//   backend=P     backend execution failure probability    (default 0)
+//   ckpt=P        checkpoint-read corruption probability   (default 0)
+//   full=0|1      admission sees the queue as full         (default 0)
+//   pressure=0|1  degraded mode forced on                  (default 0)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace redcane::serve::fault {
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  double worker_stall_prob = 0.0;      ///< Per popped batch.
+  std::int64_t worker_stall_us = 2000; ///< Stall duration [us].
+  double backend_fail_prob = 0.0;      ///< Per backend execution.
+  double checkpoint_corrupt_prob = 0.0;  ///< Per checkpoint read.
+  bool force_queue_full = false;       ///< Admission rejects everything.
+  bool force_pressure = false;         ///< Degraded mode on regardless of depth.
+
+  [[nodiscard]] bool any() const {
+    return worker_stall_prob > 0.0 || backend_fail_prob > 0.0 ||
+           checkpoint_corrupt_prob > 0.0 || force_queue_full || force_pressure;
+  }
+};
+
+/// Injected-fault tally, for test reconciliation and chaos reports.
+struct FaultCounters {
+  std::int64_t worker_stalls = 0;
+  std::int64_t backend_failures = 0;
+  std::int64_t checkpoint_corruptions = 0;
+};
+
+/// A seed-driven fault decision stream. Thread-safe: per-site sequence
+/// counters are atomic, decisions are pure hashes.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultConfig cfg) : cfg_(cfg) {}
+
+  /// True when the worker should stall before handling its next batch;
+  /// `us` receives the stall duration.
+  [[nodiscard]] bool stall_worker(std::int64_t& us);
+
+  /// True when this backend execution should fail.
+  [[nodiscard]] bool fail_backend();
+
+  /// True when this checkpoint read should be corrupted.
+  [[nodiscard]] bool corrupt_checkpoint();
+
+  [[nodiscard]] bool queue_full() const { return cfg_.force_queue_full; }
+  [[nodiscard]] bool pressure() const { return cfg_.force_pressure; }
+
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+  [[nodiscard]] FaultCounters counters() const;
+
+ private:
+  [[nodiscard]] bool decide(std::uint64_t site, std::atomic<std::uint64_t>& seq,
+                            double prob);
+
+  FaultConfig cfg_;
+  std::atomic<std::uint64_t> stall_seq_{0};
+  std::atomic<std::uint64_t> backend_seq_{0};
+  std::atomic<std::uint64_t> ckpt_seq_{0};
+  std::atomic<std::int64_t> stalls_{0};
+  std::atomic<std::int64_t> backend_failures_{0};
+  std::atomic<std::int64_t> ckpt_corruptions_{0};
+};
+
+/// True when a fault plan is armed process-wide. The only cost production
+/// code pays when chaos is off.
+[[nodiscard]] bool armed();
+
+/// The armed plan (null when !armed()). Callers must check armed() first;
+/// the pointer stays valid for the lifetime of the arming ScopedFaultPlan.
+[[nodiscard]] FaultPlan* plan();
+
+/// RAII arming of a process-wide plan (tests / chaos segments only).
+/// Nesting is a programming error; the inner scope refuses and stays inert.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultConfig cfg);
+  ~ScopedFaultPlan();
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+  [[nodiscard]] FaultPlan& plan() { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  bool installed_ = false;
+};
+
+/// Parses the spec grammar above into `out` (unparsed keys fail). Returns
+/// false (leaving `out` unspecified) on a malformed spec.
+[[nodiscard]] bool parse_spec(const std::string& spec, FaultConfig& out);
+
+/// Writes a copy of `src` truncated at a seed-driven offset strictly inside
+/// the file (so parsers must reject it) to `dst`. Returns false on I/O
+/// failure or when `src` is empty. Used by the checkpoint-read fault site.
+[[nodiscard]] bool write_truncated_copy(const std::string& src, const std::string& dst,
+                                        std::uint64_t seed);
+
+}  // namespace redcane::serve::fault

@@ -1,12 +1,13 @@
 #include "serve/registry.hpp"
 
 #include <cstdio>
-#include <cstdlib>
+#include <mutex>
 
 #include "capsnet/capsnet_model.hpp"
 #include "capsnet/deepcaps_model.hpp"
 #include "capsnet/serialize.hpp"
 #include "capsnet/trainer.hpp"
+#include "serve/fault.hpp"
 
 namespace redcane::serve {
 namespace {
@@ -41,6 +42,21 @@ std::string dir_of(const std::string& path) {
   return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
 }
 
+/// Loads `ckpt` into the model, honoring the armed fault plan: a
+/// checkpoint-corruption fault reads a truncated copy instead, which
+/// load_params must reject — exercising the caller's rollback path.
+bool load_checkpoint(capsnet::CapsModel& model, const std::string& ckpt) {
+  if (fault::armed() && fault::plan()->corrupt_checkpoint()) {
+    const std::string chaos = ckpt + ".chaos";
+    const bool loaded =
+        fault::write_truncated_copy(ckpt, chaos, fault::plan()->config().seed) &&
+        capsnet::load_params(model, chaos);
+    std::remove(chaos.c_str());
+    return loaded;
+  }
+  return capsnet::load_params(model, ckpt);
+}
+
 }  // namespace
 
 ModelRegistry::ModelRegistry(std::unique_ptr<capsnet::CapsModel> model,
@@ -69,7 +85,7 @@ std::unique_ptr<ModelRegistry> ModelRegistry::open(const std::string& manifest_p
   const std::string ckpt = m.checkpoint.front() == '/'
                                ? m.checkpoint
                                : dir_of(manifest_path) + m.checkpoint;
-  if (!capsnet::load_params(*model, ckpt)) {
+  if (!load_checkpoint(*model, ckpt)) {
     std::fprintf(stderr, "serve: cannot load checkpoint %s\n", ckpt.c_str());
     return nullptr;
   }
@@ -80,6 +96,31 @@ std::unique_ptr<ModelRegistry> ModelRegistry::open(const std::string& manifest_p
     return nullptr;
   }
   return std::make_unique<ModelRegistry>(std::move(model), std::move(m));
+}
+
+bool ModelRegistry::reload(const std::string& manifest_path) {
+  // Full revalidation happens OUTSIDE the write lock: traffic keeps
+  // flowing on the old model while the candidate loads.
+  std::unique_ptr<ModelRegistry> fresh = open(manifest_path);
+  if (fresh == nullptr) {
+    reloads_failed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  {
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    // Queued requests were shape-validated against the current model;
+    // a hot reload may not change the served geometry under them.
+    if (fresh->model_->input_shape() != model_->input_shape()) {
+      std::fprintf(stderr, "serve: reload rejected — input shape changed\n");
+      reloads_failed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    model_ = std::move(fresh->model_);
+    manifest_ = std::move(fresh->manifest_);
+    variants_ = std::move(fresh->variants_);
+  }
+  reloads_ok_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void ModelRegistry::build_variants() {
@@ -114,42 +155,67 @@ void ModelRegistry::build_variants() {
       {kVariantEmulated, std::make_unique<backend::EmulatedBackend>(std::move(plan))});
 }
 
+core::DeploymentManifest ModelRegistry::manifest() const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  return manifest_;
+}
+
+Shape ModelRegistry::input_shape() const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  return model_->input_shape();
+}
+
 std::vector<std::string> ModelRegistry::variant_names() const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   for (const Variant& v : variants_) names.push_back(v.name);
   return names;
 }
 
 bool ModelRegistry::has_variant(const std::string& name) const {
-  for (const Variant& v : variants_) {
-    if (v.name == name) return true;
-  }
-  return false;
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  return find_variant_locked(name) != nullptr;
 }
 
 std::int64_t ModelRegistry::designed_noisy_sites() const {
-  const std::vector<noise::InjectionRule>* rules =
-      find_variant(kVariantDesigned).exec->rules();
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const Variant* v = find_variant_locked(kVariantDesigned);
+  if (v == nullptr) return 0;
+  const std::vector<noise::InjectionRule>* rules = v->exec->rules();
   return rules == nullptr ? 0 : static_cast<std::int64_t>(rules->size());
 }
 
 std::int64_t ModelRegistry::emulated_sites() const {
-  const auto& emu =
-      static_cast<const backend::EmulatedBackend&>(*find_variant(kVariantEmulated).exec);
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const Variant* v = find_variant_locked(kVariantEmulated);
+  if (v == nullptr) return 0;
+  const auto& emu = static_cast<const backend::EmulatedBackend&>(*v->exec);
   return static_cast<std::int64_t>(emu.plan().size());
 }
 
-const Variant& ModelRegistry::find_variant(const std::string& name) const {
+const Variant* ModelRegistry::find_variant_locked(const std::string& name) const {
   for (const Variant& v : variants_) {
-    if (v.name == name) return v;
+    if (v.name == name) return &v;
   }
-  std::fprintf(stderr, "serve fatal: unknown variant '%s'\n", name.c_str());
-  std::abort();
+  return nullptr;
 }
 
-Tensor ModelRegistry::run(const std::string& variant, const Tensor& x,
-                          std::uint64_t salt) const {
-  return find_variant(variant).exec->run(*model_, x, salt);
+RunResult ModelRegistry::run(const std::string& variant, const Tensor& x,
+                             std::uint64_t salt) const {
+  RunResult r;
+  if (fault::armed() && fault::plan()->fail_backend()) {
+    r.error = "injected backend fault";
+    return r;
+  }
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const Variant* v = find_variant_locked(variant);
+  if (v == nullptr) {
+    r.error = "unknown variant '" + variant + "'";
+    return r;
+  }
+  r.output = v->exec->run(*model_, x, salt);
+  r.ok = true;
+  return r;
 }
 
 }  // namespace redcane::serve

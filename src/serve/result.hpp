@@ -1,0 +1,83 @@
+// Typed request outcomes of the serving runtime.
+//
+// Every submitted request resolves its future with a ServeResult: either a
+// Prediction, or a ServeError naming exactly why the request was not (or
+// only partially) served. No caller input reaches std::abort and no promise
+// is ever left unresolved — the error taxonomy replaces the seed runtime's
+// fail-loudly aborts so one bad request, one burst, or one failing backend
+// can never take the process (or a waiting client) down with it.
+//
+// kDegradedServed is the one non-failure code: the request WAS served (the
+// prediction is valid) but by the cheap exact variant instead of the
+// expensive one it asked for, because the server was above its queue
+// high watermark (see batcher.hpp). ServeResult::ok() treats it as success;
+// callers that care inspect Prediction::degraded / served_by.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace redcane::serve {
+
+/// Completed inference of one request.
+struct Prediction {
+  std::uint64_t request_id = 0;
+  std::string variant;        ///< Variant the caller requested ("exact", ...).
+  std::string served_by;      ///< Variant that actually ran it (== variant
+                              ///< unless degraded).
+  bool degraded = false;      ///< Served by "exact" under queue pressure.
+  std::int64_t label = -1;    ///< Predicted class (argmax of scores).
+  std::vector<float> scores;  ///< Class-capsule lengths, one per class.
+  std::int64_t batch_size = 0;  ///< Size of the micro-batch it rode in.
+  double latency_us = 0.0;      ///< Enqueue -> fulfillment [us].
+};
+
+/// Why a request did not resolve to the prediction it asked for.
+enum class ServeErrorCode {
+  kOk = 0,             ///< Served as requested.
+  kUnknownVariant,     ///< No such variant in the registry.
+  kBadShape,           ///< Sample does not fit the model input.
+  kShutdown,           ///< Submitted to a closed/shut-down server.
+  kQueueFull,          ///< Admission control rejected: queue at max_queue.
+  kDeadlineExceeded,   ///< Shed at pop time: past its deadline.
+  kBackendFailure,     ///< Backend execution failed (fault-injected or real).
+  kDegradedServed,     ///< Served, but by the exact variant (see above).
+};
+
+/// Stable lowercase token of a code ("ok", "queue_full", ...).
+[[nodiscard]] const char* serve_error_name(ServeErrorCode code);
+
+struct ServeError {
+  ServeErrorCode code = ServeErrorCode::kOk;
+  std::string detail;  ///< Human-readable context ("variant 'x' unknown").
+};
+
+/// What a submitted future resolves to: a prediction, a typed error, or
+/// both (degraded service).
+struct ServeResult {
+  ServeError error;
+  Prediction prediction;  ///< Valid iff ok().
+
+  /// True when `prediction` is valid (served as asked, or degraded-served).
+  [[nodiscard]] bool ok() const {
+    return error.code == ServeErrorCode::kOk ||
+           error.code == ServeErrorCode::kDegradedServed;
+  }
+};
+
+inline const char* serve_error_name(ServeErrorCode code) {
+  switch (code) {
+    case ServeErrorCode::kOk: return "ok";
+    case ServeErrorCode::kUnknownVariant: return "unknown_variant";
+    case ServeErrorCode::kBadShape: return "bad_shape";
+    case ServeErrorCode::kShutdown: return "shutdown";
+    case ServeErrorCode::kQueueFull: return "queue_full";
+    case ServeErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ServeErrorCode::kBackendFailure: return "backend_failure";
+    case ServeErrorCode::kDegradedServed: return "degraded_served";
+  }
+  return "?";
+}
+
+}  // namespace redcane::serve

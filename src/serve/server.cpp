@@ -1,8 +1,8 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -10,17 +10,20 @@
 #include <omp.h>
 #endif
 
+#include "serve/fault.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/workspace.hpp"
 
 namespace redcane::serve {
 
-double percentile_us(std::vector<double> values_us, double p) {
+double percentile_us(std::vector<double>& values_us, double p) {
   if (values_us.empty()) return 0.0;
-  std::sort(values_us.begin(), values_us.end());
   const double rank = p / 100.0 * static_cast<double>(values_us.size() - 1);
-  const auto idx = static_cast<std::size_t>(std::llround(rank));
-  return values_us[std::min(idx, values_us.size() - 1)];
+  const auto idx = std::min(static_cast<std::size_t>(std::llround(rank)),
+                            values_us.size() - 1);
+  const auto nth = values_us.begin() + static_cast<std::ptrdiff_t>(idx);
+  std::nth_element(values_us.begin(), nth, values_us.end());
+  return *nth;
 }
 
 int InferenceServer::resolve_workers(int requested) {
@@ -36,48 +39,115 @@ int InferenceServer::resolve_workers(int requested) {
 InferenceServer::InferenceServer(ModelRegistry& registry, ServerConfig cfg)
     : registry_(registry),
       cfg_(cfg),
-      batcher_(BatcherConfig{cfg.max_batch, cfg.max_delay_us}) {
+      batcher_(BatcherConfig{cfg.max_batch, cfg.max_delay_us, cfg.max_queue,
+                             /*high_watermark=*/0, /*low_watermark=*/0}) {
   stats_.workers = resolve_workers(cfg_.workers);
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
-std::future<Prediction> InferenceServer::submit(const Tensor& sample,
-                                                const std::string& variant) {
-  if (!registry_.has_variant(variant)) {
-    std::fprintf(stderr, "serve fatal: submit to unknown variant '%s'\n",
-                 variant.c_str());
-    std::abort();
-  }
-  const Shape in = registry_.model().input_shape();
-  const Shape row{1, in.dim(0), in.dim(1), in.dim(2)};
-  Tensor x;
-  if (sample.shape() == row) {
-    x = sample;
-  } else if (sample.shape().rank() == 3 && sample.numel() == row.numel()) {
-    x = sample.reshaped(row);
-  } else {
-    std::fprintf(stderr, "serve fatal: sample shape %s does not fit input %s\n",
-                 sample.shape().to_string().c_str(), in.to_string().c_str());
-    std::abort();
-  }
+bool InferenceServer::pressured() const {
+  if (fault::armed() && fault::plan()->pressure()) return true;
+  return batcher_.pressured();
+}
 
+std::future<ServeResult> InferenceServer::reject(QueuedRequest&& r,
+                                                 ServeErrorCode code,
+                                                 std::string detail) {
+  ServeResult res;
+  res.error = {code, std::move(detail)};
+  res.prediction.request_id = r.id;
+  res.prediction.variant = r.requested_variant;
+  std::future<ServeResult> fut = r.done.get_future();
+  r.done.set_value(std::move(res));
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    switch (code) {
+      case ServeErrorCode::kUnknownVariant:
+      case ServeErrorCode::kBadShape: ++stats_.rejected_invalid; break;
+      case ServeErrorCode::kShutdown: ++stats_.rejected_shutdown; break;
+      case ServeErrorCode::kQueueFull: ++stats_.rejected_queue_full; break;
+      default: break;
+    }
+  }
+  return fut;
+}
+
+std::future<ServeResult> InferenceServer::submit(const Tensor& sample,
+                                                 const std::string& variant) {
   QueuedRequest r;
+  r.requested_variant = variant;
   r.variant = variant;
-  r.x = std::move(x);
   r.enqueued = ServeClock::now();
   {
     const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
     r.id = next_id_++;
   }
-  std::future<Prediction> fut = r.done.get_future();
-  if (!batcher_.push(r)) {
-    // Submitting to a shut-down server is a caller bug; failing loudly here
-    // beats handing back a future that never resolves.
-    std::fprintf(stderr, "serve fatal: submit after shutdown\n");
-    std::abort();
+
+  if (!registry_.has_variant(variant)) {
+    return reject(std::move(r), ServeErrorCode::kUnknownVariant,
+                  "no variant '" + variant + "' in the registry");
   }
-  return fut;
+  const Shape in = registry_.input_shape();
+  const Shape row{1, in.dim(0), in.dim(1), in.dim(2)};
+  if (sample.shape() == row) {
+    r.x = sample;
+  } else if (sample.shape().rank() == 3 && sample.numel() == row.numel()) {
+    r.x = sample.reshaped(row);
+  } else {
+    return reject(std::move(r), ServeErrorCode::kBadShape,
+                  "sample shape " + sample.shape().to_string() +
+                      " does not fit input " + in.to_string());
+  }
+
+  if (cfg_.deadline_us > 0) {
+    r.deadline = r.enqueued + std::chrono::microseconds(cfg_.deadline_us);
+    r.has_deadline = true;
+  }
+
+  // Graceful degradation: above the high watermark (or under a forced-
+  // pressure fault), expensive variants ride the cheap exact path. The
+  // substitution happens at admission so the request coalesces with exact
+  // traffic; the prediction carries the degraded flag.
+  if (cfg_.degrade_under_pressure && variant != kVariantExact && pressured()) {
+    r.variant = kVariantExact;
+    r.degraded = true;
+  }
+
+  if (fault::armed() && fault::plan()->queue_full()) {
+    return reject(std::move(r), ServeErrorCode::kQueueFull,
+                  "injected queue-pressure fault");
+  }
+
+  std::future<ServeResult> fut = r.done.get_future();
+  switch (batcher_.push(r)) {
+    case PushStatus::kAccepted: return fut;
+    case PushStatus::kClosed: {
+      // The batcher left `r` (and its promise) untouched: resolve it with
+      // the typed shutdown error instead of the seed runtime's abort.
+      ServeResult res;
+      res.error = {ServeErrorCode::kShutdown, "submit after shutdown"};
+      res.prediction.request_id = r.id;
+      res.prediction.variant = r.requested_variant;
+      r.done.set_value(std::move(res));
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_shutdown;
+      return fut;
+    }
+    case PushStatus::kFull: {
+      ServeResult res;
+      res.error = {ServeErrorCode::kQueueFull,
+                   "queue at max_queue=" + std::to_string(cfg_.max_queue)};
+      res.prediction.request_id = r.id;
+      res.prediction.variant = r.requested_variant;
+      r.done.set_value(std::move(res));
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_queue_full;
+      return fut;
+    }
+  }
+  return fut;  // Unreachable.
 }
 
 void InferenceServer::start() {
@@ -117,36 +187,84 @@ void InferenceServer::shutdown() {
 
 void InferenceServer::worker_loop() {
   std::vector<QueuedRequest> batch;
-  while (batcher_.pop_batch(batch)) process_batch(batch);
+  std::vector<QueuedRequest> expired;
+  while (batcher_.pop_batch(batch, expired)) {
+    if (fault::armed()) {
+      std::int64_t stall_us = 0;
+      if (fault::plan()->stall_worker(stall_us) && stall_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+      }
+    }
+    resolve_expired(expired);
+    if (!batch.empty()) process_batch(batch);
+  }
+}
+
+void InferenceServer::resolve_expired(std::vector<QueuedRequest>& expired) {
+  if (expired.empty()) return;
+  for (QueuedRequest& r : expired) {
+    ServeResult res;
+    res.error = {ServeErrorCode::kDeadlineExceeded,
+                 "deadline of " + std::to_string(cfg_.deadline_us) +
+                     " us passed before a batch slot opened"};
+    res.prediction.request_id = r.id;
+    res.prediction.variant = r.requested_variant;
+    r.done.set_value(std::move(res));
+  }
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.shed_deadline += static_cast<std::int64_t>(expired.size());
 }
 
 void InferenceServer::process_batch(std::vector<QueuedRequest>& batch) {
-  const Shape in = registry_.model().input_shape();
   const auto n = static_cast<std::int64_t>(batch.size());
-  Tensor x(Shape{n, in.dim(0), in.dim(1), in.dim(2)});
-  const std::int64_t row = x.numel() / n;
+  // Assemble from the requests' own (submit-validated) row shape, not the
+  // registry's live shape — a concurrent hot reload must not tear a batch.
+  const Shape& row = batch.front().x.shape();
+  Tensor x(Shape{n, row.dim(1), row.dim(2), row.dim(3)});
+  const std::int64_t row_n = x.numel() / n;
   for (std::int64_t i = 0; i < n; ++i) {
-    std::memcpy(x.data().data() + i * row, batch[static_cast<std::size_t>(i)].x.data().data(),
-                static_cast<std::size_t>(row) * sizeof(float));
+    std::memcpy(x.data().data() + i * row_n,
+                batch[static_cast<std::size_t>(i)].x.data().data(),
+                static_cast<std::size_t>(row_n) * sizeof(float));
   }
 
   // One backend execution per micro-batch. The designed variant's noise
   // stream is keyed by the batch's first request id: independent of worker
   // identity, so outputs only depend on batch composition. The emulated
   // variant is RNG-free — its outputs depend on the batch tensor alone.
-  const Tensor v = registry_.run(batch.front().variant, x, batch.front().id);
-  const Tensor lengths = capsnet::CapsModel::class_lengths(v);
+  const RunResult run = registry_.run(batch.front().variant, x, batch.front().id);
+  if (!run.ok) {
+    // Typed failure for every rider of the batch; the process (and every
+    // other in-flight batch) keeps serving.
+    for (std::int64_t i = 0; i < n; ++i) {
+      QueuedRequest& r = batch[static_cast<std::size_t>(i)];
+      ServeResult res;
+      res.error = {ServeErrorCode::kBackendFailure, run.error};
+      res.prediction.request_id = r.id;
+      res.prediction.variant = r.requested_variant;
+      r.done.set_value(std::move(res));
+    }
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.backend_failed += n;
+    return;
+  }
+
+  const Tensor lengths = capsnet::CapsModel::class_lengths(run.output);
   const std::vector<std::int64_t> labels = ops::argmax_last_axis(lengths);
 
   const auto done = ServeClock::now();
   const std::int64_t classes = lengths.shape().dim(-1);
+  std::int64_t degraded = 0;
   std::vector<double> latencies;
   latencies.reserve(batch.size());
   for (std::int64_t i = 0; i < n; ++i) {
     QueuedRequest& r = batch[static_cast<std::size_t>(i)];
-    Prediction p;
+    ServeResult res;
+    Prediction& p = res.prediction;
     p.request_id = r.id;
-    p.variant = r.variant;
+    p.variant = r.requested_variant;
+    p.served_by = r.variant;
+    p.degraded = r.degraded;
     p.label = labels[static_cast<std::size_t>(i)];
     p.scores.assign(lengths.data().begin() + i * classes,
                     lengths.data().begin() + (i + 1) * classes);
@@ -154,11 +272,17 @@ void InferenceServer::process_batch(std::vector<QueuedRequest>& batch) {
     p.latency_us =
         std::chrono::duration<double, std::micro>(done - r.enqueued).count();
     latencies.push_back(p.latency_us);
-    r.done.set_value(std::move(p));
+    if (r.degraded) {
+      ++degraded;
+      res.error = {ServeErrorCode::kDegradedServed,
+                   "served by '" + r.variant + "' under queue pressure"};
+    }
+    r.done.set_value(std::move(res));
   }
 
   const std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.requests += n;
+  stats_.degraded += degraded;
   ++stats_.batches;
   for (const double l : latencies) {
     if (stats_.latencies_us.size() < kLatencyWindow) {

@@ -1,8 +1,8 @@
-// InferenceServer: the batched serving runtime for designed approximate
-// CapsNets.
+// InferenceServer: the batched, fault-tolerant serving runtime for
+// designed approximate CapsNets.
 //
 // Requests (one sample + a variant name) are submitted from any thread and
-// resolved through std::future<Prediction>. A worker pool — the threading
+// resolved through std::future<ServeResult>. A worker pool — the threading
 // discipline of core/sweep_engine: plain std::threads, OpenMP capped to one
 // thread per worker when several workers run so kernels do not oversubscribe
 // the machine — drains the MicroBatcher, runs one shared-weight eval
@@ -10,10 +10,23 @@
 // eval), and fulfills each request with its predicted label, class scores
 // and measured latency.
 //
+// Fault tolerance: no caller input can kill the process and no promise is
+// ever left unresolved. Invalid submits (unknown variant, bad shape,
+// post-shutdown), admission rejections (bounded queue full), deadline
+// misses and backend failures all resolve the future with a typed
+// ServeError (serve/result.hpp) instead of the seed runtime's abort().
+// Above the queue's high watermark the server can optionally serve
+// expensive variants (designed/emulated) with the cheap exact variant —
+// flagged on the Prediction and counted — and sheds load instead of
+// wedging. serve/fault.hpp injects worker stalls, backend failures and
+// queue pressure behind zero-cost-when-off hooks; tests/test_chaos.cpp is
+// the soak proving every future resolves under every fault mix.
+//
 // Determinism: batch composition never depends on which worker pops (see
 // batcher.hpp) and each designed-variant batch's noise stream is seeded
 // from the batch's first request id — scheduling cannot perturb the math.
-// For a pinned arrival order (submit before start()), served outputs are
+// For a pinned arrival order (submit before start()) with no faults, no
+// deadline and no bounded queue — the defaults — served outputs are
 // bit-identical across worker counts (tests/test_serve.cpp); under live
 // traffic, exact-variant outputs remain bit-identical per sample while
 // designed-variant noise follows the realized batch layout.
@@ -33,6 +46,7 @@
 
 #include "serve/batcher.hpp"
 #include "serve/registry.hpp"
+#include "serve/result.hpp"
 
 namespace redcane::serve {
 
@@ -42,6 +56,12 @@ struct ServerConfig {
   int workers = 0;
   std::int64_t max_batch = 16;       ///< Micro-batch coalescing ceiling [requests].
   std::int64_t max_delay_us = 2000;  ///< Head-of-line batching wait [us].
+  std::int64_t max_queue = 0;        ///< Admission bound [requests]; 0 = unbounded.
+  std::int64_t deadline_us = 0;      ///< Per-request deadline [us]; 0 = none.
+  /// Above the queue high watermark, serve designed/emulated requests with
+  /// the exact variant (flagged + counted) instead of queueing expensive
+  /// work the server cannot keep up with.
+  bool degrade_under_pressure = false;
 };
 
 /// Latency samples retained for percentile reporting: a sliding window of
@@ -49,13 +69,23 @@ struct ServerConfig {
 /// memory instead of growing 8 bytes per request forever.
 inline constexpr std::size_t kLatencyWindow = 16384;
 
-/// Aggregate counters of one server lifetime.
+/// Aggregate counters of one server lifetime. Conservation law (asserted
+/// by tests/test_chaos.cpp): submitted == requests + rejected_invalid +
+/// rejected_queue_full + rejected_shutdown + shed_deadline +
+/// backend_failed.
 struct ServerStats {
-  std::int64_t requests = 0;  ///< Requests fulfilled.
-  std::int64_t batches = 0;   ///< Micro-batches executed.
+  std::int64_t submitted = 0;  ///< submit() calls, accepted or not.
+  std::int64_t requests = 0;   ///< Requests fulfilled with a prediction.
+  std::int64_t batches = 0;    ///< Micro-batches executed.
+  std::int64_t rejected_invalid = 0;     ///< Unknown variant / bad shape.
+  std::int64_t rejected_queue_full = 0;  ///< Admission-control rejections.
+  std::int64_t rejected_shutdown = 0;    ///< Submits after close.
+  std::int64_t shed_deadline = 0;        ///< Expired at pop time.
+  std::int64_t backend_failed = 0;       ///< Resolved with kBackendFailure.
+  std::int64_t degraded = 0;  ///< Subset of `requests` served by "exact".
   int workers = 0;            ///< Resolved worker count.
   /// Enqueue->done latency [us] of the most recent <= kLatencyWindow
-  /// requests (unordered; feed to percentile_us).
+  /// fulfilled requests (unordered; feed to percentile_us).
   std::vector<double> latencies_us;
 
   /// Mean fulfilled micro-batch size [requests/batch].
@@ -63,11 +93,19 @@ struct ServerStats {
     return batches == 0 ? 0.0
                         : static_cast<double>(requests) / static_cast<double>(batches);
   }
+
+  /// The conservation law above; every submit is accounted exactly once.
+  [[nodiscard]] bool reconciles() const {
+    return submitted == requests + rejected_invalid + rejected_queue_full +
+                            rejected_shutdown + shed_deadline + backend_failed;
+  }
 };
 
-/// The p-th percentile (p in [0, 100]) of `values_us`, by nearest-rank on a
-/// sorted copy; 0 when empty. Shared by the example/bench latency reports.
-[[nodiscard]] double percentile_us(std::vector<double> values_us, double p);
+/// The p-th percentile (p in [0, 100]) of `values_us`, by nearest-rank via
+/// std::nth_element — O(n), no sort, no copy; `values_us` is partially
+/// reordered. 0 when empty. Callers snapshot stats() once and query this
+/// for each percentile. Shared by the example/bench latency reports.
+[[nodiscard]] double percentile_us(std::vector<double>& values_us, double p);
 
 class InferenceServer {
  public:
@@ -79,10 +117,11 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Enqueues one sample ([H, W, C] or [1, H, W, C]) for `variant` and
-  /// returns the future of its prediction. Aborts on an unknown variant, a
-  /// shape mismatch, or a submit after shutdown() — all caller programming
-  /// errors (the alternative is a future that never resolves).
-  std::future<Prediction> submit(const Tensor& sample, const std::string& variant);
+  /// returns the future of its result. Never aborts and never dangles:
+  /// an unknown variant, a shape mismatch, a full queue or a post-
+  /// shutdown submit resolve the future immediately with the matching
+  /// typed ServeError.
+  std::future<ServeResult> submit(const Tensor& sample, const std::string& variant);
 
   /// Spawns the worker pool. Idempotent.
   void start();
@@ -93,12 +132,18 @@ class InferenceServer {
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] const ServerConfig& config() const { return cfg_; }
 
+  /// Queue-pressure flag of the underlying batcher (or fault-forced).
+  [[nodiscard]] bool pressured() const;
+
   /// Resolves cfg.workers / REDCANE_SERVE_THREADS / hardware_concurrency.
   [[nodiscard]] static int resolve_workers(int requested);
 
  private:
   void worker_loop();
   void process_batch(std::vector<QueuedRequest>& batch);
+  void resolve_expired(std::vector<QueuedRequest>& expired);
+  std::future<ServeResult> reject(QueuedRequest&& r, ServeErrorCode code,
+                                  std::string detail);
 
   ModelRegistry& registry_;
   ServerConfig cfg_;

@@ -15,9 +15,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "capsnet/capsnet_model.hpp"
@@ -98,7 +101,7 @@ std::vector<Prediction> serve_stream(ModelRegistry& registry, const data::Datase
   sc.max_delay_us = 1000;
   InferenceServer server(registry, sc);
   const std::int64_t n = ds.test_x.shape().dim(0);
-  std::vector<std::future<Prediction>> futs;
+  std::vector<std::future<ServeResult>> futs;
   for (const char* variant : {kVariantExact, kVariantDesigned, kVariantEmulated}) {
     for (std::int64_t i = 0; i < n; ++i) {
       futs.push_back(server.submit(capsnet::slice_rows(ds.test_x, i, i + 1), variant));
@@ -107,7 +110,11 @@ std::vector<Prediction> serve_stream(ModelRegistry& registry, const data::Datase
   server.start();
   std::vector<Prediction> out;
   out.reserve(futs.size());
-  for (auto& f : futs) out.push_back(f.get());
+  for (auto& f : futs) {
+    ServeResult res = f.get();
+    EXPECT_TRUE(res.ok()) << serve_error_name(res.error.code) << ": " << res.error.detail;
+    out.push_back(std::move(res.prediction));
+  }
   server.shutdown();
   return out;
 }
@@ -160,7 +167,7 @@ TEST(Serve, BatcherCoalescesSameVariantRunsFifo) {
     r.id = id;
     r.variant = variant;
     r.enqueued = ServeClock::now();
-    ASSERT_TRUE(batcher.push(r));
+    ASSERT_EQ(batcher.push(r), PushStatus::kAccepted);
   };
   // exact x4, designed x2, exact x1.
   for (std::uint64_t id : {0, 1, 2, 3}) push(id, kVariantExact);
@@ -171,7 +178,9 @@ TEST(Serve, BatcherCoalescesSameVariantRunsFifo) {
 
   std::vector<std::vector<std::uint64_t>> batches;
   std::vector<QueuedRequest> batch;
-  while (batcher.pop_batch(batch)) {
+  std::vector<QueuedRequest> expired;
+  while (batcher.pop_batch(batch, expired)) {
+    EXPECT_TRUE(expired.empty());  // No deadlines set on any request.
     std::vector<std::uint64_t> ids;
     for (QueuedRequest& r : batch) {
       ids.push_back(r.id);
@@ -188,7 +197,73 @@ TEST(Serve, BatcherCoalescesSameVariantRunsFifo) {
   QueuedRequest late;
   late.id = 7;
   late.variant = kVariantExact;
-  EXPECT_FALSE(batcher.push(late));
+  EXPECT_EQ(batcher.push(late), PushStatus::kClosed);
+}
+
+TEST(Serve, BatcherBoundsQueueAndTracksPressure) {
+  BatcherConfig bc;
+  bc.max_batch = 4;
+  bc.max_delay_us = 0;
+  bc.max_queue = 8;  // Watermarks derive: high 6, low 4.
+  MicroBatcher batcher(bc);
+  EXPECT_EQ(batcher.config().high_watermark, 6);
+  EXPECT_EQ(batcher.config().low_watermark, 4);
+
+  auto make = [](std::uint64_t id) {
+    QueuedRequest r;
+    r.id = id;
+    r.variant = kVariantExact;
+    r.enqueued = ServeClock::now();
+    return r;
+  };
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    QueuedRequest r = make(id);
+    ASSERT_EQ(batcher.push(r), PushStatus::kAccepted);
+    EXPECT_EQ(batcher.pressured(), id + 1 >= 6) << "depth " << id + 1;
+  }
+  // Admission control: the 9th request bounces, the queue does not grow.
+  QueuedRequest overflow = make(8);
+  EXPECT_EQ(batcher.push(overflow), PushStatus::kFull);
+  EXPECT_EQ(batcher.pending(), 8U);
+  EXPECT_EQ(overflow.id, 8U);  // Left untouched: the caller resolves it.
+
+  // Draining to the low watermark clears pressure (hysteresis: not at 5).
+  std::vector<QueuedRequest> batch;
+  std::vector<QueuedRequest> expired;
+  ASSERT_TRUE(batcher.pop_batch(batch, expired));  // 8 -> 4.
+  EXPECT_EQ(batch.size(), 4U);
+  EXPECT_FALSE(batcher.pressured());
+  batcher.close();
+}
+
+TEST(Serve, BatcherShedsExpiredRequestsAtPopTime) {
+  MicroBatcher batcher(BatcherConfig{4, 0});
+  auto push = [&](std::uint64_t id, bool expired_already) {
+    QueuedRequest r;
+    r.id = id;
+    r.variant = kVariantExact;
+    r.enqueued = ServeClock::now();
+    r.has_deadline = true;
+    r.deadline = expired_already ? r.enqueued - std::chrono::microseconds(1)
+                                 : r.enqueued + std::chrono::seconds(60);
+    ASSERT_EQ(batcher.push(r), PushStatus::kAccepted);
+  };
+  push(0, /*expired_already=*/true);
+  push(1, /*expired_already=*/false);
+  push(2, /*expired_already=*/true);
+  push(3, /*expired_already=*/false);
+  batcher.close();
+
+  std::vector<QueuedRequest> batch;
+  std::vector<QueuedRequest> expired;
+  ASSERT_TRUE(batcher.pop_batch(batch, expired));
+  ASSERT_EQ(batch.size(), 2U);
+  EXPECT_EQ(batch[0].id, 1U);
+  EXPECT_EQ(batch[1].id, 3U);
+  ASSERT_EQ(expired.size(), 2U);  // Shed, not served: no wasted batch slot.
+  EXPECT_EQ(expired[0].id, 0U);
+  EXPECT_EQ(expired[1].id, 2U);
+  EXPECT_FALSE(batcher.pop_batch(batch, expired));
 }
 
 TEST(Serve, ManifestRoundTripsThroughText) {
@@ -231,6 +306,50 @@ TEST(Serve, ManifestRejectsMalformedText) {
   EXPECT_FALSE(core::manifest_from_text(
       "redcane-manifest v1\nmodel CapsNet\nfrobnicate 3\n", out));  // Unknown key.
   EXPECT_FALSE(core::manifest_from_text("redcane-manifest v1\n", out));  // No model.
+}
+
+TEST(Serve, ManifestRejectsNonFiniteNoiseFields) {
+  core::DeploymentManifest out;
+  // NaN/Inf noise would propagate into every served designed batch.
+  EXPECT_FALSE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\nsite L mac c nan 0 0\n", out));
+  EXPECT_FALSE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\nsite L mac c 0 inf 0\n", out));
+  EXPECT_FALSE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\nsite L mac c 0 0 -inf\n", out));
+  EXPECT_FALSE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\nbaseline_accuracy nan\n", out));
+  // The same fields parse fine when finite.
+  EXPECT_TRUE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\nsite L mac c 0.05 0.001 0.05\n", out));
+}
+
+TEST(Serve, ManifestRejectsDuplicateSiteEntries) {
+  core::DeploymentManifest out;
+  // Two selections for the same (layer, kind): inconsistent manifest.
+  EXPECT_FALSE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\n"
+      "site conv1 mac a 0 0 0\nsite conv1 mac b 0.1 0 0\n",
+      out));
+  // Same layer, different kind is legitimate.
+  EXPECT_TRUE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\n"
+      "site conv1 mac a 0 0 0\nsite conv1 activation - 0 0 0\n",
+      out));
+}
+
+TEST(Serve, ManifestRejectsAbsurdGeometryCounts) {
+  core::DeploymentManifest out;
+  EXPECT_FALSE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\ninput_hw -20\n", out));
+  EXPECT_FALSE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\ninput_hw 99999999\n", out));
+  EXPECT_FALSE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\ninput_channels 10000000\n", out));
+  EXPECT_FALSE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\nnum_classes -1\n", out));
+  EXPECT_TRUE(core::manifest_from_text(
+      "redcane-manifest v1\nmodel CapsNet\ninput_hw 28\nnum_classes 10\n", out));
 }
 
 TEST(Serve, OpKindTokensRoundTrip) {
@@ -310,35 +429,281 @@ TEST(Serve, ServerStatsAccountForRequestsAndBatches) {
   sc.max_batch = 8;
   sc.max_delay_us = 500;
   InferenceServer server(*registry, sc);
-  std::vector<std::future<Prediction>> futs;
+  std::vector<std::future<ServeResult>> futs;
   for (std::int64_t i = 0; i < 16; ++i) {
     futs.push_back(server.submit(capsnet::slice_rows(ds.test_x, i, i + 1), kVariantExact));
   }
   server.start();
   for (auto& f : futs) {
-    const Prediction p = f.get();
+    const ServeResult res = f.get();
+    ASSERT_TRUE(res.ok());
+    const Prediction& p = res.prediction;
     EXPECT_GE(p.label, 0);
     EXPECT_LT(p.label, 10);
     EXPECT_EQ(p.scores.size(), 10U);
     EXPECT_GE(p.latency_us, 0.0);
     EXPECT_GE(p.batch_size, 1);
     EXPECT_LE(p.batch_size, 8);
+    EXPECT_EQ(p.served_by, kVariantExact);
+    EXPECT_FALSE(p.degraded);
   }
   server.shutdown();
   const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 16);
   EXPECT_EQ(stats.requests, 16);
   EXPECT_EQ(stats.batches, 2);  // Queue pre-filled: two full batches of 8.
   EXPECT_EQ(stats.workers, 2);
   EXPECT_EQ(stats.latencies_us.size(), 16U);
   EXPECT_DOUBLE_EQ(stats.mean_batch_size(), 8.0);
+  EXPECT_TRUE(stats.reconciles());
 }
 
-TEST(Serve, PercentileIsNearestRankOnSortedLatencies) {
-  EXPECT_DOUBLE_EQ(percentile_us({}, 50.0), 0.0);
-  EXPECT_DOUBLE_EQ(percentile_us({5.0}, 99.0), 5.0);
-  EXPECT_DOUBLE_EQ(percentile_us({4.0, 1.0, 3.0, 2.0}, 0.0), 1.0);
-  EXPECT_DOUBLE_EQ(percentile_us({4.0, 1.0, 3.0, 2.0}, 100.0), 4.0);
-  EXPECT_DOUBLE_EQ(percentile_us({4.0, 1.0, 3.0, 2.0}, 50.0), 3.0);
+TEST(Serve, PercentileIsNearestRankViaNthElement) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(percentile_us(empty, 50.0), 0.0);
+  std::vector<double> one = {5.0};
+  EXPECT_DOUBLE_EQ(percentile_us(one, 99.0), 5.0);
+  // One snapshot serves every percentile: each query partially reorders
+  // the same vector in place (nth_element), never copies or sorts it.
+  std::vector<double> four = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile_us(four, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_us(four, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_us(four, 50.0), 3.0);
+}
+
+TEST(Serve, SubmitResolvesTypedErrorsInsteadOfAborting) {
+  const data::Dataset ds = small_dataset(4);
+  std::unique_ptr<ModelRegistry> registry = make_registry(ds);
+  ServerConfig sc;
+  sc.workers = 1;
+  InferenceServer server(*registry, sc);
+  server.start();
+
+  // Unknown variant: the seed runtime abort()ed here.
+  ServeResult res =
+      server.submit(capsnet::slice_rows(ds.test_x, 0, 1), "warp-drive").get();
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.error.code, ServeErrorCode::kUnknownVariant);
+  EXPECT_FALSE(res.error.detail.empty());
+
+  // Shape mismatch: ditto.
+  res = server.submit(Tensor(Shape{1, 3, 3, 1}), kVariantExact).get();
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.error.code, ServeErrorCode::kBadShape);
+
+  // A valid request still serves normally next to the rejected ones.
+  res = server.submit(capsnet::slice_rows(ds.test_x, 0, 1), kVariantExact).get();
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.error.code, ServeErrorCode::kOk);
+
+  server.shutdown();
+
+  // Post-shutdown submit: the promise resolves with kShutdown instead of
+  // dangling (or aborting).
+  res = server.submit(capsnet::slice_rows(ds.test_x, 0, 1), kVariantExact).get();
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.error.code, ServeErrorCode::kShutdown);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 4);
+  EXPECT_EQ(stats.requests, 1);
+  EXPECT_EQ(stats.rejected_invalid, 2);
+  EXPECT_EQ(stats.rejected_shutdown, 1);
+  EXPECT_TRUE(stats.reconciles());
+}
+
+TEST(Serve, BoundedQueueRejectsOverflowWithQueueFull) {
+  const data::Dataset ds = small_dataset(8);
+  std::unique_ptr<ModelRegistry> registry = make_registry(ds);
+  ServerConfig sc;
+  sc.workers = 1;
+  sc.max_batch = 4;
+  sc.max_queue = 4;
+  InferenceServer server(*registry, sc);
+  // Workers not started: the queue fills to max_queue, then rejects.
+  std::vector<std::future<ServeResult>> futs;
+  for (std::int64_t i = 0; i < 8; ++i) {
+    futs.push_back(server.submit(capsnet::slice_rows(ds.test_x, i % 8, i % 8 + 1),
+                                 kVariantExact));
+  }
+  server.start();
+  std::int64_t served = 0;
+  std::int64_t rejected = 0;
+  for (auto& f : futs) {
+    const ServeResult res = f.get();
+    if (res.ok()) ++served;
+    else {
+      EXPECT_EQ(res.error.code, ServeErrorCode::kQueueFull);
+      ++rejected;
+    }
+  }
+  server.shutdown();
+  EXPECT_EQ(served, 4);
+  EXPECT_EQ(rejected, 4);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected_queue_full, 4);
+  EXPECT_TRUE(stats.reconciles());
+}
+
+TEST(Serve, ExpiredRequestsResolveWithDeadlineExceeded) {
+  const data::Dataset ds = small_dataset(6);
+  std::unique_ptr<ModelRegistry> registry = make_registry(ds);
+  ServerConfig sc;
+  sc.workers = 1;
+  sc.max_batch = 2;
+  sc.max_delay_us = 0;
+  sc.deadline_us = 1;  // Pre-start queueing guarantees expiry by pop time.
+  InferenceServer server(*registry, sc);
+  std::vector<std::future<ServeResult>> futs;
+  for (std::int64_t i = 0; i < 6; ++i) {
+    futs.push_back(server.submit(capsnet::slice_rows(ds.test_x, i, i + 1), kVariantExact));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.start();
+  for (auto& f : futs) {
+    const ServeResult res = f.get();
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.error.code, ServeErrorCode::kDeadlineExceeded);
+  }
+  server.shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.shed_deadline, 6);
+  EXPECT_EQ(stats.requests, 0);
+  EXPECT_TRUE(stats.reconciles());
+}
+
+TEST(Serve, DegradesExpensiveVariantsAboveHighWatermark) {
+  const data::Dataset ds = small_dataset(12);
+  std::unique_ptr<ModelRegistry> registry = make_registry(ds);
+  ServerConfig sc;
+  sc.workers = 1;
+  sc.max_batch = 4;
+  sc.max_queue = 8;  // High watermark 6: pre-filling 12 crosses it.
+  sc.degrade_under_pressure = true;
+  InferenceServer server(*registry, sc);
+  std::vector<std::future<ServeResult>> futs;
+  for (std::int64_t i = 0; i < 12; ++i) {
+    futs.push_back(
+        server.submit(capsnet::slice_rows(ds.test_x, i, i + 1), kVariantEmulated));
+  }
+  server.start();
+  std::int64_t degraded = 0;
+  std::int64_t rejected = 0;
+  for (auto& f : futs) {
+    const ServeResult res = f.get();
+    if (!res.ok()) {
+      EXPECT_EQ(res.error.code, ServeErrorCode::kQueueFull);
+      ++rejected;
+      continue;
+    }
+    EXPECT_EQ(res.prediction.variant, kVariantEmulated);
+    if (res.prediction.degraded) {
+      EXPECT_EQ(res.error.code, ServeErrorCode::kDegradedServed);
+      EXPECT_EQ(res.prediction.served_by, kVariantExact);
+      ++degraded;
+    } else {
+      EXPECT_EQ(res.prediction.served_by, kVariantEmulated);
+    }
+  }
+  server.shutdown();
+  EXPECT_GT(degraded, 0) << "queue pressure never degraded an expensive variant";
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.degraded, degraded);
+  EXPECT_EQ(stats.rejected_queue_full, rejected);
+  EXPECT_TRUE(stats.reconciles());
+}
+
+TEST(Serve, RegistryRunReportsUnknownVariantWithoutAborting) {
+  const data::Dataset ds = small_dataset(2);
+  std::unique_ptr<ModelRegistry> registry = make_registry(ds);
+  const RunResult r =
+      registry->run("warp-drive", capsnet::slice_rows(ds.test_x, 0, 1), 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Serve, RegistryReloadSwapsModelAndRollsBackOnFailure) {
+  data::SyntheticSpec spec;
+  spec.kind = data::DatasetKind::kMnist;
+  spec.hw = 20;
+  spec.channels = 1;
+  spec.train_count = 4;
+  spec.test_count = 4;
+  spec.seed = 80;
+  const data::Dataset ds = data::make_synthetic(spec);
+  capsnet::CapsNetConfig cfg = capsnet::CapsNetConfig::tiny();
+  cfg.input_hw = 20;
+
+  const std::string dir = ::testing::TempDir();
+  Rng rng_a(41);
+  capsnet::CapsNetModel model_a(cfg, rng_a);
+  ASSERT_TRUE(capsnet::save_params(model_a, dir + "/a.rdcn"));
+  core::DeploymentManifest ma =
+      noisy_manifest(model_a, capsnet::slice_rows(ds.test_x, 0, 1));
+  ma.checkpoint = "a.rdcn";
+  ASSERT_TRUE(core::save_manifest(ma, dir + "/a.manifest"));
+
+  Rng rng_b(42);
+  capsnet::CapsNetModel model_b(cfg, rng_b);  // Different weights, same shape.
+  ASSERT_TRUE(capsnet::save_params(model_b, dir + "/b.rdcn"));
+  core::DeploymentManifest mb =
+      noisy_manifest(model_b, capsnet::slice_rows(ds.test_x, 0, 1));
+  mb.checkpoint = "b.rdcn";
+  mb.noise_seed = 1234;
+  ASSERT_TRUE(core::save_manifest(mb, dir + "/b.manifest"));
+
+  std::unique_ptr<ModelRegistry> registry = ModelRegistry::open(dir + "/a.manifest");
+  ASSERT_NE(registry, nullptr);
+  const Tensor probe = capsnet::slice_rows(ds.test_x, 0, 2);
+  const Tensor before = registry->run(kVariantExact, probe, 0).output;
+
+  // Successful reload: serves B's weights afterwards.
+  ASSERT_TRUE(registry->reload(dir + "/b.manifest"));
+  EXPECT_EQ(registry->reloads_ok(), 1);
+  EXPECT_EQ(registry->manifest().noise_seed, 1234U);
+  const Tensor after = registry->run(kVariantExact, probe, 0).output;
+  bool changed = false;
+  for (std::int64_t i = 0; i < after.numel(); ++i) {
+    if (after.at(i) != before.at(i)) changed = true;
+  }
+  EXPECT_TRUE(changed) << "reload did not swap in the new checkpoint";
+
+  // Failed reload (truncated checkpoint): keeps serving B bit-for-bit.
+  {
+    std::FILE* f = std::fopen((dir + "/b.rdcn").c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    // Truncate by rewriting the file with its first 16 bytes only.
+    char head[16];
+    ASSERT_EQ(std::fread(head, 1, sizeof(head), f), sizeof(head));
+    std::fclose(f);
+    f = std::fopen((dir + "/b.rdcn").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(head, 1, sizeof(head), f), sizeof(head));
+    std::fclose(f);
+  }
+  EXPECT_FALSE(registry->reload(dir + "/b.manifest"));
+  EXPECT_EQ(registry->reloads_failed(), 1);
+  const Tensor rollback = registry->run(kVariantExact, probe, 0).output;
+  for (std::int64_t i = 0; i < rollback.numel(); ++i) {
+    ASSERT_EQ(rollback.at(i), after.at(i)) << "rollback changed served outputs at " << i;
+  }
+
+  // Reload to an incompatible input shape is refused even when valid.
+  capsnet::CapsNetConfig cfg24 = capsnet::CapsNetConfig::tiny();
+  cfg24.input_hw = 24;
+  Rng rng_c(43);
+  capsnet::CapsNetModel model_c(cfg24, rng_c);
+  ASSERT_TRUE(capsnet::save_params(model_c, dir + "/c.rdcn"));
+  core::DeploymentManifest mc;
+  mc.model = "CapsNet";
+  mc.profile = "tiny";
+  mc.input_hw = 24;
+  mc.input_channels = 1;
+  mc.num_classes = 10;
+  mc.checkpoint = "c.rdcn";
+  ASSERT_TRUE(core::save_manifest(mc, dir + "/c.manifest"));
+  EXPECT_FALSE(registry->reload(dir + "/c.manifest"));
+  EXPECT_EQ(registry->reloads_failed(), 2);
 }
 
 TEST(Serve, ConstForwardAuditPassesForBothModels) {
