@@ -3,7 +3,8 @@
 // approximate-component selection (the paper's Fig. 7 output), and the
 // repo's Step 7 — noise-model cross-validation, where every selection is
 // re-executed through full behavioral emulation and compared against the
-// noise model that designed it.
+// noise model that designed it — and Step 8, robustness scenarios crossing
+// adversarial/affine input perturbations with the approximation axes.
 //
 //   ./redcane_full_flow [--data-dir DIR]
 #include <cstdio>
@@ -48,6 +49,31 @@ int main(int argc, char** argv) {
   result.cross_validation =
       core::cross_validate_design(model, ds.test_x, ds.test_y, result, cv);
   result.has_cross_validation = true;
+
+  // Step 8: does approximation mask or amplify adversarial/affine
+  // fragility? Small FGSM + rotation grids over a reduced NM axis, plus an
+  // emulated grid with the first MAC selection's component.
+  std::printf("running Step-8 robustness scenarios (attack x approximation)...\n");
+  core::RobustnessConfig rc;
+  {
+    attack::Scenario fgsm;
+    fgsm.kind = attack::AttackKind::kFgsm;
+    fgsm.severities = {0.05, 0.1};
+    attack::Scenario rotate;
+    rotate.kind = attack::AttackKind::kRotate;
+    rotate.severities = {10.0, 25.0};
+    rc.scenarios = {fgsm, rotate};
+  }
+  for (const core::SiteSelection& s : result.selections) {
+    if (s.site.kind == capsnet::OpKind::kMacOutput && s.component != nullptr) {
+      rc.emulated_components = {s.component->info().name};
+      break;
+    }
+  }
+  core::ResilienceConfig rcfg = mc.resilience;
+  rcfg.sweep.nms = {0.1, 0.05, 0.01, 0.0};
+  result.robustness = core::analyze_robustness(model, ds.test_x, ds.test_y, rc, rcfg);
+  result.has_robustness = true;
 
   std::printf("%s", core::render_report(result).c_str());
   if (core::write_text_file("redcane_full_flow.json", core::result_to_json(result))) {

@@ -42,6 +42,7 @@
 #include "core/manifest.hpp"
 #include "core/methodology.hpp"
 #include "data/synthetic.hpp"
+#include "serve/attack_eval.hpp"
 #include "serve/fault.hpp"
 #include "serve/server.hpp"
 
@@ -289,6 +290,51 @@ int run(const Args& args) {
               "(noise model vs behavioral ground truth: %+.2f pp)\n",
               emu_agreement * 100.0, (emulated_acc - designed_acc) * 100.0);
 
+  // ---- Attacked evaluation mode (Step-8 serving surface): re-drive every
+  // variant with perturbed inputs through a fresh, not-yet-started server
+  // on the same registry (pinned arrival order => worker-count-independent
+  // predictions; see serve/attack_eval.hpp).
+  const std::string attack_spec = args.get("--attack", smoke ? "fgsm:eps=0.05" : "");
+  bool attacked_ok = true;
+  if (!attack_spec.empty()) {
+    const serve::ParsedAttack parsed = serve::parse_attack_spec(attack_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --attack spec: %s: %s\n",
+                   serve::serve_error_name(parsed.error.code),
+                   parsed.error.detail.c_str());
+      return 2;
+    }
+    std::printf("\n--- attacked evaluation (%s) ---\n", parsed.spec.key().c_str());
+    const struct {
+      const char* variant;
+      double clean_acc;
+    } waves[] = {{serve::kVariantExact, exact_acc},
+                 {serve::kVariantDesigned, designed_acc},
+                 {serve::kVariantEmulated, emulated_acc}};
+    for (const auto& wave : waves) {
+      serve::InferenceServer attacked_server(*registry, sc);
+      serve::AttackedEvalConfig ac;
+      ac.variant = wave.variant;
+      ac.spec_text = attack_spec;
+      const serve::AttackedEvalReport rep = serve::run_attacked_eval(
+          attacked_server, *registry, ds.test_x, ds.test_y, ac);
+      attacked_server.shutdown();
+      if (!rep.ok()) {
+        std::printf("  %-9s refused: %s (%s)\n", wave.variant,
+                    serve::serve_error_name(rep.error.code), rep.error.detail.c_str());
+        attacked_ok = false;
+        continue;
+      }
+      std::printf("  %-9s attacked %.2f%% (clean %.2f%%, drop %+.2f pp, "
+                  "%lld request errors)\n",
+                  wave.variant, rep.accuracy * 100.0, wave.clean_acc * 100.0,
+                  (rep.accuracy - wave.clean_acc) * 100.0,
+                  static_cast<long long>(rep.request_errors));
+      attacked_ok = attacked_ok && rep.request_errors == 0 &&
+                    rep.labels.size() == static_cast<std::size_t>(test_n);
+    }
+  }
+
   if (smoke) {
     // The emulated variant's *accuracy* is not gated here: behavioral
     // execution of aggressive Step-6 components can legitimately diverge
@@ -298,8 +344,9 @@ int run(const Args& args) {
     // checks the serving machinery: every wave served, designed variant
     // agreeing with exact.
     const bool ok = stats.requests == 3 * test_n && agreement >= 0.5 &&
-                    stats.mean_batch_size() >= 1.0;
-    std::printf("\nsmoke gate (all three waves served, designed agreement >= 50%%): %s\n",
+                    stats.mean_batch_size() >= 1.0 && attacked_ok;
+    std::printf("\nsmoke gate (all clean + attacked waves served, designed "
+                "agreement >= 50%%): %s\n",
                 ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
   }
@@ -312,9 +359,11 @@ void usage() {
       "                     [--dataset mnist|fashion|cifar10|svhn] [--hw N]\n"
       "                     [--epochs N] [--train N] [--test N] [--tolerance PP]\n"
       "                     [--workers N] [--batch N] [--delay-us N] [--out PREFIX]\n"
-      "                     [--data-dir DIR] [--faults SPEC]\n"
+      "                     [--data-dir DIR] [--faults SPEC] [--attack SPEC]\n"
       "  --faults (or env REDCANE_FAULTS) arms deterministic fault injection;\n"
-      "  SPEC is e.g. \"seed=7,stall=0.1,backend=0.05\" (see serve/fault.hpp)");
+      "  SPEC is e.g. \"seed=7,stall=0.1,backend=0.05\" (see serve/fault.hpp)\n"
+      "  --attack runs an attacked evaluation wave per variant; SPEC is e.g.\n"
+      "  \"fgsm:eps=0.1\", \"pgd:eps=0.1,steps=5\", \"rotate:deg=15\" (attack/attack.hpp)");
 }
 
 }  // namespace

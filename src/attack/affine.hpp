@@ -1,0 +1,42 @@
+// Affine-warp augmenter: rotation / translation / isotropic scale of NHWC
+// image batches with inverse-mapped bilinear sampling — the transform-
+// severity axis of the Step-8 robustness scenarios (RobCaps, Marchisio et
+// al. 2023, evaluates CapsNets under exactly these affine transforms).
+//
+// The forward transform maps source -> destination coordinates about the
+// image center: scale by `scale`, rotate by `angle_deg`, then translate by
+// (dx, dy) pixels. affine_warp iterates destination pixels and samples the
+// source at the inverse-mapped coordinate; samples falling outside the
+// source image read as 0 (background).
+//
+// Determinism contract: pure scalar double->float loops, no RNG, no
+// threading — the output is a function of (input, params) only, so warped
+// batches are bitwise identical across thread counts and SIMD dispatch
+// targets. Identity params short-circuit to a bitwise copy of the input.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace redcane::attack {
+
+/// Center-anchored affine transform parameters.
+struct AffineParams {
+  double angle_deg = 0.0;  ///< Rotation, counter-clockwise [degrees].
+  double dx = 0.0;         ///< Horizontal translation [pixels].
+  double dy = 0.0;         ///< Vertical translation [pixels].
+  double scale = 1.0;      ///< Isotropic zoom factor (> 1 enlarges).
+
+  [[nodiscard]] bool is_identity() const {
+    return angle_deg == 0.0 && dx == 0.0 && dy == 0.0 && scale == 1.0;
+  }
+
+  /// Parameters of the exact inverse coordinate map:
+  /// warp(warp(x, p), p.inverse()) recovers interior pixels up to bilinear
+  /// resampling error (tests/test_attack.cpp pins the round-trip).
+  [[nodiscard]] AffineParams inverse() const;
+};
+
+/// Warps an NHWC batch by `p`. Identity params return a bitwise copy.
+[[nodiscard]] Tensor affine_warp(const Tensor& x, const AffineParams& p);
+
+}  // namespace redcane::attack

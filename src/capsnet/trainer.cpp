@@ -31,6 +31,25 @@ Tensor slice_rows(const Tensor& t, std::int64_t begin, std::int64_t end) {
   return out;
 }
 
+Tensor lengths_grad_to_v(const Tensor& v, const Tensor& lengths,
+                         const Tensor& grad_lengths) {
+  // dL/dv = dL/d|v| * v/|v| per class capsule.
+  Tensor grad_v(v.shape());
+  const std::int64_t n = v.shape().dim(0);
+  const std::int64_t classes = v.shape().dim(1);
+  const std::int64_t d = v.shape().dim(2);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t k = 0; k < classes; ++k) {
+      const double len = std::max(1e-9, static_cast<double>(lengths(i, k)));
+      const double gl = grad_lengths(i, k);
+      for (std::int64_t q = 0; q < d; ++q) {
+        grad_v(i, k, q) = static_cast<float>(gl * v(i, k, q) / len);
+      }
+    }
+  }
+  return grad_v;
+}
+
 namespace {
 
 Batch gather(const Tensor& images, const std::vector<std::int64_t>& labels,
@@ -86,20 +105,7 @@ TrainStats train(CapsModel& model, const Tensor& images,
       acc_sum += nn::accuracy(lengths, batch.labels);
       ++batches;
 
-      // dL/dv = dL/d|v| * v/|v| per class capsule.
-      Tensor grad_v(v.shape());
-      const std::int64_t classes = v.shape().dim(1);
-      const std::int64_t d = v.shape().dim(2);
-      for (std::int64_t i = 0; i < cfg.batch_size; ++i) {
-        for (std::int64_t k = 0; k < classes; ++k) {
-          const double len = std::max(1e-9, static_cast<double>(lengths(i, k)));
-          const double gl = lr.grad(i, k);
-          for (std::int64_t q = 0; q < d; ++q) {
-            grad_v(i, k, q) = static_cast<float>(gl * v(i, k, q) / len);
-          }
-        }
-      }
-      (void)model.backward(grad_v);
+      (void)model.backward(lengths_grad_to_v(v, lengths, lr.grad));
       opt.step(params);
     }
     stats.final_loss = loss_sum / std::max<std::int64_t>(1, batches);

@@ -59,4 +59,13 @@ TrainStats train(CapsModel& model, const Tensor& images,
 /// Slices rows [begin, end) of a [N, ...] tensor into a new tensor.
 [[nodiscard]] Tensor slice_rows(const Tensor& t, std::int64_t begin, std::int64_t end);
 
+/// Chains a loss gradient on class-capsule lengths back to the capsule
+/// vectors: dL/dv = dL/d|v| * v/|v| per class capsule, with the length
+/// clamped to 1e-9 to keep zero-length capsules finite. `lengths` must be
+/// class_lengths(v) and `grad_lengths` the loss gradient on it ([N, classes]).
+/// Shared by train() and the adversarial-attack generator so both run the
+/// identical backward chain.
+[[nodiscard]] Tensor lengths_grad_to_v(const Tensor& v, const Tensor& lengths,
+                                       const Tensor& grad_lengths);
+
 }  // namespace redcane::capsnet

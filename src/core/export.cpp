@@ -43,6 +43,35 @@ std::string curve_to_json(const ResilienceCurve& c) {
   return out;
 }
 
+std::string robustness_grid_to_json(const RobustnessGrid& g) {
+  std::string out = "{";
+  out += "\"scenario\":" + json_str(g.scenario);
+  out += ",\"backend\":" + json_str(g.backend);
+  out += ",\"severities\":[";
+  for (std::size_t i = 0; i < g.severities.size(); ++i) {
+    if (i != 0) out += ',';
+    out += fmt_double(g.severities[i]);
+  }
+  out += "],\"nm\":[";
+  for (std::size_t i = 0; i < g.nms.size(); ++i) {
+    if (i != 0) out += ',';
+    out += fmt_double(g.nms[i]);
+  }
+  out += "],\"components\":[";
+  for (std::size_t i = 0; i < g.components.size(); ++i) {
+    if (i != 0) out += ',';
+    out += json_str(g.components[i]);
+  }
+  // Row-major [severity][column], matching RobustnessGrid::at.
+  out += "],\"accuracy\":[";
+  for (std::size_t i = 0; i < g.accuracy.size(); ++i) {
+    if (i != 0) out += ',';
+    out += fmt_double(g.accuracy[i]);
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 
 std::string curves_to_csv(const std::vector<ResilienceCurve>& curves) {
@@ -145,6 +174,21 @@ std::string result_to_json(const MethodologyResult& r) {
              ",\"predicted_accuracy\":" + fmt_double(e.predicted_accuracy) +
              ",\"emulated_accuracy\":" + fmt_double(e.emulated_accuracy) +
              ",\"delta_pp\":" + fmt_double(e.delta_pp()) + "}";
+    }
+    out += "]}";
+  }
+
+  if (r.has_robustness) {
+    const RobustnessResult& rb = r.robustness;
+    out += ",\"robustness\":{";
+    out += "\"baseline_accuracy\":" + fmt_double(rb.baseline_accuracy);
+    out += ",\"input_sets\":" + std::to_string(rb.sweep_stats.input_sets);
+    out += ",\"input_cache_hits\":" + std::to_string(rb.sweep_stats.input_cache_hits);
+    out += ",\"input_hit_rate\":" + fmt_double(rb.sweep_stats.input_hit_rate());
+    out += ",\"grids\":[";
+    for (std::size_t i = 0; i < rb.grids.size(); ++i) {
+      if (i != 0) out += ',';
+      out += robustness_grid_to_json(rb.grids[i]);
     }
     out += "]}";
   }

@@ -92,6 +92,30 @@ struct CrossValidateConfig {
   std::string adder;
 };
 
+/// Step-8 configuration (beyond the paper): which attack / transform
+/// scenarios to cross with which approximation axes.
+struct RobustnessConfig {
+  std::vector<attack::Scenario> scenarios;
+  /// Operation group receiving the approximation noise on the noise axis.
+  capsnet::OpKind noise_group = capsnet::OpKind::kMacOutput;
+  /// Emulated-backend components for the (severity × component) grids;
+  /// empty = no emulated grids. Unknown names are skipped with a note.
+  std::vector<std::string> emulated_components;
+  int bits = 8;  ///< Emulated operand wordlength.
+
+  /// FGSM + PGD + rotation severity axes (RobCaps-style magnitudes).
+  [[nodiscard]] static RobustnessConfig defaults();
+};
+
+/// Step-8 output: one grid per (scenario, backend) pair actually run.
+struct RobustnessResult {
+  double baseline_accuracy = 0.0;  ///< Clean, unattacked accuracy in [0, 1].
+  std::vector<RobustnessGrid> grids;
+  /// Engine counters of the robustness sweeps — input_sets /
+  /// input_cache_hits report the input-batch-keyed cache behavior.
+  SweepEngineStats sweep_stats;
+};
+
 struct MethodologyResult {
   std::string model_name;          ///< e.g. "CapsNet", "DeepCaps".
   std::string dataset_name;        ///< e.g. "MNIST(synthetic)".
@@ -113,6 +137,10 @@ struct MethodologyResult {
   /// has_cross_validation).
   CrossValidationResult cross_validation;
   bool has_cross_validation = false;
+
+  /// Step 8 (filled by analyze_robustness when run; see has_robustness).
+  RobustnessResult robustness;
+  bool has_robustness = false;
 
   std::int64_t evaluations_run = 0;
   std::int64_t evaluations_saved_by_pruning = 0;  ///< D3: Step-4 restriction.
@@ -147,5 +175,21 @@ struct MethodologyResult {
     capsnet::CapsModel& model, const Tensor& test_x,
     const std::vector<std::int64_t>& test_y, const MethodologyResult& design,
     const CrossValidateConfig& cfg);
+
+/// Step 8: adversarial & affine robustness × approximation
+/// (src/core/robustness.cpp). For every configured scenario it produces an
+/// exact-backend severity curve, a (severity × NM) noise-model grid over
+/// `rcfg.noise_group`, and — when components are given — a (severity ×
+/// component) emulated grid, answering whether approximation masks or
+/// amplifies adversarial/affine fragility. All grids share one engine, so
+/// each perturbed input set is generated once and every point over it
+/// replays cached suffixes; output is bit-identical serial vs parallel and
+/// across thread counts. Attach the result to MethodologyResult::robustness
+/// to have reports and JSON exports include it.
+[[nodiscard]] RobustnessResult analyze_robustness(capsnet::CapsModel& model,
+                                                  const Tensor& test_x,
+                                                  const std::vector<std::int64_t>& test_y,
+                                                  const RobustnessConfig& rcfg,
+                                                  const ResilienceConfig& cfg);
 
 }  // namespace redcane::core

@@ -26,6 +26,30 @@ std::string render_curve(const ResilienceCurve& curve) {
   return out;
 }
 
+std::string render_robustness_grid(const RobustnessGrid& grid) {
+  std::string out =
+      fmt("[%s x %s backend]\n", grid.scenario.c_str(), grid.backend.c_str());
+  out += "  severity      |";
+  if (!grid.nms.empty()) {
+    for (double nm : grid.nms) out += fmt(" %8.3g", nm);
+    out += "  (NM)";
+  } else if (!grid.components.empty()) {
+    for (const std::string& c : grid.components) out += fmt(" %12s", c.c_str());
+  } else {
+    out += "  accuracy";
+  }
+  out += "\n";
+  for (std::size_t s = 0; s < grid.severities.size(); ++s) {
+    out += fmt("  %-13.4g |", grid.severities[s]);
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      const int width = grid.components.empty() ? 8 : 12;
+      out += fmt(" %*.2f", width, grid.at(s, c) * 100.0);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
 std::string render_groups(const std::vector<Site>& sites) {
   std::string out;
   int group_no = 1;
@@ -101,6 +125,18 @@ std::string render_report(const MethodologyResult& r) {
                "max per-selection |delta| %.2f pp\n",
                cv.predicted_joint * 100.0, cv.emulated_joint * 100.0, cv.joint_delta_pp(),
                cv.max_abs_delta_pp());
+  }
+
+  if (r.has_robustness) {
+    const RobustnessResult& rb = r.robustness;
+    out += "\n--- Step 8: robustness scenarios (attack/transform x approximation) ---\n";
+    out += fmt("clean unattacked accuracy: %.2f%%\n", rb.baseline_accuracy * 100.0);
+    for (const RobustnessGrid& g : rb.grids) out += render_robustness_grid(g);
+    out += fmt("input-keyed prefix cache: %lld perturbed sets built, %lld reused "
+               "(hit rate %.0f%%)\n",
+               static_cast<long long>(rb.sweep_stats.input_sets),
+               static_cast<long long>(rb.sweep_stats.input_cache_hits),
+               rb.sweep_stats.input_hit_rate() * 100.0);
   }
   return out;
 }

@@ -17,4 +17,8 @@ namespace redcane::core {
 /// The Table III-style grouping of a site list.
 [[nodiscard]] std::string render_groups(const std::vector<Site>& sites);
 
+/// One Step-8 robustness grid as a (severity rows × axis columns) table of
+/// absolute accuracies.
+[[nodiscard]] std::string render_robustness_grid(const RobustnessGrid& grid);
+
 }  // namespace redcane::core

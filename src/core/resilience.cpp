@@ -1,6 +1,10 @@
 #include "core/resilience.hpp"
 
 #include <cmath>
+#include <cstdio>
+
+#include "backend/emulation.hpp"
+#include "capsnet/trainer.hpp"
 
 namespace redcane::core {
 namespace {
@@ -75,6 +79,102 @@ ResilienceCurve ResilienceAnalyzer::sweep(capsnet::OpKind kind,
     curve.drop_pct.push_back((a - base) * 100.0);
   }
   return curve;
+}
+
+RobustnessGrid ResilienceAnalyzer::sweep_attack_exact(const attack::Scenario& scenario) {
+  RobustnessGrid grid;
+  grid.scenario = scenario.name();
+  grid.backend = "exact";
+  for (double severity : scenario.severities) {
+    grid.severities.push_back(severity);
+    grid.accuracy.push_back(engine_.attacked_accuracy(scenario.at(severity)));
+  }
+  return grid;
+}
+
+RobustnessGrid ResilienceAnalyzer::sweep_attack_noise(const attack::Scenario& scenario,
+                                                      capsnet::OpKind group) {
+  RobustnessGrid grid;
+  grid.scenario = scenario.name();
+  grid.backend = "noise";
+  grid.nms = cfg_.sweep.nms;
+
+  for (double severity : scenario.severities) {
+    const attack::AttackSpec spec = scenario.at(severity);
+    grid.severities.push_back(severity);
+
+    // Same grid-order salting discipline as the Step-2/4 sweeps, restarted
+    // per severity row: a row's noise streams do not depend on which rows
+    // ran before it, so single-row and full-grid runs agree bitwise. The
+    // clean NM = 0 point reads the cached attacked accuracy.
+    std::vector<SweepPointSpec> points;
+    std::vector<std::size_t> point_of_nm;
+    constexpr std::size_t kClean = static_cast<std::size_t>(-1);
+    std::uint64_t salt = 1;
+    for (double nm : cfg_.sweep.nms) {
+      if (nm == 0.0 && cfg_.sweep.na == 0.0) {
+        point_of_nm.push_back(kClean);
+        continue;
+      }
+      SweepPointSpec p;
+      p.rules.push_back(noise::group_rule(group, noise::NoiseSpec{nm, cfg_.sweep.na}));
+      p.salt = salt++;
+      point_of_nm.push_back(points.size());
+      points.push_back(std::move(p));
+    }
+
+    const double attacked_base = engine_.attacked_accuracy(spec);
+    const std::vector<double> acc = engine_.run_attacked_points(spec, points);
+    for (std::size_t i = 0; i < cfg_.sweep.nms.size(); ++i) {
+      grid.accuracy.push_back(point_of_nm[i] == kClean ? attacked_base
+                                                       : acc[point_of_nm[i]]);
+    }
+  }
+  return grid;
+}
+
+RobustnessGrid ResilienceAnalyzer::sweep_attack_emulated(
+    const attack::Scenario& scenario, const std::vector<std::string>& components,
+    int bits) {
+  RobustnessGrid grid;
+  grid.scenario = scenario.name();
+  grid.backend = "emulated";
+
+  // All MAC-output layers of this model, discovered by probing — the same
+  // site set a deployment manifest plans.
+  const Tensor probe = capsnet::slice_rows(engine_.test_x(), 0, 1);
+  std::vector<std::string> mac_layers;
+  for (const Site& site : extract_sites(engine_.model(), probe)) {
+    if (site.kind == capsnet::OpKind::kMacOutput) mac_layers.push_back(site.layer);
+  }
+
+  std::vector<backend::EmulationPlan> plans;
+  for (const std::string& component : components) {
+    backend::EmulationPlan plan;
+    bool ok = true;
+    for (const std::string& layer : mac_layers) {
+      ok = ok && plan.set_by_name(layer, component, /*adder=*/"", bits);
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "redcane::core: skipping unknown emulated component '%s' in "
+                   "Step-8 grid\n",
+                   component.c_str());
+      continue;
+    }
+    grid.components.push_back(component);
+    plans.push_back(std::move(plan));
+  }
+
+  for (double severity : scenario.severities) {
+    const attack::AttackSpec spec = scenario.at(severity);
+    grid.severities.push_back(severity);
+    for (const backend::EmulationPlan& plan : plans) {
+      grid.accuracy.push_back(engine_.attacked_backend_accuracy(
+          spec, backend::EmulatedBackend(plan), /*salt=*/0));
+    }
+  }
+  return grid;
 }
 
 ResilienceCurve ResilienceAnalyzer::sweep_group(capsnet::OpKind kind) {

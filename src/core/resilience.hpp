@@ -28,6 +28,30 @@ struct NmSweep {
   static NmSweep paper() { return NmSweep{}; }
 };
 
+/// One Step-8 robustness grid: absolute accuracy (in [0, 1]) over (attack
+/// or transform severity) × (one approximation axis) for one scenario and
+/// one execution backend. The approximation axis is the NM grid for the
+/// noise-model backend, the component list for the emulated backend, and a
+/// single noise-free column for the exact backend. `accuracy` is row-major
+/// [severity][column].
+struct RobustnessGrid {
+  std::string scenario;                 ///< attack::attack_kind_name of the axis.
+  std::string backend;                  ///< "exact" | "noise" | "emulated".
+  std::vector<double> severities;       ///< Attack/transform severity per row.
+  std::vector<double> nms;              ///< Column axis (noise backend only).
+  std::vector<std::string> components;  ///< Column axis (emulated backend only).
+  std::vector<double> accuracy;         ///< Row-major [severity][column].
+
+  [[nodiscard]] std::size_t cols() const {
+    if (!nms.empty()) return nms.size();
+    if (!components.empty()) return components.size();
+    return 1;
+  }
+  [[nodiscard]] double at(std::size_t severity_idx, std::size_t col) const {
+    return accuracy[severity_idx * cols() + col];
+  }
+};
+
 /// One resilience curve: accuracy drop (percentage points, noisy − clean;
 /// negative = degradation) per NM grid point.
 struct ResilienceCurve {
@@ -77,6 +101,27 @@ class ResilienceAnalyzer {
 
   /// Step 4: noise in one layer of one group only.
   [[nodiscard]] ResilienceCurve sweep_layer(capsnet::OpKind kind, const std::string& layer);
+
+  /// Step 8: attacked accuracy per severity on the exact backend — the
+  /// clean-hardware robustness reference column.
+  [[nodiscard]] RobustnessGrid sweep_attack_exact(const attack::Scenario& scenario);
+
+  /// Step 8: (severity × NM) accuracy grid — inputs perturbed by the
+  /// scenario, approximation noise injected into every operation of
+  /// `group`. Each severity row builds (or input-cache-hits) one perturbed
+  /// eval set, then runs its noise points concurrently; the grid is
+  /// bit-identical serial vs parallel and across thread counts.
+  [[nodiscard]] RobustnessGrid sweep_attack_noise(const attack::Scenario& scenario,
+                                                  capsnet::OpKind group);
+
+  /// Step 8: (severity × component) accuracy grid on the emulated backend —
+  /// every MAC-output layer executed behaviorally through each named
+  /// component's LUT datapath at the given operand wordlength. Components
+  /// whose multiplier name is unknown to the library are skipped (with a
+  /// stderr note) rather than aborting.
+  [[nodiscard]] RobustnessGrid sweep_attack_emulated(const attack::Scenario& scenario,
+                                                     const std::vector<std::string>& components,
+                                                     int bits = 8);
 
   /// Number of noisy evaluations run so far (exploration cost, D3).
   [[nodiscard]] std::int64_t evaluations() const { return engine_.stats().evaluations; }

@@ -1,0 +1,46 @@
+// Step 8 of the extended methodology: adversarial & affine robustness
+// scenarios crossed with the approximation axes (see methodology.hpp).
+#include "core/methodology.hpp"
+
+namespace redcane::core {
+
+RobustnessConfig RobustnessConfig::defaults() {
+  RobustnessConfig rc;
+
+  attack::Scenario fgsm;
+  fgsm.kind = attack::AttackKind::kFgsm;
+  fgsm.severities = {0.02, 0.05, 0.1};
+
+  attack::Scenario pgd;
+  pgd.kind = attack::AttackKind::kPgd;
+  pgd.severities = {0.02, 0.05};
+  pgd.pgd_steps = 5;
+
+  attack::Scenario rotate;
+  rotate.kind = attack::AttackKind::kRotate;
+  rotate.severities = {5.0, 15.0, 30.0};
+
+  rc.scenarios = {fgsm, pgd, rotate};
+  return rc;
+}
+
+RobustnessResult analyze_robustness(capsnet::CapsModel& model, const Tensor& test_x,
+                                    const std::vector<std::int64_t>& test_y,
+                                    const RobustnessConfig& rcfg,
+                                    const ResilienceConfig& cfg) {
+  ResilienceAnalyzer analyzer(model, test_x, test_y, cfg);
+  RobustnessResult result;
+  result.baseline_accuracy = analyzer.baseline();
+  for (const attack::Scenario& scenario : rcfg.scenarios) {
+    result.grids.push_back(analyzer.sweep_attack_exact(scenario));
+    result.grids.push_back(analyzer.sweep_attack_noise(scenario, rcfg.noise_group));
+    if (!rcfg.emulated_components.empty()) {
+      result.grids.push_back(analyzer.sweep_attack_emulated(
+          scenario, rcfg.emulated_components, rcfg.bits));
+    }
+  }
+  result.sweep_stats = analyzer.engine_stats();
+  return result;
+}
+
+}  // namespace redcane::core

@@ -52,6 +52,26 @@ SweepEngine::SweepEngine(capsnet::CapsModel& model, const Tensor& test_x,
                          const std::vector<std::int64_t>& test_y, SweepEngineConfig cfg)
     : model_(model), test_x_(test_x), test_y_(test_y), cfg_(cfg) {}
 
+void SweepEngine::record_set(EvalSet& set) {
+  // One clean pass per batch: yields the set's noise-free accuracy and —
+  // only when prefix caching is on — the stage-boundary checkpoints noisy
+  // points replay from (recording them otherwise would hold every
+  // intermediate activation of the test set for nothing).
+  const int stages = model_.num_stages();
+  std::int64_t hits = 0;
+  set.checkpoints.clear();
+  set.checkpoints.resize(set.batch_x.size());
+  for (std::size_t b = 0; b < set.batch_x.size(); ++b) {
+    capsnet::StageState& st = set.checkpoints[b];
+    st.at.resize(static_cast<std::size_t>(stages) + 1);
+    st.at[0] = {set.batch_x[b]};
+    const Tensor v = model_.forward_range(0, stages, st, nullptr,
+                                          /*record=*/cfg_.prefix_cache);
+    hits += capsnet::count_correct(v, batch_y_[b]);
+  }
+  set.accuracy = static_cast<double>(hits) / static_cast<double>(test_x_.shape().dim(0));
+}
+
 void SweepEngine::ensure_prepared() {
   if (prepared_) return;
   prepared_ = true;
@@ -60,7 +80,7 @@ void SweepEngine::ensure_prepared() {
   const std::int64_t n = test_x_.shape().dim(0);
   for (std::int64_t at = 0; at < n; at += cfg_.eval_batch) {
     const std::int64_t end = std::min(n, at + cfg_.eval_batch);
-    batch_x_.push_back(capsnet::slice_rows(test_x_, at, end));
+    base_.batch_x.push_back(capsnet::slice_rows(test_x_, at, end));
     batch_y_.emplace_back(test_y_.begin() + at, test_y_.begin() + end);
   }
 
@@ -81,26 +101,43 @@ void SweepEngine::ensure_prepared() {
     site_stage_vals_ = std::move(rec.stages);
   }
 
-  // One clean pass per batch: yields the clean accuracy and — only when
-  // prefix caching is on — the stage-boundary checkpoints noisy points
-  // replay from (recording them otherwise would hold every intermediate
-  // activation of the test set for nothing).
-  std::int64_t hits = 0;
-  checkpoints_.resize(batch_x_.size());
-  for (std::size_t b = 0; b < batch_x_.size(); ++b) {
-    capsnet::StageState& st = checkpoints_[b];
-    st.at.resize(static_cast<std::size_t>(stages) + 1);
-    st.at[0] = {batch_x_[b]};
-    const Tensor v = model_.forward_range(0, stages, st, nullptr,
-                                          /*record=*/cfg_.prefix_cache);
-    hits += capsnet::count_correct(v, batch_y_[b]);
+  record_set(base_);
+}
+
+const SweepEngine::EvalSet& SweepEngine::ensure_attacked(const attack::AttackSpec& spec) {
+  ensure_prepared();
+  if (spec.is_identity()) return base_;  // Clean set; not an input-cache event.
+
+  const std::string key = spec.key();
+  for (const auto& entry : attacked_) {
+    if (entry.first == key) {
+      ++stats_.input_cache_hits;
+      return *entry.second;
+    }
   }
-  clean_accuracy_ = static_cast<double>(hits) / static_cast<double>(n);
+
+  // Miss: generate the perturbed batches serially on this (the
+  // coordinating) thread — gradient attacks run train-mode forwards that
+  // mutate layer caches — then record their clean checkpoints so every
+  // noisy point over this spec replays suffixes like clean points do.
+  ++stats_.input_sets;
+  auto set = std::make_unique<EvalSet>();
+  set->batch_x.reserve(base_.batch_x.size());
+  for (std::size_t b = 0; b < base_.batch_x.size(); ++b) {
+    set->batch_x.push_back(attack::apply_attack(model_, base_.batch_x[b], batch_y_[b], spec));
+  }
+  record_set(*set);
+  attacked_.emplace_back(key, std::move(set));
+  return *attacked_.back().second;
 }
 
 double SweepEngine::clean_accuracy() {
   ensure_prepared();
-  return clean_accuracy_;
+  return base_.accuracy;
+}
+
+double SweepEngine::attacked_accuracy(const attack::AttackSpec& spec) {
+  return ensure_attacked(spec).accuracy;
 }
 
 int SweepEngine::first_affected_stage(
@@ -118,7 +155,7 @@ int SweepEngine::first_affected_stage(
 }
 
 double SweepEngine::eval_point(const backend::ExecBackend& b, std::uint64_t salt,
-                               SweepEngineStats& stats) const {
+                               const EvalSet& set, SweepEngineStats& stats) const {
   // One hook per point, from the backend's own stream seeding (for a
   // NoiseBackend: base seed ^ salt * kSaltMix, exactly the serial
   // analyzer's and the serving "designed" variant's discipline). Sites
@@ -130,7 +167,7 @@ double SweepEngine::eval_point(const backend::ExecBackend& b, std::uint64_t salt
   const int from = cfg_.prefix_cache ? first_affected_stage(rules) : 0;
 
   std::int64_t hits = 0;
-  for (std::size_t b = 0; b < batch_x_.size(); ++b) {
+  for (std::size_t b = 0; b < set.batch_x.size(); ++b) {
     stats.stages_total += stages;
     stats.stages_skipped += from;
     if (from > 0) ++stats.cache_hits;
@@ -138,7 +175,7 @@ double SweepEngine::eval_point(const backend::ExecBackend& b, std::uint64_t salt
     Tensor v;
     if (from >= stages) {
       // No site matches: the noisy forward is the clean forward.
-      v = checkpoints_[b].at[static_cast<std::size_t>(stages)][0];
+      v = set.checkpoints[b].at[static_cast<std::size_t>(stages)][0];
     } else {
       // One deliberate copy of the entry boundary: it isolates the shared
       // checkpoint from any hook/model that might mutate stage inputs, and
@@ -146,7 +183,7 @@ double SweepEngine::eval_point(const backend::ExecBackend& b, std::uint64_t salt
       capsnet::StageState st;
       st.at.resize(static_cast<std::size_t>(stages) + 1);
       st.at[static_cast<std::size_t>(from)] =
-          checkpoints_[b].at[static_cast<std::size_t>(from)];
+          set.checkpoints[b].at[static_cast<std::size_t>(from)];
       v = model_.forward_range(from, stages, st, hook.get(), /*record=*/false);
     }
     hits += capsnet::count_correct(v, batch_y_[b]);
@@ -158,28 +195,49 @@ double SweepEngine::point_accuracy(const std::vector<noise::InjectionRule>& rule
                                    std::uint64_t salt) {
   ensure_prepared();
   ++stats_.evaluations;
-  return eval_point(backend::NoiseBackend(rules, cfg_.seed), salt, stats_);
+  return eval_point(backend::NoiseBackend(rules, cfg_.seed), salt, base_, stats_);
+}
+
+double SweepEngine::attacked_point_accuracy(const attack::AttackSpec& spec,
+                                            const std::vector<noise::InjectionRule>& rules,
+                                            std::uint64_t salt) {
+  const EvalSet& set = ensure_attacked(spec);
+  ++stats_.evaluations;
+  return eval_point(backend::NoiseBackend(rules, cfg_.seed), salt, set, stats_);
 }
 
 double SweepEngine::backend_accuracy(const backend::ExecBackend& b, std::uint64_t salt) {
-  ensure_prepared();
+  return attacked_backend_accuracy(attack::AttackSpec::none(), b, salt);
+}
+
+double SweepEngine::attacked_backend_accuracy(const attack::AttackSpec& spec,
+                                              const backend::ExecBackend& b,
+                                              std::uint64_t salt) {
+  const EvalSet& set = ensure_attacked(spec);
   ++stats_.evaluations;
-  if (b.rules() != nullptr) return eval_point(b, salt, stats_);
+  if (b.rules() != nullptr) return eval_point(b, salt, set, stats_);
 
   // Opaque backend: no site rules to bound the perturbation, so no prefix
   // is provably clean — run full batched forwards.
   const int stages = model_.num_stages();
   std::int64_t hits = 0;
-  for (std::size_t batch = 0; batch < batch_x_.size(); ++batch) {
+  for (std::size_t batch = 0; batch < set.batch_x.size(); ++batch) {
     stats_.stages_total += stages;
-    const Tensor v = b.run(model_, batch_x_[batch], salt);
+    const Tensor v = b.run(model_, set.batch_x[batch], salt);
     hits += capsnet::count_correct(v, batch_y_[batch]);
   }
   return static_cast<double>(hits) / static_cast<double>(test_x_.shape().dim(0));
 }
 
 std::vector<double> SweepEngine::run_points(const std::vector<SweepPointSpec>& points) {
-  ensure_prepared();
+  return run_attacked_points(attack::AttackSpec::none(), points);
+}
+
+std::vector<double> SweepEngine::run_attacked_points(
+    const attack::AttackSpec& spec, const std::vector<SweepPointSpec>& points) {
+  // Attack generation (or input-cache lookup) happens here, before any
+  // worker exists: workers only ever replay const checkpoints.
+  const EvalSet& set = ensure_attacked(spec);
   std::vector<double> acc(points.size(), 0.0);
   const int workers = std::max(
       1, std::min(resolve_threads(cfg_.threads), static_cast<int>(points.size())));
@@ -189,7 +247,7 @@ std::vector<double> SweepEngine::run_points(const std::vector<SweepPointSpec>& p
   if (workers <= 1) {
     for (std::size_t i = 0; i < points.size(); ++i) {
       acc[i] = eval_point(backend::NoiseBackend(points[i].rules, cfg_.seed),
-                          points[i].salt, stats_);
+                          points[i].salt, set, stats_);
     }
     return acc;
   }
@@ -215,7 +273,7 @@ std::vector<double> SweepEngine::run_points(const std::vector<SweepPointSpec>& p
       ws::Workspace::tls().reserve(std::size_t{1} << 20);
       for (std::size_t i = next.fetch_add(1); i < points.size(); i = next.fetch_add(1)) {
         acc[i] = eval_point(backend::NoiseBackend(points[i].rules, cfg_.seed),
-                            points[i].salt,
+                            points[i].salt, set,
                             worker_stats[static_cast<std::size_t>(w)]);
       }
     });

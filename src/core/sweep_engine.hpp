@@ -14,6 +14,18 @@
 //     replays only the suffix from the first stage whose sites a point's
 //     rules can match.
 //
+// Step-8 robustness scenarios add a third axis: input perturbations
+// (adversarial attacks, affine transforms) that enter at stage 0. A
+// perturbed input invalidates every downstream activation, so the engine
+// keeps an input-batch-keyed variant of the prefix cache: one EvalSet
+// (perturbed batches + their clean stage checkpoints + attacked accuracy)
+// per canonical AttackSpec::key(). Building a set costs one attack
+// generation plus one recording pass; every grid point sharing the spec —
+// the whole noise axis of a robustness grid row — then replays suffixes
+// from it exactly as clean points do. Gradient attacks run train-mode
+// forwards on the shared model, so sets are built serially on the
+// coordinating thread before any worker spawns.
+//
 // Worker count: SweepEngineConfig::threads, else the REDCANE_SWEEP_THREADS
 // environment variable, else std::thread::hardware_concurrency().
 //
@@ -21,18 +33,23 @@
 //  * The model and test set must not change for the lifetime of the
 //    engine: prefixes are recorded once and replayed against the weights
 //    they were computed with. Rebuild the engine (or analyzer) after
-//    mutating weights.
+//    mutating weights. (Train-mode attack forwards mutate layer caches,
+//    not weights, so they do not invalidate recorded prefixes.)
 //  * With prefix_cache on, the engine holds every stage-boundary
-//    activation of the test set (O(num_stages x test-set activations)).
+//    activation of the test set — once per distinct attack spec it has
+//    evaluated (O(attack specs x num_stages x test-set activations)).
 //    That is by design for the tiny sweep profiles this repo runs
 //    (DESIGN.md §4); for full-scale models either sweep a subsample or
 //    set prefix_cache = false, which records nothing.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "attack/attack.hpp"
 #include "backend/backend.hpp"
 #include "capsnet/model.hpp"
 #include "noise/injector.hpp"
@@ -65,6 +82,8 @@ struct SweepEngineStats {
   std::int64_t cache_hits = 0;      ///< Batch forwards resumed from a cached prefix.
   std::int64_t stages_skipped = 0;  ///< Stage executions avoided by prefix caching.
   std::int64_t stages_total = 0;    ///< Stage executions a full-forward driver would run.
+  std::int64_t input_sets = 0;      ///< Perturbed eval sets built (input-keyed cache misses).
+  std::int64_t input_cache_hits = 0;  ///< Evaluations served by an already-built set.
   int threads = 1;                  ///< Resolved worker count.
 
   /// Fraction of stage executions skipped, in [0, 1].
@@ -72,6 +91,16 @@ struct SweepEngineStats {
     return stages_total == 0 ? 0.0
                              : static_cast<double>(stages_skipped) /
                                    static_cast<double>(stages_total);
+  }
+
+  /// Fraction of input-keyed lookups served without regenerating the
+  /// attack (a robustness grid with P noise points per severity row should
+  /// approach (P-1)/P), in [0, 1].
+  [[nodiscard]] double input_hit_rate() const {
+    const std::int64_t lookups = input_sets + input_cache_hits;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(input_cache_hits) /
+                              static_cast<double>(lookups);
   }
 };
 
@@ -107,22 +136,61 @@ class SweepEngine {
   /// evaluation entry Step 7's noise-model cross-validation drives.
   [[nodiscard]] double backend_accuracy(const backend::ExecBackend& b, std::uint64_t salt);
 
+  /// Noise-free accuracy on inputs perturbed by `spec` — the severity axis
+  /// of a Step-8 robustness grid. The first call per distinct spec builds
+  /// and caches the perturbed eval set; identity specs alias the clean set.
+  [[nodiscard]] double attacked_accuracy(const attack::AttackSpec& spec);
+
+  /// point_accuracy on the perturbed eval set of `spec`.
+  [[nodiscard]] double attacked_point_accuracy(const attack::AttackSpec& spec,
+                                               const std::vector<noise::InjectionRule>& rules,
+                                               std::uint64_t salt);
+
+  /// run_points on the perturbed eval set of `spec`: the attack is
+  /// generated (or input-cache-hit) once on the calling thread, then all
+  /// points replay suffixes concurrently. Bit-identical serial vs parallel
+  /// and across thread counts, like run_points.
+  [[nodiscard]] std::vector<double> run_attacked_points(
+      const attack::AttackSpec& spec, const std::vector<SweepPointSpec>& points);
+
+  /// backend_accuracy on the perturbed eval set of `spec`.
+  [[nodiscard]] double attacked_backend_accuracy(const attack::AttackSpec& spec,
+                                                 const backend::ExecBackend& b,
+                                                 std::uint64_t salt);
+
   [[nodiscard]] const SweepEngineStats& stats() const { return stats_; }
   [[nodiscard]] const SweepEngineConfig& config() const { return cfg_; }
+  [[nodiscard]] capsnet::CapsModel& model() { return model_; }
+  [[nodiscard]] const Tensor& test_x() const { return test_x_; }
 
   /// Resolves cfg.threads / REDCANE_SWEEP_THREADS / hardware_concurrency.
   [[nodiscard]] static int resolve_threads(int requested);
 
  private:
+  /// One evaluation input set: its batches, their clean stage-boundary
+  /// checkpoints, and its noise-free accuracy. The clean set and every
+  /// perturbed set share this layout, so every replay path is common code.
+  struct EvalSet {
+    std::vector<Tensor> batch_x;
+    std::vector<capsnet::StageState> checkpoints;
+    double accuracy = 0.0;
+  };
+
   void ensure_prepared();
+  /// Runs the recording clean pass of `set` (checkpoints + accuracy).
+  void record_set(EvalSet& set);
+  /// Returns the (building if needed) eval set for `spec`. Identity specs
+  /// alias the clean base set. Must run on the coordinating thread:
+  /// gradient attacks are not thread-safe (train-mode forwards).
+  [[nodiscard]] const EvalSet& ensure_attacked(const attack::AttackSpec& spec);
   /// First stage whose sites any rule can match (num_stages() for none —
   /// the point then cannot perturb anything and replays nothing).
   [[nodiscard]] int first_affected_stage(const std::vector<noise::InjectionRule>& rules) const;
-  /// One rule-expressible backend execution over all batches, prefix-
-  /// replayed (b.rules() must be non-null; the hook comes from
+  /// One rule-expressible backend execution over all batches of `set`,
+  /// prefix-replayed (b.rules() must be non-null; the hook comes from
   /// b.make_hook(salt), so the backend's own stream seeding is honored).
   [[nodiscard]] double eval_point(const backend::ExecBackend& b, std::uint64_t salt,
-                                  SweepEngineStats& stats) const;
+                                  const EvalSet& set, SweepEngineStats& stats) const;
 
   capsnet::CapsModel& model_;
   const Tensor& test_x_;
@@ -130,12 +198,13 @@ class SweepEngine {
   SweepEngineConfig cfg_;
 
   bool prepared_ = false;
-  double clean_accuracy_ = 0.0;
-  std::vector<Tensor> batch_x_;                        ///< Test batches.
-  std::vector<std::vector<std::int64_t>> batch_y_;     ///< Labels per batch.
-  std::vector<capsnet::StageState> checkpoints_;       ///< Clean prefixes per batch.
+  std::vector<std::vector<std::int64_t>> batch_y_;  ///< Labels per batch (all sets).
+  EvalSet base_;                                    ///< Clean test batches.
+  /// Input-batch-keyed cache: AttackSpec::key() -> perturbed eval set.
+  /// unique_ptr keeps references stable while the vector grows.
+  std::vector<std::pair<std::string, std::unique_ptr<EvalSet>>> attacked_;
   std::vector<std::pair<std::string, capsnet::OpKind>> site_stage_keys_;
-  std::vector<int> site_stage_vals_;                   ///< Parallel to keys: first stage.
+  std::vector<int> site_stage_vals_;                ///< Parallel to keys: first stage.
   SweepEngineStats stats_;
 };
 

@@ -1,0 +1,82 @@
+#include "serve/attack_eval.hpp"
+
+#include <algorithm>
+
+#include "capsnet/trainer.hpp"
+
+namespace redcane::serve {
+
+ParsedAttack parse_attack_spec(const std::string& text) {
+  ParsedAttack parsed;
+  std::string error;
+  if (!attack::parse_attack_spec(text, &parsed.spec, &error)) {
+    parsed.error = ServeError{ServeErrorCode::kBadAttackSpec, error};
+  }
+  return parsed;
+}
+
+AttackedEvalReport run_attacked_eval(InferenceServer& server, ModelRegistry& registry,
+                                     const Tensor& test_x,
+                                     const std::vector<std::int64_t>& test_y,
+                                     const AttackedEvalConfig& cfg) {
+  AttackedEvalReport report;
+
+  const ParsedAttack parsed = parse_attack_spec(cfg.spec_text);
+  if (!parsed.ok()) {
+    report.error = parsed.error;
+    return report;
+  }
+  report.attack_key = parsed.spec.key();
+  if (!registry.has_variant(cfg.variant)) {
+    report.error = ServeError{ServeErrorCode::kUnknownVariant,
+                              "variant '" + cfg.variant + "' unknown"};
+    return report;
+  }
+  const std::int64_t n = test_x.shape().dim(0);
+  if (parsed.spec.is_gradient() &&
+      test_y.size() != static_cast<std::size_t>(n)) {
+    report.error = ServeError{ServeErrorCode::kBadAttackSpec,
+                              "gradient attack needs one label per sample"};
+    return report;
+  }
+
+  // Perturb serially in fixed chunks against the shared model, then submit
+  // every sample in order BEFORE starting workers: the batch layout — and
+  // with it every designed-variant noise stream — is pinned by arrival
+  // order, not by scheduling.
+  std::vector<std::future<ServeResult>> futures;
+  futures.reserve(static_cast<std::size_t>(n));
+  const std::int64_t chunk = std::max<std::int64_t>(1, cfg.attack_batch);
+  for (std::int64_t at = 0; at < n; at += chunk) {
+    const std::int64_t end = std::min(n, at + chunk);
+    const Tensor clean = capsnet::slice_rows(test_x, at, end);
+    // Label sub-range, clamped: affine attacks ignore labels and may run
+    // with fewer labels than samples.
+    const auto have = static_cast<std::int64_t>(test_y.size());
+    const std::int64_t lab_lo = std::min(at, have);
+    const std::int64_t lab_hi = std::min(end, have);
+    const std::vector<std::int64_t> labels(test_y.begin() + lab_lo,
+                                           test_y.begin() + lab_hi);
+    const Tensor adv = attack::apply_attack(registry.model(), clean, labels, parsed.spec);
+    for (std::int64_t i = 0; i < end - at; ++i) {
+      futures.push_back(server.submit(capsnet::slice_rows(adv, i, i + 1), cfg.variant));
+    }
+  }
+  server.start();
+
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ServeResult r = futures[i].get();
+    if (r.ok()) {
+      report.labels.push_back(r.prediction.label);
+      if (i < test_y.size() && r.prediction.label == test_y[i]) ++correct;
+    } else {
+      report.labels.push_back(-1);
+      ++report.request_errors;
+    }
+  }
+  report.accuracy = n == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(n);
+  return report;
+}
+
+}  // namespace redcane::serve

@@ -1,0 +1,71 @@
+// Attacked evaluation mode: drive a served variant with adversarially or
+// affinely perturbed inputs and measure what the deployment actually
+// delivers under attack — the serving-side surface of the Step-8
+// robustness scenarios.
+//
+// Determinism contract: samples are perturbed serially against the
+// registry's shared model in fixed-size chunks (gradient attacks run
+// train-mode forwards, so this happens before any worker exists), then
+// submitted in sample order to a NOT-yet-started server, pinning the
+// micro-batch layout; only then are workers started. For that pinned
+// arrival order the served predictions are bit-identical across worker
+// counts (tests/test_serve.cpp).
+//
+// Fault tolerance: nothing here aborts. A malformed spec or unknown
+// variant resolves to a typed ServeError (kBadAttackSpec /
+// kUnknownVariant) before anything is submitted, and request-level errors
+// surface as -1 labels plus a count, mirroring the server's own taxonomy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/attack.hpp"
+#include "serve/server.hpp"
+
+namespace redcane::serve {
+
+/// Typed outcome of parsing an attacked-evaluation spec.
+struct ParsedAttack {
+  ServeError error;  ///< kOk, or kBadAttackSpec with the parser's detail.
+  attack::AttackSpec spec;
+
+  [[nodiscard]] bool ok() const { return error.code == ServeErrorCode::kOk; }
+};
+
+/// attack::parse_attack_spec lifted into the serving error taxonomy.
+[[nodiscard]] ParsedAttack parse_attack_spec(const std::string& text);
+
+struct AttackedEvalConfig {
+  std::string variant = kVariantExact;
+  std::string spec_text = "none";  ///< attack::parse_attack_spec grammar.
+  /// Perturbation chunk size [samples]. Fixed (not tied to server batching)
+  /// so the perturbed stream — hence every served prediction — is
+  /// independent of worker count and batching config.
+  std::int64_t attack_batch = 64;
+};
+
+struct AttackedEvalReport {
+  /// kOk when the wave ran; kBadAttackSpec / kUnknownVariant when it was
+  /// refused up front (nothing submitted).
+  ServeError error;
+  std::string attack_key;            ///< Canonical AttackSpec::key() run.
+  std::vector<std::int64_t> labels;  ///< Served label per sample; -1 = that
+                                     ///< request resolved with an error.
+  std::int64_t request_errors = 0;   ///< Requests resolved without a prediction.
+  double accuracy = 0.0;             ///< Fraction correct vs test_y, in [0, 1].
+
+  [[nodiscard]] bool ok() const { return error.code == ServeErrorCode::kOk; }
+};
+
+/// Runs one attacked evaluation wave of `test_x` ([N, H, W, C]) through
+/// `server` (constructed, not yet started — see file header; gradient
+/// attacks also need one label per sample in `test_y`).
+[[nodiscard]] AttackedEvalReport run_attacked_eval(InferenceServer& server,
+                                                   ModelRegistry& registry,
+                                                   const Tensor& test_x,
+                                                   const std::vector<std::int64_t>& test_y,
+                                                   const AttackedEvalConfig& cfg);
+
+}  // namespace redcane::serve

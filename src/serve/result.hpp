@@ -43,6 +43,7 @@ enum class ServeErrorCode {
   kDeadlineExceeded,   ///< Shed at pop time: past its deadline.
   kBackendFailure,     ///< Backend execution failed (fault-injected or real).
   kDegradedServed,     ///< Served, but by the exact variant (see above).
+  kBadAttackSpec,      ///< Malformed attacked-evaluation spec (attack_eval.hpp).
 };
 
 /// Stable lowercase token of a code ("ok", "queue_full", ...).
@@ -76,6 +77,7 @@ inline const char* serve_error_name(ServeErrorCode code) {
     case ServeErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ServeErrorCode::kBackendFailure: return "backend_failure";
     case ServeErrorCode::kDegradedServed: return "degraded_served";
+    case ServeErrorCode::kBadAttackSpec: return "bad_attack_spec";
   }
   return "?";
 }

@@ -51,6 +51,61 @@ INSTANTIATE_TEST_SUITE_P(Wordlengths, QuantizerBits, ::testing::Values(3, 4, 6, 
                            return "b" + std::to_string(info.param);
                          });
 
+// Step-8 attacks push activations outside the range the quantizer was
+// fitted on (params are fitted per layer on CLEAN calibration activations;
+// an adversarial input then drives values past both rails). Out-of-range
+// values must saturate to the rail codes — never wrap to the opposite end,
+// which would turn a mild overflow into a maximal-error activation.
+class QuantizerSaturation : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerSaturation, OutOfRangeValuesSaturateNotWrap) {
+  const int bits = GetParam();
+  Rng rng(300 + bits);
+  const Tensor calib = ops::uniform(Shape{400}, 0.0, 1.0, rng);
+  const quant::QuantParams p = quant::fit_params(calib, bits);
+
+  const double range = p.max - p.min;
+  const Tensor pushed(Shape{8}, {static_cast<float>(p.min - 10.0 * range),
+                                 static_cast<float>(p.min - range),
+                                 static_cast<float>(p.min - 1e-3),
+                                 static_cast<float>(p.min),
+                                 static_cast<float>(p.max),
+                                 static_cast<float>(p.max + 1e-3),
+                                 static_cast<float>(p.max + range),
+                                 static_cast<float>(p.max + 10.0 * range)});
+
+  const std::vector<std::uint32_t> codes = quant::quantize(pushed, p);
+  ASSERT_EQ(codes.size(), 8U);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(codes[i], 0U) << "bits " << bits << " el " << i;
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_EQ(codes[i], p.max_code()) << "bits " << bits << " el " << i;
+  }
+
+  // The emulated backend's u8 fast path must agree with the reference
+  // path element for element, including at the rails.
+  if (bits <= 8) {
+    const std::vector<std::uint8_t> u8 = quant::quantize_u8(pushed, p);
+    ASSERT_EQ(u8.size(), codes.size());
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      EXPECT_EQ(static_cast<std::uint32_t>(u8[i]), codes[i])
+          << "bits " << bits << " el " << i;
+    }
+  }
+
+  // Saturation keeps quantization monotone across the rails: an
+  // adversarially larger activation never gets a smaller code.
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_GE(codes[i], prev) << "bits " << bits << " wrapped at element " << i;
+    prev = codes[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Wordlengths, QuantizerSaturation, ::testing::Values(4, 6, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "b" + std::to_string(info.param);
+                         });
+
 // ---------------------------------------------------------------------
 // Synthetic dataset properties over every dataset kind.
 class DatasetKinds : public ::testing::TestWithParam<data::DatasetKind> {};

@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include "serve/attack_eval.hpp"
+
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -704,6 +706,96 @@ TEST(Serve, RegistryReloadSwapsModelAndRollsBackOnFailure) {
   ASSERT_TRUE(core::save_manifest(mc, dir + "/c.manifest"));
   EXPECT_FALSE(registry->reload(dir + "/c.manifest"));
   EXPECT_EQ(registry->reloads_failed(), 2);
+}
+
+TEST(Serve, AttackedEvalPredictionsIdenticalAcrossWorkerCounts) {
+  const data::Dataset ds = small_dataset(16);
+  std::unique_ptr<ModelRegistry> registry = make_registry(ds);
+  const std::vector<std::int64_t> labels(ds.test_y.begin(), ds.test_y.end());
+
+  for (const char* variant : {kVariantExact, kVariantDesigned, kVariantEmulated}) {
+    AttackedEvalConfig cfg;
+    cfg.variant = variant;
+    cfg.spec_text = "fgsm:eps=0.05";
+    cfg.attack_batch = 8;
+
+    std::vector<AttackedEvalReport> reports;
+    for (const int workers : {1, 2, 4}) {
+      ServerConfig sc;
+      sc.workers = workers;
+      sc.max_batch = 4;
+      sc.max_delay_us = 1000;
+      InferenceServer server(*registry, sc);  // Not started: the eval pins
+      const AttackedEvalReport rep =         // batch layout by submitting
+          run_attacked_eval(server, *registry, ds.test_x, labels, cfg);  // first.
+      server.shutdown();
+      ASSERT_TRUE(rep.ok()) << variant << " workers=" << workers << ": "
+                            << rep.error.detail;
+      EXPECT_EQ(rep.request_errors, 0);
+      EXPECT_EQ(rep.attack_key, attack::AttackSpec::fgsm(0.05).key());
+      ASSERT_EQ(rep.labels.size(), static_cast<std::size_t>(16));
+      reports.push_back(rep);
+    }
+    for (std::size_t w = 1; w < reports.size(); ++w) {
+      EXPECT_EQ(reports[0].labels, reports[w].labels)
+          << variant << ": predictions depend on worker count";
+      EXPECT_EQ(reports[0].accuracy, reports[w].accuracy) << variant;
+    }
+  }
+}
+
+TEST(Serve, AttackedEvalRejectsMalformedSpecsWithTypedError) {
+  const data::Dataset ds = small_dataset(4);
+  std::unique_ptr<ModelRegistry> registry = make_registry(ds);
+  const std::vector<std::int64_t> labels(ds.test_y.begin(), ds.test_y.end());
+  ServerConfig sc;
+  sc.workers = 1;
+
+  // Malformed spec grammar: typed kBadAttackSpec, nothing submitted.
+  for (const char* bad : {"fgsm", "fgsm:eps=-1", "warp:deg=5", "pgd:eps=0.1,steps=0"}) {
+    InferenceServer server(*registry, sc);
+    AttackedEvalConfig cfg;
+    cfg.spec_text = bad;
+    const AttackedEvalReport rep =
+        run_attacked_eval(server, *registry, ds.test_x, labels, cfg);
+    server.shutdown();
+    EXPECT_FALSE(rep.ok()) << "accepted '" << bad << "'";
+    EXPECT_EQ(rep.error.code, ServeErrorCode::kBadAttackSpec) << bad;
+    EXPECT_FALSE(rep.error.detail.empty()) << bad;
+    EXPECT_TRUE(rep.labels.empty()) << bad;
+  }
+
+  // Unknown variant: its own error code, not a spec error.
+  {
+    InferenceServer server(*registry, sc);
+    AttackedEvalConfig cfg;
+    cfg.variant = "warp-drive";
+    cfg.spec_text = "fgsm:eps=0.05";
+    const AttackedEvalReport rep =
+        run_attacked_eval(server, *registry, ds.test_x, labels, cfg);
+    server.shutdown();
+    EXPECT_EQ(rep.error.code, ServeErrorCode::kUnknownVariant);
+  }
+
+  // Gradient attacks need one label per sample.
+  {
+    InferenceServer server(*registry, sc);
+    AttackedEvalConfig cfg;
+    cfg.spec_text = "fgsm:eps=0.05";
+    const std::vector<std::int64_t> short_labels(labels.begin(), labels.begin() + 2);
+    const AttackedEvalReport rep =
+        run_attacked_eval(server, *registry, ds.test_x, short_labels, cfg);
+    server.shutdown();
+    EXPECT_EQ(rep.error.code, ServeErrorCode::kBadAttackSpec);
+  }
+
+  // The registry still serves normally after the rejections.
+  InferenceServer server(*registry, sc);
+  server.start();
+  EXPECT_TRUE(server.submit(capsnet::slice_rows(ds.test_x, 0, 1), kVariantExact)
+                  .get()
+                  .ok());
+  server.shutdown();
 }
 
 TEST(Serve, ConstForwardAuditPassesForBothModels) {

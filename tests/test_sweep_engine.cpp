@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <thread>
 
@@ -251,6 +253,139 @@ TEST(SweepEngine, StatsAccountForSkippedStages) {
   (void)engine2.point_accuracy(mac_rules, 1);
   EXPECT_EQ(engine2.stats().cache_hits, 0);
   EXPECT_EQ(engine2.stats().stages_skipped, 0);
+}
+
+/// Perturbs the whole test set in eval_batch chunks — the batch geometry
+/// (and therefore attack generation) the engine uses.
+Tensor attacked_test_set(capsnet::CapsModel& model, const data::Dataset& ds,
+                         const attack::AttackSpec& spec, std::int64_t eval_batch) {
+  const std::int64_t n = ds.test_x.shape().dim(0);
+  Tensor out(ds.test_x.shape());
+  const std::int64_t row = ds.test_x.numel() / n;
+  for (std::int64_t at = 0; at < n; at += eval_batch) {
+    const std::int64_t end = std::min(n, at + eval_batch);
+    const std::vector<std::int64_t> labels(ds.test_y.begin() + at, ds.test_y.begin() + end);
+    const Tensor adv =
+        attack::apply_attack(model, capsnet::slice_rows(ds.test_x, at, end), labels, spec);
+    std::memcpy(out.data().data() + at * row, adv.data().data(),
+                static_cast<std::size_t>((end - at) * row) * sizeof(float));
+  }
+  return out;
+}
+
+/// The pre-engine serial Step-8 driver: every grid point regenerates the
+/// perturbed set and runs a full evaluation, salts restarting at 1 per
+/// severity row in grid order (matching ResilienceAnalyzer::sweep_attack_noise).
+RobustnessGrid serial_attacked_grid(capsnet::CapsModel& model, const data::Dataset& ds,
+                                    const ResilienceConfig& cfg,
+                                    const attack::Scenario& scenario, OpKind group) {
+  RobustnessGrid grid;
+  grid.scenario = scenario.name();
+  grid.backend = "noise";
+  grid.nms = cfg.sweep.nms;
+  for (double severity : scenario.severities) {
+    const attack::AttackSpec spec = scenario.at(severity);
+    grid.severities.push_back(severity);
+    std::uint64_t salt = 1;
+    for (double nm : cfg.sweep.nms) {
+      const Tensor adv = attacked_test_set(model, ds, spec, cfg.eval_batch);
+      if (nm == 0.0 && cfg.sweep.na == 0.0) {
+        grid.accuracy.push_back(
+            capsnet::evaluate(model, adv, ds.test_y, nullptr, cfg.eval_batch));
+        continue;
+      }
+      const std::vector<noise::InjectionRule> rules{
+          noise::group_rule(group, noise::NoiseSpec{nm, cfg.sweep.na})};
+      noise::GaussianInjector injector(rules, cfg.seed ^ (salt++ * kSaltMix));
+      grid.accuracy.push_back(
+          capsnet::evaluate(model, adv, ds.test_y, &injector, cfg.eval_batch));
+    }
+  }
+  return grid;
+}
+
+TEST(SweepEngine, AttackedSweepGridsAreBitIdenticalToSerial) {
+  Rng rng(10);
+  capsnet::CapsNetModel model(small_capsnet_config(), rng);
+  const data::Dataset ds = small_dataset(14, 1, 48);
+
+  attack::Scenario fgsm;
+  fgsm.kind = attack::AttackKind::kFgsm;
+  fgsm.severities = {0.05, 0.1};
+  attack::Scenario rotate;
+  rotate.kind = attack::AttackKind::kRotate;
+  rotate.severities = {12.0};
+
+  const int hw_threads =
+      std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
+  for (const attack::Scenario& scenario : {fgsm, rotate}) {
+    const RobustnessGrid ref = serial_attacked_grid(model, ds, quick_config(1, false),
+                                                    scenario, OpKind::kMacOutput);
+    for (const int threads : {1, 2, hw_threads}) {
+      for (const bool cache : {false, true}) {
+        ResilienceAnalyzer analyzer(model, ds.test_x, ds.test_y,
+                                    quick_config(threads, cache));
+        const RobustnessGrid got =
+            analyzer.sweep_attack_noise(scenario, OpKind::kMacOutput);
+        ASSERT_EQ(ref.accuracy.size(), got.accuracy.size());
+        for (std::size_t i = 0; i < ref.accuracy.size(); ++i) {
+          EXPECT_EQ(ref.accuracy[i], got.accuracy[i])
+              << scenario.name() << " threads=" << threads << " cache=" << cache
+              << " point " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SweepEngine, PrefixReplayOnAttackedInputsMatchesFromScratchAtEverySite) {
+  Rng rng(11);
+  capsnet::CapsNetModel model(small_capsnet_config(), rng);
+  const data::Dataset ds = small_dataset(14, 1, 8);
+
+  // Replay exactness must hold on the perturbed eval sets the input-keyed
+  // cache records, not just the clean set.
+  const std::vector<std::int64_t> labels(ds.test_y.begin(), ds.test_y.end());
+  const Tensor adv =
+      attack::apply_attack(model, ds.test_x, labels, attack::AttackSpec::fgsm(0.1));
+  check_prefix_replay_exact(model, adv);
+}
+
+TEST(SweepEngine, InputKeyedCacheReusesPerturbedSetsAcrossGridPoints) {
+  Rng rng(12);
+  capsnet::CapsNetModel model(small_capsnet_config(), rng);
+  const data::Dataset ds = small_dataset(14, 1, 32);
+
+  attack::Scenario fgsm;
+  fgsm.kind = attack::AttackKind::kFgsm;
+  fgsm.severities = {0.05, 0.1};
+
+  ResilienceAnalyzer analyzer(model, ds.test_x, ds.test_y, quick_config(1, true));
+  (void)analyzer.sweep_attack_noise(fgsm, OpKind::kMacOutput);
+  const SweepEngineStats& stats = analyzer.engine_stats();
+  // One perturbed set per severity row (built by the clean attacked point),
+  // then each row's whole noise axis replays it in one run_attacked_points
+  // lookup: 2 misses, 2 hits.
+  EXPECT_EQ(stats.input_sets, 2);
+  EXPECT_EQ(stats.input_cache_hits, 2);
+  EXPECT_GT(stats.input_hit_rate(), 0.0);
+
+  // The exact (noise-free) axis over the same scenario is served entirely
+  // from the cache: no new sets, one more hit per severity.
+  (void)analyzer.sweep_attack_exact(fgsm);
+  EXPECT_EQ(analyzer.engine_stats().input_sets, 2);
+  EXPECT_EQ(analyzer.engine_stats().input_cache_hits, 4);
+
+  // Identity specs alias the clean base set and never touch the cache.
+  SweepEngineConfig ec;
+  ec.seed = 17;
+  ec.eval_batch = 16;
+  ec.threads = 1;
+  SweepEngine engine(model, ds.test_x, ds.test_y, ec);
+  const double clean = engine.clean_accuracy();
+  EXPECT_EQ(engine.attacked_accuracy(attack::AttackSpec::none()), clean);
+  EXPECT_EQ(engine.stats().input_sets, 0);
+  EXPECT_EQ(engine.stats().input_cache_hits, 0);
 }
 
 TEST(SweepEngine, ThreadResolutionHonorsEnvOverride) {
