@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <cstdlib>
 #include <filesystem>
 
 namespace redcane::bench {
@@ -88,6 +89,85 @@ void print_header(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonFields& JsonFields::str(const char* key, const std::string& value) {
+  body_ += ",\"";
+  body_ += key;
+  body_ += "\":\"";
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonFields& JsonFields::boolean(const char* key, bool value) {
+  body_ += ",\"";
+  body_ += key;
+  body_ += value ? "\":true" : "\":false";
+  return *this;
+}
+
+JsonFields& JsonFields::integer(const char* key, std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  body_ += ",\"";
+  body_ += key;
+  body_ += "\":";
+  body_ += buf;
+  return *this;
+}
+
+JsonFields& JsonFields::number(const char* key, double value, const char* fmt) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, value);
+  body_ += ",\"";
+  body_ += key;
+  body_ += "\":";
+  body_ += buf;
+  return *this;
+}
+
+bool append_bench_json(const std::string& path, const std::string& bench,
+                       const JsonFields& fields) {
+  const char* kind = std::getenv("REDCANE_BENCH_RUN_KIND");
+  const std::string run_kind =
+      kind != nullptr && kind[0] != '\0' ? json_escape(kind) : "seed";
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::printf("[bench] warning: could not append results to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"bench\":\"%s\",\"run_kind\":\"%s\"%s}\n",
+               json_escape(bench).c_str(), run_kind.c_str(), fields.body().c_str());
+  std::fclose(f);
+  std::printf("appended results to %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace redcane::bench

@@ -7,6 +7,7 @@
 // site intact, at a channel count a pure-CPU sweep can afford.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -56,5 +57,29 @@ const char* benchmark_dataset_name(BenchmarkId id);
 
 /// Prints a horizontal rule and a centered title.
 void print_header(const std::string& title);
+
+/// Field list for one bench-result JSON line. Keys must be plain
+/// identifiers (no escaping is applied); string values are escaped.
+class JsonFields {
+ public:
+  JsonFields& str(const char* key, const std::string& value);
+  JsonFields& boolean(const char* key, bool value);
+  JsonFields& integer(const char* key, std::int64_t value);
+  /// `fmt` is a printf double format (default keeps full precision short).
+  JsonFields& number(const char* key, double value, const char* fmt = "%.6g");
+
+  [[nodiscard]] const std::string& body() const { return body_; }
+
+ private:
+  std::string body_;
+};
+
+/// Appends one line to `path` in the shared bench schema:
+///   {"bench":"<bench>","run_kind":"seed"|"ci",<fields>}
+/// `run_kind` comes from $REDCANE_BENCH_RUN_KIND ("seed" unless set) so CI
+/// smoke rows are distinguishable from seeded baselines in the same file.
+/// Returns false (after a warning) when the file cannot be opened.
+bool append_bench_json(const std::string& path, const std::string& bench,
+                       const JsonFields& fields);
 
 }  // namespace redcane::bench

@@ -212,22 +212,23 @@ int run(bool quick, int threads, const std::string& json_path) {
   std::printf("grids bit-identical across all paths: %s\n", identical ? "yes" : "NO");
 
   const double speedup = serial.ms / r_par.ms;
-  if (std::FILE* f = std::fopen(json_path.c_str(), "a")) {
-    std::fprintf(f,
-                 "{\"bench\":\"robustness\",\"quick\":%s,\"model\":\"CapsNet-tiny\","
-                 "\"input_hw\":%lld,\"test_images\":%lld,\"scenarios\":%zu,"
-                 "\"severity_rows\":%zu,\"noisy_points\":%lld,\"threads\":%d,"
-                 "\"serial_ms\":%.1f,\"engine_serial_ms\":%.1f,\"parallel_ms\":%.1f,"
-                 "\"speedup\":%.2f,\"input_cache_hit_rate\":%.3f,"
-                 "\"stage_skip_fraction\":%.3f,\"bit_identical\":%s}\n",
-                 quick ? "true" : "false", static_cast<long long>(mc.input_hw),
-                 static_cast<long long>(spec.test_count), scenarios.size(), rows,
-                 static_cast<long long>(noisy_points), workers, serial.ms, r_one.ms,
-                 r_par.ms, speedup, r_par.stats.input_hit_rate(),
-                 r_par.stats.skip_fraction(), identical ? "true" : "false");
-    std::fclose(f);
-    std::printf("appended results to %s\n", json_path.c_str());
-  }
+  JsonFields fields;
+  fields.boolean("quick", quick)
+      .str("model", "CapsNet-tiny")
+      .integer("input_hw", mc.input_hw)
+      .integer("test_images", spec.test_count)
+      .integer("scenarios", static_cast<std::int64_t>(scenarios.size()))
+      .integer("severity_rows", static_cast<std::int64_t>(rows))
+      .integer("noisy_points", noisy_points)
+      .integer("threads", workers)
+      .number("serial_ms", serial.ms, "%.1f")
+      .number("engine_serial_ms", r_one.ms, "%.1f")
+      .number("parallel_ms", r_par.ms, "%.1f")
+      .number("speedup", speedup, "%.2f")
+      .number("input_cache_hit_rate", r_par.stats.input_hit_rate(), "%.3f")
+      .number("stage_skip_fraction", r_par.stats.skip_fraction(), "%.3f")
+      .boolean("bit_identical", identical);
+  append_bench_json(json_path, "robustness", fields);
 
   const bool pass = identical && speedup >= 2.0;
   std::printf("\n%s: parallel engine is %.2fx the naive serial robustness driver "

@@ -243,26 +243,28 @@ int run(bool quick, int workers_flag, const std::string& json_path) {
               over.p99_us);
 
   const double speedup = r_single.ms / r_batched.ms;
-  if (std::FILE* f = std::fopen(json_path.c_str(), "a")) {
-    std::fprintf(f,
-                 "{\"bench\":\"serve\",\"quick\":%s,\"model\":\"CapsNet-tiny\","
-                 "\"input_hw\":%lld,\"requests\":%lld,\"workers\":%d,\"max_batch\":%lld,"
-                 "\"single_ms\":%.1f,\"batched_ms\":%.1f,\"designed_ms\":%.1f,"
-                 "\"speedup\":%.2f,\"batched_mean_batch\":%.1f,"
-                 "\"batched_p50_us\":%.0f,\"batched_p99_us\":%.0f,\"identical\":%s,"
-                 "\"overload_offered_per_s\":%.0f,\"overload_fulfilled_per_s\":%.1f,"
-                 "\"overload_shed_rate\":%.4f,\"overload_deadline_miss_rate\":%.4f,"
-                 "\"overload_degraded_share\":%.4f,\"overload_p99_us\":%.0f}\n",
-                 quick ? "true" : "false", static_cast<long long>(hw),
-                 static_cast<long long>(requests), workers,
-                 static_cast<long long>(batched.max_batch), r_single.ms, r_batched.ms,
-                 r_designed.ms, speedup, r_batched.mean_batch, r_batched.p50_us,
-                 r_batched.p99_us, identical ? "true" : "false",
-                 over.arrival_per_s, over.fulfilled_per_s, over.shed_rate,
-                 over.deadline_miss_rate, over.degraded_share, over.p99_us);
-    std::fclose(f);
-    std::printf("appended results to %s\n", json_path.c_str());
-  }
+  JsonFields fields;
+  fields.boolean("quick", quick)
+      .str("model", "CapsNet-tiny")
+      .integer("input_hw", hw)
+      .integer("requests", requests)
+      .integer("workers", workers)
+      .integer("max_batch", batched.max_batch)
+      .number("single_ms", r_single.ms, "%.1f")
+      .number("batched_ms", r_batched.ms, "%.1f")
+      .number("designed_ms", r_designed.ms, "%.1f")
+      .number("speedup", speedup, "%.2f")
+      .number("batched_mean_batch", r_batched.mean_batch, "%.1f")
+      .number("batched_p50_us", r_batched.p50_us, "%.0f")
+      .number("batched_p99_us", r_batched.p99_us, "%.0f")
+      .boolean("identical", identical)
+      .number("overload_offered_per_s", over.arrival_per_s, "%.0f")
+      .number("overload_fulfilled_per_s", over.fulfilled_per_s, "%.1f")
+      .number("overload_shed_rate", over.shed_rate, "%.4f")
+      .number("overload_deadline_miss_rate", over.deadline_miss_rate, "%.4f")
+      .number("overload_degraded_share", over.degraded_share, "%.4f")
+      .number("overload_p99_us", over.p99_us, "%.0f");
+  append_bench_json(json_path, "serve", fields);
 
   const bool pass = identical && speedup >= 2.0;
   std::printf("\n%s: dynamic batching is %.2fx one-by-one serving "

@@ -4,10 +4,19 @@
 #include <cstdio>
 #include <memory>
 
+#include "util/crc32.hpp"
+
 namespace redcane::capsnet {
 namespace {
 
-constexpr char kMagic[4] = {'R', 'D', 'C', 'N'};
+// Format v2 ("RDC2"): magic, then the v1 payload (param count, then per
+// param element count + float data), then a trailing CRC-32 of every
+// payload byte. v1 ("RDCN") files carried only magic/size validation, so a
+// bit-flipped weights file loaded silently; v2 readers reject them (and
+// any corruption) instead of serving mangled weights. The CRC helper is
+// util::crc32 — the same checksum the distributed wire frames and run
+// journal use.
+constexpr char kMagic[4] = {'R', 'D', 'C', '2'};
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -22,15 +31,21 @@ bool save_params(CapsModel& model, const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return false;
   if (std::fwrite(kMagic, 1, 4, f.get()) != 4) return false;
+  std::uint32_t crc = util::crc32_init();
+  const auto put = [&](const void* data, std::size_t bytes) {
+    if (std::fwrite(data, 1, bytes, f.get()) != bytes) return false;
+    crc = util::crc32_update(crc, data, bytes);
+    return true;
+  };
   const std::vector<nn::Param*> params = model.params();
   const std::uint64_t count = params.size();
-  if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1) return false;
+  if (!put(&count, sizeof(count))) return false;
   for (nn::Param* p : params) {
     const std::uint64_t n = static_cast<std::uint64_t>(p->value.numel());
-    if (std::fwrite(&n, sizeof(n), 1, f.get()) != 1) return false;
-    if (std::fwrite(p->value.data().data(), sizeof(float), n, f.get()) != n) return false;
+    if (!put(&n, sizeof(n))) return false;
+    if (!put(p->value.data().data(), sizeof(float) * n)) return false;
   }
-  return true;
+  return std::fwrite(&crc, sizeof(crc), 1, f.get()) == 1;
 }
 
 bool load_params(CapsModel& model, const std::string& path) {
@@ -41,17 +56,25 @@ bool load_params(CapsModel& model, const std::string& path) {
   for (int i = 0; i < 4; ++i) {
     if (magic[i] != kMagic[i]) return false;
   }
+  std::uint32_t crc = util::crc32_init();
+  const auto get = [&](void* data, std::size_t bytes) {
+    if (std::fread(data, 1, bytes, f.get()) != bytes) return false;
+    crc = util::crc32_update(crc, data, bytes);
+    return true;
+  };
   const std::vector<nn::Param*> params = model.params();
   std::uint64_t count = 0;
-  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) return false;
+  if (!get(&count, sizeof(count))) return false;
   if (count != params.size()) return false;
   for (nn::Param* p : params) {
     std::uint64_t n = 0;
-    if (std::fread(&n, sizeof(n), 1, f.get()) != 1) return false;
+    if (!get(&n, sizeof(n))) return false;
     if (n != static_cast<std::uint64_t>(p->value.numel())) return false;
-    if (std::fread(p->value.data().data(), sizeof(float), n, f.get()) != n) return false;
+    if (!get(p->value.data().data(), sizeof(float) * n)) return false;
   }
-  return true;
+  std::uint32_t stored = 0;
+  if (std::fread(&stored, sizeof(stored), 1, f.get()) != 1) return false;
+  return stored == crc;
 }
 
 }  // namespace redcane::capsnet

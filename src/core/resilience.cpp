@@ -5,6 +5,7 @@
 
 #include "backend/emulation.hpp"
 #include "capsnet/trainer.hpp"
+#include "core/sweep_plan.hpp"
 
 namespace redcane::core {
 namespace {
@@ -43,42 +44,13 @@ double ResilienceAnalyzer::accuracy_with_rules(const std::vector<noise::Injectio
 
 ResilienceCurve ResilienceAnalyzer::sweep(capsnet::OpKind kind,
                                           const std::optional<std::string>& layer) {
-  ResilienceCurve curve;
-  curve.kind = kind;
-  curve.layer = layer;
-  curve.label = layer.value_or(std::string(capsnet::op_kind_name(kind)));
+  // Plan (grid geometry + grid-order salting), execute on the engine,
+  // assemble — the same three phases the distributed coordinator runs,
+  // so in-process and sharded sweeps are bit-identical by construction.
+  const CurvePlan plan = plan_curve(cfg_.sweep, kind, layer);
   const double base = baseline();
-
-  // Grid points, salted in grid order exactly as the serial driver salted
-  // them; the clean point reads the cached baseline.
-  std::vector<SweepPointSpec> points;
-  std::vector<std::size_t> point_of_nm;  // Index into `points`, or npos for clean.
-  constexpr std::size_t kClean = static_cast<std::size_t>(-1);
-  std::uint64_t salt = 1;
-  for (double nm : cfg_.sweep.nms) {
-    if (nm == 0.0 && cfg_.sweep.na == 0.0) {
-      point_of_nm.push_back(kClean);
-      continue;
-    }
-    const noise::NoiseSpec spec{nm, cfg_.sweep.na};
-    SweepPointSpec p;
-    if (layer.has_value()) {
-      p.rules.push_back(noise::layer_rule(kind, *layer, spec));
-    } else {
-      p.rules.push_back(noise::group_rule(kind, spec));
-    }
-    p.salt = salt++;
-    point_of_nm.push_back(points.size());
-    points.push_back(std::move(p));
-  }
-
-  const std::vector<double> acc = engine_.run_points(points);
-  for (std::size_t i = 0; i < cfg_.sweep.nms.size(); ++i) {
-    const double a = point_of_nm[i] == kClean ? base : acc[point_of_nm[i]];
-    curve.nms.push_back(cfg_.sweep.nms[i]);
-    curve.drop_pct.push_back((a - base) * 100.0);
-  }
-  return curve;
+  const std::vector<double> acc = engine_.run_points(plan.points);
+  return assemble_curve(plan, base, acc);
 }
 
 RobustnessGrid ResilienceAnalyzer::sweep_attack_exact(const attack::Scenario& scenario) {
@@ -94,43 +66,18 @@ RobustnessGrid ResilienceAnalyzer::sweep_attack_exact(const attack::Scenario& sc
 
 RobustnessGrid ResilienceAnalyzer::sweep_attack_noise(const attack::Scenario& scenario,
                                                       capsnet::OpKind group) {
-  RobustnessGrid grid;
-  grid.scenario = scenario.name();
-  grid.backend = "noise";
-  grid.nms = cfg_.sweep.nms;
-
-  for (double severity : scenario.severities) {
-    const attack::AttackSpec spec = scenario.at(severity);
-    grid.severities.push_back(severity);
-
-    // Same grid-order salting discipline as the Step-2/4 sweeps, restarted
-    // per severity row: a row's noise streams do not depend on which rows
-    // ran before it, so single-row and full-grid runs agree bitwise. The
-    // clean NM = 0 point reads the cached attacked accuracy.
-    std::vector<SweepPointSpec> points;
-    std::vector<std::size_t> point_of_nm;
-    constexpr std::size_t kClean = static_cast<std::size_t>(-1);
-    std::uint64_t salt = 1;
-    for (double nm : cfg_.sweep.nms) {
-      if (nm == 0.0 && cfg_.sweep.na == 0.0) {
-        point_of_nm.push_back(kClean);
-        continue;
-      }
-      SweepPointSpec p;
-      p.rules.push_back(noise::group_rule(group, noise::NoiseSpec{nm, cfg_.sweep.na}));
-      p.salt = salt++;
-      point_of_nm.push_back(points.size());
-      points.push_back(std::move(p));
-    }
-
-    const double attacked_base = engine_.attacked_accuracy(spec);
-    const std::vector<double> acc = engine_.run_attacked_points(spec, points);
-    for (std::size_t i = 0; i < cfg_.sweep.nms.size(); ++i) {
-      grid.accuracy.push_back(point_of_nm[i] == kClean ? attacked_base
-                                                       : acc[point_of_nm[i]]);
-    }
+  // Salts restart at 1 per severity row (see plan_attack_noise): a row's
+  // noise streams do not depend on which rows ran before it, so single-row
+  // shards and full-grid runs agree bitwise.
+  const NoiseGridPlan plan = plan_attack_noise(cfg_.sweep, scenario, group);
+  std::vector<RowResult> rows;
+  for (const NoiseGridRowPlan& row : plan.rows) {
+    RowResult r;
+    r.base = engine_.attacked_accuracy(row.spec);
+    r.acc = engine_.run_attacked_points(row.spec, row.points);
+    rows.push_back(std::move(r));
   }
-  return grid;
+  return assemble_attack_noise(plan, rows);
 }
 
 RobustnessGrid ResilienceAnalyzer::sweep_attack_emulated(
@@ -141,21 +88,12 @@ RobustnessGrid ResilienceAnalyzer::sweep_attack_emulated(
   grid.backend = "emulated";
 
   // All MAC-output layers of this model, discovered by probing — the same
-  // site set a deployment manifest plans.
+  // site set a deployment manifest plans (make_component_plan).
   const Tensor probe = capsnet::slice_rows(engine_.test_x(), 0, 1);
-  std::vector<std::string> mac_layers;
-  for (const Site& site : extract_sites(engine_.model(), probe)) {
-    if (site.kind == capsnet::OpKind::kMacOutput) mac_layers.push_back(site.layer);
-  }
-
   std::vector<backend::EmulationPlan> plans;
   for (const std::string& component : components) {
     backend::EmulationPlan plan;
-    bool ok = true;
-    for (const std::string& layer : mac_layers) {
-      ok = ok && plan.set_by_name(layer, component, /*adder=*/"", bits);
-    }
-    if (!ok) {
+    if (!make_component_plan(engine_.model(), probe, component, bits, &plan)) {
       std::fprintf(stderr,
                    "redcane::core: skipping unknown emulated component '%s' in "
                    "Step-8 grid\n",

@@ -70,6 +70,18 @@ void SweepEngine::record_set(EvalSet& set) {
     hits += capsnet::count_correct(v, batch_y_[b]);
   }
   set.accuracy = static_cast<double>(hits) / static_cast<double>(test_x_.shape().dim(0));
+
+  set.bytes = 0;
+  for (const Tensor& x : set.batch_x) {
+    set.bytes += x.numel() * static_cast<std::int64_t>(sizeof(float));
+  }
+  for (const capsnet::StageState& st : set.checkpoints) {
+    for (const std::vector<Tensor>& boundary : st.at) {
+      for (const Tensor& t : boundary) {
+        set.bytes += t.numel() * static_cast<std::int64_t>(sizeof(float));
+      }
+    }
+  }
 }
 
 void SweepEngine::ensure_prepared() {
@@ -109,10 +121,17 @@ const SweepEngine::EvalSet& SweepEngine::ensure_attacked(const attack::AttackSpe
   if (spec.is_identity()) return base_;  // Clean set; not an input-cache event.
 
   const std::string key = spec.key();
-  for (const auto& entry : attacked_) {
-    if (entry.first == key) {
+  for (std::size_t i = 0; i < attacked_.size(); ++i) {
+    if (attacked_[i].first == key) {
       ++stats_.input_cache_hits;
-      return *entry.second;
+      // Refresh to most-recently-used (back). The unique_ptr payload does
+      // not move, so the returned reference is stable.
+      if (i + 1 != attacked_.size()) {
+        auto entry = std::move(attacked_[i]);
+        attacked_.erase(attacked_.begin() + static_cast<std::ptrdiff_t>(i));
+        attacked_.push_back(std::move(entry));
+      }
+      return *attacked_.back().second;
     }
   }
 
@@ -127,7 +146,19 @@ const SweepEngine::EvalSet& SweepEngine::ensure_attacked(const attack::AttackSpe
     set->batch_x.push_back(attack::apply_attack(model_, base_.batch_x[b], batch_y_[b], spec));
   }
   record_set(*set);
+  stats_.input_cache_bytes += set->bytes;
   attacked_.emplace_back(key, std::move(set));
+
+  // LRU eviction under the byte budget. The just-built set (back) is
+  // exempt: it is about to be used, and evicting it would livelock a
+  // budget smaller than one set.
+  if (cfg_.input_cache_budget > 0) {
+    while (attacked_.size() > 1 && stats_.input_cache_bytes > cfg_.input_cache_budget) {
+      stats_.input_cache_bytes -= attacked_.front().second->bytes;
+      attacked_.erase(attacked_.begin());
+      ++stats_.input_evictions;
+    }
+  }
   return *attacked_.back().second;
 }
 

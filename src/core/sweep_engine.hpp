@@ -36,11 +36,13 @@
 //    mutating weights. (Train-mode attack forwards mutate layer caches,
 //    not weights, so they do not invalidate recorded prefixes.)
 //  * With prefix_cache on, the engine holds every stage-boundary
-//    activation of the test set — once per distinct attack spec it has
-//    evaluated (O(attack specs x num_stages x test-set activations)).
-//    That is by design for the tiny sweep profiles this repo runs
-//    (DESIGN.md §4); for full-scale models either sweep a subsample or
-//    set prefix_cache = false, which records nothing.
+//    activation of the test set — once per cached attack spec. The
+//    perturbed-set cache is LRU-bounded by
+//    SweepEngineConfig::input_cache_budget (bytes of batches +
+//    checkpoints); evicted specs rebuild bitwise identically on the next
+//    request (attack generation is RNG-free). The clean base set is
+//    always held. For full-scale models either sweep a subsample, shrink
+//    the budget, or set prefix_cache = false, which records nothing.
 #pragma once
 
 #include <cstdint>
@@ -74,6 +76,14 @@ struct SweepEngineConfig {
   /// full network. Off = every point is a full forward (the pre-engine
   /// behavior, still bit-identical).
   bool prefix_cache = true;
+  /// Byte budget of the input-batch-keyed (attacked) EvalSet cache. Sets
+  /// are evicted least-recently-used once the cached batches + checkpoints
+  /// exceed it; the set being built/used is never evicted, so the budget
+  /// bounds steady-state memory, not a single set. Re-evaluating an
+  /// evicted spec rebuilds it bitwise identically (attacks are RNG-free).
+  /// <= 0 = unbounded (the pre-LRU behavior). The clean base set is not
+  /// part of this cache and never evicts.
+  std::int64_t input_cache_budget = std::int64_t{256} << 20;
 };
 
 /// Exploration-cost counters of one engine lifetime.
@@ -84,6 +94,8 @@ struct SweepEngineStats {
   std::int64_t stages_total = 0;    ///< Stage executions a full-forward driver would run.
   std::int64_t input_sets = 0;      ///< Perturbed eval sets built (input-keyed cache misses).
   std::int64_t input_cache_hits = 0;  ///< Evaluations served by an already-built set.
+  std::int64_t input_evictions = 0;   ///< Perturbed sets evicted by the LRU byte budget.
+  std::int64_t input_cache_bytes = 0; ///< Current bytes held by cached perturbed sets.
   int threads = 1;                  ///< Resolved worker count.
 
   /// Fraction of stage executions skipped, in [0, 1].
@@ -174,6 +186,7 @@ class SweepEngine {
     std::vector<Tensor> batch_x;
     std::vector<capsnet::StageState> checkpoints;
     double accuracy = 0.0;
+    std::int64_t bytes = 0;  ///< Footprint of batches + checkpoints.
   };
 
   void ensure_prepared();
@@ -200,8 +213,11 @@ class SweepEngine {
   bool prepared_ = false;
   std::vector<std::vector<std::int64_t>> batch_y_;  ///< Labels per batch (all sets).
   EvalSet base_;                                    ///< Clean test batches.
-  /// Input-batch-keyed cache: AttackSpec::key() -> perturbed eval set.
-  /// unique_ptr keeps references stable while the vector grows.
+  /// Input-batch-keyed cache: AttackSpec::key() -> perturbed eval set, in
+  /// least-recently-used order (front = coldest). unique_ptr keeps the
+  /// reference ensure_attacked returns stable across reordering and later
+  /// insertions; eviction only happens inside ensure_attacked, before the
+  /// reference for the current evaluation is handed out.
   std::vector<std::pair<std::string, std::unique_ptr<EvalSet>>> attacked_;
   std::vector<std::pair<std::string, capsnet::OpKind>> site_stage_keys_;
   std::vector<int> site_stage_vals_;                ///< Parallel to keys: first stage.

@@ -1,0 +1,153 @@
+#include "core/sweep_plan.hpp"
+
+#include "capsnet/trainer.hpp"
+#include "core/groups.hpp"
+
+namespace redcane::core {
+
+ShardOutcome run_shard(SweepEngine& engine, const SweepShard& shard) {
+  ShardOutcome out;
+  out.id = shard.id;
+  // ensure_attacked caching makes the base read free when points follow.
+  out.base = engine.attacked_accuracy(shard.spec);
+  if (shard.backend == ShardBackend::kEmulated) {
+    backend::EmulationPlan plan;
+    const Tensor probe = capsnet::slice_rows(engine.test_x(), 0, 1);
+    if (!make_component_plan(engine.model(), probe, shard.component, shard.bits, &plan)) {
+      return out;  // acc stays empty: expected_values() mismatch flags failure.
+    }
+    out.acc.push_back(engine.attacked_backend_accuracy(
+        shard.spec, backend::EmulatedBackend(plan), /*salt=*/0));
+    return out;
+  }
+  out.acc = engine.run_attacked_points(shard.spec, shard.points);
+  return out;
+}
+
+bool make_component_plan(capsnet::CapsModel& model, const Tensor& probe,
+                         const std::string& component, int bits,
+                         backend::EmulationPlan* out) {
+  backend::EmulationPlan plan;
+  bool ok = true;
+  for (const Site& site : extract_sites(model, probe)) {
+    if (site.kind != capsnet::OpKind::kMacOutput) continue;
+    ok = ok && plan.set_by_name(site.layer, component, /*adder=*/"", bits);
+  }
+  if (!ok) return false;
+  *out = std::move(plan);
+  return true;
+}
+
+namespace {
+
+/// Shared grid-order point construction: one noisy point per NM > 0 (or
+/// NA != 0), salts 1..N in grid order, kCleanPoint for the clean column.
+void build_points(const NmSweep& sweep, const noise::InjectionRule& rule_template,
+                  std::vector<SweepPointSpec>* points,
+                  std::vector<std::size_t>* point_of_nm) {
+  std::uint64_t salt = 1;
+  for (double nm : sweep.nms) {
+    if (nm == 0.0 && sweep.na == 0.0) {
+      point_of_nm->push_back(kCleanPoint);
+      continue;
+    }
+    SweepPointSpec p;
+    noise::InjectionRule rule = rule_template;
+    rule.noise = noise::NoiseSpec{nm, sweep.na};
+    p.rules.push_back(std::move(rule));
+    p.salt = salt++;
+    point_of_nm->push_back(points->size());
+    points->push_back(std::move(p));
+  }
+}
+
+}  // namespace
+
+CurvePlan plan_curve(const NmSweep& sweep, capsnet::OpKind kind,
+                     const std::optional<std::string>& layer) {
+  CurvePlan plan;
+  plan.kind = kind;
+  plan.layer = layer;
+  plan.nms = sweep.nms;
+  plan.na = sweep.na;
+  noise::InjectionRule rule = layer.has_value()
+                                  ? noise::layer_rule(kind, *layer, noise::NoiseSpec{})
+                                  : noise::group_rule(kind, noise::NoiseSpec{});
+  build_points(sweep, rule, &plan.points, &plan.point_of_nm);
+  return plan;
+}
+
+ResilienceCurve assemble_curve(const CurvePlan& plan, double base,
+                               const std::vector<double>& acc) {
+  ResilienceCurve curve;
+  curve.kind = plan.kind;
+  curve.layer = plan.layer;
+  curve.label = plan.layer.value_or(std::string(capsnet::op_kind_name(plan.kind)));
+  for (std::size_t i = 0; i < plan.nms.size(); ++i) {
+    const double a = plan.point_of_nm[i] == kCleanPoint ? base : acc[plan.point_of_nm[i]];
+    curve.nms.push_back(plan.nms[i]);
+    curve.drop_pct.push_back((a - base) * 100.0);
+  }
+  return curve;
+}
+
+NoiseGridPlan plan_attack_noise(const NmSweep& sweep, const attack::Scenario& scenario,
+                                capsnet::OpKind group) {
+  NoiseGridPlan plan;
+  plan.scenario = scenario.name();
+  plan.nms = sweep.nms;
+  for (double severity : scenario.severities) {
+    plan.severities.push_back(severity);
+    NoiseGridRowPlan row;
+    row.spec = scenario.at(severity);
+    build_points(sweep, noise::group_rule(group, noise::NoiseSpec{}), &row.points,
+                 &row.point_of_nm);
+    plan.rows.push_back(std::move(row));
+  }
+  return plan;
+}
+
+RobustnessGrid assemble_attack_noise(const NoiseGridPlan& plan,
+                                     const std::vector<RowResult>& rows) {
+  RobustnessGrid grid;
+  grid.scenario = plan.scenario;
+  grid.backend = "noise";
+  grid.severities = plan.severities;
+  grid.nms = plan.nms;
+  for (std::size_t r = 0; r < plan.rows.size(); ++r) {
+    const NoiseGridRowPlan& row = plan.rows[r];
+    for (std::size_t i = 0; i < plan.nms.size(); ++i) {
+      grid.accuracy.push_back(row.point_of_nm[i] == kCleanPoint
+                                  ? rows[r].base
+                                  : rows[r].acc[row.point_of_nm[i]]);
+    }
+  }
+  return grid;
+}
+
+std::vector<SweepShard> chunk_shards(std::uint64_t first_id,
+                                     const attack::AttackSpec& spec,
+                                     const std::vector<SweepPointSpec>& points,
+                                     std::size_t chunk) {
+  std::vector<SweepShard> shards;
+  if (chunk == 0) chunk = 1;
+  if (points.empty()) {
+    SweepShard s;
+    s.id = first_id;
+    s.spec = spec;
+    shards.push_back(std::move(s));
+    return shards;
+  }
+  for (std::size_t at = 0; at < points.size(); at += chunk) {
+    SweepShard s;
+    s.id = first_id + shards.size();
+    s.spec = spec;
+    s.points.assign(points.begin() + static_cast<std::ptrdiff_t>(at),
+                    points.begin() + static_cast<std::ptrdiff_t>(
+                                         std::min(points.size(), at + chunk)));
+    shards.push_back(std::move(s));
+  }
+  return shards;
+}
+
+}  // namespace redcane::core

@@ -1,0 +1,144 @@
+// Shard-granular sweep planning — the seam the distributed layer rides.
+//
+// A ReD-CaNe sweep is a grid of independent, per-point-salted evaluations.
+// This module splits the in-process drivers of Steps 2/4/8 into three
+// separable phases so the same grid can run anywhere:
+//
+//   plan      — grid geometry -> SweepPointSpec lists with the exact
+//               salting discipline the serial analyzer uses (Steps 2/4:
+//               salts 1..N in grid order; Step-8 noise grids: restart at 1
+//               per severity row);
+//   execute   — run_shard(engine, shard): one schedulable unit of work,
+//               evaluated on ANY SweepEngine over the same (weights, test
+//               set) — the local engine, or a worker process's own copy;
+//   assemble  — ShardOutcomes -> ResilienceCurve / RobustnessGrid,
+//               independent of which engine produced them.
+//
+// Because every point carries its own salt and noise streams are seeded
+// per point (see sweep_engine.hpp), a grid split into shards of any size,
+// executed in any order, on any mix of engines with bitwise-identical
+// weights, assembles into curves bitwise identical to the single-process
+// run. That determinism contract is what lets the distributed coordinator
+// (src/dist/) reassign shards from dead workers freely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "backend/emulation.hpp"
+#include "core/resilience.hpp"
+#include "core/sweep_engine.hpp"
+
+namespace redcane::core {
+
+/// Execution backend of a shard's evaluations.
+enum class ShardBackend : std::uint8_t {
+  kNoise = 0,     ///< Noise-model grid points (Steps 2/4, Step-8 noise rows).
+  kEmulated = 1,  ///< One behavioral component column (Step-8 emulated grid).
+};
+
+/// One schedulable unit of sweep work. All points of a shard share one
+/// eval set (the clean set for identity specs, a perturbed set otherwise).
+/// A shard with no points still reports the set's noise-free accuracy —
+/// that is how exact-backend grid rows and clean baselines distribute.
+struct SweepShard {
+  std::uint64_t id = 0;
+  attack::AttackSpec spec;  ///< Identity = the clean eval set.
+  ShardBackend backend = ShardBackend::kNoise;
+  std::string component;  ///< Emulated only: approximate-multiplier name.
+  int bits = 8;           ///< Emulated only: operand wordlength.
+  std::vector<SweepPointSpec> points;
+
+  /// Number of accuracy values a correct result must carry.
+  [[nodiscard]] std::size_t expected_values() const {
+    return backend == ShardBackend::kEmulated ? 1 : points.size();
+  }
+};
+
+/// Result of one shard: per-point accuracies (empty for point-less shards,
+/// a single value for emulated shards) plus the eval set's noise-free
+/// accuracy (the NM = 0 column / exact row every assembly needs).
+struct ShardOutcome {
+  std::uint64_t id = 0;
+  double base = 0.0;
+  std::vector<double> acc;
+};
+
+/// Executes one shard on a local engine — THE shard-granular entry point,
+/// called by the in-process fallback and by remote dist workers alike.
+/// Returns acc.size() != shard.expected_values() only on failure (unknown
+/// emulated component); callers treat that as a corrupt result.
+[[nodiscard]] ShardOutcome run_shard(SweepEngine& engine, const SweepShard& shard);
+
+/// Builds the per-layer emulation plan mapping every MAC-output layer of
+/// `model` (discovered by probing with `probe`) onto `component` at `bits`
+/// operand wordlength. False when the component name is unknown to the
+/// approximate-multiplier library.
+[[nodiscard]] bool make_component_plan(capsnet::CapsModel& model, const Tensor& probe,
+                                       const std::string& component, int bits,
+                                       backend::EmulationPlan* out);
+
+/// Sentinel in point_of_nm: the NM = 0 column, which reads the eval set's
+/// noise-free accuracy instead of running a point.
+inline constexpr std::size_t kCleanPoint = static_cast<std::size_t>(-1);
+
+/// A Steps-2/4 curve as (points, geometry): the exact grid the serial
+/// analyzer runs, with the same grid-order salting (salts 1..N).
+struct CurvePlan {
+  capsnet::OpKind kind = capsnet::OpKind::kMacOutput;
+  std::optional<std::string> layer;
+  std::vector<double> nms;
+  double na = 0.0;
+  std::vector<SweepPointSpec> points;
+  std::vector<std::size_t> point_of_nm;  ///< Parallel to nms; kCleanPoint for NM = 0.
+};
+
+[[nodiscard]] CurvePlan plan_curve(const NmSweep& sweep, capsnet::OpKind kind,
+                                   const std::optional<std::string>& layer);
+
+/// Curve from the plan's point accuracies (`acc` parallel to plan.points)
+/// and the clean baseline.
+[[nodiscard]] ResilienceCurve assemble_curve(const CurvePlan& plan, double base,
+                                             const std::vector<double>& acc);
+
+/// One severity row of a Step-8 (severity x NM) noise grid: the perturbed
+/// eval set's spec plus its noise points (salts restart at 1 per row, so
+/// rows are order-independent).
+struct NoiseGridRowPlan {
+  attack::AttackSpec spec;
+  std::vector<SweepPointSpec> points;
+  std::vector<std::size_t> point_of_nm;
+};
+
+struct NoiseGridPlan {
+  std::string scenario;
+  std::vector<double> severities;
+  std::vector<double> nms;
+  std::vector<NoiseGridRowPlan> rows;  ///< Parallel to severities.
+};
+
+[[nodiscard]] NoiseGridPlan plan_attack_noise(const NmSweep& sweep,
+                                              const attack::Scenario& scenario,
+                                              capsnet::OpKind group);
+
+/// Per-row results: the row set's noise-free (attacked) accuracy and its
+/// point accuracies, parallel to the row plan's points.
+struct RowResult {
+  double base = 0.0;
+  std::vector<double> acc;
+};
+
+[[nodiscard]] RobustnessGrid assemble_attack_noise(const NoiseGridPlan& plan,
+                                                   const std::vector<RowResult>& rows);
+
+/// Splits one eval set's point list into shards of at most `chunk` points,
+/// with consecutive ids starting at `first_id`. Chunk boundaries cannot
+/// change values: every point carries its own salt.
+[[nodiscard]] std::vector<SweepShard> chunk_shards(std::uint64_t first_id,
+                                                   const attack::AttackSpec& spec,
+                                                   const std::vector<SweepPointSpec>& points,
+                                                   std::size_t chunk);
+
+}  // namespace redcane::core

@@ -1,0 +1,63 @@
+// Retry/backoff policy of the distributed sweep coordinator — a pure,
+// header-only unit so the schedule is testable without sockets.
+//
+// A shard abandoned by a worker (death, hang, corrupt frame) is requeued
+// with an exponentially growing delay: attempt k (1-based) waits
+// min(cap, base * multiplier^(k-1)), scaled by a deterministic jitter
+// factor in [1 - jitter, 1 + jitter). The jitter comes from a splitmix64
+// hash of (seed, key, attempt) — no RNG state, so every coordinator
+// replays the same schedule for the same (seed, shard) regardless of
+// thread interleaving. The retry budget bounds attempts per shard; beyond
+// it the shard is failed permanently.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace redcane::dist {
+
+struct BackoffPolicy {
+  std::int64_t base_us = 10'000;    ///< First-retry delay.
+  double multiplier = 2.0;          ///< Growth per attempt.
+  std::int64_t cap_us = 2'000'000;  ///< Un-jittered delay ceiling.
+  double jitter = 0.25;             ///< Spread fraction, in [0, 1).
+  int budget = 4;                   ///< Max retries per shard (0 = fail on first loss).
+  std::uint64_t seed = 1;           ///< Jitter stream seed.
+
+  /// True when `failures` abandonments have exhausted this shard's budget.
+  [[nodiscard]] bool exhausted(int failures) const { return failures > budget; }
+
+  /// Un-jittered delay of attempt k (1-based): min(cap, base * mult^(k-1)).
+  /// Non-decreasing in `attempt` and saturating at cap_us.
+  [[nodiscard]] std::int64_t raw_delay_us(int attempt) const {
+    if (attempt <= 0 || base_us <= 0) return 0;
+    double d = static_cast<double>(base_us);
+    const double cap = static_cast<double>(cap_us);
+    for (int k = 1; k < attempt && d < cap; ++k) d *= multiplier;
+    return static_cast<std::int64_t>(std::min(d, cap));
+  }
+
+  /// Jittered delay of attempt k for `key` (a shard id): raw * f with
+  /// f = 1 + jitter*(2u-1), u = unit_hash(seed, key, attempt) in [0, 1).
+  /// Deterministic: same (seed, key, attempt) => same delay, always >= 0.
+  [[nodiscard]] std::int64_t delay_us(std::uint64_t key, int attempt) const {
+    const std::int64_t raw = raw_delay_us(attempt);
+    if (raw == 0 || jitter <= 0.0) return raw;
+    const double u = util::unit_hash(seed, key, static_cast<std::uint64_t>(attempt));
+    const double f = 1.0 + jitter * (2.0 * u - 1.0);
+    return std::max<std::int64_t>(0, static_cast<std::int64_t>(static_cast<double>(raw) * f));
+  }
+
+  /// Cumulative wait before attempt `attempts + 1`: sum of the jittered
+  /// delays of attempts 1..attempts. Strictly monotone in `attempts` while
+  /// delays are positive.
+  [[nodiscard]] std::int64_t total_wait_us(std::uint64_t key, int attempts) const {
+    std::int64_t total = 0;
+    for (int k = 1; k <= attempts; ++k) total += delay_us(key, k);
+    return total;
+  }
+};
+
+}  // namespace redcane::dist

@@ -1,0 +1,544 @@
+#include "dist/coordinator.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "dist/wire.hpp"
+#include "serve/fault.hpp"
+#include "util/crc32.hpp"
+
+namespace redcane::dist {
+namespace {
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+enum class Abandon { kSteal, kLost, kCancel };
+
+}  // namespace
+
+struct Coordinator::Impl {
+  CoordinatorConfig cfg;
+  std::vector<core::SweepShard> shards;
+  LocalExec local;
+
+  Socket listener;
+  std::string bound_addr;
+  bool listening = false;
+
+  /// Scheduler view of one shard. All fields under `mu`.
+  struct ShardState {
+    bool completed = false;
+    bool failed = false;  ///< Retry budget exhausted; local drain is the last resort.
+    bool queued = true;   ///< Awaiting (re)assignment.
+    int failures = 0;     ///< Abandonment count (backoff attempt index).
+    std::int64_t eligible_at_us = 0;
+    int assigned_worker = -1;  ///< Worker id of the active assignment.
+    core::ShardOutcome outcome;
+  };
+
+  struct WorkerConn {
+    int id = 0;
+    std::string name;
+    Socket sock;
+    std::thread thread;
+    // Under mu:
+    bool alive = false;  ///< Handshaked and connection healthy.
+    bool stale = false;  ///< Past the liveness deadline; no new work until it speaks.
+    std::int64_t last_seen_us = 0;
+    std::int64_t current = -1;  ///< Shard index of the active assignment (-1 idle).
+    std::uint64_t last_affinity = 0;  ///< Affinity key of the last assignment.
+    bool has_affinity = false;
+  };
+
+  std::mutex mu;
+  std::vector<ShardState> state;  ///< Parallel to shards.
+  /// Cache-affinity key per shard (hash of spec+backend+component+bits):
+  /// shards sharing a key reuse the same attacked eval set / backend plan
+  /// inside one worker's engine, so the scheduler prefers handing a worker
+  /// shards matching its previous assignment.
+  std::vector<std::uint64_t> affinity;
+  std::unordered_map<std::uint64_t, std::size_t> index_of_id;
+  std::int64_t completed_count = 0;
+  std::int64_t failed_count = 0;
+  std::vector<std::unique_ptr<WorkerConn>> conns;
+  DistStats stats;
+  Journal journal;
+  bool journal_ok = false;
+  bool crashed = false;  ///< Simulated coordinator crash (coord_crash fault).
+  std::string error;
+
+  std::atomic<bool> stop{false};
+
+  // ---- shard bookkeeping (all callers hold mu) -----------------------
+
+  /// Picks the next shard for `w`: among eligible queued shards, prefer
+  /// one sharing `w`'s last affinity key (its engine already holds that
+  /// spec's attacked eval set); otherwise the first eligible. Pure
+  /// scheduling preference — placement cannot change any value.
+  std::int64_t pick_eligible(std::int64_t now, const WorkerConn* w) {
+    std::int64_t first = -1;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      if (!(state[i].queued && !state[i].completed && !state[i].failed &&
+            state[i].eligible_at_us <= now))
+        continue;
+      if (w != nullptr && w->has_affinity && affinity[i] == w->last_affinity)
+        return static_cast<std::int64_t>(i);
+      if (first < 0) first = static_cast<std::int64_t>(i);
+    }
+    return first;
+  }
+
+  /// Terminates `w`'s active assignment (if any) and routes the shard:
+  /// already complete -> dropped; budget left -> requeue with backoff;
+  /// budget exhausted -> failed permanently.
+  void abandon_active(WorkerConn* w, Abandon why) {
+    if (w->current < 0) return;
+    ShardState& s = state[static_cast<std::size_t>(w->current)];
+    const std::uint64_t shard_id = shards[static_cast<std::size_t>(w->current)].id;
+    w->current = -1;
+    s.assigned_worker = -1;
+    switch (why) {
+      case Abandon::kSteal: ++stats.stolen; break;
+      case Abandon::kLost: ++stats.lost; break;
+      case Abandon::kCancel: ++stats.cancelled; return;  // No requeue at shutdown.
+    }
+    if (s.completed) {
+      ++stats.dropped_completed;
+      return;
+    }
+    ++s.failures;
+    if (cfg.backoff.exhausted(s.failures)) {
+      s.failed = true;
+      s.queued = false;
+      ++failed_count;
+      ++stats.failed_permanent;
+    } else {
+      s.queued = true;
+      s.eligible_at_us = now_us() + cfg.backoff.delay_us(shard_id, s.failures);
+      ++stats.requeues;
+    }
+  }
+
+  /// Records one completion (from any source) and journals it. Returns
+  /// false when the coord_crash fault fires after the append.
+  bool record_completion(std::size_t idx, core::ShardOutcome outcome) {
+    ShardState& s = state[idx];
+    s.completed = true;
+    s.queued = false;
+    if (s.failed) {  // A late result can rescue a budget-exhausted shard.
+      s.failed = false;
+      --failed_count;
+    }
+    s.outcome = std::move(outcome);
+    ++completed_count;
+    if (journal_ok && !journal.append(s.outcome)) {
+      journal_ok = false;
+      std::fprintf(stderr,
+                   "dist: journal append failed; continuing without crash "
+                   "resume\n");
+    }
+    if (serve::fault::armed() &&
+        serve::fault::plan()->coord_crash(journal.stats().records_appended)) {
+      crashed = true;
+      error = "fault: simulated coordinator crash after journal append";
+      stop.store(true, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+
+  // ---- per-connection serving ----------------------------------------
+
+  void serve_conn(WorkerConn* w) {
+    // Handshake.
+    {
+      MsgType type{};
+      std::vector<std::uint8_t> payload;
+      const FrameStatus st =
+          recv_frame(w->sock, static_cast<int>(cfg.handshake_timeout_ms), &type, &payload);
+      HelloMsg hello;
+      WireReader r(payload.data(), payload.size());
+      if (st != FrameStatus::kOk || type != MsgType::kHello ||
+          !decode_hello(r, &hello)) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++stats.workers_refused;
+        return;
+      }
+      HelloAckMsg ack;
+      ack.worker_id = static_cast<std::uint32_t>(w->id);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (hello.proto != kProtoVersion) {
+          ack.reason = "protocol version mismatch";
+        } else if (hello.job_hash != cfg.job_hash) {
+          ack.reason = "job hash mismatch (different weights or grid)";
+        } else if (stats.degraded || stop.load(std::memory_order_acquire)) {
+          ack.reason = "coordinator is shutting down or degraded";
+        } else {
+          ack.accepted = true;
+          w->name = hello.name;
+          w->alive = true;
+          w->last_seen_us = now_us();
+          ++stats.workers_seen;
+        }
+        if (!ack.accepted) ++stats.workers_refused;
+      }
+      WireWriter ww;
+      encode_hello_ack(ww, ack);
+      const bool sent = send_frame(w->sock, MsgType::kHelloAck, ww.bytes());
+      if (!ack.accepted || !sent) {
+        std::lock_guard<std::mutex> lock(mu);
+        w->alive = false;
+        return;
+      }
+    }
+
+    while (!stop.load(std::memory_order_acquire)) {
+      // Hand out work when idle (and not deadline-stale: a silent worker
+      // gets no fresh shards until it proves liveness again).
+      bool have_assign = false;
+      core::SweepShard to_send;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (w->alive && !w->stale && w->current < 0) {
+          const std::int64_t idx = pick_eligible(now_us(), w);
+          if (idx >= 0) {
+            ShardState& s = state[static_cast<std::size_t>(idx)];
+            s.queued = false;
+            s.assigned_worker = w->id;
+            w->current = idx;
+            w->last_affinity = affinity[static_cast<std::size_t>(idx)];
+            w->has_affinity = true;
+            ++stats.assigned;
+            to_send = shards[static_cast<std::size_t>(idx)];
+            have_assign = true;
+          }
+        }
+      }
+      if (have_assign) {
+        WireWriter ww;
+        encode_shard(ww, to_send);
+        if (!send_frame(w->sock, MsgType::kAssign, ww.bytes())) {
+          std::lock_guard<std::mutex> lock(mu);
+          abandon_active(w, Abandon::kLost);
+          w->alive = false;
+          w->sock.close_now();
+          return;
+        }
+      }
+
+      MsgType type{};
+      std::vector<std::uint8_t> payload;
+      const FrameStatus st = recv_frame(w->sock, 20, &type, &payload);
+      if (st == FrameStatus::kTimeout) continue;
+      if (st != FrameStatus::kOk) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (st == FrameStatus::kCorrupt || st == FrameStatus::kTooLarge)
+          ++stats.corrupt_frames;
+        abandon_active(w, Abandon::kLost);
+        w->alive = false;
+        // Dropping the connection must be visible to the worker, or a peer
+        // that only SENT garbage keeps recv-waiting on a half-dead socket.
+        w->sock.close_now();
+        return;
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        w->last_seen_us = now_us();
+        w->stale = false;
+      }
+
+      if (type == MsgType::kHeartbeat) {
+        HeartbeatMsg hb;
+        WireReader r(payload.data(), payload.size());
+        if (!decode_heartbeat(r, &hb)) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++stats.corrupt_frames;
+          abandon_active(w, Abandon::kLost);
+          w->alive = false;
+          w->sock.close_now();
+          return;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        ++stats.heartbeats;
+        continue;
+      }
+      if (type != MsgType::kResult) continue;
+
+      core::ShardOutcome outcome;
+      WireReader r(payload.data(), payload.size());
+      bool valid = decode_outcome(r, &outcome);
+      std::size_t idx = 0;
+      if (valid) {
+        const auto it = index_of_id.find(outcome.id);
+        valid = it != index_of_id.end();
+        if (valid) {
+          idx = it->second;
+          // A frame that passes the CRC but carries the wrong number of
+          // values is a worker-side logic failure (e.g. unknown emulated
+          // component) — treat exactly like corruption: drop the
+          // connection, requeue the shard.
+          valid = outcome.acc.size() == shards[idx].expected_values();
+        }
+      }
+      if (!valid) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++stats.corrupt_frames;
+        abandon_active(w, Abandon::kLost);
+        w->alive = false;
+        w->sock.close_now();
+        return;
+      }
+
+      std::lock_guard<std::mutex> lock(mu);
+      const bool was_active = w->current >= 0 &&
+                              static_cast<std::size_t>(w->current) == idx;
+      if (state[idx].completed) {
+        // Duplicate (another worker or the local drain got there first).
+        if (was_active) {
+          ++stats.result_dup;
+          w->current = -1;
+          state[idx].assigned_worker = -1;
+        }
+        continue;
+      }
+      // Accept — even from a stolen assignment: the value is bitwise what
+      // any re-run would produce, and accepting stragglers removes the
+      // steal-just-before-finish livelock.
+      if (was_active) {
+        ++stats.result_ok;
+        w->current = -1;
+        state[idx].assigned_worker = -1;
+      } else {
+        ++stats.late_results;
+      }
+      ++stats.results_accepted;
+      if (!record_completion(idx, std::move(outcome))) {
+        // Simulated coordinator crash: a dead process sends no Shutdown
+        // but its fds do close — workers must see the connection drop.
+        w->sock.close_now();
+        return;
+      }
+    }
+
+    // Clean shutdown: cancel whatever we still hold and tell the worker.
+    bool tell_worker;
+    bool simulate_crash;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      abandon_active(w, Abandon::kCancel);
+      tell_worker = w->alive && !crashed;
+      simulate_crash = crashed;
+      w->alive = false;
+    }
+    if (tell_worker) {
+      // Best-effort; a dead peer just fails the send.
+      (void)send_frame(w->sock, MsgType::kShutdown, {});
+    } else if (simulate_crash) {
+      w->sock.close_now();
+    }
+  }
+
+  // ---- degradation ----------------------------------------------------
+
+  /// Runs every incomplete shard through the local fallback. Returns
+  /// false on coord_crash.
+  bool drain_locally() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stats.degraded = true;
+    }
+    while (true) {
+      core::SweepShard shard;
+      std::size_t idx = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        bool found = false;
+        for (std::size_t i = 0; i < state.size(); ++i) {
+          if (!state[i].completed) {
+            idx = i;
+            shard = shards[i];
+            found = true;
+            break;
+          }
+        }
+        if (!found) return true;
+      }
+      core::ShardOutcome outcome = local(shard);
+      std::lock_guard<std::mutex> lock(mu);
+      if (!state[idx].completed) {
+        ++stats.local_completed;
+        if (!record_completion(idx, std::move(outcome))) return false;
+      }
+    }
+  }
+
+  // ---- main loop ------------------------------------------------------
+
+  bool do_listen(std::string* err) {
+    if (listening) return true;
+    listener = dist_listen(cfg.addr, &bound_addr, err);
+    listening = listener.valid();
+    return listening;
+  }
+
+  CoordinatorResult run() {
+    CoordinatorResult result;
+    {
+      std::string err;
+      if (!do_listen(&err)) {
+        result.error = err;
+        return result;
+      }
+    }
+
+    // Journal open + resume.
+    if (!cfg.journal_path.empty()) {
+      std::vector<core::ShardOutcome> recovered;
+      std::string err;
+      if (!journal.open(cfg.journal_path, cfg.job_hash, &recovered, &err)) {
+        result.error = err;
+        return result;
+      }
+      journal_ok = true;
+      std::lock_guard<std::mutex> lock(mu);
+      for (core::ShardOutcome& o : recovered) {
+        const auto it = index_of_id.find(o.id);
+        if (it == index_of_id.end()) continue;
+        const std::size_t idx = it->second;
+        if (state[idx].completed ||
+            o.acc.size() != shards[idx].expected_values())
+          continue;
+        ShardState& s = state[idx];
+        s.completed = true;
+        s.queued = false;
+        s.outcome = std::move(o);
+        ++completed_count;
+        ++stats.journal_resumed;
+      }
+    }
+
+    const std::int64_t start = now_us();
+    while (!stop.load(std::memory_order_acquire)) {
+      // Accept (the 10 ms accept timeout is also the tick period).
+      if (static_cast<int>(conns.size()) < cfg.max_workers) {
+        Socket c = dist_accept(listener, 10);
+        if (c.valid()) {
+          auto conn = std::make_unique<WorkerConn>();
+          conn->id = static_cast<int>(conns.size());
+          conn->sock = std::move(c);
+          WorkerConn* raw = conn.get();
+          conn->thread = std::thread([this, raw] { serve_conn(raw); });
+          conns.push_back(std::move(conn));
+        }
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+
+      bool need_drain = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        const std::int64_t now = now_us();
+        const std::int64_t total = static_cast<std::int64_t>(shards.size());
+        if (completed_count == total) {
+          stop.store(true, std::memory_order_release);
+          break;
+        }
+        // Liveness deadlines: steal from the silent, but keep their
+        // connection — a straggler's late result is still welcome.
+        int live = 0;
+        for (auto& w : conns) {
+          if (!w->alive) continue;
+          ++live;
+          if (now - w->last_seen_us > cfg.heartbeat_deadline_ms * 1000) {
+            w->stale = true;
+            abandon_active(w.get(), Abandon::kSteal);
+          }
+        }
+        const bool no_first_worker =
+            stats.workers_seen == 0 && now - start > cfg.worker_wait_ms * 1000;
+        const bool all_workers_lost = stats.workers_seen > 0 && live == 0;
+        const bool only_failed_left =
+            failed_count > 0 && completed_count + failed_count == total;
+        need_drain = no_first_worker || all_workers_lost || only_failed_left;
+      }
+      if (need_drain) {
+        if (!local) {
+          std::lock_guard<std::mutex> lock(mu);
+          error =
+              "no workers available and no local fallback — cannot complete "
+              "the sweep";
+          stop.store(true, std::memory_order_release);
+          break;
+        }
+        if (!drain_locally()) break;  // coord_crash fired mid-drain.
+      }
+    }
+
+    stop.store(true, std::memory_order_release);
+    for (auto& w : conns) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+
+    std::lock_guard<std::mutex> lock(mu);
+    result.stats = stats;
+    result.stats.shards_total = static_cast<std::int64_t>(shards.size());
+    result.journal = journal.stats();
+    result.error = error;
+    result.complete =
+        completed_count == static_cast<std::int64_t>(shards.size()) && !crashed;
+    if (result.complete) {
+      result.outcomes.reserve(state.size());
+      for (ShardState& s : state) result.outcomes.push_back(std::move(s.outcome));
+    } else if (result.error.empty()) {
+      result.error = "sweep incomplete";
+    }
+    return result;
+  }
+};
+
+Coordinator::Coordinator(CoordinatorConfig cfg, std::vector<core::SweepShard> shards,
+                         LocalExec local)
+    : impl_(new Impl) {
+  impl_->cfg = std::move(cfg);
+  impl_->shards = std::move(shards);
+  impl_->local = std::move(local);
+  impl_->state.resize(impl_->shards.size());
+  impl_->affinity.reserve(impl_->shards.size());
+  for (std::size_t i = 0; i < impl_->shards.size(); ++i) {
+    const core::SweepShard& s = impl_->shards[i];
+    impl_->index_of_id[s.id] = i;
+    WireWriter w;
+    encode_attack_spec(w, s.spec);
+    w.u8(static_cast<std::uint8_t>(s.backend));
+    w.u32(static_cast<std::uint32_t>(s.bits));
+    w.str(s.component);
+    impl_->affinity.push_back(util::crc32(w.bytes().data(), w.bytes().size()));
+  }
+}
+
+Coordinator::~Coordinator() { delete impl_; }
+
+bool Coordinator::listen(std::string* error) {
+  const bool ok = impl_->do_listen(error);
+  if (ok) bound_addr_ = impl_->bound_addr;
+  return ok;
+}
+
+CoordinatorResult Coordinator::run() {
+  CoordinatorResult r = impl_->run();
+  bound_addr_ = impl_->bound_addr;
+  return r;
+}
+
+}  // namespace redcane::dist

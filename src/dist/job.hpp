@@ -1,0 +1,111 @@
+// The "standard job": a fully specified distributed sweep — model recipe,
+// dataset recipe, grid geometry, sharding, and assembly routing — that
+// every participant (coordinator, worker processes, the in-process
+// bitwise reference) can rebuild independently from a profile name.
+//
+// Distribution never ships weights or data: a worker reconstructs the
+// model from the same deterministic Rng seed and the dataset from the
+// same synthetic-generator spec, so its copies are bitwise identical to
+// the coordinator's by construction. The job hash — a CRC-32 of the full
+// recipe string (profile, model config, dataset spec, seeds, grid
+// geometry, chunking) — travels in the Hello handshake and the journal
+// header, refusing any participant whose recipe drifted.
+//
+// Grid contents per profile (all three Step-8 backends + Steps 2/4):
+//   Step 2  group curves (plan_curve) over selected OpKinds
+//   Step 4  layer curves over discovered MAC layers
+//   Step 8  exact rows, (severity x NM) noise grids, and
+//           (severity x component) emulated grids for an FGSM scenario
+// Shard ids are consecutive across the whole job; assembly routes each
+// outcome back into its curve/grid by id.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capsnet/model.hpp"
+#include "core/resilience.hpp"
+#include "core/sweep_plan.hpp"
+#include "data/dataset.hpp"
+
+namespace redcane::dist {
+
+/// Assembly routing: which shard ids feed which curve/grid, in order.
+struct CurveRoute {
+  core::CurvePlan plan;
+  std::vector<std::uint64_t> shard_ids;  ///< Concatenated accs = plan.points accs.
+};
+
+struct NoiseGridRoute {
+  core::NoiseGridPlan plan;
+  /// Per severity row, the ordered shard ids of that row's point chunks.
+  std::vector<std::vector<std::uint64_t>> row_shard_ids;
+};
+
+struct ExactGridRoute {
+  std::string scenario;
+  std::vector<double> severities;
+  std::vector<std::uint64_t> shard_ids;  ///< One point-less shard per severity.
+};
+
+struct EmulatedGridRoute {
+  std::string scenario;
+  std::vector<double> severities;
+  std::vector<std::string> components;
+  std::vector<std::uint64_t> shard_ids;  ///< Row-major [severity][component].
+};
+
+/// Everything the distributed curves assemble into — the unit of the
+/// bitwise-identity acceptance check against the in-process analyzer.
+struct JobGrids {
+  std::vector<core::ResilienceCurve> curves;
+  std::vector<core::RobustnessGrid> grids;
+};
+
+/// True when every value of both results is bitwise equal (exact double
+/// comparison — the determinism contract, not a tolerance check).
+[[nodiscard]] bool grids_identical(const JobGrids& a, const JobGrids& b);
+
+struct StandardJob {
+  std::string profile;  ///< "quick" | "full".
+  std::unique_ptr<capsnet::CapsModel> model;
+  data::Dataset dataset;
+  core::ResilienceConfig rc;
+  std::uint64_t job_hash = 0;
+  std::vector<core::SweepShard> shards;
+
+  std::vector<CurveRoute> curves;
+  std::vector<NoiseGridRoute> noise_grids;
+  std::vector<ExactGridRoute> exact_grids;
+  std::vector<EmulatedGridRoute> emulated_grids;
+
+  // Step-8 scenario shared by all three grid backends (the in-process
+  // reference re-runs it through ResilienceAnalyzer).
+  attack::Scenario scenario;
+  capsnet::OpKind noise_group = capsnet::OpKind::kMacOutput;
+  std::vector<std::string> components;
+  int bits = 8;
+};
+
+/// Engine configuration matching the job's grid values. `threads` is the
+/// worker-pool size of THAT engine (1 for dist workers — worker processes
+/// are the parallelism); it cannot change any value.
+[[nodiscard]] core::SweepEngineConfig job_engine_config(const StandardJob& job,
+                                                        int threads);
+
+/// Builds the job for a profile: "quick" (seconds; tests and CI smoke) or
+/// "full" (the bench_dist workload). Aborts on an unknown profile name.
+[[nodiscard]] StandardJob make_standard_job(const std::string& profile);
+
+/// Routes completed shard outcomes (parallel to job.shards) back into
+/// curves and grids.
+[[nodiscard]] JobGrids assemble_job(const StandardJob& job,
+                                    const std::vector<core::ShardOutcome>& outcomes);
+
+/// The bitwise reference: runs the same grids through ResilienceAnalyzer
+/// in this process (no sharding, no sockets).
+[[nodiscard]] JobGrids run_job_in_process(StandardJob& job);
+
+}  // namespace redcane::dist

@@ -1,0 +1,193 @@
+#include "dist/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "dist/wire.hpp"
+#include "util/crc32.hpp"
+
+namespace redcane::dist {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'D', 'J', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kHeaderSize = 4 + 4 + 8;
+/// Records beyond this are treated as torn (a corrupt length prefix must
+/// not trigger a giant allocation). Generous: a full Step-8 grid outcome
+/// is a few hundred bytes.
+constexpr std::uint32_t kMaxRecord = 16u << 20;
+
+bool read_exact(int fd, void* out, std::size_t n) {
+  char* p = static_cast<char*>(out);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+void put_u64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+Journal::~Journal() { close_now(); }
+
+void Journal::close_now() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Journal::open(const std::string& path, std::uint64_t job_hash,
+                   std::vector<core::ShardOutcome>* recovered, std::string* error) {
+  close_now();
+  stats_ = JournalStats{};
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    if (error) *error = "journal open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    if (error) *error = "journal stat " + path + ": " + std::strerror(errno);
+    close_now();
+    return false;
+  }
+
+  if (st.st_size == 0) {
+    // Fresh journal: write and sync the header before any record.
+    std::uint8_t header[kHeaderSize];
+    std::memcpy(header, kMagic, 4);
+    put_u32(header + 4, kVersion);
+    put_u64(header + 8, job_hash);
+    if (!write_exact(fd_, header, sizeof(header)) || ::fsync(fd_) != 0) {
+      if (error) *error = "journal header write " + path + ": " + std::strerror(errno);
+      close_now();
+      return false;
+    }
+    return true;
+  }
+
+  stats_.existed = true;
+  std::uint8_t header[kHeaderSize];
+  if (st.st_size < static_cast<off_t>(kHeaderSize) ||
+      !read_exact(fd_, header, sizeof(header)) ||
+      std::memcmp(header, kMagic, 4) != 0 || get_u32(header + 4) != kVersion) {
+    if (error) *error = "journal " + path + ": not a v1 run journal";
+    close_now();
+    return false;
+  }
+  const std::uint64_t stored_hash = get_u64(header + 8);
+  if (stored_hash != job_hash) {
+    // Refuse, don't truncate: the file belongs to a different job and the
+    // caller may still want it.
+    if (error) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "journal job hash mismatch (journal %016llx, job %016llx) — "
+                    "refusing to resume a different grid",
+                    static_cast<unsigned long long>(stored_hash),
+                    static_cast<unsigned long long>(job_hash));
+      *error = std::string(path) + ": " + buf;
+    }
+    close_now();
+    return false;
+  }
+
+  // Scan records until the torn tail (if any).
+  off_t good_end = kHeaderSize;
+  while (true) {
+    std::uint8_t rec_header[8];
+    if (!read_exact(fd_, rec_header, sizeof(rec_header))) break;
+    const std::uint32_t len = get_u32(rec_header);
+    const std::uint32_t crc = get_u32(rec_header + 4);
+    if (len == 0 || len > kMaxRecord) break;
+    std::vector<std::uint8_t> payload(len);
+    if (!read_exact(fd_, payload.data(), payload.size())) break;
+    if (util::crc32(payload.data(), payload.size()) != crc) break;
+    core::ShardOutcome outcome;
+    WireReader r(payload.data(), payload.size());
+    if (!decode_outcome(r, &outcome)) break;
+    if (recovered) recovered->push_back(std::move(outcome));
+    ++stats_.records_loaded;
+    good_end += static_cast<off_t>(sizeof(rec_header) + len);
+  }
+
+  if (good_end < st.st_size) {
+    stats_.torn_bytes_truncated = st.st_size - good_end;
+    if (::ftruncate(fd_, good_end) != 0) {
+      if (error) *error = "journal truncate " + path + ": " + std::strerror(errno);
+      close_now();
+      return false;
+    }
+  }
+  if (::lseek(fd_, good_end, SEEK_SET) < 0) {
+    if (error) *error = "journal seek " + path + ": " + std::strerror(errno);
+    close_now();
+    return false;
+  }
+  return true;
+}
+
+bool Journal::append(const core::ShardOutcome& outcome) {
+  if (fd_ < 0) return false;
+  WireWriter w;
+  encode_outcome(w, outcome);
+  const std::vector<std::uint8_t>& payload = w.bytes();
+  std::uint8_t rec_header[8];
+  put_u32(rec_header, static_cast<std::uint32_t>(payload.size()));
+  put_u32(rec_header + 4, util::crc32(payload.data(), payload.size()));
+  if (!write_exact(fd_, rec_header, sizeof(rec_header)) ||
+      !write_exact(fd_, payload.data(), payload.size()) || ::fsync(fd_) != 0) {
+    // A half-written record is exactly the torn tail load() recovers from.
+    close_now();
+    return false;
+  }
+  ++stats_.records_appended;
+  return true;
+}
+
+}  // namespace redcane::dist

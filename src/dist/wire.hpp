@@ -1,0 +1,201 @@
+// Wire protocol of the distributed sweep layer.
+//
+// Framing: every message is [u32 payload length][u32 CRC-32 of payload]
+// [payload], little-endian, over a stream socket ("unix:/path" or
+// "tcp:host:port"). The CRC (util::crc32 — the same checksum the run
+// journal and v2 checkpoints use) makes frame corruption — a chaos fault
+// site and a real failure mode over TCP-less transports — detectable
+// instead of silently poisoning a curve. A frame that fails the length
+// bound, the CRC, or payload decoding is *connection-fatal*: the receiver
+// cannot resynchronize a byte stream after a bad length prefix, so it
+// drops the connection and the coordinator requeues whatever that worker
+// held.
+//
+// Payload encoding is explicit little-endian scalar writes (no struct
+// memcpy): u8/u32/u64, f64 as IEEE-754 bit pattern in a u64, strings as
+// u32 length + bytes. Doubles travel as bit patterns, not text, because
+// the determinism contract is *bitwise* grid equality between distributed
+// and in-process runs.
+//
+// Message flow:
+//   worker -> Hello{proto, job_hash, name}  -> coordinator
+//   coordinator -> HelloAck{accepted, worker_id, reason}
+//   coordinator -> Assign{SweepShard} | Shutdown
+//   worker -> Result{ShardOutcome} | Heartbeat{shards_done}
+//
+// The job hash in Hello is the coordinator's defense against a worker
+// built from different weights or grid geometry: mismatched workers are
+// refused at handshake, before they can contribute values that would
+// break bitwise identity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sweep_plan.hpp"
+
+namespace redcane::dist {
+
+inline constexpr std::uint32_t kProtoVersion = 1;
+/// Frames above this are rejected before allocation (a corrupt length
+/// prefix must not trigger a multi-GB read).
+inline constexpr std::uint32_t kMaxFrame = 64u << 20;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,     ///< worker -> coord: proto version, job hash, name.
+  kHelloAck = 2,  ///< coord -> worker: accepted / refusal reason.
+  kAssign = 3,    ///< coord -> worker: one SweepShard.
+  kResult = 4,    ///< worker -> coord: one ShardOutcome.
+  kHeartbeat = 5, ///< worker -> coord: liveness + shards_done.
+  kShutdown = 6,  ///< coord -> worker: no more work, exit cleanly.
+};
+
+/// Append-only little-endian payload builder.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);  ///< IEEE-754 bit pattern via u64.
+  void str(const std::string& s);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked payload reader. Every getter returns false once any
+/// prior read failed (sticky), so decode functions can chain reads and
+/// check once.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] bool u8(std::uint8_t* v);
+  [[nodiscard]] bool u32(std::uint32_t* v);
+  [[nodiscard]] bool u64(std::uint64_t* v);
+  [[nodiscard]] bool f64(double* v);
+  [[nodiscard]] bool str(std::string* s);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// True when the payload was consumed exactly (trailing garbage is a
+  /// decode failure — it means the two sides disagree on the schema).
+  [[nodiscard]] bool done() const { return ok_ && pos_ == size_; }
+
+ private:
+  [[nodiscard]] bool take(void* out, std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- message payloads ------------------------------------------------
+
+struct HelloMsg {
+  std::uint32_t proto = kProtoVersion;
+  std::uint64_t job_hash = 0;
+  std::string name;
+};
+
+struct HelloAckMsg {
+  bool accepted = false;
+  std::uint32_t worker_id = 0;
+  std::string reason;  ///< Refusal diagnostic.
+};
+
+struct HeartbeatMsg {
+  std::uint64_t shards_done = 0;
+};
+
+/// Attack-spec codec, public because the coordinator also hashes the
+/// encoding as a shard's cache-affinity key (shards sharing a spec reuse
+/// a worker's attacked eval set).
+void encode_attack_spec(WireWriter& w, const attack::AttackSpec& s);
+[[nodiscard]] bool decode_attack_spec(WireReader& r, attack::AttackSpec* s);
+
+void encode_hello(WireWriter& w, const HelloMsg& m);
+[[nodiscard]] bool decode_hello(WireReader& r, HelloMsg* m);
+void encode_hello_ack(WireWriter& w, const HelloAckMsg& m);
+[[nodiscard]] bool decode_hello_ack(WireReader& r, HelloAckMsg* m);
+void encode_heartbeat(WireWriter& w, const HeartbeatMsg& m);
+[[nodiscard]] bool decode_heartbeat(WireReader& r, HeartbeatMsg* m);
+void encode_shard(WireWriter& w, const core::SweepShard& s);
+[[nodiscard]] bool decode_shard(WireReader& r, core::SweepShard* s);
+void encode_outcome(WireWriter& w, const core::ShardOutcome& o);
+[[nodiscard]] bool decode_outcome(WireReader& r, core::ShardOutcome* o);
+
+// ---- sockets ---------------------------------------------------------
+
+/// Move-only RAII wrapper of a connected (or listening) socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close_now();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of one frame receive.
+enum class FrameStatus {
+  kOk,
+  kTimeout,   ///< No complete frame within the deadline; stream intact.
+  kClosed,    ///< Orderly peer close at a frame boundary.
+  kCorrupt,   ///< CRC mismatch — connection-fatal.
+  kTooLarge,  ///< Length prefix beyond kMaxFrame — connection-fatal.
+  kError,     ///< I/O error / close mid-frame — connection-fatal.
+};
+
+[[nodiscard]] const char* frame_status_name(FrameStatus s);
+
+/// Binds + listens on "unix:/path" (unlinking a stale path first) or
+/// "tcp:host:port" (SO_REUSEADDR; port 0 picks an ephemeral port). On
+/// success, `bound_addr` (if non-null) receives the resolved address —
+/// with the real port for tcp:...:0 — in the same grammar, suitable for
+/// passing to dist_connect. Invalid socket + `error` on failure.
+[[nodiscard]] Socket dist_listen(const std::string& addr, std::string* bound_addr,
+                                 std::string* error);
+
+/// Accepts one connection; invalid socket on timeout or error. A timeout
+/// is not an error — the coordinator polls accept between ticks.
+[[nodiscard]] Socket dist_accept(const Socket& listener, int timeout_ms);
+
+/// Connects to an address in the dist_listen grammar. Invalid socket +
+/// `error` on failure (no internal retry; callers own the retry loop).
+[[nodiscard]] Socket dist_connect(const std::string& addr, std::string* error);
+
+/// Sends one framed message (blocking until fully written). False on any
+/// send error — the connection is then unusable.
+[[nodiscard]] bool send_frame(const Socket& s, MsgType type,
+                              const std::vector<std::uint8_t>& payload);
+
+/// Fault-injection variant: frames `payload` with the CRC of the CLEAN
+/// bytes, then flips one payload byte on the wire, guaranteeing the
+/// receiver's checksum check fires. Chaos tests only.
+[[nodiscard]] bool send_frame_corrupted(const Socket& s, MsgType type,
+                                        const std::vector<std::uint8_t>& payload);
+
+/// Receives one framed message, waiting up to `timeout_ms` for the first
+/// byte. The rest of a started frame is read under a fixed generous
+/// deadline instead — once a length prefix arrives the peer has committed
+/// to the frame, and a mid-frame stall is a wedged connection (kError),
+/// not a quiet one (kTimeout). On kOk, `type` and `payload` hold the
+/// CRC-verified message.
+[[nodiscard]] FrameStatus recv_frame(const Socket& s, int timeout_ms, MsgType* type,
+                                     std::vector<std::uint8_t>* payload);
+
+}  // namespace redcane::dist

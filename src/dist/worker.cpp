@@ -1,0 +1,172 @@
+#include "dist/worker.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "dist/wire.hpp"
+#include "serve/fault.hpp"
+
+namespace redcane::dist {
+namespace {
+
+void sleep_us(std::int64_t us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+/// Sends a result frame through the socket fault sites: pre-send stall,
+/// then possibly a corrupted frame (CRC of the clean payload, one byte
+/// flipped on the wire — the coordinator's checksum check must fire).
+bool send_result(const Socket& sock, std::mutex& send_mu,
+                 const core::ShardOutcome& outcome) {
+  WireWriter w;
+  encode_outcome(w, outcome);
+  bool corrupt = false;
+  if (serve::fault::armed()) {
+    serve::fault::FaultPlan* plan = serve::fault::plan();
+    std::int64_t stall = 0;
+    if (plan->stall_socket(stall)) sleep_us(stall);
+    corrupt = plan->corrupt_result_frame();
+  }
+  std::lock_guard<std::mutex> lock(send_mu);
+  return corrupt ? send_frame_corrupted(sock, MsgType::kResult, w.bytes())
+                 : send_frame(sock, MsgType::kResult, w.bytes());
+}
+
+}  // namespace
+
+WorkerStats run_worker(core::SweepEngine& engine, const WorkerConfig& cfg) {
+  WorkerStats stats;
+
+#ifdef _OPENMP
+  // Workers ARE the parallelism; don't also fan each shard out over every
+  // core (matches the serve worker-pool discipline).
+  omp_set_num_threads(1);
+#endif
+
+  // Connect with retry: in the CI smoke the workers race the coordinator's
+  // bind, and losing that race must not fail the run.
+  Socket sock;
+  {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(cfg.connect_wait_ms);
+    std::string error;
+    while (true) {
+      sock = dist_connect(cfg.addr, &error);
+      if (sock.valid()) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        stats.error = "connect failed: " + error;
+        return stats;
+      }
+      sleep_us(20'000);
+    }
+  }
+
+  // Handshake.
+  {
+    WireWriter w;
+    HelloMsg hello;
+    hello.proto = kProtoVersion;
+    hello.job_hash = cfg.job_hash;
+    hello.name = cfg.name;
+    encode_hello(w, hello);
+    if (!send_frame(sock, MsgType::kHello, w.bytes())) {
+      stats.error = "hello send failed";
+      return stats;
+    }
+    MsgType type{};
+    std::vector<std::uint8_t> payload;
+    const FrameStatus st = recv_frame(sock, 5000, &type, &payload);
+    HelloAckMsg ack;
+    WireReader r(payload.data(), payload.size());
+    if (st != FrameStatus::kOk || type != MsgType::kHelloAck ||
+        !decode_hello_ack(r, &ack)) {
+      stats.error = std::string("handshake failed: ") + frame_status_name(st);
+      return stats;
+    }
+    if (!ack.accepted) {
+      stats.error = "coordinator refused: " + ack.reason;
+      return stats;
+    }
+    stats.handshake_ok = true;
+  }
+
+  // Heartbeat thread: liveness must not wait for a long shard evaluation.
+  std::mutex send_mu;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> shards_done{0};
+  std::atomic<std::uint64_t> heartbeats_sent{0};
+  std::thread heartbeat([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      sleep_us(cfg.heartbeat_interval_ms * 1000);
+      if (stop.load(std::memory_order_acquire)) break;
+      if (serve::fault::armed()) {
+        serve::fault::FaultPlan* plan = serve::fault::plan();
+        sleep_us(plan->heartbeat_delay_us());
+        if (plan->drop_heartbeat()) continue;
+      }
+      WireWriter w;
+      HeartbeatMsg hb;
+      hb.shards_done = shards_done.load(std::memory_order_relaxed);
+      encode_heartbeat(w, hb);
+      std::lock_guard<std::mutex> lock(send_mu);
+      if (!send_frame(sock, MsgType::kHeartbeat, w.bytes())) return;
+      heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Serving loop: one shard at a time, exactly as assigned.
+  while (true) {
+    MsgType type{};
+    std::vector<std::uint8_t> payload;
+    const FrameStatus st = recv_frame(sock, 200, &type, &payload);
+    if (st == FrameStatus::kTimeout) continue;
+    if (st != FrameStatus::kOk) {
+      if (st != FrameStatus::kClosed)
+        stats.error = std::string("recv failed: ") + frame_status_name(st);
+      break;
+    }
+    if (type == MsgType::kShutdown) break;
+    if (type != MsgType::kAssign) continue;  // Ignore unexpected-but-valid frames.
+
+    core::SweepShard shard;
+    WireReader r(payload.data(), payload.size());
+    if (!decode_shard(r, &shard)) {
+      stats.error = "undecodable assignment";
+      break;
+    }
+
+    const core::ShardOutcome outcome = core::run_shard(engine, shard);
+    const std::uint64_t done_before =
+        shards_done.load(std::memory_order_relaxed);
+
+    // Kill fault: exit WITHOUT sending — the coordinator must recover the
+    // shard via heartbeat deadline + reassignment, the hard-crash path.
+    if (serve::fault::armed() &&
+        serve::fault::plan()->kill_worker(
+            cfg.name, static_cast<std::int64_t>(done_before))) {
+      stats.killed_by_fault = true;
+      stop.store(true, std::memory_order_release);
+      break;
+    }
+
+    if (!send_result(sock, send_mu, outcome)) {
+      stats.error = "result send failed";
+      break;
+    }
+    shards_done.store(done_before + 1, std::memory_order_relaxed);
+  }
+
+  stop.store(true, std::memory_order_release);
+  heartbeat.join();
+  stats.shards_done = shards_done.load(std::memory_order_relaxed);
+  stats.heartbeats_sent = heartbeats_sent.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace redcane::dist

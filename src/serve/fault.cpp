@@ -4,28 +4,24 @@
 #include <cstdlib>
 #include <vector>
 
+#include "util/hash.hpp"
+
 namespace redcane::serve::fault {
 namespace {
 
 std::atomic<FaultPlan*> g_plan{nullptr};
 
-/// splitmix64: the repo's standard seed-scrambling finalizer.
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
-
-/// Hash of (seed, site, seq) mapped into [0, 1).
-double unit_hash(std::uint64_t seed, std::uint64_t site, std::uint64_t seq) {
-  const std::uint64_t h = mix(mix(seed ^ site) ^ seq);
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
-}
+// util::splitmix64 / util::unit_hash are the former local helpers,
+// hoisted so dist/backoff shares the identical decision-hash chain; the
+// streams below are bit-for-bit what they were before the hoist.
+using util::unit_hash;
 
 constexpr std::uint64_t kSiteStall = 0x57414C4Cu;    // "WALL"
 constexpr std::uint64_t kSiteBackend = 0x4241434Bu;  // "BACK"
 constexpr std::uint64_t kSiteCkpt = 0x434B5054u;     // "CKPT"
+constexpr std::uint64_t kSiteHeartbeat = 0x48424554u;  // "HBET"
+constexpr std::uint64_t kSiteFrame = 0x46524D45u;      // "FRME"
+constexpr std::uint64_t kSiteSock = 0x534F434Bu;       // "SOCK"
 
 }  // namespace
 
@@ -55,11 +51,42 @@ bool FaultPlan::corrupt_checkpoint() {
   return true;
 }
 
+bool FaultPlan::kill_worker(const std::string& name, std::int64_t shards_done) {
+  if (cfg_.kill_worker_after < 0) return false;
+  if (!cfg_.kill_worker_name.empty() && cfg_.kill_worker_name != name) return false;
+  if (shards_done < cfg_.kill_worker_after) return false;
+  worker_kills_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultPlan::drop_heartbeat() {
+  if (!decide(kSiteHeartbeat, hb_seq_, cfg_.heartbeat_drop_prob)) return false;
+  hb_drops_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultPlan::corrupt_result_frame() {
+  if (!decide(kSiteFrame, frame_seq_, cfg_.frame_corrupt_prob)) return false;
+  frame_corruptions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultPlan::stall_socket(std::int64_t& us) {
+  if (!decide(kSiteSock, sock_seq_, cfg_.sock_stall_prob)) return false;
+  us = cfg_.sock_stall_us;
+  sock_stalls_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 FaultCounters FaultPlan::counters() const {
   FaultCounters c;
   c.worker_stalls = stalls_.load(std::memory_order_relaxed);
   c.backend_failures = backend_failures_.load(std::memory_order_relaxed);
   c.checkpoint_corruptions = ckpt_corruptions_.load(std::memory_order_relaxed);
+  c.worker_kills = worker_kills_.load(std::memory_order_relaxed);
+  c.heartbeats_dropped = hb_drops_.load(std::memory_order_relaxed);
+  c.frames_corrupted = frame_corruptions_.load(std::memory_order_relaxed);
+  c.socket_stalls = sock_stalls_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -93,6 +120,11 @@ bool parse_spec(const std::string& spec, FaultConfig& out) {
     if (eq == std::string::npos) return false;
     const std::string key = item.substr(0, eq);
     const std::string val = item.substr(eq + 1);
+    if (key == "kill_name") {  // The one string-valued key.
+      if (val.empty()) return false;
+      out.kill_worker_name = val;
+      continue;
+    }
     char* end = nullptr;
     const double num = std::strtod(val.c_str(), &end);
     if (end == val.c_str() || *end != '\0') return false;
@@ -103,6 +135,13 @@ bool parse_spec(const std::string& spec, FaultConfig& out) {
     else if (key == "ckpt") out.checkpoint_corrupt_prob = num;
     else if (key == "full") out.force_queue_full = num != 0.0;
     else if (key == "pressure") out.force_pressure = num != 0.0;
+    else if (key == "kill_after") out.kill_worker_after = static_cast<std::int64_t>(num);
+    else if (key == "hb_drop") out.heartbeat_drop_prob = num;
+    else if (key == "hb_delay_us") out.heartbeat_delay_us = static_cast<std::int64_t>(num);
+    else if (key == "frame") out.frame_corrupt_prob = num;
+    else if (key == "sock_stall") out.sock_stall_prob = num;
+    else if (key == "sock_stall_us") out.sock_stall_us = static_cast<std::int64_t>(num);
+    else if (key == "coord_crash") out.coord_crash_after = static_cast<std::int64_t>(num);
     else return false;
   }
   return true;
@@ -121,7 +160,7 @@ bool write_truncated_copy(const std::string& src, const std::string& dst,
   // Strictly inside the file: at least one byte is always missing, so a
   // length-validating parser (capsnet::load_params) is guaranteed to
   // reject the copy.
-  const std::size_t cut = static_cast<std::size_t>(mix(seed) % bytes.size());
+  const std::size_t cut = static_cast<std::size_t>(util::splitmix64(seed) % bytes.size());
   std::FILE* outf = std::fopen(dst.c_str(), "wb");
   if (outf == nullptr) return false;
   const bool ok = cut == 0 || std::fwrite(bytes.data(), 1, cut, outf) == cut;

@@ -28,6 +28,17 @@
 //   ckpt=P        checkpoint-read corruption probability   (default 0)
 //   full=0|1      admission sees the queue as full         (default 0)
 //   pressure=0|1  degraded mode forced on                  (default 0)
+//
+// Distributed-sweep fault sites (src/dist/), same grammar:
+//   kill_after=N     worker exits after completing N shards   (default off)
+//   kill_name=S      restrict kill_after to worker named S    (default all)
+//   hb_drop=P        heartbeat-send drop probability          (default 0)
+//   hb_delay_us=N    delay before each heartbeat send [us]    (default 0)
+//   frame=P          result-frame payload corruption prob.    (default 0)
+//   sock_stall=P     pre-send socket stall probability        (default 0)
+//   sock_stall_us=N  socket stall duration [us]               (default 50000)
+//   coord_crash=N    coordinator aborts after N journal
+//                    appends (resume-from-journal tests)      (default off)
 #pragma once
 
 #include <atomic>
@@ -45,9 +56,22 @@ struct FaultConfig {
   bool force_queue_full = false;       ///< Admission rejects everything.
   bool force_pressure = false;         ///< Degraded mode on regardless of depth.
 
+  // Distributed-sweep sites (src/dist/).
+  std::int64_t kill_worker_after = -1;   ///< Worker dies after N shards (-1 = off).
+  std::string kill_worker_name;          ///< Restrict the kill to one worker ("" = any).
+  double heartbeat_drop_prob = 0.0;      ///< Per heartbeat send.
+  std::int64_t heartbeat_delay_us = 0;   ///< Added before every heartbeat send.
+  double frame_corrupt_prob = 0.0;       ///< Per result frame sent.
+  double sock_stall_prob = 0.0;          ///< Per result send.
+  std::int64_t sock_stall_us = 50'000;   ///< Socket stall duration [us].
+  std::int64_t coord_crash_after = -1;   ///< Coordinator aborts after N journal appends.
+
   [[nodiscard]] bool any() const {
     return worker_stall_prob > 0.0 || backend_fail_prob > 0.0 ||
-           checkpoint_corrupt_prob > 0.0 || force_queue_full || force_pressure;
+           checkpoint_corrupt_prob > 0.0 || force_queue_full || force_pressure ||
+           kill_worker_after >= 0 || heartbeat_drop_prob > 0.0 ||
+           heartbeat_delay_us > 0 || frame_corrupt_prob > 0.0 ||
+           sock_stall_prob > 0.0 || coord_crash_after >= 0;
   }
 };
 
@@ -56,6 +80,10 @@ struct FaultCounters {
   std::int64_t worker_stalls = 0;
   std::int64_t backend_failures = 0;
   std::int64_t checkpoint_corruptions = 0;
+  std::int64_t worker_kills = 0;
+  std::int64_t heartbeats_dropped = 0;
+  std::int64_t frames_corrupted = 0;
+  std::int64_t socket_stalls = 0;
 };
 
 /// A seed-driven fault decision stream. Thread-safe: per-site sequence
@@ -74,6 +102,33 @@ class FaultPlan {
   /// True when this checkpoint read should be corrupted.
   [[nodiscard]] bool corrupt_checkpoint();
 
+  /// True when the dist worker named `name` should exit (without sending
+  /// its pending result) after having completed `shards_done` shards. A
+  /// pure comparison, not a decision stream: the k-th shard kill is the
+  /// k-th shard kill on every replay.
+  [[nodiscard]] bool kill_worker(const std::string& name, std::int64_t shards_done);
+
+  /// True when this heartbeat send should be silently dropped.
+  [[nodiscard]] bool drop_heartbeat();
+
+  /// Artificial delay added before every heartbeat send [us] (0 = none).
+  [[nodiscard]] std::int64_t heartbeat_delay_us() const {
+    return cfg_.heartbeat_delay_us;
+  }
+
+  /// True when this result frame's payload should be corrupted in flight.
+  [[nodiscard]] bool corrupt_result_frame();
+
+  /// True when the worker should stall before its next result send;
+  /// `us` receives the stall duration.
+  [[nodiscard]] bool stall_socket(std::int64_t& us);
+
+  /// True when the coordinator should abort after its `appends`-th journal
+  /// append (pure comparison — resume tests crash at a known point).
+  [[nodiscard]] bool coord_crash(std::int64_t appends) const {
+    return cfg_.coord_crash_after >= 0 && appends >= cfg_.coord_crash_after;
+  }
+
   [[nodiscard]] bool queue_full() const { return cfg_.force_queue_full; }
   [[nodiscard]] bool pressure() const { return cfg_.force_pressure; }
 
@@ -88,9 +143,16 @@ class FaultPlan {
   std::atomic<std::uint64_t> stall_seq_{0};
   std::atomic<std::uint64_t> backend_seq_{0};
   std::atomic<std::uint64_t> ckpt_seq_{0};
+  std::atomic<std::uint64_t> hb_seq_{0};
+  std::atomic<std::uint64_t> frame_seq_{0};
+  std::atomic<std::uint64_t> sock_seq_{0};
   std::atomic<std::int64_t> stalls_{0};
   std::atomic<std::int64_t> backend_failures_{0};
   std::atomic<std::int64_t> ckpt_corruptions_{0};
+  std::atomic<std::int64_t> worker_kills_{0};
+  std::atomic<std::int64_t> hb_drops_{0};
+  std::atomic<std::int64_t> frame_corruptions_{0};
+  std::atomic<std::int64_t> sock_stalls_{0};
 };
 
 /// True when a fault plan is armed process-wide. The only cost production

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the one
+// checksum every integrity seam of the repo shares: checkpoint payloads
+// (capsnet/serialize), distributed wire frames (dist/wire), and run-journal
+// records (dist/journal). One implementation means a frame checksummed by a
+// worker verifies against the same table the journal replayer uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace redcane::util {
+
+/// Incremental update: feed chunks in order, starting from crc32_init().
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                         std::size_t len);
+
+/// Initial value for incremental use (pre-inverted; crc32_update handles
+/// the final inversion internally, so intermediate values chain directly).
+[[nodiscard]] inline std::uint32_t crc32_init() { return 0; }
+
+/// One-shot CRC-32 of a buffer.
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t len) {
+  return crc32_update(crc32_init(), data, len);
+}
+
+}  // namespace redcane::util

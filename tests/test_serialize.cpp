@@ -134,6 +134,31 @@ TEST(Serialize, LoadRejectsCorruptedMagic) {
   EXPECT_FALSE(load_params(model, path));
 }
 
+TEST(Serialize, LoadRejectsSingleByteFlipInWeightData) {
+  Rng rng(9);
+  CapsNetModel model(small_capsnet_config(), rng);
+  const std::string path = temp_path("bitflip.rdcn");
+  ASSERT_TRUE(save_params(model, path));
+
+  // Flip one bit deep inside the weight payload: names, shapes and counts
+  // all still parse, so only the trailing checksum can catch it.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(0, std::fseek(f, 0, SEEK_END));
+  const long size = std::ftell(f);
+  ASSERT_GT(size, 64);
+  ASSERT_EQ(0, std::fseek(f, size / 2, SEEK_SET));
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(0, std::fseek(f, size / 2, SEEK_SET));
+  ASSERT_NE(EOF, std::fputc(c ^ 0x10, f));
+  std::fclose(f);
+
+  Rng rng_target(10);
+  CapsNetModel target(small_capsnet_config(), rng_target);
+  EXPECT_FALSE(load_params(target, path));
+}
+
 TEST(Serialize, LoadRejectsLayoutMismatch) {
   Rng rng(8);
   CapsNetModel small(small_capsnet_config(), rng);

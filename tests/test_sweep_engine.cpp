@@ -388,6 +388,41 @@ TEST(SweepEngine, InputKeyedCacheReusesPerturbedSetsAcrossGridPoints) {
   EXPECT_EQ(engine.stats().input_cache_hits, 0);
 }
 
+TEST(SweepEngine, InputCacheLruBudgetEvictsAndRebuildsIdentically) {
+  Rng rng(13);
+  capsnet::CapsNetModel model(small_capsnet_config(), rng);
+  const data::Dataset ds = small_dataset(14, 1, 24);
+
+  SweepEngineConfig unbounded;
+  unbounded.seed = 17;
+  unbounded.eval_batch = 8;
+  unbounded.threads = 1;
+  SweepEngineConfig bounded = unbounded;
+  bounded.input_cache_budget = 1;  // Evict every set the moment it is idle.
+
+  SweepEngine big(model, ds.test_x, ds.test_y, unbounded);
+  SweepEngine lru(model, ds.test_x, ds.test_y, bounded);
+
+  const std::vector<attack::AttackSpec> specs = {attack::AttackSpec::fgsm(0.05),
+                                                 attack::AttackSpec::fgsm(0.1),
+                                                 attack::AttackSpec::fgsm(0.2)};
+  // Two rounds: the second revisits every spec, forcing the bounded engine
+  // to rebuild evicted sets — bitwise identically (attacks are RNG-free).
+  for (int round = 0; round < 2; ++round) {
+    for (const attack::AttackSpec& spec : specs) {
+      EXPECT_EQ(lru.attacked_accuracy(spec), big.attacked_accuracy(spec))
+          << "round " << round << " severity " << spec.severity;
+    }
+  }
+
+  EXPECT_EQ(big.stats().input_evictions, 0);
+  EXPECT_EQ(big.stats().input_sets, 3);  // Round two fully cached.
+  EXPECT_GT(lru.stats().input_evictions, 0);
+  EXPECT_GT(lru.stats().input_sets, 3);  // Evicted sets were rebuilt.
+  // The budget bounds steady-state memory: at most one idle set survives.
+  EXPECT_LT(lru.stats().input_cache_bytes, big.stats().input_cache_bytes);
+}
+
 TEST(SweepEngine, ThreadResolutionHonorsEnvOverride) {
   ::setenv("REDCANE_SWEEP_THREADS", "3", 1);
   EXPECT_EQ(SweepEngine::resolve_threads(0), 3);
