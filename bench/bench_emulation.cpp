@@ -238,23 +238,24 @@ int run(bool quick, const std::string& json_path) {
               100.0 * cache_stats.hit_rate(),
               static_cast<unsigned long long>(cache_stats.entries));
 
-  if (std::FILE* f = std::fopen(json_path.c_str(), "a")) {
-    std::fprintf(f,
-                 "{\"bench\":\"emulation\",\"quick\":%s,\"input_hw\":%lld,"
-                 "\"batch\":%lld,\"component\":\"%s\",\"dispatch\":\"%s\","
-                 "\"per_image_conv_ms\":%.2f,"
-                 "\"batched_conv_ms\":%.2f,\"conv_speedup\":%.2f,"
-                 "\"phase_quantize_ms\":%.2f,\"phase_lut_build_ms\":%.2f,"
-                 "\"phase_mac_ms\":%.2f,\"phase_dequant_ms\":%.2f,"
-                 "\"cache_hit_rate\":%.2f,"
-                 "\"model_per_image_ms\":%.2f,\"model_batched_ms\":%.2f,"
-                 "\"model_speedup\":%.2f}\n",
-                 quick ? "true" : "false", static_cast<long long>(hw),
-                 static_cast<long long>(batch), mul.info().name.c_str(),
-                 gemm::lk::active().name, per_image_ms, batched_ms, conv_speedup,
-                 phase_quant_ms, phase_build_ms, phase_mac_ms, phase_dequant_ms,
-                 cache_stats.hit_rate(), model_single_ms, model_batched_ms, model_speedup);
-    std::fclose(f);
+  JsonFields fields;
+  fields.boolean("quick", quick)
+      .integer("input_hw", hw)
+      .integer("batch", batch)
+      .str("component", mul.info().name)
+      .str("dispatch", gemm::lk::active().name)
+      .number("per_image_conv_ms", per_image_ms, "%.2f")
+      .number("batched_conv_ms", batched_ms, "%.2f")
+      .number("conv_speedup", conv_speedup, "%.2f")
+      .number("phase_quantize_ms", phase_quant_ms, "%.2f")
+      .number("phase_lut_build_ms", phase_build_ms, "%.2f")
+      .number("phase_mac_ms", phase_mac_ms, "%.2f")
+      .number("phase_dequant_ms", phase_dequant_ms, "%.2f")
+      .number("cache_hit_rate", cache_stats.hit_rate(), "%.2f")
+      .number("model_per_image_ms", model_single_ms, "%.2f")
+      .number("model_batched_ms", model_batched_ms, "%.2f")
+      .number("model_speedup", model_speedup, "%.2f");
+  if (append_bench_json(json_path, "emulation", fields)) {
     std::printf("appended results to %s\n", json_path.c_str());
   }
 

@@ -211,18 +211,22 @@ int run(bool quick, const std::string& json_path) {
               (std::string(kops.name) + " microkernel GEMM").c_str(), t_dispatch,
               gflops_dispatch, simd_speedup);
 
-  if (std::FILE* f = std::fopen(json_path.c_str(), "a")) {
-    std::fprintf(f,
-                 "{\"bench\":\"gemm\",\"quick\":%s,\"target\":\"%s\",\"mnk\":%lld,"
-                 "\"scalar_gflops\":%.2f,\"simd_gflops\":%.2f,\"simd_speedup\":%.2f,"
-                 "\"conv_naive_ms\":%.2f,\"conv_gemm_ms\":%.2f,\"conv_speedup\":%.2f,"
-                 "\"lut_ms\":%.2f,\"lut_simd_ms\":%.2f,\"lut_speedup\":%.2f,"
-                 "\"lut_dispatch\":\"%s\",\"lut_cache_hit_rate\":%.2f}\n",
-                 quick ? "true" : "false", kops.name, static_cast<long long>(mm),
-                 gflops_legacy, gflops_dispatch, simd_speedup, t_naive, t_gemm,
-                 t_naive / t_gemm, t_lut, t_lut_simd, lut_speedup, lut_dispatch,
-                 lut_stats.hit_rate());
-    std::fclose(f);
+  JsonFields fields;
+  fields.boolean("quick", quick)
+      .str("target", kops.name)
+      .integer("mnk", mm)
+      .number("scalar_gflops", gflops_legacy, "%.2f")
+      .number("simd_gflops", gflops_dispatch, "%.2f")
+      .number("simd_speedup", simd_speedup, "%.2f")
+      .number("conv_naive_ms", t_naive, "%.2f")
+      .number("conv_gemm_ms", t_gemm, "%.2f")
+      .number("conv_speedup", t_naive / t_gemm, "%.2f")
+      .number("lut_ms", t_lut, "%.2f")
+      .number("lut_simd_ms", t_lut_simd, "%.2f")
+      .number("lut_speedup", lut_speedup, "%.2f")
+      .str("lut_dispatch", lut_dispatch)
+      .number("lut_cache_hit_rate", lut_stats.hit_rate(), "%.2f");
+  if (append_bench_json(json_path, "gemm", fields)) {
     std::printf("appended results to %s\n", json_path.c_str());
   }
 

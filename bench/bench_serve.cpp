@@ -108,8 +108,8 @@ ModeResult run_mode(const std::string& name, serve::ModelRegistry& registry,
   serve::ServerStats stats = server.stats();  // One snapshot, queried in place.
   r.req_per_s = static_cast<double>(requests) / (r.ms / 1e3);
   r.mean_batch = stats.mean_batch_size();
-  r.p50_us = serve::percentile_us(stats.latencies_us, 50.0);
-  r.p99_us = serve::percentile_us(stats.latencies_us, 99.0);
+  r.p50_us = stats.latency.p50_us;
+  r.p99_us = stats.latency.p99_us;
   return r;
 }
 
@@ -171,7 +171,7 @@ OverloadResult run_overload(serve::ModelRegistry& registry, const Tensor& pool,
                          ? 0.0
                          : static_cast<double>(stats.degraded) /
                                static_cast<double>(stats.requests);
-  r.p99_us = serve::percentile_us(stats.latencies_us, 99.0);
+  r.p99_us = stats.latency.p99_us;
   return r;
 }
 

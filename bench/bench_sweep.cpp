@@ -204,20 +204,22 @@ int run(bool quick, int threads, const std::string& json_path) {
   std::printf("curves bit-identical across all paths: %s\n", identical ? "yes" : "NO");
 
   const double speedup = serial.ms / r_both.ms;
-  if (std::FILE* f = std::fopen(json_path.c_str(), "a")) {
-    std::fprintf(f,
-                 "{\"bench\":\"sweep\",\"quick\":%s,\"model\":\"DeepCaps-tiny\","
-                 "\"input_hw\":%lld,\"test_images\":%lld,\"sweeps\":%zu,"
-                 "\"noisy_points\":%lld,\"threads\":%d,"
-                 "\"serial_ms\":%.1f,\"parallel_ms\":%.1f,\"cache_ms\":%.1f,"
-                 "\"parallel_cache_ms\":%.1f,\"speedup\":%.2f,"
-                 "\"stage_skip_fraction\":%.3f,\"bit_identical\":%s}\n",
-                 quick ? "true" : "false", static_cast<long long>(mc.input_hw),
-                 static_cast<long long>(spec.test_count), jobs.size(),
-                 static_cast<long long>(points), workers, serial.ms, r_par.ms, r_cache.ms,
-                 r_both.ms, speedup, r_both.stats.skip_fraction(),
-                 identical ? "true" : "false");
-    std::fclose(f);
+  JsonFields fields;
+  fields.boolean("quick", quick)
+      .str("model", "DeepCaps-tiny")
+      .integer("input_hw", mc.input_hw)
+      .integer("test_images", spec.test_count)
+      .integer("sweeps", static_cast<std::int64_t>(jobs.size()))
+      .integer("noisy_points", points)
+      .integer("threads", workers)
+      .number("serial_ms", serial.ms, "%.1f")
+      .number("parallel_ms", r_par.ms, "%.1f")
+      .number("cache_ms", r_cache.ms, "%.1f")
+      .number("parallel_cache_ms", r_both.ms, "%.1f")
+      .number("speedup", speedup, "%.2f")
+      .number("stage_skip_fraction", r_both.stats.skip_fraction(), "%.3f")
+      .boolean("bit_identical", identical);
+  if (append_bench_json(json_path, "sweep", fields)) {
     std::printf("appended results to %s\n", json_path.c_str());
   }
 

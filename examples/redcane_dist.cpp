@@ -2,6 +2,7 @@
 //
 //   redcane_dist --coordinator [--addr A] [--journal PATH] [--resume]
 //                [--verify] [--profile quick|full]
+//                [--trace-out PATH] [--metrics-out PATH]
 //   redcane_dist --worker --addr A [--name N] [--profile quick|full]
 //   redcane_dist --local [--profile quick|full]
 //
@@ -29,6 +30,8 @@
 #include "dist/coordinator.hpp"
 #include "dist/job.hpp"
 #include "dist/worker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/fault.hpp"
 
 namespace {
@@ -71,6 +74,18 @@ void print_stats(const dist::DistStats& s, const dist::JournalStats& j) {
       static_cast<long long>(s.workers_refused),
       static_cast<long long>(s.corrupt_frames), static_cast<long long>(s.heartbeats),
       s.degraded ? 1 : 0, s.reconciles() ? 1 : 0);
+  // Liveness economics: how much churn fault recovery cost, and what the
+  // heartbeat round trip looked like (worker-measured, see dist/wire.hpp).
+  std::printf("  liveness: steals=%lld retries=%lld", static_cast<long long>(s.stolen),
+              static_cast<long long>(s.requeues));
+  if (s.rtt_samples > 0) {
+    std::printf(" | heartbeat rtt: mean=%.0f us min=%lld max=%lld (%lld samples)",
+                static_cast<double>(s.rtt_sum_us) / static_cast<double>(s.rtt_samples),
+                static_cast<long long>(s.rtt_min_us),
+                static_cast<long long>(s.rtt_max_us),
+                static_cast<long long>(s.rtt_samples));
+  }
+  std::printf("\n");
   if (j.existed || j.records_appended > 0) {
     std::printf("  journal: loaded=%lld appended=%lld torn_bytes=%lld\n",
                 static_cast<long long>(j.records_loaded),
@@ -184,12 +199,32 @@ int main(int argc, char** argv) {
     faults = std::make_unique<redcane::serve::fault::ScopedFaultPlan>(fc);
   }
 
-  if (args.has("--coordinator")) return run_coordinator(args, profile, addr);
-  if (args.has("--worker")) return run_worker(args, profile, addr);
-  if (args.has("--local")) return run_local(profile);
-  std::fprintf(stderr,
-               "usage: redcane_dist --coordinator|--worker|--local [--addr A] "
-               "[--profile quick|full] [--journal PATH] [--resume] [--verify] "
-               "[--name N] [--heartbeat-ms N] [--retry-budget N]\n");
-  return 2;
+  // Observability sinks (flags; REDCANE_TRACE / REDCANE_METRICS work too
+  // via the library's env arming). --trace-out on the coordinator captures
+  // the merged timeline: local spans plus worker spans reconstructed from
+  // Result frames.
+  const std::string trace_out = args.get("--trace-out", "");
+  const std::string metrics_out = args.get("--metrics-out", "");
+  if (!trace_out.empty()) redcane::obs::trace_arm(true);
+
+  int rc = 2;
+  if (args.has("--coordinator")) {
+    rc = run_coordinator(args, profile, addr);
+  } else if (args.has("--worker")) {
+    rc = run_worker(args, profile, addr);
+  } else if (args.has("--local")) {
+    rc = run_local(profile);
+  } else {
+    std::fprintf(stderr,
+                 "usage: redcane_dist --coordinator|--worker|--local [--addr A] "
+                 "[--profile quick|full] [--journal PATH] [--resume] [--verify] "
+                 "[--name N] [--heartbeat-ms N] [--retry-budget N] "
+                 "[--trace-out PATH] [--metrics-out PATH]\n");
+    return 2;
+  }
+  if (!trace_out.empty() && !redcane::obs::trace_write_chrome(trace_out)) rc = 1;
+  if (!metrics_out.empty() &&
+      !redcane::obs::Registry::instance().write_text(metrics_out))
+    rc = 1;
+  return rc;
 }

@@ -42,6 +42,8 @@
 #include "core/manifest.hpp"
 #include "core/methodology.hpp"
 #include "data/synthetic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/attack_eval.hpp"
 #include "serve/fault.hpp"
 #include "serve/server.hpp"
@@ -119,6 +121,12 @@ std::string base_name(const std::string& path) {
 
 int run(const Args& args) {
   const bool smoke = args.has("--smoke");
+  // Observability sinks: --trace-out arms span tracing now and writes
+  // chrome://tracing JSON before exit; --metrics-out dumps the registry
+  // exposition. REDCANE_TRACE / REDCANE_METRICS do the same from the env.
+  const std::string trace_out = args.get("--trace-out", "");
+  const std::string metrics_out = args.get("--metrics-out", "");
+  if (!trace_out.empty()) obs::trace_arm(true);
   // Deterministic fault injection: --faults SPEC (or REDCANE_FAULTS in the
   // environment) arms a seed-driven plan for the whole run. The spec
   // grammar is fault::parse_spec's ("seed=N,stall=P,backend=P,...").
@@ -266,9 +274,9 @@ int run(const Args& args) {
               static_cast<long long>(stats.requests), traffic.elapsed_s,
               static_cast<double>(stats.requests) / traffic.elapsed_s,
               static_cast<long long>(stats.batches), stats.mean_batch_size());
-  std::printf("latency: p50 %.0f us, p99 %.0f us\n",
-              serve::percentile_us(stats.latencies_us, 50.0),
-              serve::percentile_us(stats.latencies_us, 99.0));
+  std::printf("latency: p50 %.0f us, p99 %.0f us, p99.9 %.0f us (max %.0f)\n",
+              stats.latency.p50_us, stats.latency.p99_us,
+              stats.latency.p999_us, stats.latency.max_us);
   if (traffic.errors > 0 || traffic.degraded > 0 || !stats.reconciles()) {
     std::printf("robustness: %lld typed errors, %lld degraded-served, "
                 "%lld queue-full, %lld deadline-shed, %lld backend-failed "
@@ -335,6 +343,11 @@ int run(const Args& args) {
     }
   }
 
+  bool obs_ok = true;
+  if (!trace_out.empty()) obs_ok = obs::trace_write_chrome(trace_out) && obs_ok;
+  if (!metrics_out.empty())
+    obs_ok = obs::Registry::instance().write_text(metrics_out) && obs_ok;
+
   if (smoke) {
     // The emulated variant's *accuracy* is not gated here: behavioral
     // execution of aggressive Step-6 components can legitimately diverge
@@ -344,13 +357,13 @@ int run(const Args& args) {
     // checks the serving machinery: every wave served, designed variant
     // agreeing with exact.
     const bool ok = stats.requests == 3 * test_n && agreement >= 0.5 &&
-                    stats.mean_batch_size() >= 1.0 && attacked_ok;
+                    stats.mean_batch_size() >= 1.0 && attacked_ok && obs_ok;
     std::printf("\nsmoke gate (all clean + attacked waves served, designed "
                 "agreement >= 50%%): %s\n",
                 ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
   }
-  return 0;
+  return obs_ok ? 0 : 1;
 }
 
 void usage() {
@@ -360,6 +373,7 @@ void usage() {
       "                     [--epochs N] [--train N] [--test N] [--tolerance PP]\n"
       "                     [--workers N] [--batch N] [--delay-us N] [--out PREFIX]\n"
       "                     [--data-dir DIR] [--faults SPEC] [--attack SPEC]\n"
+      "                     [--trace-out PATH] [--metrics-out PATH]\n"
       "  --faults (or env REDCANE_FAULTS) arms deterministic fault injection;\n"
       "  SPEC is e.g. \"seed=7,stall=0.1,backend=0.05\" (see serve/fault.hpp)\n"
       "  --attack runs an attacked evaluation wave per variant; SPEC is e.g.\n"

@@ -10,6 +10,8 @@
 #endif
 
 #include "capsnet/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/workspace.hpp"
 
 namespace redcane::core {
@@ -51,6 +53,30 @@ int SweepEngine::resolve_threads(int requested) {
 SweepEngine::SweepEngine(capsnet::CapsModel& model, const Tensor& test_x,
                          const std::vector<std::int64_t>& test_y, SweepEngineConfig cfg)
     : model_(model), test_x_(test_x), test_y_(test_y), cfg_(cfg) {}
+
+SweepEngine::~SweepEngine() {
+  // Lifetime stats are cumulative, so a single flush at teardown mirrors
+  // exactly what live per-increment mirroring would have accumulated —
+  // without adding registry RMWs inside eval_point's replay loop.
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("sweep_evaluations_total").add(stats_.evaluations);
+  reg.counter("sweep_stage_cache_hits_total").add(stats_.cache_hits);
+  reg.counter("sweep_stages_skipped_total").add(stats_.stages_skipped);
+  reg.counter("sweep_stages_run_total").add(stats_.stages_total - stats_.stages_skipped);
+  reg.counter("sweep_stages_total").add(stats_.stages_total);
+  reg.counter("sweep_input_sets_total").add(stats_.input_sets);
+  reg.counter("sweep_input_cache_hits_total").add(stats_.input_cache_hits);
+  reg.counter("sweep_input_evictions_total").add(stats_.input_evictions);
+  reg.add_check("sweep_stage_conservation", [](const obs::Snapshot& snap) {
+    // Skipped + run repartition the stage count a full-forward driver
+    // would have executed; prefix caching only ever removes work.
+    return snap.counter("sweep_stages_skipped_total") +
+                   snap.counter("sweep_stages_run_total") ==
+               snap.counter("sweep_stages_total") &&
+           snap.counter("sweep_stages_skipped_total") <=
+               snap.counter("sweep_stages_total");
+  });
+}
 
 void SweepEngine::record_set(EvalSet& set) {
   // One clean pass per batch: yields the set's noise-free accuracy and —
@@ -139,6 +165,7 @@ const SweepEngine::EvalSet& SweepEngine::ensure_attacked(const attack::AttackSpe
   // coordinating) thread — gradient attacks run train-mode forwards that
   // mutate layer caches — then record their clean checkpoints so every
   // noisy point over this spec replays suffixes like clean points do.
+  OBS_SPAN("sweep/attack_build");
   ++stats_.input_sets;
   auto set = std::make_unique<EvalSet>();
   set->batch_x.reserve(base_.batch_x.size());
@@ -269,6 +296,7 @@ std::vector<double> SweepEngine::run_attacked_points(
   // Attack generation (or input-cache lookup) happens here, before any
   // worker exists: workers only ever replay const checkpoints.
   const EvalSet& set = ensure_attacked(spec);
+  OBS_SPAN("sweep/run_points");
   std::vector<double> acc(points.size(), 0.0);
   const int workers = std::max(
       1, std::min(resolve_threads(cfg_.threads), static_cast<int>(points.size())));

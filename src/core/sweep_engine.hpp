@@ -127,6 +127,14 @@ class SweepEngine {
   SweepEngine(capsnet::CapsModel& model, const Tensor& test_x,
               const std::vector<std::int64_t>& test_y, SweepEngineConfig cfg);
 
+  /// Flushes the engine's lifetime stats into the process-wide `sweep_*`
+  /// metrics registry (obs/metrics.hpp) — one batched mirror instead of
+  /// per-evaluation registry traffic on the sweep hot path.
+  ~SweepEngine();
+
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
   /// Clean test accuracy in [0, 1]. The first call runs the recording
   /// forward that seeds the prefix cache; later calls are free.
   [[nodiscard]] double clean_accuracy();

@@ -1,15 +1,33 @@
 #include "core/sweep_plan.hpp"
 
+#include <chrono>
+
 #include "capsnet/trainer.hpp"
 #include "core/groups.hpp"
+#include "obs/trace.hpp"
 
 namespace redcane::core {
+namespace {
 
-ShardOutcome run_shard(SweepEngine& engine, const SweepShard& shard) {
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+ShardOutcome run_shard(SweepEngine& engine, const SweepShard& shard,
+                       ShardTimings* timings) {
+  OBS_SPAN_ID("sweep/run_shard", shard.id + 1);
   ShardOutcome out;
   out.id = shard.id;
+  auto t0 = std::chrono::steady_clock::now();
   // ensure_attacked caching makes the base read free when points follow.
   out.base = engine.attacked_accuracy(shard.spec);
+  if (timings != nullptr) timings->base_us = elapsed_us(t0);
+  t0 = std::chrono::steady_clock::now();
   if (shard.backend == ShardBackend::kEmulated) {
     backend::EmulationPlan plan;
     const Tensor probe = capsnet::slice_rows(engine.test_x(), 0, 1);
@@ -18,9 +36,11 @@ ShardOutcome run_shard(SweepEngine& engine, const SweepShard& shard) {
     }
     out.acc.push_back(engine.attacked_backend_accuracy(
         shard.spec, backend::EmulatedBackend(plan), /*salt=*/0));
+    if (timings != nullptr) timings->points_us = elapsed_us(t0);
     return out;
   }
   out.acc = engine.run_attacked_points(shard.spec, shard.points);
+  if (timings != nullptr) timings->points_us = elapsed_us(t0);
   return out;
 }
 

@@ -66,11 +66,21 @@ struct ShardOutcome {
   std::vector<double> acc;
 };
 
+/// Wall-time split of one run_shard call. Diagnostic only (dist workers
+/// ship it back in Result frames for the merged trace); never feeds any
+/// computed value.
+struct ShardTimings {
+  std::uint64_t base_us = 0;    ///< ensure_attacked + base-accuracy phase.
+  std::uint64_t points_us = 0;  ///< Point (or emulated) evaluation phase.
+};
+
 /// Executes one shard on a local engine — THE shard-granular entry point,
 /// called by the in-process fallback and by remote dist workers alike.
 /// Returns acc.size() != shard.expected_values() only on failure (unknown
-/// emulated component); callers treat that as a corrupt result.
-[[nodiscard]] ShardOutcome run_shard(SweepEngine& engine, const SweepShard& shard);
+/// emulated component); callers treat that as a corrupt result. When
+/// `timings` is non-null it receives the phase profile.
+[[nodiscard]] ShardOutcome run_shard(SweepEngine& engine, const SweepShard& shard,
+                                     ShardTimings* timings = nullptr);
 
 /// Builds the per-layer emulation plan mapping every MAC-output layer of
 /// `model` (discovered by probing with `probe`) onto `component` at `bits`

@@ -9,6 +9,8 @@
 #include <unordered_map>
 
 #include "dist/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/fault.hpp"
 #include "util/crc32.hpp"
 
@@ -22,6 +24,53 @@ std::int64_t now_us() {
 }
 
 enum class Abandon { kSteal, kLost, kCancel };
+
+/// Mirrors a finished run's DistStats into the process-wide metrics
+/// registry (dist runs once per process, so a flush at the end is
+/// equivalent to live mirroring) and registers the conservation laws as
+/// registry-level checks over the mirrored counters.
+void flush_stats_to_registry(const DistStats& s) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("dist_shards_total").add(s.shards_total);
+  reg.counter("dist_journal_resumed_total").add(s.journal_resumed);
+  reg.counter("dist_assigned_total").add(s.assigned);
+  reg.counter("dist_result_ok_total").add(s.result_ok);
+  reg.counter("dist_result_dup_total").add(s.result_dup);
+  reg.counter("dist_late_results_total").add(s.late_results);
+  reg.counter("dist_results_accepted_total").add(s.results_accepted);
+  reg.counter("dist_stolen_total").add(s.stolen);
+  reg.counter("dist_lost_total").add(s.lost);
+  reg.counter("dist_cancelled_total").add(s.cancelled);
+  reg.counter("dist_requeues_total").add(s.requeues);
+  reg.counter("dist_failed_permanent_total").add(s.failed_permanent);
+  reg.counter("dist_dropped_completed_total").add(s.dropped_completed);
+  reg.counter("dist_local_completed_total").add(s.local_completed);
+  reg.counter("dist_workers_seen_total").add(s.workers_seen);
+  reg.counter("dist_workers_refused_total").add(s.workers_refused);
+  reg.counter("dist_corrupt_frames_total").add(s.corrupt_frames);
+  reg.counter("dist_heartbeats_total").add(s.heartbeats);
+  reg.counter("dist_rtt_samples_total").add(s.rtt_samples);
+  reg.counter("dist_rtt_sum_us_total").add(s.rtt_sum_us);
+  reg.add_check("dist_assignment_conservation", [](const obs::Snapshot& snap) {
+    return snap.counter("dist_assigned_total") ==
+           snap.counter("dist_result_ok_total") +
+               snap.counter("dist_result_dup_total") +
+               snap.counter("dist_stolen_total") +
+               snap.counter("dist_lost_total") +
+               snap.counter("dist_cancelled_total");
+  });
+  reg.add_check("dist_abandon_conservation", [](const obs::Snapshot& snap) {
+    return snap.counter("dist_stolen_total") + snap.counter("dist_lost_total") ==
+           snap.counter("dist_requeues_total") +
+               snap.counter("dist_failed_permanent_total") +
+               snap.counter("dist_dropped_completed_total");
+  });
+  reg.add_check("dist_results_conservation", [](const obs::Snapshot& snap) {
+    return snap.counter("dist_results_accepted_total") ==
+           snap.counter("dist_result_ok_total") +
+               snap.counter("dist_late_results_total");
+  });
+}
 
 }  // namespace
 
@@ -42,6 +91,7 @@ struct Coordinator::Impl {
     int failures = 0;     ///< Abandonment count (backoff attempt index).
     std::int64_t eligible_at_us = 0;
     int assigned_worker = -1;  ///< Worker id of the active assignment.
+    std::uint64_t trace_id = 0;  ///< Correlation id of the latest assignment.
     core::ShardOutcome outcome;
   };
 
@@ -79,6 +129,22 @@ struct Coordinator::Impl {
   std::atomic<bool> stop{false};
 
   // ---- shard bookkeeping (all callers hold mu) -----------------------
+
+  /// Registry mirror of the RTT samples (stable reference; the registry
+  /// leaks its instruments). Resolved once, off the heartbeat path.
+  obs::Histogram& rtt_hist = obs::Registry::instance().histogram("dist_rtt_us");
+
+  /// Folds one worker-measured heartbeat RTT into the run aggregates.
+  /// 0 means "no measurement yet" (the worker has not seen an ack).
+  void record_rtt(std::uint64_t rtt_us) {
+    if (rtt_us == 0) return;
+    rtt_hist.observe(static_cast<double>(rtt_us));
+    const auto r = static_cast<std::int64_t>(rtt_us);
+    ++stats.rtt_samples;
+    stats.rtt_sum_us += r;
+    if (stats.rtt_min_us == 0 || r < stats.rtt_min_us) stats.rtt_min_us = r;
+    if (r > stats.rtt_max_us) stats.rtt_max_us = r;
+  }
 
   /// Picks the next shard for `w`: among eligible queued shards, prefer
   /// one sharing `w`'s last affinity key (its engine already holds that
@@ -189,6 +255,10 @@ struct Coordinator::Impl {
           w->alive = true;
           w->last_seen_us = now_us();
           ++stats.workers_seen;
+          // Remote spans synthesized from this worker's Result frames land
+          // on pid = worker id + 1 (pid 0 is the coordinator process).
+          obs::trace_set_process_name(static_cast<std::uint32_t>(w->id + 1),
+                                      "worker:" + w->name);
         }
         if (!ack.accepted) ++stats.workers_refused;
       }
@@ -206,7 +276,7 @@ struct Coordinator::Impl {
       // Hand out work when idle (and not deadline-stale: a silent worker
       // gets no fresh shards until it proves liveness again).
       bool have_assign = false;
-      core::SweepShard to_send;
+      AssignMsg to_send;
       {
         std::lock_guard<std::mutex> lock(mu);
         if (w->alive && !w->stale && w->current < 0) {
@@ -215,18 +285,20 @@ struct Coordinator::Impl {
             ShardState& s = state[static_cast<std::size_t>(idx)];
             s.queued = false;
             s.assigned_worker = w->id;
+            s.trace_id = obs::next_correlation_id();
             w->current = idx;
             w->last_affinity = affinity[static_cast<std::size_t>(idx)];
             w->has_affinity = true;
             ++stats.assigned;
-            to_send = shards[static_cast<std::size_t>(idx)];
+            to_send.trace_id = s.trace_id;
+            to_send.shard = shards[static_cast<std::size_t>(idx)];
             have_assign = true;
           }
         }
       }
       if (have_assign) {
         WireWriter ww;
-        encode_shard(ww, to_send);
+        encode_assign(ww, to_send);
         if (!send_frame(w->sock, MsgType::kAssign, ww.bytes())) {
           std::lock_guard<std::mutex> lock(mu);
           abandon_active(w, Abandon::kLost);
@@ -269,15 +341,26 @@ struct Coordinator::Impl {
           w->sock.close_now();
           return;
         }
-        std::lock_guard<std::mutex> lock(mu);
-        ++stats.heartbeats;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ++stats.heartbeats;
+          record_rtt(hb.last_rtt_us);
+        }
+        // Echo the worker's send stamp so it can measure the round trip on
+        // its own clock. This thread is the only sender on this socket, so
+        // no send ordering can interleave mid-frame. Best effort: a failed
+        // send means the connection is dying and the next recv reports it.
+        WireWriter ww;
+        encode_heartbeat_ack(ww, HeartbeatAckMsg{hb.t_send_us});
+        (void)send_frame(w->sock, MsgType::kHeartbeatAck, ww.bytes());
         continue;
       }
       if (type != MsgType::kResult) continue;
 
-      core::ShardOutcome outcome;
+      ResultMsg msg;
       WireReader r(payload.data(), payload.size());
-      bool valid = decode_outcome(r, &outcome);
+      bool valid = decode_result(r, &msg);
+      core::ShardOutcome& outcome = msg.outcome;
       std::size_t idx = 0;
       if (valid) {
         const auto it = index_of_id.find(outcome.id);
@@ -300,7 +383,31 @@ struct Coordinator::Impl {
         return;
       }
 
+      // Stitch the worker's execution into the coordinator's timeline:
+      // anchor the shipped durations at the frame's arrival time (worker
+      // clocks are not comparable, arrival - exec is the best common
+      // anchor). pid = worker id + 1 separates processes in the viewer.
+      if (obs::trace_armed() && msg.exec_us > 0) {
+        const std::uint64_t arrival = obs::trace_now_us();
+        const std::uint64_t start =
+            arrival > msg.exec_us ? arrival - msg.exec_us : 0;
+        const auto pid = static_cast<std::uint32_t>(w->id + 1);
+        obs::trace_emit_remote(pid, 1, "dist/worker_shard", start, msg.exec_us,
+                               msg.trace_id);
+        if (msg.base_us > 0) {
+          obs::trace_emit_remote(pid, 1, "shard/base", start, msg.base_us,
+                                 msg.trace_id);
+        }
+        if (msg.points_us > 0) {
+          obs::trace_emit_remote(pid, 1, "shard/points", start + msg.base_us,
+                                 msg.points_us, msg.trace_id);
+        }
+      }
+      obs::Registry::instance().histogram("dist_shard_exec_us")
+          .observe(static_cast<double>(msg.exec_us));
+
       std::lock_guard<std::mutex> lock(mu);
+      record_rtt(msg.rtt_us);
       const bool was_active = w->current >= 0 &&
                               static_cast<std::size_t>(w->current) == idx;
       if (state[idx].completed) {
@@ -393,6 +500,7 @@ struct Coordinator::Impl {
   }
 
   CoordinatorResult run() {
+    OBS_SPAN("dist/run");
     CoordinatorResult result;
     {
       std::string err;
@@ -493,6 +601,7 @@ struct Coordinator::Impl {
     std::lock_guard<std::mutex> lock(mu);
     result.stats = stats;
     result.stats.shards_total = static_cast<std::int64_t>(shards.size());
+    flush_stats_to_registry(result.stats);
     result.journal = journal.stats();
     result.error = error;
     result.complete =

@@ -95,6 +95,14 @@ struct DistStats {
   std::int64_t heartbeats = 0;        ///< Heartbeat frames received.
   bool degraded = false;              ///< Local fallback engaged.
 
+  // Heartbeat round-trip aggregates, from worker-measured RTTs carried in
+  // v2 Heartbeat/Result frames (0 samples while workers are still waiting
+  // for their first ack). Diagnostic only; no conservation law.
+  std::int64_t rtt_samples = 0;
+  std::int64_t rtt_min_us = 0;  ///< 0 until the first sample.
+  std::int64_t rtt_max_us = 0;
+  std::int64_t rtt_sum_us = 0;  ///< Mean = rtt_sum_us / rtt_samples.
+
   /// True when every conservation law above holds.
   [[nodiscard]] bool reconciles() const {
     return assigned == result_ok + result_dup + stolen + lost + cancelled &&

@@ -184,10 +184,49 @@ bool decode_hello_ack(WireReader& r, HelloAckMsg* m) {
   return true;
 }
 
-void encode_heartbeat(WireWriter& w, const HeartbeatMsg& m) { w.u64(m.shards_done); }
+void encode_heartbeat(WireWriter& w, const HeartbeatMsg& m) {
+  w.u64(m.shards_done);
+  w.u64(m.t_send_us);
+  w.u64(m.last_rtt_us);
+}
 
 bool decode_heartbeat(WireReader& r, HeartbeatMsg* m) {
-  return r.u64(&m->shards_done) && r.done();
+  return r.u64(&m->shards_done) && r.u64(&m->t_send_us) &&
+         r.u64(&m->last_rtt_us) && r.done();
+}
+
+void encode_heartbeat_ack(WireWriter& w, const HeartbeatAckMsg& m) {
+  w.u64(m.t_echo_us);
+}
+
+bool decode_heartbeat_ack(WireReader& r, HeartbeatAckMsg* m) {
+  return r.u64(&m->t_echo_us) && r.done();
+}
+
+void encode_assign(WireWriter& w, const AssignMsg& m) {
+  w.u64(m.trace_id);
+  encode_shard(w, m.shard);
+}
+
+bool decode_assign(WireReader& r, AssignMsg* m) {
+  // decode_shard consumes the remainder and enforces done().
+  return r.u64(&m->trace_id) && decode_shard(r, &m->shard);
+}
+
+void encode_result(WireWriter& w, const ResultMsg& m) {
+  w.u64(m.trace_id);
+  w.u64(m.exec_us);
+  w.u64(m.base_us);
+  w.u64(m.points_us);
+  w.u64(m.rtt_us);
+  encode_outcome(w, m.outcome);
+}
+
+bool decode_result(WireReader& r, ResultMsg* m) {
+  // decode_outcome consumes the remainder and enforces done().
+  return r.u64(&m->trace_id) && r.u64(&m->exec_us) && r.u64(&m->base_us) &&
+         r.u64(&m->points_us) && r.u64(&m->rtt_us) &&
+         decode_outcome(r, &m->outcome);
 }
 
 void encode_shard(WireWriter& w, const core::SweepShard& s) {
@@ -519,7 +558,7 @@ FrameStatus recv_frame(const Socket& s, int timeout_ms, MsgType* type,
   if (util::crc32(body.data(), body.size()) != crc) return FrameStatus::kCorrupt;
   const std::uint8_t type_byte = body[0];
   if (type_byte < static_cast<std::uint8_t>(MsgType::kHello) ||
-      type_byte > static_cast<std::uint8_t>(MsgType::kShutdown))
+      type_byte > static_cast<std::uint8_t>(MsgType::kHeartbeatAck))
     return FrameStatus::kCorrupt;
   *type = static_cast<MsgType>(type_byte);
   payload->assign(body.begin() + 1, body.end());

@@ -20,13 +20,22 @@
 // Message flow:
 //   worker -> Hello{proto, job_hash, name}  -> coordinator
 //   coordinator -> HelloAck{accepted, worker_id, reason}
-//   coordinator -> Assign{SweepShard} | Shutdown
-//   worker -> Result{ShardOutcome} | Heartbeat{shards_done}
+//   coordinator -> Assign{trace_id, SweepShard} | HeartbeatAck | Shutdown
+//   worker -> Result{trace_id, timings, ShardOutcome}
+//          |  Heartbeat{shards_done, t_send_us, last_rtt_us}
 //
 // The job hash in Hello is the coordinator's defense against a worker
 // built from different weights or grid geometry: mismatched workers are
 // refused at handshake, before they can contribute values that would
 // break bitwise identity.
+//
+// Protocol v2 (observability): Assign carries a u64 trace/correlation id
+// that the worker echoes in its Result alongside per-shard phase timings
+// and its last measured heartbeat RTT, so the coordinator can synthesize
+// worker spans into one merged chrome://tracing timeline (obs/trace).
+// Heartbeats carry the worker's steady-clock send stamp; the coordinator
+// echoes it in a HeartbeatAck and the worker derives the RTT from the
+// echo. v1 peers are refused at handshake by the existing proto check.
 #pragma once
 
 #include <cstdint>
@@ -38,7 +47,7 @@
 
 namespace redcane::dist {
 
-inline constexpr std::uint32_t kProtoVersion = 1;
+inline constexpr std::uint32_t kProtoVersion = 2;
 /// Frames above this are rejected before allocation (a corrupt length
 /// prefix must not trigger a multi-GB read).
 inline constexpr std::uint32_t kMaxFrame = 64u << 20;
@@ -46,10 +55,11 @@ inline constexpr std::uint32_t kMaxFrame = 64u << 20;
 enum class MsgType : std::uint8_t {
   kHello = 1,     ///< worker -> coord: proto version, job hash, name.
   kHelloAck = 2,  ///< coord -> worker: accepted / refusal reason.
-  kAssign = 3,    ///< coord -> worker: one SweepShard.
-  kResult = 4,    ///< worker -> coord: one ShardOutcome.
-  kHeartbeat = 5, ///< worker -> coord: liveness + shards_done.
+  kAssign = 3,    ///< coord -> worker: trace id + one SweepShard.
+  kResult = 4,    ///< worker -> coord: trace id + timings + ShardOutcome.
+  kHeartbeat = 5, ///< worker -> coord: liveness + shards_done + RTT probe.
   kShutdown = 6,  ///< coord -> worker: no more work, exit cleanly.
+  kHeartbeatAck = 7,  ///< coord -> worker: echo of Heartbeat.t_send_us.
 };
 
 /// Append-only little-endian payload builder.
@@ -110,6 +120,36 @@ struct HelloAckMsg {
 
 struct HeartbeatMsg {
   std::uint64_t shards_done = 0;
+  /// Worker steady-clock send stamp [us]; echoed back in HeartbeatAck so
+  /// the worker can measure the round trip on its own clock.
+  std::uint64_t t_send_us = 0;
+  /// Worker's most recent measured RTT [us]; 0 until the first ack.
+  std::uint64_t last_rtt_us = 0;
+};
+
+struct HeartbeatAckMsg {
+  std::uint64_t t_echo_us = 0;  ///< Heartbeat.t_send_us, unmodified.
+};
+
+/// One shard assignment. `trace_id` correlates the coordinator's
+/// scheduling spans with the worker's execution spans in a merged trace;
+/// it never influences execution.
+struct AssignMsg {
+  std::uint64_t trace_id = 0;
+  core::SweepShard shard;
+};
+
+/// One shard result with the worker-side profile: total run_shard wall
+/// time split into the attacked-set/base phase and the point-eval phase,
+/// plus the worker's latest heartbeat RTT. Timings are diagnostic only —
+/// the outcome's values carry the determinism contract.
+struct ResultMsg {
+  std::uint64_t trace_id = 0;
+  std::uint64_t exec_us = 0;    ///< Total run_shard wall time.
+  std::uint64_t base_us = 0;    ///< ensure_attacked + base-accuracy phase.
+  std::uint64_t points_us = 0;  ///< Point-evaluation phase.
+  std::uint64_t rtt_us = 0;     ///< Worker's last measured heartbeat RTT.
+  core::ShardOutcome outcome;
 };
 
 /// Attack-spec codec, public because the coordinator also hashes the
@@ -124,6 +164,12 @@ void encode_hello_ack(WireWriter& w, const HelloAckMsg& m);
 [[nodiscard]] bool decode_hello_ack(WireReader& r, HelloAckMsg* m);
 void encode_heartbeat(WireWriter& w, const HeartbeatMsg& m);
 [[nodiscard]] bool decode_heartbeat(WireReader& r, HeartbeatMsg* m);
+void encode_heartbeat_ack(WireWriter& w, const HeartbeatAckMsg& m);
+[[nodiscard]] bool decode_heartbeat_ack(WireReader& r, HeartbeatAckMsg* m);
+void encode_assign(WireWriter& w, const AssignMsg& m);
+[[nodiscard]] bool decode_assign(WireReader& r, AssignMsg* m);
+void encode_result(WireWriter& w, const ResultMsg& m);
+[[nodiscard]] bool decode_result(WireReader& r, ResultMsg* m);
 void encode_shard(WireWriter& w, const core::SweepShard& s);
 [[nodiscard]] bool decode_shard(WireReader& r, core::SweepShard* s);
 void encode_outcome(WireWriter& w, const core::ShardOutcome& o);

@@ -10,6 +10,7 @@
 #endif
 
 #include "dist/wire.hpp"
+#include "obs/trace.hpp"
 #include "serve/fault.hpp"
 
 namespace redcane::dist {
@@ -23,9 +24,9 @@ void sleep_us(std::int64_t us) {
 /// then possibly a corrupted frame (CRC of the clean payload, one byte
 /// flipped on the wire — the coordinator's checksum check must fire).
 bool send_result(const Socket& sock, std::mutex& send_mu,
-                 const core::ShardOutcome& outcome) {
+                 const ResultMsg& result) {
   WireWriter w;
-  encode_outcome(w, outcome);
+  encode_result(w, result);
   bool corrupt = false;
   if (serve::fault::armed()) {
     serve::fault::FaultPlan* plan = serve::fault::plan();
@@ -101,6 +102,7 @@ WorkerStats run_worker(core::SweepEngine& engine, const WorkerConfig& cfg) {
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> shards_done{0};
   std::atomic<std::uint64_t> heartbeats_sent{0};
+  std::atomic<std::uint64_t> last_rtt_us{0};
   std::thread heartbeat([&] {
     while (!stop.load(std::memory_order_acquire)) {
       sleep_us(cfg.heartbeat_interval_ms * 1000);
@@ -113,6 +115,10 @@ WorkerStats run_worker(core::SweepEngine& engine, const WorkerConfig& cfg) {
       WireWriter w;
       HeartbeatMsg hb;
       hb.shards_done = shards_done.load(std::memory_order_relaxed);
+      // RTT probe: the coordinator echoes this stamp in a HeartbeatAck;
+      // the serving loop derives the round trip on this same clock.
+      hb.t_send_us = obs::trace_now_us();
+      hb.last_rtt_us = last_rtt_us.load(std::memory_order_relaxed);
       encode_heartbeat(w, hb);
       std::lock_guard<std::mutex> lock(send_mu);
       if (!send_frame(sock, MsgType::kHeartbeat, w.bytes())) return;
@@ -132,16 +138,40 @@ WorkerStats run_worker(core::SweepEngine& engine, const WorkerConfig& cfg) {
       break;
     }
     if (type == MsgType::kShutdown) break;
+    if (type == MsgType::kHeartbeatAck) {
+      HeartbeatAckMsg ack;
+      WireReader r(payload.data(), payload.size());
+      if (decode_heartbeat_ack(r, &ack)) {
+        const std::uint64_t now = obs::trace_now_us();
+        if (now >= ack.t_echo_us) {
+          last_rtt_us.store(now - ack.t_echo_us, std::memory_order_relaxed);
+        }
+        ++stats.heartbeat_acks;
+      }
+      continue;
+    }
     if (type != MsgType::kAssign) continue;  // Ignore unexpected-but-valid frames.
 
-    core::SweepShard shard;
+    AssignMsg assign;
     WireReader r(payload.data(), payload.size());
-    if (!decode_shard(r, &shard)) {
+    if (!decode_assign(r, &assign)) {
       stats.error = "undecodable assignment";
       break;
     }
+    const core::SweepShard& shard = assign.shard;
 
-    const core::ShardOutcome outcome = core::run_shard(engine, shard);
+    ResultMsg result;
+    result.trace_id = assign.trace_id;
+    core::ShardTimings timings;
+    const std::uint64_t t_exec = obs::trace_now_us();
+    {
+      OBS_SPAN_ID("dist/worker_shard", assign.trace_id);
+      result.outcome = core::run_shard(engine, shard, &timings);
+    }
+    result.exec_us = obs::trace_now_us() - t_exec;
+    result.base_us = timings.base_us;
+    result.points_us = timings.points_us;
+    result.rtt_us = last_rtt_us.load(std::memory_order_relaxed);
     const std::uint64_t done_before =
         shards_done.load(std::memory_order_relaxed);
 
@@ -155,7 +185,7 @@ WorkerStats run_worker(core::SweepEngine& engine, const WorkerConfig& cfg) {
       break;
     }
 
-    if (!send_result(sock, send_mu, outcome)) {
+    if (!send_result(sock, send_mu, result)) {
       stats.error = "result send failed";
       break;
     }
@@ -166,6 +196,7 @@ WorkerStats run_worker(core::SweepEngine& engine, const WorkerConfig& cfg) {
   heartbeat.join();
   stats.shards_done = shards_done.load(std::memory_order_relaxed);
   stats.heartbeats_sent = heartbeats_sent.load(std::memory_order_relaxed);
+  stats.last_rtt_us = last_rtt_us.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -38,6 +38,8 @@ struct WorkerConfig {
 struct WorkerStats {
   std::uint64_t shards_done = 0;
   std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeat_acks = 0;  ///< HeartbeatAck frames received.
+  std::uint64_t last_rtt_us = 0;     ///< Latest measured heartbeat RTT.
   bool handshake_ok = false;
   bool killed_by_fault = false;  ///< Exited via the kill_after fault site.
   std::string error;             ///< Terminal diagnostic ("" = clean shutdown).

@@ -1,0 +1,127 @@
+// Lock-free tracing: per-thread ring buffers of span events drained on
+// demand into chrome://tracing JSON.
+//
+// Contracts (docs/architecture.md "Observability"):
+//  - Disarmed cost is ONE relaxed atomic load (`trace_armed()`); the
+//    OBS_SPAN macro reads it once at scope entry and does nothing else.
+//  - Armed emission takes no lock, performs no allocation once the
+//    calling thread's ring exists (first emit per thread allocates it),
+//    and draws no randomness — correlation ids come from a relaxed
+//    atomic counter, so arming tracing can never perturb the repo's
+//    bit-identity contracts.
+//  - Span names must be string literals (or interned via
+//    `trace_intern`); the ring stores the pointer, not a copy.
+//  - Rings hold the newest `kRingCapacity` events per thread; overwrite
+//    of an undrained slot bumps that ring's drop counter. Slots are
+//    seqlock-published (all fields are relaxed atomics, generation tag
+//    released last) so a concurrent drain discards torn entries instead
+//    of racing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace redcane::obs {
+
+/// True when tracing is armed. One relaxed load; safe on any hot path.
+[[nodiscard]] bool trace_armed() noexcept;
+void trace_arm(bool on) noexcept;
+
+/// Microseconds on the process-wide steady-clock trace epoch.
+[[nodiscard]] std::uint64_t trace_now_us() noexcept;
+
+/// Fresh nonzero correlation id (relaxed atomic counter, no RNG).
+[[nodiscard]] std::uint64_t next_correlation_id() noexcept;
+
+/// Interns a dynamic name into process-lifetime storage so the returned
+/// pointer may be stored in ring slots. Takes a mutex — not a hot path.
+[[nodiscard]] const char* trace_intern(const std::string& name);
+
+/// One drained span, in trace-epoch microseconds. `pid` 0 is this
+/// process; nonzero pids are synthesized remote processes (dist workers)
+/// whose spans were reconstructed from wire payloads.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint64_t corr = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t pid = 0;
+};
+
+/// Emits one complete span into the calling thread's ring. Callers
+/// normally use OBS_SPAN / SpanScope instead.
+void trace_emit(const char* name, std::uint64_t ts_us, std::uint64_t dur_us,
+                std::uint64_t corr = 0) noexcept;
+
+/// Emits a span attributed to a remote process (`pid` > 0), e.g. a dist
+/// worker span reconstructed from a Result payload. `tid` is the remote
+/// thread line it renders on.
+void trace_emit_remote(std::uint32_t pid, std::uint32_t tid, const char* name,
+                       std::uint64_t ts_us, std::uint64_t dur_us,
+                       std::uint64_t corr) noexcept;
+
+/// Names a synthesized remote process in the trace output
+/// (chrome://tracing process_name metadata). Not a hot path.
+void trace_set_process_name(std::uint32_t pid, const std::string& name);
+
+/// Drains every thread's ring (newest kRingCapacity events each, oldest
+/// dropped) into one list sorted by timestamp. Torn slots under
+/// concurrent emission are skipped, never misread.
+[[nodiscard]] std::vector<TraceEvent> trace_drain();
+
+/// Total events dropped to ring wraparound across all rings.
+[[nodiscard]] std::uint64_t trace_dropped();
+
+/// Events currently buffered across all rings (undrained, undropped).
+[[nodiscard]] std::uint64_t trace_buffered();
+
+/// Drains and writes chrome://tracing JSON (`{"traceEvents":[...]}`).
+/// Returns false (with a warning) when the file cannot be opened.
+bool trace_write_chrome(const std::string& path);
+
+/// Resets drain cursors and drop counters (tests only; events already
+/// buffered are discarded).
+void trace_reset_for_test();
+
+/// Arms `REDCANE_TRACE=PATH`: tracing on now, chrome JSON written to
+/// PATH at process exit. Called from a static initializer; idempotent.
+void trace_env_arm();
+
+/// RAII span. Reads `trace_armed()` once at entry; a disarmed scope is
+/// a bool + branch.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name, std::uint64_t corr = 0) noexcept
+      : armed_(trace_armed()) {
+    if (armed_) {
+      name_ = name;
+      corr_ = corr;
+      t0_ = trace_now_us();
+    }
+  }
+  ~SpanScope() {
+    if (armed_) trace_emit(name_, t0_, trace_now_us() - t0_, corr_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  bool armed_;
+  const char* name_ = nullptr;
+  std::uint64_t corr_ = 0;
+  std::uint64_t t0_ = 0;
+};
+
+#define REDCANE_OBS_CONCAT2(a, b) a##b
+#define REDCANE_OBS_CONCAT(a, b) REDCANE_OBS_CONCAT2(a, b)
+/// Traces the enclosing scope under `name` (a string literal).
+#define OBS_SPAN(name) \
+  ::redcane::obs::SpanScope REDCANE_OBS_CONCAT(obs_span_, __LINE__)(name)
+/// Same, tagged with a u64 correlation id linking related spans.
+#define OBS_SPAN_ID(name, corr) \
+  ::redcane::obs::SpanScope REDCANE_OBS_CONCAT(obs_span_, __LINE__)(name, corr)
+
+}  // namespace redcane::obs

@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "approx/library.hpp"
+#include "obs/metrics.hpp"
 #include "quant/lut_gemm.hpp"
 
 namespace redcane::quant {
@@ -24,6 +25,11 @@ struct Cache {
   std::map<Key, std::unique_ptr<gemm::lk::LutTables>> entries;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  // Process-wide mirrors (obs registry instruments are never reset, so the
+  // local counters stay the test-facing, resettable view).
+  obs::Counter& hits_mirror = obs::Registry::instance().counter("lut_cache_hits_total");
+  obs::Counter& misses_mirror =
+      obs::Registry::instance().counter("lut_cache_misses_total");
 };
 
 Cache& cache() {
@@ -43,6 +49,7 @@ const gemm::lk::LutTables& lut_cache_get(const approx::Multiplier* mul, int bits
     const auto it = c.entries.find(key);
     if (it != c.entries.end()) {
       ++c.hits;
+      c.hits_mirror.add();
       return *it->second;
     }
   }
@@ -60,8 +67,10 @@ const gemm::lk::LutTables& lut_cache_get(const approx::Multiplier* mul, int bits
   auto [it, inserted] = c.entries.try_emplace(std::move(key), std::move(built));
   if (inserted) {
     ++c.misses;
+    c.misses_mirror.add();
   } else {
     ++c.hits;
+    c.hits_mirror.add();
   }
   return *it->second;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace redcane::serve {
 
 MicroBatcher::MicroBatcher(BatcherConfig cfg) : cfg_(cfg) {
@@ -24,10 +26,23 @@ MicroBatcher::MicroBatcher(BatcherConfig cfg) : cfg_(cfg) {
 void MicroBatcher::update_pressure_locked() {
   if (cfg_.max_queue == 0) return;
   const auto depth = static_cast<std::int64_t>(queue_.size());
+  const bool was = pressured_.load(std::memory_order_relaxed);
   if (depth >= cfg_.high_watermark) {
     pressured_.store(true, std::memory_order_relaxed);
+    if (!was) {
+      pressure_enters_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& enters =
+          obs::Registry::instance().counter("serve_pressure_enter_total");
+      enters.add();
+    }
   } else if (depth <= cfg_.low_watermark) {
     pressured_.store(false, std::memory_order_relaxed);
+    if (was) {
+      pressure_exits_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& exits =
+          obs::Registry::instance().counter("serve_pressure_exit_total");
+      exits.add();
+    }
   }
 }
 

@@ -10,21 +10,65 @@
 #include <omp.h>
 #endif
 
+#include "obs/trace.hpp"
 #include "serve/fault.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/workspace.hpp"
 
 namespace redcane::serve {
+namespace {
 
-double percentile_us(std::vector<double>& values_us, double p) {
-  if (values_us.empty()) return 0.0;
-  const double rank = p / 100.0 * static_cast<double>(values_us.size() - 1);
-  const auto idx = std::min(static_cast<std::size_t>(std::llround(rank)),
-                            values_us.size() - 1);
-  const auto nth = values_us.begin() + static_cast<std::ptrdiff_t>(idx);
-  std::nth_element(values_us.begin(), nth, values_us.end());
-  return *nth;
+// Process-wide mirrors of the per-instance ServerStats counters. The
+// conservation law holds for the registry totals too: every term is a
+// sum over server instances, and the law is linear. References are
+// resolved once; each increment after that is one relaxed fetch_add.
+struct ServeMetrics {
+  obs::Counter& submitted;
+  obs::Counter& requests;
+  obs::Counter& batches;
+  obs::Counter& rejected_invalid;
+  obs::Counter& rejected_queue_full;
+  obs::Counter& rejected_shutdown;
+  obs::Counter& shed_deadline;
+  obs::Counter& backend_failed;
+  obs::Counter& degraded;
+  obs::Histogram& latency_us;
+};
+
+ServeMetrics& metrics() {
+  static ServeMetrics* m = [] {
+    obs::Registry& reg = obs::Registry::instance();
+    auto* mm = new ServeMetrics{
+        reg.counter("serve_submitted_total"),
+        reg.counter("serve_requests_total"),
+        reg.counter("serve_batches_total"),
+        reg.counter("serve_rejected_invalid_total"),
+        reg.counter("serve_rejected_queue_full_total"),
+        reg.counter("serve_rejected_shutdown_total"),
+        reg.counter("serve_shed_deadline_total"),
+        reg.counter("serve_backend_failed_total"),
+        reg.counter("serve_degraded_total"),
+        reg.histogram("serve_latency_us"),
+    };
+    // ServerStats::reconciles(), restated over the process-wide totals.
+    // Evaluated at quiescent points (exposition, tests) — between a
+    // submit's `submitted` bump and its terminal accounting the law is
+    // transiently short, exactly as for the per-instance struct.
+    reg.add_check("serve_conservation", [](const obs::Snapshot& s) {
+      return s.counter("serve_submitted_total") ==
+             s.counter("serve_requests_total") +
+                 s.counter("serve_rejected_invalid_total") +
+                 s.counter("serve_rejected_queue_full_total") +
+                 s.counter("serve_rejected_shutdown_total") +
+                 s.counter("serve_shed_deadline_total") +
+                 s.counter("serve_backend_failed_total");
+    });
+    return mm;
+  }();
+  return *m;
 }
+
+}  // namespace
 
 int InferenceServer::resolve_workers(int requested) {
   if (requested > 0) return requested;
@@ -64,9 +108,18 @@ std::future<ServeResult> InferenceServer::reject(QueuedRequest&& r,
     const std::lock_guard<std::mutex> lock(stats_mu_);
     switch (code) {
       case ServeErrorCode::kUnknownVariant:
-      case ServeErrorCode::kBadShape: ++stats_.rejected_invalid; break;
-      case ServeErrorCode::kShutdown: ++stats_.rejected_shutdown; break;
-      case ServeErrorCode::kQueueFull: ++stats_.rejected_queue_full; break;
+      case ServeErrorCode::kBadShape:
+        ++stats_.rejected_invalid;
+        metrics().rejected_invalid.add();
+        break;
+      case ServeErrorCode::kShutdown:
+        ++stats_.rejected_shutdown;
+        metrics().rejected_shutdown.add();
+        break;
+      case ServeErrorCode::kQueueFull:
+        ++stats_.rejected_queue_full;
+        metrics().rejected_queue_full.add();
+        break;
       default: break;
     }
   }
@@ -84,6 +137,9 @@ std::future<ServeResult> InferenceServer::submit(const Tensor& sample,
     ++stats_.submitted;
     r.id = next_id_++;
   }
+  metrics().submitted.add();
+  // Request ids start at 0 but correlation id 0 means "untagged".
+  OBS_SPAN_ID("serve/submit", r.id + 1);
 
   if (!registry_.has_variant(variant)) {
     return reject(std::move(r), ServeErrorCode::kUnknownVariant,
@@ -131,6 +187,7 @@ std::future<ServeResult> InferenceServer::submit(const Tensor& sample,
       res.prediction.request_id = r.id;
       res.prediction.variant = r.requested_variant;
       r.done.set_value(std::move(res));
+      metrics().rejected_shutdown.add();
       const std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.rejected_shutdown;
       return fut;
@@ -142,6 +199,7 @@ std::future<ServeResult> InferenceServer::submit(const Tensor& sample,
       res.prediction.request_id = r.id;
       res.prediction.variant = r.requested_variant;
       r.done.set_value(std::move(res));
+      metrics().rejected_queue_full.add();
       const std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.rejected_queue_full;
       return fut;
@@ -154,6 +212,7 @@ void InferenceServer::start() {
   if (started_ || stopped_) return;
   started_ = true;
   const int workers = stats_.workers;
+  obs::Registry::instance().gauge("serve_workers").set(workers);
   pool_.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     pool_.emplace_back([this, workers] {
@@ -211,12 +270,16 @@ void InferenceServer::resolve_expired(std::vector<QueuedRequest>& expired) {
     res.prediction.variant = r.requested_variant;
     r.done.set_value(std::move(res));
   }
+  metrics().shed_deadline.add(static_cast<std::int64_t>(expired.size()));
   const std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.shed_deadline += static_cast<std::int64_t>(expired.size());
 }
 
 void InferenceServer::process_batch(std::vector<QueuedRequest>& batch) {
   const auto n = static_cast<std::int64_t>(batch.size());
+  // Correlated with the riders' serve/submit spans via the first request
+  // id — the same key the designed variant's noise stream is seeded from.
+  OBS_SPAN_ID("serve/batch", batch.front().id + 1);
   // Assemble from the requests' own (submit-validated) row shape, not the
   // registry's live shape — a concurrent hot reload must not tear a batch.
   const Shape& row = batch.front().x.shape();
@@ -232,7 +295,10 @@ void InferenceServer::process_batch(std::vector<QueuedRequest>& batch) {
   // stream is keyed by the batch's first request id: independent of worker
   // identity, so outputs only depend on batch composition. The emulated
   // variant is RNG-free — its outputs depend on the batch tensor alone.
-  const RunResult run = registry_.run(batch.front().variant, x, batch.front().id);
+  const RunResult run = [&] {
+    OBS_SPAN_ID("serve/infer", batch.front().id + 1);
+    return registry_.run(batch.front().variant, x, batch.front().id);
+  }();
   if (!run.ok) {
     // Typed failure for every rider of the batch; the process (and every
     // other in-flight batch) keeps serving.
@@ -244,6 +310,7 @@ void InferenceServer::process_batch(std::vector<QueuedRequest>& batch) {
       res.prediction.variant = r.requested_variant;
       r.done.set_value(std::move(res));
     }
+    metrics().backend_failed.add(n);
     const std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.backend_failed += n;
     return;
@@ -255,8 +322,6 @@ void InferenceServer::process_batch(std::vector<QueuedRequest>& batch) {
   const auto done = ServeClock::now();
   const std::int64_t classes = lengths.shape().dim(-1);
   std::int64_t degraded = 0;
-  std::vector<double> latencies;
-  latencies.reserve(batch.size());
   for (std::int64_t i = 0; i < n; ++i) {
     QueuedRequest& r = batch[static_cast<std::size_t>(i)];
     ServeResult res;
@@ -271,7 +336,8 @@ void InferenceServer::process_batch(std::vector<QueuedRequest>& batch) {
     p.batch_size = n;
     p.latency_us =
         std::chrono::duration<double, std::micro>(done - r.enqueued).count();
-    latencies.push_back(p.latency_us);
+    latency_hist_.observe(p.latency_us);
+    metrics().latency_us.observe(p.latency_us);
     if (r.degraded) {
       ++degraded;
       res.error = {ServeErrorCode::kDegradedServed,
@@ -280,23 +346,31 @@ void InferenceServer::process_batch(std::vector<QueuedRequest>& batch) {
     r.done.set_value(std::move(res));
   }
 
+  metrics().requests.add(n);
+  metrics().degraded.add(degraded);
+  metrics().batches.add();
   const std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.requests += n;
   stats_.degraded += degraded;
   ++stats_.batches;
-  for (const double l : latencies) {
-    if (stats_.latencies_us.size() < kLatencyWindow) {
-      stats_.latencies_us.push_back(l);
-    } else {
-      stats_.latencies_us[latency_pos_] = l;
-      latency_pos_ = (latency_pos_ + 1) % kLatencyWindow;
-    }
-  }
 }
 
 ServerStats InferenceServer::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ServerStats out;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.latency.count = latency_hist_.count();
+  out.latency.mean_us =
+      out.latency.count == 0
+          ? 0.0
+          : latency_hist_.sum() / static_cast<double>(out.latency.count);
+  out.latency.p50_us = latency_hist_.percentile(50.0);
+  out.latency.p99_us = latency_hist_.percentile(99.0);
+  out.latency.p999_us = latency_hist_.percentile(99.9);
+  out.latency.max_us = latency_hist_.max();
+  return out;
 }
 
 }  // namespace redcane::serve

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/batcher.hpp"
 #include "serve/registry.hpp"
 #include "serve/result.hpp"
@@ -64,10 +65,18 @@ struct ServerConfig {
   bool degrade_under_pressure = false;
 };
 
-/// Latency samples retained for percentile reporting: a sliding window of
-/// the most recent requests, so a long-lived server's stats stay O(1) in
-/// memory instead of growing 8 bytes per request forever.
-inline constexpr std::size_t kLatencyWindow = 16384;
+/// Latency summary of one server lifetime, read out of the server's
+/// log-linear obs::Histogram: O(1) memory however long the server lives,
+/// quantiles with bounded (1/obs::Histogram::kSubBuckets per octave)
+/// relative error, exact max.
+struct LatencySummary {
+  std::int64_t count = 0;  ///< Fulfilled requests measured.
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+};
 
 /// Aggregate counters of one server lifetime. Conservation law (asserted
 /// by tests/test_chaos.cpp): submitted == requests + rejected_invalid +
@@ -84,9 +93,8 @@ struct ServerStats {
   std::int64_t backend_failed = 0;       ///< Resolved with kBackendFailure.
   std::int64_t degraded = 0;  ///< Subset of `requests` served by "exact".
   int workers = 0;            ///< Resolved worker count.
-  /// Enqueue->done latency [us] of the most recent <= kLatencyWindow
-  /// fulfilled requests (unordered; feed to percentile_us).
-  std::vector<double> latencies_us;
+  /// Enqueue->done latency [us] summary of every fulfilled request.
+  LatencySummary latency;
 
   /// Mean fulfilled micro-batch size [requests/batch].
   [[nodiscard]] double mean_batch_size() const {
@@ -100,12 +108,6 @@ struct ServerStats {
                             rejected_shutdown + shed_deadline + backend_failed;
   }
 };
-
-/// The p-th percentile (p in [0, 100]) of `values_us`, by nearest-rank via
-/// std::nth_element — O(n), no sort, no copy; `values_us` is partially
-/// reordered. 0 when empty. Callers snapshot stats() once and query this
-/// for each percentile. Shared by the example/bench latency reports.
-[[nodiscard]] double percentile_us(std::vector<double>& values_us, double p);
 
 class InferenceServer {
  public:
@@ -132,6 +134,14 @@ class InferenceServer {
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] const ServerConfig& config() const { return cfg_; }
 
+  /// This server's latency histogram (enqueue->done, microseconds), for
+  /// callers that need quantiles beyond the ServerStats summary. Valid
+  /// for the server's lifetime; also mirrored into the process-wide
+  /// `serve_latency_us` registry histogram.
+  [[nodiscard]] const obs::Histogram& latency_histogram() const {
+    return latency_hist_;
+  }
+
   /// Queue-pressure flag of the underlying batcher (or fault-forced).
   [[nodiscard]] bool pressured() const;
 
@@ -154,7 +164,7 @@ class InferenceServer {
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;
-  std::size_t latency_pos_ = 0;  ///< Ring cursor once the window is full.
+  obs::Histogram latency_hist_;  ///< Lock-free; written outside stats_mu_.
   std::uint64_t next_id_ = 0;    ///< Guarded by stats_mu_.
 };
 

@@ -1,0 +1,481 @@
+// Observability-layer contracts (src/obs/):
+//  * ring wraparound keeps the newest kRingCapacity events, drops the
+//    oldest, and accounts for every drop in the drop counter;
+//  * concurrent emission from >= 8 threads against a concurrent drainer
+//    is data-race-free (run under TSan in CI) and loses at most one
+//    in-flight slot per ring per drain pass;
+//  * drained spans sort parents before children so the chrome JSON nests;
+//  * trace_write_chrome emits parseable chrome://tracing JSON including
+//    remote-process metadata;
+//  * the registry hands out stable named instruments, snapshots them
+//    consistently, and exposes Prometheus-style text with check trailers;
+//  * histogram bucket boundaries are pinned (log-linear, 8 sub-buckets
+//    per octave, <= 1/8 relative error) so latency summaries cannot
+//    drift silently;
+//  * arming tracing changes NOTHING observable: sweep curves and served
+//    predictions are bit-identical armed vs disarmed.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "capsnet/capsnet_model.hpp"
+#include "capsnet/trainer.hpp"
+#include "core/groups.hpp"
+#include "core/manifest.hpp"
+#include "core/resilience.hpp"
+#include "data/synthetic.hpp"
+#include "serve/server.hpp"
+
+namespace redcane::obs {
+namespace {
+
+constexpr std::size_t kRingCapacity = 4096;  // Mirrors trace.cpp.
+
+// ---------------------------------------------------------------------------
+// Tracing: ring semantics.
+
+TEST(Trace, DisarmedEmitsNothing) {
+  trace_reset_for_test();
+  trace_arm(false);
+  {
+    OBS_SPAN("test/disarmed");
+  }
+  // Note trace_emit itself is unconditional by contract: SpanScope and the
+  // other call sites read trace_armed() first, so only the macro path is
+  // asserted here.
+  EXPECT_EQ(trace_buffered(), 0u);
+  EXPECT_TRUE(trace_drain().empty());
+  EXPECT_EQ(trace_dropped(), 0u);
+}
+
+TEST(Trace, WraparoundKeepsNewestAndCountsDrops) {
+  trace_reset_for_test();
+  trace_arm(true);
+  const std::uint64_t total = 5000;  // > kRingCapacity on one thread.
+  for (std::uint64_t i = 0; i < total; ++i) {
+    trace_emit("test/wrap", /*ts_us=*/i, /*dur_us=*/1, /*corr=*/i + 1);
+  }
+  trace_arm(false);
+
+  EXPECT_EQ(trace_buffered(), kRingCapacity);
+  const std::vector<TraceEvent> drained = trace_drain();
+  ASSERT_EQ(drained.size(), kRingCapacity);
+  EXPECT_EQ(trace_dropped(), total - kRingCapacity);
+  EXPECT_EQ(drained.size() + trace_dropped(), total);
+
+  // Newest survive, oldest dropped: corr ids are exactly the last
+  // kRingCapacity emissions, in timestamp order.
+  EXPECT_EQ(drained.front().corr, total - kRingCapacity + 1);
+  EXPECT_EQ(drained.back().corr, total);
+  for (std::size_t i = 1; i < drained.size(); ++i) {
+    EXPECT_EQ(drained[i].corr, drained[i - 1].corr + 1);
+  }
+  EXPECT_EQ(trace_buffered(), 0u);
+}
+
+TEST(Trace, ConcurrentEmitWithConcurrentDrainer) {
+  trace_reset_for_test();
+  trace_arm(true);
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 3000;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> collected{0};
+  std::atomic<std::uint64_t> passes{0};
+
+  std::thread drainer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::vector<TraceEvent> batch = trace_drain();
+      collected.fetch_add(batch.size(), std::memory_order_relaxed);
+      passes.fetch_add(1, std::memory_order_relaxed);
+      for (const TraceEvent& e : batch) {
+        // Torn slots must be skipped, never surfaced half-written.
+        ASSERT_STREQ(e.name, "test/conc");
+        ASSERT_GE(e.corr, 1u);
+        ASSERT_LE(e.corr, kPerThread);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        OBS_SPAN_ID("test/conc", i + 1);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  drainer.join();
+
+  // Final pass picks up whatever the concurrent drainer left behind.
+  collected.fetch_add(trace_drain().size(), std::memory_order_relaxed);
+  passes.fetch_add(1, std::memory_order_relaxed);
+  trace_arm(false);
+
+  const std::uint64_t total = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  const std::uint64_t seen = collected.load() + trace_dropped();
+  // Every event is drained, dropped, or was the (at most one per ring)
+  // in-flight slot a drain pass skipped as torn and stepped past.
+  EXPECT_LE(seen, total);
+  EXPECT_GE(seen + passes.load() * kThreads, total);
+}
+
+TEST(Trace, SpansNestAndSortParentFirst) {
+  trace_reset_for_test();
+  trace_arm(true);
+  {
+    SpanScope outer("test/outer");
+    const std::uint64_t t0 = trace_now_us();
+    {
+      SpanScope inner("test/inner");
+    }
+    // Spin until the clock moves so the outer span strictly outlasts the
+    // inner one — two zero-duration spans at the same microsecond have no
+    // defined parent/child order.
+    while (trace_now_us() - t0 < 2) {
+    }
+  }
+  trace_arm(false);
+
+  const std::vector<TraceEvent> drained = trace_drain();
+  ASSERT_EQ(drained.size(), 2u);
+  // Inner closes first but the drain sorts by (ts asc, dur desc), so the
+  // enclosing span comes out first and time containment holds.
+  const TraceEvent& outer = drained[0];
+  const TraceEvent& inner = drained[1];
+  EXPECT_STREQ(outer.name, "test/outer");
+  EXPECT_STREQ(inner.name, "test/inner");
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us);
+}
+
+TEST(Trace, CorrelationIdsAreFreshAndNonzero) {
+  const std::uint64_t a = next_correlation_id();
+  const std::uint64_t b = next_correlation_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing: chrome JSON output.
+
+TEST(Trace, ChromeJsonIsWellFormed) {
+  trace_reset_for_test();
+  trace_arm(true);
+  trace_emit("test/json \"quoted\"", 10, 5, 42);
+  trace_set_process_name(2, "worker:w");
+  trace_emit_remote(/*pid=*/2, /*tid=*/1, "test/remote", 12, 3, 42);
+  trace_arm(false);
+
+  const std::string path = ::testing::TempDir() + "test_obs_trace.json";
+  ASSERT_TRUE(trace_write_chrome(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);   // Complete spans.
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);   // Process metadata.
+  EXPECT_NE(text.find("worker:w"), std::string::npos);
+  EXPECT_NE(text.find("\\\"quoted\\\""), std::string::npos);  // Escaped name.
+  EXPECT_NE(text.find("\"corr\":42"), std::string::npos);
+
+  // Balanced structure — the cheap stand-in for a full JSON parse (CI's
+  // serve smoke runs the real parse in python).
+  std::int64_t braces = 0;
+  std::int64_t brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Trace, InternedNamesOutliveTheirSource) {
+  trace_reset_for_test();
+  trace_arm(true);
+  {
+    std::string dynamic = "test/interned_";
+    dynamic += "suffix";
+    const char* stable = trace_intern(dynamic);
+    trace_emit(stable, 1, 1, 0);
+  }  // `dynamic` destroyed; the interned copy must survive.
+  trace_arm(false);
+  const std::vector<TraceEvent> drained = trace_drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_STREQ(drained[0].name, "test/interned_suffix");
+  // Interning the same text again returns the same pointer.
+  EXPECT_EQ(trace_intern("test/interned_suffix"), drained[0].name);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: registry and snapshot.
+
+TEST(Registry, CountersGaugesAndSnapshot) {
+  Registry& reg = Registry::instance();
+  Counter& c = reg.counter("test_obs_requests_total");
+  c.add();
+  c.add(2);
+  EXPECT_EQ(c.value(), 3);
+  // Same name returns the same instance.
+  EXPECT_EQ(&reg.counter("test_obs_requests_total"), &c);
+
+  reg.gauge("test_obs_depth").set(7.5);
+
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("test_obs_requests_total"), 3);
+  EXPECT_EQ(snap.counter("test_obs_never_registered_total"), 0);  // Absent -> 0.
+  ASSERT_EQ(snap.gauges.count("test_obs_depth"), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test_obs_depth"), 7.5);
+}
+
+TEST(Registry, HistogramSummaryInSnapshot) {
+  Registry& reg = Registry::instance();
+  Histogram& h = reg.histogram("test_obs_latency_us");
+  for (int i = 0; i < 100; ++i) h.observe(100.0);
+  h.observe(1000.0);
+
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.count("test_obs_latency_us"), 1u);
+  const Snapshot::HistogramSummary& s = snap.histograms.at("test_obs_latency_us");
+  EXPECT_EQ(s.count, 101);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_NEAR(s.sum, 100 * 100.0 + 1000.0, 1e-9);
+  // p50 lands in 100.0's bucket (<= 1/8 above), p99.9 hits the clamp-to-max.
+  EXPECT_GE(s.p50, 100.0);
+  EXPECT_LE(s.p50, 100.0 * 1.125);
+  EXPECT_DOUBLE_EQ(s.p999, 1000.0);
+}
+
+TEST(Registry, ExpositionContainsMetricsAndCheckTrailers) {
+  Registry& reg = Registry::instance();
+  reg.counter("test_obs_expo_total").add(5);
+  reg.histogram("test_obs_expo_us").observe(3.0);
+
+  reg.add_check("test_obs_law", [](const Snapshot&) { return false; });
+  std::string text = reg.exposition();
+  EXPECT_NE(text.find("test_obs_expo_total 5"), std::string::npos);
+  EXPECT_NE(text.find("test_obs_expo_us_count 1"), std::string::npos);
+  EXPECT_NE(text.find("test_obs_expo_us{q=\"p50\"}"), std::string::npos);
+  EXPECT_NE(text.find("# check test_obs_law FAIL"), std::string::npos);
+
+  // Re-registering replaces the law (serving instances come and go).
+  reg.add_check("test_obs_law", [](const Snapshot&) { return true; });
+  text = reg.exposition();
+  EXPECT_NE(text.find("# check test_obs_law ok"), std::string::npos);
+  EXPECT_EQ(text.find("# check test_obs_law FAIL"), std::string::npos);
+}
+
+TEST(Registry, ChecksEvaluateAgainstOneSnapshot) {
+  Registry& reg = Registry::instance();
+  reg.counter("test_obs_in_total").add(4);
+  reg.counter("test_obs_out_total").add(4);
+  reg.add_check("test_obs_flow", [](const Snapshot& s) {
+    return s.counter("test_obs_in_total") == s.counter("test_obs_out_total");
+  });
+  bool found = false;
+  for (const CheckResult& r : reg.run_checks()) {
+    if (r.name == "test_obs_flow") {
+      found = true;
+      EXPECT_TRUE(r.ok);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: histogram bucket arithmetic, pinned.
+
+TEST(Histogram, BucketBoundariesArePinned) {
+  // Sub-unit values share bucket 0, upper bound 1.0.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(0.999), 0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper(0), 1.0);
+
+  // Octave starts: 8 sub-buckets per octave, idx = 1 + oct*8 + sub.
+  EXPECT_EQ(Histogram::bucket_index(1.0), 1);
+  EXPECT_EQ(Histogram::bucket_index(2.0), 9);
+  EXPECT_EQ(Histogram::bucket_index(4.0), 17);
+  // 1.25 = 1 + 2/8: sub-bucket 2 of octave 0.
+  EXPECT_EQ(Histogram::bucket_index(1.25), 3);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper(1), 1.125);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper(9), 2.25);
+}
+
+TEST(Histogram, UpperBoundsObservationWithBoundedError) {
+  for (double v : {1.0, 1.1, 3.7, 100.0, 1000.0, 123456.0, 7e9}) {
+    const int idx = Histogram::bucket_index(v);
+    const double upper = Histogram::bucket_upper(idx);
+    EXPECT_GE(upper, v) << "v=" << v;
+    EXPECT_LE(upper, v * (1.0 + 1.0 / Histogram::kSubBuckets) + 1e-9) << "v=" << v;
+  }
+}
+
+TEST(Histogram, PercentileNearestRankAndClampToMax) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(50.0), 0.0);
+
+  Histogram single;
+  single.observe(5.0);
+  // Any percentile of one observation is that observation: the bucket
+  // upper bound is clamped to the true max.
+  EXPECT_DOUBLE_EQ(single.percentile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(single.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(single.percentile(100.0), 5.0);
+
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.observe(10.0);
+  h.observe(10000.0);
+  // Rank 50 of 100 sits in 10.0's bucket; p100 is the exact max.
+  EXPECT_GE(h.percentile(50.0), 10.0);
+  EXPECT_LE(h.percentile(50.0), 10.0 * 1.125);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 10000.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10000.0);
+  EXPECT_EQ(h.count(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: arming tracing perturbs nothing.
+
+capsnet::CapsNetConfig tiny_config() {
+  capsnet::CapsNetConfig cfg;
+  cfg.input_hw = 14;
+  cfg.conv1_kernel = 5;
+  cfg.conv1_channels = 8;
+  cfg.primary_kernel = 5;
+  cfg.primary_stride = 2;
+  cfg.primary_types = 2;
+  cfg.primary_dim = 4;
+  cfg.class_dim = 4;
+  return cfg;
+}
+
+data::Dataset tiny_dataset(std::int64_t count) {
+  data::SyntheticSpec s;
+  s.kind = data::DatasetKind::kMnist;
+  s.hw = 14;
+  s.channels = 1;
+  s.train_count = 4;
+  s.test_count = count;
+  s.seed = 99;
+  return data::make_synthetic(s);
+}
+
+TEST(BitIdentity, SweepCurvesIdenticalArmedVsDisarmed) {
+  const data::Dataset ds = tiny_dataset(16);
+  core::ResilienceConfig cfg;
+  cfg.sweep.nms = {0.5, 0.05, 0.0};
+  cfg.seed = 2020;
+  cfg.eval_batch = 8;
+
+  const auto run = [&] {
+    Rng rng(7);
+    capsnet::CapsNetModel model(tiny_config(), rng);
+    core::ResilienceAnalyzer analyzer(model, ds.test_x, ds.test_y, cfg);
+    return analyzer.sweep_group(capsnet::OpKind::kMacOutput);
+  };
+
+  trace_reset_for_test();
+  trace_arm(false);
+  const core::ResilienceCurve disarmed = run();
+  trace_arm(true);
+  const core::ResilienceCurve armed = run();
+  trace_arm(false);
+  (void)trace_drain();
+
+  ASSERT_EQ(disarmed.drop_pct.size(), armed.drop_pct.size());
+  for (std::size_t i = 0; i < disarmed.drop_pct.size(); ++i) {
+    EXPECT_EQ(disarmed.drop_pct[i], armed.drop_pct[i]) << "point " << i;
+  }
+}
+
+TEST(BitIdentity, ServedPredictionsIdenticalArmedVsDisarmed) {
+  const capsnet::CapsNetConfig cfg = tiny_config();
+  Rng rng(7);
+  auto model = std::make_unique<capsnet::CapsNetModel>(cfg, rng);
+  const data::Dataset ds = tiny_dataset(8);
+
+  core::DeploymentManifest m;
+  m.model = model->name();
+  m.profile = "tiny";
+  m.input_hw = cfg.input_hw;
+  m.input_channels = 1;
+  m.num_classes = cfg.num_classes;
+  m.noise_seed = 2020;
+  for (const core::Site& site : core::extract_sites(*model, capsnet::slice_rows(ds.test_x, 0, 1))) {
+    core::ManifestSite ms;
+    ms.site = site;
+    ms.component = "synthetic";
+    if (site.kind == capsnet::OpKind::kMacOutput) ms.nm = 0.005;
+    m.sites.push_back(ms);
+  }
+  serve::ModelRegistry registry(std::move(model), std::move(m));
+
+  serve::ServerConfig sc;
+  sc.workers = 2;
+  sc.max_batch = 4;
+  sc.max_delay_us = 500;
+
+  const auto drain = [&] {
+    serve::InferenceServer server(registry, sc);
+    std::vector<std::future<serve::ServeResult>> futs;
+    for (std::int64_t i = 0; i < 32; ++i) {
+      const std::int64_t r = i % ds.test_x.shape().dim(0);
+      futs.push_back(
+          server.submit(capsnet::slice_rows(ds.test_x, r, r + 1), serve::kVariantExact));
+    }
+    server.start();
+    std::vector<std::int64_t> labels;
+    for (auto& f : futs) labels.push_back(f.get().prediction.label);
+    server.shutdown();
+    return labels;
+  };
+
+  trace_reset_for_test();
+  trace_arm(false);
+  const std::vector<std::int64_t> disarmed = drain();
+  trace_arm(true);
+  const std::vector<std::int64_t> armed = drain();
+  trace_arm(false);
+  (void)trace_drain();
+
+  EXPECT_EQ(disarmed, armed);
+}
+
+}  // namespace
+}  // namespace redcane::obs

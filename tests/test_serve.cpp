@@ -455,22 +455,41 @@ TEST(Serve, ServerStatsAccountForRequestsAndBatches) {
   EXPECT_EQ(stats.requests, 16);
   EXPECT_EQ(stats.batches, 2);  // Queue pre-filled: two full batches of 8.
   EXPECT_EQ(stats.workers, 2);
-  EXPECT_EQ(stats.latencies_us.size(), 16U);
+  EXPECT_EQ(stats.latency.count, 16);
+  EXPECT_GE(stats.latency.p50_us, 0.0);
+  EXPECT_LE(stats.latency.p50_us, stats.latency.p99_us);
+  EXPECT_LE(stats.latency.p99_us, stats.latency.max_us);
+  EXPECT_GE(stats.latency.mean_us, 0.0);
+  EXPECT_LE(stats.latency.mean_us, stats.latency.max_us);
   EXPECT_DOUBLE_EQ(stats.mean_batch_size(), 8.0);
   EXPECT_TRUE(stats.reconciles());
 }
 
-TEST(Serve, PercentileIsNearestRankViaNthElement) {
-  std::vector<double> empty;
-  EXPECT_DOUBLE_EQ(percentile_us(empty, 50.0), 0.0);
-  std::vector<double> one = {5.0};
-  EXPECT_DOUBLE_EQ(percentile_us(one, 99.0), 5.0);
-  // One snapshot serves every percentile: each query partially reorders
-  // the same vector in place (nth_element), never copies or sorts it.
-  std::vector<double> four = {4.0, 1.0, 3.0, 2.0};
-  EXPECT_DOUBLE_EQ(percentile_us(four, 0.0), 1.0);
-  EXPECT_DOUBLE_EQ(percentile_us(four, 100.0), 4.0);
-  EXPECT_DOUBLE_EQ(percentile_us(four, 50.0), 3.0);
+TEST(Serve, LatencySummaryComesFromTheSharedHistogram) {
+  // The server's per-instance histogram is the same obs::Histogram the
+  // registry's serve_latency_us uses; ServerStats::latency must match
+  // direct queries on it exactly.
+  const data::Dataset ds = small_dataset(8);
+  std::unique_ptr<ModelRegistry> registry = make_registry(ds);
+  ServerConfig sc;
+  sc.workers = 1;
+  sc.max_batch = 4;
+  InferenceServer server(*registry, sc);
+  std::vector<std::future<ServeResult>> futs;
+  for (std::int64_t i = 0; i < 8; ++i) {
+    futs.push_back(
+        server.submit(capsnet::slice_rows(ds.test_x, i, i + 1), kVariantExact));
+  }
+  server.start();
+  for (auto& f : futs) ASSERT_TRUE(f.get().ok());
+  server.shutdown();
+  const ServerStats stats = server.stats();
+  const obs::Histogram& h = server.latency_histogram();
+  EXPECT_EQ(stats.latency.count, h.count());
+  EXPECT_DOUBLE_EQ(stats.latency.p50_us, h.percentile(50.0));
+  EXPECT_DOUBLE_EQ(stats.latency.p99_us, h.percentile(99.0));
+  EXPECT_DOUBLE_EQ(stats.latency.p999_us, h.percentile(99.9));
+  EXPECT_DOUBLE_EQ(stats.latency.max_us, h.max());
 }
 
 TEST(Serve, SubmitResolvesTypedErrorsInsteadOfAborting) {
